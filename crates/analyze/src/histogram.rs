@@ -1,0 +1,166 @@
+//! Histograms with the paper's before/after smoothing presentation
+//! (Figures 5.3–5.5 show each usage distribution "before and after
+//! smoothing").
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<f64>,
+    /// Samples below `lo` or above the last bin (clamped into the edge bins).
+    clamped: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` with `bins` equal-width bins covering
+    /// `[lo, hi)`. Out-of-range values are clamped into the edge bins (and
+    /// counted in [`Histogram::clamped`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(values: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        let width = (hi - lo) / bins as f64;
+        let mut counts = vec![0.0; bins];
+        let mut clamped = 0;
+        for &v in values {
+            let raw = ((v - lo) / width).floor();
+            let idx = if raw < 0.0 {
+                clamped += 1;
+                0
+            } else if raw >= bins as f64 {
+                clamped += 1;
+                bins - 1
+            } else {
+                raw as usize
+            };
+            counts[idx] += 1.0;
+        }
+        Self { lo, width, counts, clamped }
+    }
+
+    /// Builds a histogram spanning the data's own range with `bins` bins.
+    /// Empty input produces one empty bin over `[0, 1)`.
+    pub fn spanning(values: &[f64], bins: usize) -> Self {
+        if values.is_empty() {
+            return Self::new(values, 0.0, 1.0, bins.max(1));
+        }
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let hi = if hi > lo { hi * (1.0 + 1e-9) + 1e-12 } else { lo + 1.0 };
+        Self::new(values, lo, hi, bins)
+    }
+
+    /// Bin count values (possibly fractional after smoothing).
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Number of out-of-range samples clamped into edge bins.
+    pub fn clamped(&self) -> usize {
+        self.clamped
+    }
+
+    /// `(bin_center, count)` pairs, for plotting.
+    pub fn bins(&self) -> Vec<(f64, f64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * self.width, c))
+            .collect()
+    }
+
+    /// Total mass (= number of samples for an unsmoothed histogram).
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// A moving-average smoothed copy ("after smoothing" in Figures
+    /// 5.3–5.5). `window` is the half-width: each bin becomes the mean of
+    /// the `2·window + 1` bins centred on it (truncated at the edges).
+    pub fn smoothed(&self, window: usize) -> Histogram {
+        let n = self.counts.len();
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(n);
+            let span = &self.counts[lo..hi];
+            out[i] = span.iter().sum::<f64>() / span.len() as f64;
+        }
+        Histogram {
+            lo: self.lo,
+            width: self.width,
+            counts: out,
+            clamped: self.clamped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_values_correctly() {
+        let h = Histogram::new(&[0.5, 1.5, 1.6, 2.5], 0.0, 3.0, 3);
+        assert_eq!(h.counts(), &[1.0, 2.0, 1.0]);
+        assert_eq!(h.total(), 4.0);
+        assert_eq!(h.clamped(), 0);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let h = Histogram::new(&[-5.0, 10.0], 0.0, 3.0, 3);
+        assert_eq!(h.counts(), &[1.0, 0.0, 1.0]);
+        assert_eq!(h.clamped(), 2);
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let h = Histogram::new(&[], 0.0, 10.0, 5);
+        let bins = h.bins();
+        assert_eq!(bins[0].0, 1.0);
+        assert_eq!(bins[4].0, 9.0);
+    }
+
+    #[test]
+    fn spanning_covers_extremes() {
+        let h = Histogram::spanning(&[2.0, 8.0, 5.0], 3);
+        assert_eq!(h.total(), 3.0);
+        assert_eq!(h.clamped(), 0);
+        // Identical values degrade gracefully.
+        let h = Histogram::spanning(&[4.0, 4.0], 4);
+        assert_eq!(h.total(), 2.0);
+        // Empty input.
+        let h = Histogram::spanning(&[], 4);
+        assert_eq!(h.total(), 0.0);
+    }
+
+    #[test]
+    fn smoothing_preserves_shape_not_mass_at_edges() {
+        let h = Histogram::new(&[1.5, 1.5, 1.5, 1.5], 0.0, 3.0, 3);
+        let s = h.smoothed(1);
+        // Peak is flattened.
+        assert!(s.counts()[1] < h.counts()[1]);
+        // Interior smoothing of [0,4,0] with window 1: [2, 4/3, 2].
+        assert!((s.counts()[0] - 2.0).abs() < 1e-12);
+        assert!((s.counts()[1] - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_window_zero_is_identity() {
+        let h = Histogram::new(&[0.5, 2.5, 2.7], 0.0, 3.0, 3);
+        assert_eq!(h.smoothed(0).counts(), h.counts());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(&[], 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Metrics extracted from usage logs: the data behind Tables 5.2–5.3 and
+//! Figures 5.3–5.12.
+
+use crate::Summary;
+use std::collections::BTreeMap;
+use uswg_fsc::FileCategory;
+use uswg_netfs::OpKind;
+use uswg_usim::{SessionRecord, UsageLog};
+
+/// Which per-session usage measure to extract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionMetric {
+    /// Bytes moved per byte of file referenced (Figure 5.3).
+    AccessPerByte,
+    /// Mean size of the files referenced (Figure 5.4).
+    MeanFileSize,
+    /// Number of files referenced (Figure 5.5).
+    FilesReferenced,
+    /// Mean response time per accessed byte (Figures 5.6–5.11).
+    ResponsePerByte,
+}
+
+/// Per-session values of a usage measure, in session order.
+pub fn session_series(log: &UsageLog, metric: SessionMetric) -> Vec<f64> {
+    log.sessions()
+        .iter()
+        .map(|s| session_metric(s, metric))
+        .collect()
+}
+
+fn session_metric(s: &SessionRecord, metric: SessionMetric) -> f64 {
+    match metric {
+        SessionMetric::AccessPerByte => s.access_per_byte(),
+        SessionMetric::MeanFileSize => s.mean_file_size(),
+        SessionMetric::FilesReferenced => s.files_referenced as f64,
+        SessionMetric::ResponsePerByte => s.response_per_byte(),
+    }
+}
+
+/// One row of the per-system-call summary (Table 5.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpKindSummary {
+    /// The system call.
+    pub kind: OpKind,
+    /// Number of calls observed.
+    pub count: usize,
+    /// Access-size statistics over the calls (bytes).
+    pub access_size: Summary,
+    /// Response-time statistics over the calls (µs).
+    pub response: Summary,
+}
+
+/// Summarizes access size and response time per system call kind, in
+/// [`OpKind::ALL`] order, skipping kinds that never occurred.
+pub fn op_kind_summaries(log: &UsageLog) -> Vec<OpKindSummary> {
+    OpKind::ALL
+        .iter()
+        .filter_map(|&kind| {
+            let sizes: Vec<f64> = log
+                .ops()
+                .iter()
+                .filter(|o| o.op == kind)
+                .map(|o| o.bytes as f64)
+                .collect();
+            if sizes.is_empty() {
+                return None;
+            }
+            let responses: Vec<f64> = log
+                .ops()
+                .iter()
+                .filter(|o| o.op == kind)
+                .map(|o| o.response as f64)
+                .collect();
+            Some(OpKindSummary {
+                kind,
+                count: sizes.len(),
+                access_size: Summary::of(&sizes),
+                response: Summary::of(&responses),
+            })
+        })
+        .collect()
+}
+
+/// Access-size and response-time summary over *data* calls only (read/
+/// write), the aggregate Table 5.3 reports per user count.
+pub fn data_op_summary(log: &UsageLog) -> (Summary, Summary) {
+    let data: Vec<&uswg_usim::OpRecord> = log
+        .ops()
+        .iter()
+        .filter(|o| o.op.is_data() && o.bytes > 0)
+        .collect();
+    let sizes: Vec<f64> = data.iter().map(|o| o.bytes as f64).collect();
+    let responses: Vec<f64> = data.iter().map(|o| o.response as f64).collect();
+    (Summary::of(&sizes), Summary::of(&responses))
+}
+
+/// Mean response time per byte: the total response time of **all** file
+/// I/O system calls divided by the data bytes moved (the y-axis of Figures
+/// 5.6–5.12, matching [`SessionRecord::response_per_byte`]).
+///
+/// Charging metadata calls to the transferred bytes matters when comparing
+/// file systems: a whole-file-caching design does its expensive work at
+/// `open` time, and a per-byte metric that ignored opens would make it look
+/// free (Section 5.3's comparison would be meaningless).
+pub fn response_time_per_byte(log: &UsageLog) -> f64 {
+    let mut micros = 0u64;
+    let mut bytes = 0u64;
+    for op in log.ops() {
+        micros += op.response;
+        if op.op.is_data() {
+            bytes += op.bytes;
+        }
+    }
+    if bytes == 0 {
+        0.0
+    } else {
+        micros as f64 / bytes as f64
+    }
+}
+
+/// Per-category usage characterization measured from a log: the *observed*
+/// counterpart of Table 5.2's specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryObservation {
+    /// The file category.
+    pub category: FileCategory,
+    /// Mean bytes accessed per byte of file referenced.
+    pub access_per_byte: f64,
+    /// Mean size of the files referenced, bytes.
+    pub mean_file_size: f64,
+    /// Mean files of this category referenced per session *that accessed
+    /// the category*.
+    pub mean_files: f64,
+    /// Fraction of sessions that accessed the category at all.
+    pub pct_sessions: f64,
+}
+
+/// Measures per-category usage from the op stream (requires `record_ops`).
+pub fn category_observations(log: &UsageLog) -> Vec<CategoryObservation> {
+    /// Per (session, category) accumulator.
+    #[derive(Default)]
+    struct Acc {
+        /// Referenced files and their sizes (largest size seen wins, since
+        /// created files grow while being written).
+        file_sizes: BTreeMap<u64, u64>,
+        data_bytes: u64,
+    }
+    let mut sessions_seen = std::collections::BTreeSet::new();
+    let mut acc: BTreeMap<(usize, u32, FileCategory), Acc> = BTreeMap::new();
+    for op in log.ops() {
+        sessions_seen.insert((op.user, op.session));
+        let a = acc.entry((op.user, op.session, op.category)).or_default();
+        let size = a.file_sizes.entry(op.ino).or_insert(0);
+        *size = (*size).max(op.file_size);
+        if op.op.is_data() {
+            a.data_bytes += op.bytes;
+        }
+    }
+    let total_sessions = sessions_seen.len().max(1);
+    /// Per-category rollup: sessions, files, file bytes, data bytes.
+    #[derive(Default)]
+    struct Rollup {
+        sessions: usize,
+        files: u64,
+        file_bytes: u64,
+        data_bytes: u64,
+    }
+    let mut by_category: BTreeMap<FileCategory, Rollup> = BTreeMap::new();
+    for ((_, _, category), a) in &acc {
+        let entry = by_category.entry(*category).or_default();
+        entry.sessions += 1;
+        entry.files += a.file_sizes.len() as u64;
+        entry.file_bytes += a.file_sizes.values().sum::<u64>();
+        entry.data_bytes += a.data_bytes;
+    }
+    by_category
+        .into_iter()
+        .map(|(category, r)| CategoryObservation {
+            category,
+            access_per_byte: if r.file_bytes == 0 {
+                0.0
+            } else {
+                r.data_bytes as f64 / r.file_bytes as f64
+            },
+            mean_file_size: if r.files == 0 {
+                0.0
+            } else {
+                r.file_bytes as f64 / r.files as f64
+            },
+            mean_files: r.files as f64 / r.sessions.max(1) as f64,
+            pct_sessions: r.sessions as f64 / total_sessions as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uswg_fsc::FileCategory;
+    use uswg_usim::{OpRecord, SessionRecord};
+
+    fn log_with(ops: Vec<OpRecord>, sessions: Vec<SessionRecord>) -> UsageLog {
+        let mut log = UsageLog::new();
+        for o in ops {
+            log.push_op(o);
+        }
+        for s in sessions {
+            log.push_session(s);
+        }
+        log
+    }
+
+    fn op(kind: OpKind, bytes: u64, response: u64) -> OpRecord {
+        OpRecord {
+            at: 0,
+            user: 0,
+            session: 0,
+            op: kind,
+            ino: 1,
+            bytes,
+            file_size: 1000,
+            response,
+            category: FileCategory::REG_USER_RDONLY,
+        }
+    }
+
+    fn session(bytes_accessed: u64, file_bytes: u64, files: u64, response: u64) -> SessionRecord {
+        SessionRecord {
+            user: 0,
+            user_type: 0,
+            session: 0,
+            start: 0,
+            end: 1,
+            ops: 1,
+            files_referenced: files,
+            file_bytes_referenced: file_bytes,
+            bytes_accessed,
+            bytes_read: bytes_accessed,
+            bytes_written: 0,
+            total_response: response,
+        }
+    }
+
+    #[test]
+    fn series_extraction() {
+        let log = log_with(vec![], vec![session(200, 100, 4, 50)]);
+        assert_eq!(session_series(&log, SessionMetric::AccessPerByte), vec![2.0]);
+        assert_eq!(session_series(&log, SessionMetric::MeanFileSize), vec![25.0]);
+        assert_eq!(session_series(&log, SessionMetric::FilesReferenced), vec![4.0]);
+        assert_eq!(session_series(&log, SessionMetric::ResponsePerByte), vec![0.25]);
+    }
+
+    #[test]
+    fn op_kind_summary_skips_absent_kinds() {
+        let log = log_with(
+            vec![op(OpKind::Read, 100, 10), op(OpKind::Read, 300, 20)],
+            vec![],
+        );
+        let summaries = op_kind_summaries(&log);
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].kind, OpKind::Read);
+        assert_eq!(summaries[0].count, 2);
+        assert!((summaries[0].access_size.mean - 200.0).abs() < 1e-12);
+        assert!((summaries[0].response.mean - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_summary_ignores_metadata() {
+        let log = log_with(
+            vec![
+                op(OpKind::Read, 100, 10),
+                op(OpKind::Open, 0, 99),
+                op(OpKind::Write, 300, 30),
+            ],
+            vec![],
+        );
+        let (sizes, responses) = data_op_summary(&log);
+        assert_eq!(sizes.n, 2);
+        assert!((sizes.mean - 200.0).abs() < 1e-12);
+        assert!((responses.mean - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_per_byte_weights_by_bytes() {
+        let log = log_with(
+            vec![op(OpKind::Read, 100, 100), op(OpKind::Read, 300, 100)],
+            vec![],
+        );
+        // 200 µs over 400 bytes.
+        assert!((response_time_per_byte(&log) - 0.5).abs() < 1e-12);
+        assert_eq!(response_time_per_byte(&UsageLog::new()), 0.0);
+    }
+
+    #[test]
+    fn response_per_byte_charges_metadata_calls() {
+        // An expensive open is not free, even though it moves no bytes.
+        let log = log_with(
+            vec![op(OpKind::Open, 0, 400), op(OpKind::Read, 400, 100)],
+            vec![],
+        );
+        // (400 + 100) µs over 400 data bytes.
+        assert!((response_time_per_byte(&log) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn category_observation_counts() {
+        let mut ops = vec![op(OpKind::Open, 0, 1), op(OpKind::Read, 500, 1)];
+        ops.push(OpRecord {
+            ino: 2,
+            ..op(OpKind::Read, 250, 1)
+        });
+        let log = log_with(ops, vec![]);
+        let obs = category_observations(&log);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].category, FileCategory::REG_USER_RDONLY);
+        assert_eq!(obs[0].mean_files, 2.0);
+        assert_eq!(obs[0].pct_sessions, 1.0);
+        // Two files of size 1000 each; 750 data bytes over 2000 file bytes.
+        assert!((obs[0].mean_file_size - 1000.0).abs() < 1e-12);
+        assert!((obs[0].access_per_byte - 0.375).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,123 @@
+//! Summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean, spread and extrema of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub std_dev: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns the zero summary for empty input.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Self { n, mean, std_dev: var.sqrt(), min, max }
+    }
+
+    /// Summarizes an iterator of integers (common for byte/µs counts).
+    pub fn of_counts<I: IntoIterator<Item = u64>>(values: I) -> Self {
+        let collected: Vec<f64> = values.into_iter().map(|v| v as f64).collect();
+        Self::of(&collected)
+    }
+
+    /// The `p`-quantile (0–1) of a sample by linear interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(values: &[f64], p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile probability out of range");
+        if values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let pos = p * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+        }
+    }
+
+    /// Formats as the paper's `mean(std)` notation.
+    pub fn mean_std(&self) -> String {
+        format!("{:.2}({:.2})", self.mean, self.std_dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev with n-1: sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn single_value_has_zero_spread() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    #[test]
+    fn of_counts_converts() {
+        let s = Summary::of_counts([1u64, 2, 3]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(Summary::quantile(&v, 0.0), 1.0);
+        assert_eq!(Summary::quantile(&v, 1.0), 5.0);
+        assert_eq!(Summary::quantile(&v, 0.5), 3.0);
+        assert!((Summary::quantile(&v, 0.25) - 2.0).abs() < 1e-12);
+        assert_eq!(Summary::quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn mean_std_format() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.mean_std(), "2.00(1.41)");
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion: the three file-system timing models on identical operations —
+//! stage-generation cost (model bookkeeping, cache maintenance) and the
+//! uncontended response time each model assigns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use uswg_core::experiment::ModelConfig;
+use uswg_core::{isolated_response, FileId, OpKind, OpRequest, ResourcePool, SimTime};
+
+fn bench_stage_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_stage_generation");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    for config in [
+        ModelConfig::default_local(),
+        ModelConfig::default_nfs(),
+        ModelConfig::default_whole_file(),
+    ] {
+        let mut pool = ResourcePool::new();
+        let mut model = config.build(&mut pool);
+        let mut file = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("read_1k", config.name()),
+            &config,
+            |b, _| {
+                b.iter(|| {
+                    file += 1;
+                    let req =
+                        OpRequest::data(0, OpKind::Read, FileId(file % 512), 0, 1_024, 8_192);
+                    black_box(model.stages(&req, &mut rng));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_isolated_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_isolated_response");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    for config in [
+        ModelConfig::default_local(),
+        ModelConfig::default_nfs(),
+        ModelConfig::default_whole_file(),
+    ] {
+        let mut pool = ResourcePool::new();
+        let mut model = config.build(&mut pool);
+        let mut t = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("open_read_close", config.name()),
+            &config,
+            |b, _| {
+                b.iter(|| {
+                    // Fresh second per iteration keeps resources idle, so
+                    // the measured quantity is model arithmetic only.
+                    t += 1;
+                    let start = SimTime::from_secs(t);
+                    let file = FileId(t % 512);
+                    let open = OpRequest::metadata(0, OpKind::Open, file, 8_192);
+                    let read = OpRequest::data(0, OpKind::Read, file, 0, 1_024, 8_192);
+                    let close = OpRequest::metadata(0, OpKind::Close, file, 8_192);
+                    let mut total = 0u64;
+                    for req in [&open, &read, &close] {
+                        total +=
+                            isolated_response(model.as_mut(), &mut pool, req, &mut rng, start);
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage_generation, bench_isolated_response);
+criterion_main!(benches);

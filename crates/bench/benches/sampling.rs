@@ -1,0 +1,60 @@
+//! Criterion: random-variate generation throughput — analytic sampling vs
+//! table-driven inverse transform at several resolutions (DESIGN.md §5,
+//! ablation 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use uswg_core::{CdfTable, Distribution, Exponential, MultiStageGamma, PhaseTypeExp};
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    let exp = Exponential::new(1024.0).unwrap();
+    group.bench_function("analytic/exponential", |b| {
+        b.iter(|| black_box(exp.sample(&mut rng)))
+    });
+
+    let phase = PhaseTypeExp::new(vec![(0.4, 12.7, 0.0), (0.3, 18.2, 18.0), (0.3, 15.0, 40.0)])
+        .unwrap();
+    group.bench_function("analytic/phase_type_3", |b| {
+        b.iter(|| black_box(phase.sample(&mut rng)))
+    });
+
+    let gamma = MultiStageGamma::new(vec![
+        (0.7, 1.3, 12.3, 0.0),
+        (0.2, 1.5, 12.4, 23.0),
+        (0.1, 1.4, 12.3, 41.0),
+    ])
+    .unwrap();
+    group.bench_function("analytic/multi_stage_gamma_3", |b| {
+        b.iter(|| black_box(gamma.sample(&mut rng)))
+    });
+
+    for resolution in [64usize, 1_024, 16_384] {
+        let table = CdfTable::from_distribution(&gamma, resolution).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("cdf_table/gamma_3", resolution),
+            &table,
+            |b, t| b.iter(|| black_box(t.sample(&mut rng))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_tabulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gds_compile");
+    let gamma = MultiStageGamma::single(1.5, 25.4, 12.0).unwrap();
+    for resolution in [256usize, 1_024, 4_096] {
+        group.bench_with_input(
+            BenchmarkId::new("tabulate", resolution),
+            &resolution,
+            |b, &r| b.iter(|| black_box(CdfTable::from_distribution(&gamma, r).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_tabulation);
+criterion_main!(benches);

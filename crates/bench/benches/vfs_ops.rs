@@ -1,0 +1,61 @@
+//! Criterion: raw system-call cost of the in-memory file system substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use uswg_core::{OpenFlags, SeekFrom, Vfs, VfsConfig};
+
+fn bench_vfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vfs");
+
+    group.bench_function("create_unlink", |b| {
+        let mut fs = Vfs::new(VfsConfig::default());
+        let mut proc = fs.new_process();
+        let mut i = 0u64;
+        b.iter(|| {
+            let path = format!("/f{i}");
+            i += 1;
+            let fd = fs.creat(&mut proc, &path).unwrap();
+            fs.close(&mut proc, fd).unwrap();
+            fs.unlink(&path).unwrap();
+        })
+    });
+
+    let payload = vec![0xA5u8; 8_192];
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("write_8k_overwrite", |b| {
+        let mut fs = Vfs::new(VfsConfig::default());
+        let mut proc = fs.new_process();
+        let fd = fs.creat(&mut proc, "/w").unwrap();
+        b.iter(|| {
+            fs.lseek(&mut proc, fd, SeekFrom::Start(0)).unwrap();
+            black_box(fs.write(&mut proc, fd, &payload).unwrap());
+        })
+    });
+
+    group.bench_function("read_8k_sequential_wrap", |b| {
+        let mut fs = Vfs::new(VfsConfig::default());
+        fs.write_file("/r", &vec![1u8; 1 << 20]).unwrap();
+        let mut proc = fs.new_process();
+        let fd = fs.open(&mut proc, "/r", OpenFlags::read_only()).unwrap();
+        let mut buf = vec![0u8; 8_192];
+        b.iter(|| {
+            let n = fs.read(&mut proc, fd, &mut buf).unwrap();
+            if n == 0 {
+                fs.lseek(&mut proc, fd, SeekFrom::Start(0)).unwrap();
+            }
+            black_box(n);
+        })
+    });
+
+    group.bench_function("stat", |b| {
+        let mut fs = Vfs::new(VfsConfig::default());
+        fs.mkdir_all("/a/b").unwrap();
+        fs.write_file("/a/b/target", b"x").unwrap();
+        b.iter(|| black_box(fs.stat("/a/b/target").unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_vfs);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 5.2 — examples of multi-stage gamma distributions.
+
+use uswg_core::{plot, presets, Distribution};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Figure 5.2: Examples of multi-stage gamma distributions.\n");
+    for (label, dist) in presets::figure_5_2_examples()? {
+        println!("{label}");
+        println!(
+            "  mean = {:.2}, std = {:.2}, support = [{:.1}, ~{:.1}]",
+            dist.mean(),
+            dist.std_dev(),
+            dist.support_min(),
+            dist.quantile(0.999)
+        );
+        println!("{}", plot::plot_pdf(&dist, 0.0, 100.0, 64, 12));
+    }
+    Ok(())
+}

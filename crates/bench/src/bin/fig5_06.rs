@@ -1,0 +1,21 @@
+//! Figure 5.6 — average response time per byte, all extremely heavy I/O
+//! users (think time 0), 1–6 concurrent users.
+
+use uswg_bench::{run_user_sweep_figure, slope};
+use uswg_core::{presets, PopulationSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let points = run_user_sweep_figure(
+        "Figure 5.6",
+        "100% extremely heavy I/O users",
+        PopulationSpec::single(presets::extremely_heavy_user())?,
+    )?;
+    println!(
+        "Paper shape: steep, near-linear growth (all users compete for the\n\
+         server all the time). Measured slope: {:.2} µs/B per user;\n\
+         6-user/1-user ratio: {:.1}× (paper's curve spans roughly 2.5 to 14).",
+        slope(&points),
+        points[5].response_per_byte / points[0].response_per_byte
+    );
+    Ok(())
+}

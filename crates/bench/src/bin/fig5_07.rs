@@ -1,0 +1,19 @@
+//! Figure 5.7 — average response time per byte, 100% heavy I/O users
+//! (think time 5 000 µs), 1–6 concurrent users.
+
+use uswg_bench::{run_user_sweep_figure, slope};
+use uswg_core::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let points = run_user_sweep_figure(
+        "Figure 5.7",
+        "100% heavy I/O users",
+        presets::heavy_light_population(1.0)?,
+    )?;
+    println!(
+        "Paper shape: much flatter than Figure 5.6 (competition softened by\n\
+         think time). Measured slope: {:.2} µs/B per user.",
+        slope(&points)
+    );
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Figure 5.10 — average response time per byte, 20% heavy / 80% light I/O
+//! users, 1–6 concurrent users.
+
+use uswg_bench::{run_user_sweep_figure, slope};
+use uswg_core::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let points = run_user_sweep_figure(
+        "Figure 5.10",
+        "20% heavy / 80% light I/O users",
+        presets::heavy_light_population(0.2)?,
+    )?;
+    println!("Measured slope: {:.2} µs/B per user.", slope(&points));
+    Ok(())
+}

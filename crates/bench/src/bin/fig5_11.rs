@@ -1,0 +1,20 @@
+//! Figure 5.11 — average response time per byte, 100% light I/O users
+//! (think time 20 000 µs), 1–6 concurrent users.
+
+use uswg_bench::{run_user_sweep_figure, slope};
+use uswg_core::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let points = run_user_sweep_figure(
+        "Figure 5.11",
+        "100% light I/O users",
+        presets::heavy_light_population(0.0)?,
+    )?;
+    println!(
+        "Paper observation: the 5 000 µs (Fig 5.7) and 20 000 µs (this figure)\n\
+         curves are similar — think time is small next to response-time\n\
+         variance. Measured slope: {:.2} µs/B per user.",
+        slope(&points)
+    );
+    Ok(())
+}

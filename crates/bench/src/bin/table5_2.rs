@@ -1,0 +1,60 @@
+//! Table 5.2 — user characterization by file category: the specification
+//! versus what simulated sessions actually did.
+
+use uswg_bench::paper_workload;
+use uswg_core::{metrics, presets, FillPattern, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut spec = paper_workload()?;
+    spec.run.n_users = 6;
+    spec.fsc = spec.fsc.with_fill(FillPattern::Sparse);
+
+    let log = spec.run_direct()?;
+    let observations = metrics::category_observations(&log);
+
+    let mut table = Table::new(vec![
+        "file category",
+        "apb spec",
+        "apb meas",
+        "size spec",
+        "size meas",
+        "files spec",
+        "files meas",
+        "%users spec",
+        "%sess meas",
+    ])
+    .with_title("Table 5.2: User characterization by file category (spec vs measured)");
+    for &(category, apb, size, files, pct) in presets::TABLE_5_2.iter() {
+        let obs = observations.iter().find(|o| o.category == category);
+        let (apb_m, size_m, files_m, pct_m) = match obs {
+            Some(o) => (
+                format!("{:.2}", o.access_per_byte),
+                format!("{:.0}", o.mean_file_size),
+                format!("{:.1}", o.mean_files),
+                format!("{:.0}", 100.0 * o.pct_sessions),
+            ),
+            None => ("-".into(), "-".into(), "-".into(), "-".into()),
+        };
+        table.row(vec![
+            category.to_string(),
+            format!("{apb:.2}"),
+            apb_m,
+            format!("{size:.0}"),
+            size_m,
+            format!("{files:.1}"),
+            files_m,
+            format!("{pct:.0}"),
+            pct_m,
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Sessions: {}. Measured means track the spec within sampling noise;\n\
+         the files column runs below spec when the generated population is\n\
+         smaller than a session asks for (picks are with replacement but\n\
+         unique files are counted), and access-per-byte runs slightly below\n\
+         spec because budgets are rounded and empty files contribute zero.",
+        log.sessions().len()
+    );
+    Ok(())
+}

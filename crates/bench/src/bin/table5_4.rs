@@ -1,0 +1,26 @@
+//! Table 5.4 — the types of users simulated in the experiments, as
+//! configured in `uswg_core::presets` (think time distinguishes the types).
+
+use uswg_core::{presets, Table};
+
+fn main() {
+    let mut table = Table::new(vec!["user type", "think time (µs)", "distribution"])
+        .with_title("Table 5.4: Types of users simulated in experiments");
+    for (spec, value) in [
+        (presets::extremely_heavy_user(), presets::THINK_EXTREMELY_HEAVY),
+        (presets::heavy_user(), presets::THINK_HEAVY),
+        (presets::light_user(), presets::THINK_LIGHT),
+    ] {
+        let family = if value <= 0.0 { "constant" } else { "exponential" };
+        table.row(vec![
+            spec.name.clone(),
+            format!("{value:.0}"),
+            family.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "All three types share the Table 5.2 usage profile and the exp(1024 B)\n\
+         access-size distribution; only the think time differs."
+    );
+}

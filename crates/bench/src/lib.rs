@@ -1,0 +1,163 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Every artifact of the paper's Chapter 5 has one binary in `src/bin`:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig5_01` | Figure 5.1 — phase-type exponential examples |
+//! | `fig5_02` | Figure 5.2 — multi-stage gamma examples |
+//! | `table5_1` | Table 5.1 — file characterization by category |
+//! | `table5_2` | Table 5.2 — user characterization by category |
+//! | `table5_3` | Table 5.3 — access size / response time vs users |
+//! | `table5_4` | Table 5.4 — the simulated user types |
+//! | `fig5_03`–`fig5_05` | usage-distribution histograms (600 sessions) |
+//! | `fig5_06`–`fig5_11` | response time/byte vs users per population |
+//! | `fig5_12` | response time/byte vs access size |
+//! | `ablation_cache` | client block cache on/off (design-choice ablation) |
+//! | `ablation_cdf_resolution` | CDF-table resolution vs accuracy/memory |
+//! | `ablation_servers` | distributed-NFS server count vs saturation |
+//!
+//! Scale can be reduced for smoke runs with `USWG_SESSIONS` (sessions per
+//! user, default 50 — the paper's per-point count) and `USWG_SEED`.
+
+#![warn(missing_docs)]
+
+use uswg_core::experiment::{user_sweep, ModelConfig, SweepPoint};
+use uswg_core::{CoreError, PopulationSpec, Table, WorkloadSpec};
+
+/// Sessions per run point (the paper: "each response time is the mean value
+/// during 50 login sessions"), overridable via `USWG_SESSIONS`.
+pub fn sessions_per_user() -> u32 {
+    std::env::var("USWG_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50)
+}
+
+/// Base RNG seed, overridable via `USWG_SEED`.
+pub fn seed() -> u64 {
+    std::env::var("USWG_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1991)
+}
+
+/// The full-scale paper workload: Table 5.1 file system, Table 5.2 usage.
+///
+/// # Errors
+///
+/// Propagates preset validation errors (none in practice).
+pub fn paper_workload() -> Result<WorkloadSpec, CoreError> {
+    let mut spec = WorkloadSpec::paper_default()?;
+    spec.run.sessions_per_user = sessions_per_user();
+    spec.run.seed = seed();
+    Ok(spec)
+}
+
+/// Runs one Figure 5.6–5.11 panel: a 1–6 user sweep of the given population
+/// against the default NFS model, printing the series and an ASCII curve.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_user_sweep_figure(
+    figure: &str,
+    population_label: &str,
+    population: PopulationSpec,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let spec = paper_workload()?.with_population(population);
+    let points = user_sweep(&spec, &ModelConfig::default_nfs(), 1..=6)?;
+    print_user_sweep(figure, population_label, &points);
+    Ok(points)
+}
+
+/// Prints a user-sweep series as a table plus a bar curve.
+pub fn print_user_sweep(figure: &str, label: &str, points: &[SweepPoint]) {
+    let mut table = Table::new(vec![
+        "users",
+        "resp/byte (µs/B)",
+        "access size B mean(std)",
+        "response µs mean(std)",
+        "sessions",
+    ])
+    .with_title(format!("{figure}: average response time per byte — {label}"));
+    for p in points {
+        table.row(vec![
+            format!("{}", p.x as usize),
+            format!("{:.3}", p.response_per_byte),
+            p.access_size.mean_std(),
+            p.response.mean_std(),
+            p.sessions.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    let series: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.x, p.response_per_byte))
+        .collect();
+    println!("{}", uswg_core::plot::plot_histogram(&series, 48));
+}
+
+/// Estimates the slope of a sweep by least squares, for shape checks.
+pub fn slope(points: &[SweepPoint]) -> f64 {
+    let n = points.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = points.iter().map(|p| p.x).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.response_per_byte).sum::<f64>() / n;
+    let cov: f64 = points
+        .iter()
+        .map(|p| (p.x - mx) * (p.response_per_byte - my))
+        .sum();
+    let var: f64 = points.iter().map(|p| (p.x - mx) * (p.x - mx)).sum();
+    if var == 0.0 {
+        0.0
+    } else {
+        cov / var
+    }
+}
+
+/// Paper reference values for Table 5.3: `(users, access size mean, access
+/// size std, response mean, response std)`.
+pub const PAPER_TABLE_5_3: [(usize, f64, f64, f64, f64); 6] = [
+    (1, 946.71, 956.76, 1_284.83, 4_201.52),
+    (2, 936.06, 945.16, 1_716.26, 7_026.62),
+    (3, 932.80, 946.87, 2_120.99, 13_308.12),
+    (4, 956.12, 965.49, 2_447.55, 16_834.38),
+    (5, 947.98, 948.53, 2_960.32, 16_197.86),
+    (6, 928.66, 935.09, 3_494.30, 30_059.28),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_env() {
+        // Not asserting exact values (the env may be set by a caller), just
+        // that parsing yields something positive.
+        assert!(sessions_per_user() > 0);
+        let _ = seed();
+    }
+
+    #[test]
+    fn slope_of_line_is_exact() {
+        let mk = |x: f64, y: f64| SweepPoint {
+            x,
+            response_per_byte: y,
+            access_size: uswg_core::Summary::of(&[]),
+            response: uswg_core::Summary::of(&[]),
+            sessions: 0,
+        };
+        let pts = vec![mk(1.0, 2.0), mk(2.0, 4.0), mk(3.0, 6.0)];
+        assert!((slope(&pts) - 2.0).abs() < 1e-12);
+        assert_eq!(slope(&pts[..1]), 0.0);
+    }
+
+    #[test]
+    fn paper_workload_builds() {
+        let spec = paper_workload().unwrap();
+        assert_eq!(spec.fsc.categories.len(), 9);
+    }
+}

@@ -1,0 +1,540 @@
+//! Library half of the `uswg` command-line tool: argument parsing and the
+//! subcommand implementations, separated from `main` so they are testable.
+//!
+//! Subcommands (the workflow of the paper's Figure 4.1, without the X11
+//! session):
+//!
+//! * `uswg init <spec.json>` — write the paper-default workload spec for
+//!   editing (the "specify distributions" step);
+//! * `uswg run <spec.json> [--model M] [--direct] [--out log.json]` — build
+//!   the file system, simulate the users, print the summary tables;
+//! * `uswg fit <data.txt> --family exp|phase:K|gamma:K` — fit a
+//!   distribution family to one-number-per-line data and report fit
+//!   quality (the GDS fitting step);
+//! * `uswg tables` — print the built-in Table 5.1/5.2/5.4 presets.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use uswg_core::experiment::ModelConfig;
+use uswg_core::{
+    fit, gof, metrics, plot, presets, CoreError, DistrError, Distribution, NfsParams, Table,
+    UsageLog, WorkloadSpec,
+};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `init <path>`: write the default spec.
+    Init {
+        /// Destination path for the JSON spec.
+        path: String,
+    },
+    /// `run <path>`: execute a workload spec.
+    Run {
+        /// Path of the JSON spec.
+        path: String,
+        /// Timing model (None = direct driver).
+        model: Option<ModelConfig>,
+        /// Optional path to write the usage log JSON.
+        out: Option<String>,
+    },
+    /// `fit <path> --family F`: fit a family to a data file.
+    Fit {
+        /// Path of the data file (one non-negative number per line).
+        path: String,
+        /// Family spec: `exp`, `phase:K` or `gamma:K`.
+        family: Family,
+    },
+    /// `tables`: print the paper presets.
+    Tables,
+    /// `help`: print usage.
+    Help,
+}
+
+/// A distribution family selector for `fit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Single exponential.
+    Exponential,
+    /// Phase-type exponential with K phases.
+    PhaseType(usize),
+    /// Multi-stage gamma with K stages.
+    Gamma(usize),
+}
+
+/// Errors produced by the CLI layer.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// Problem reading or writing a file.
+    Io(std::io::Error),
+    /// Workload-generator error.
+    Core(CoreError),
+    /// Distribution-engine error.
+    Distr(DistrError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Core(e) => write!(f, "{e}"),
+            CliError::Distr(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> Self {
+        CliError::Core(e)
+    }
+}
+impl From<DistrError> for CliError {
+    fn from(e: DistrError) -> Self {
+        CliError::Distr(e)
+    }
+}
+
+/// The usage banner.
+pub const USAGE: &str = "\
+uswg — user-oriented synthetic workload generator
+
+USAGE:
+  uswg init <spec.json>                 write the paper-default workload spec
+  uswg run <spec.json> [OPTIONS]        execute a workload spec
+      --model <M>      timing model: nfs | nfs-cached | local | whole-file |
+                       distributed:<servers>   (default: direct driver, no model)
+      --out <log.json> write the usage log as JSON
+  uswg fit <data.txt> --family <F>      fit a family to one-number-per-line data
+      <F> = exp | phase:<K> | gamma:<K>
+  uswg tables                           print the Table 5.1/5.2/5.4 presets
+  uswg help                             this message
+";
+
+/// Parses a model name into a configuration.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown names or bad server counts.
+pub fn parse_model(name: &str) -> Result<ModelConfig, CliError> {
+    if let Some(rest) = name.strip_prefix("distributed:") {
+        let servers: usize = rest
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad server count `{rest}`")))?;
+        if servers == 0 {
+            return Err(CliError::Usage("server count must be positive".into()));
+        }
+        return Ok(ModelConfig::distributed_nfs(servers));
+    }
+    match name {
+        "nfs" => Ok(ModelConfig::default_nfs()),
+        "nfs-cached" => Ok(ModelConfig::Nfs(NfsParams::with_cache(8_192))),
+        "local" => Ok(ModelConfig::default_local()),
+        "whole-file" => Ok(ModelConfig::default_whole_file()),
+        other => Err(CliError::Usage(format!(
+            "unknown model `{other}` (expected nfs, nfs-cached, local, whole-file, distributed:<n>)"
+        ))),
+    }
+}
+
+/// Parses a family selector.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown families or bad phase counts.
+pub fn parse_family(name: &str) -> Result<Family, CliError> {
+    if name == "exp" {
+        return Ok(Family::Exponential);
+    }
+    for (prefix, ctor) in [
+        ("phase:", Family::PhaseType as fn(usize) -> Family),
+        ("gamma:", Family::Gamma as fn(usize) -> Family),
+    ] {
+        if let Some(rest) = name.strip_prefix(prefix) {
+            let k: usize = rest
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad component count `{rest}`")))?;
+            if k == 0 || k > 16 {
+                return Err(CliError::Usage("component count must be 1-16".into()));
+            }
+            return Ok(ctor(k));
+        }
+    }
+    Err(CliError::Usage(format!(
+        "unknown family `{name}` (expected exp, phase:<K>, gamma:<K>)"
+    )))
+}
+
+/// Parses a full argument list (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for malformed command lines.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliError> {
+    let args: Vec<String> = args.into_iter().collect();
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "tables" => Ok(Command::Tables),
+        "init" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("init needs a destination path".into()))?;
+            Ok(Command::Init { path: path.clone() })
+        }
+        "fit" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("fit needs a data file".into()))?
+                .clone();
+            let mut family = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--family" => {
+                        let v = args
+                            .get(i + 1)
+                            .ok_or_else(|| CliError::Usage("--family needs a value".into()))?;
+                        family = Some(parse_family(v)?);
+                        i += 2;
+                    }
+                    other => {
+                        return Err(CliError::Usage(format!("unknown flag `{other}`")));
+                    }
+                }
+            }
+            let family =
+                family.ok_or_else(|| CliError::Usage("fit requires --family".into()))?;
+            Ok(Command::Fit { path, family })
+        }
+        "run" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("run needs a spec file".into()))?
+                .clone();
+            let mut model = None;
+            let mut out = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--model" => {
+                        let v = args
+                            .get(i + 1)
+                            .ok_or_else(|| CliError::Usage("--model needs a value".into()))?;
+                        model = Some(parse_model(v)?);
+                        i += 2;
+                    }
+                    "--direct" => {
+                        model = None;
+                        i += 1;
+                    }
+                    "--out" => {
+                        let v = args
+                            .get(i + 1)
+                            .ok_or_else(|| CliError::Usage("--out needs a path".into()))?;
+                        out = Some(v.clone());
+                        i += 2;
+                    }
+                    other => {
+                        return Err(CliError::Usage(format!("unknown flag `{other}`")));
+                    }
+                }
+            }
+            Ok(Command::Run { path, model, out })
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Propagates I/O, parsing and simulation errors.
+pub fn execute(command: Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Tables => Ok(render_tables()),
+        Command::Init { path } => {
+            let spec = WorkloadSpec::paper_default()?;
+            std::fs::write(&path, spec.to_json()?)?;
+            Ok(format!(
+                "wrote the paper-default workload spec to {path}\n\
+                 edit it, then: uswg run {path} --model nfs\n"
+            ))
+        }
+        Command::Run { path, model, out } => {
+            let spec = WorkloadSpec::from_json(&std::fs::read_to_string(&path)?)?;
+            let (log, header) = match &model {
+                Some(m) => {
+                    let report = spec.run_des(m)?;
+                    let header = format!(
+                        "model {} | {} events | {} simulated\n",
+                        report.model, report.events, report.duration
+                    );
+                    (report.log, header)
+                }
+                None => {
+                    let log = spec.run_direct()?;
+                    (log, "direct driver (no timing model)\n".to_string())
+                }
+            };
+            let mut text = header;
+            text.push_str(&render_run_summary(&log, model.is_some()));
+            if let Some(out_path) = out {
+                std::fs::write(&out_path, log.to_json().map_err(CoreError::from)?)?;
+                let _ = writeln!(text, "usage log written to {out_path}");
+            }
+            Ok(text)
+        }
+        Command::Fit { path, family } => {
+            let data = read_data(&path)?;
+            fit_report(&data, family)
+        }
+    }
+}
+
+fn read_data(path: &str) -> Result<Vec<f64>, CliError> {
+    let raw = std::fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for (lineno, line) in raw.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v: f64 = line.parse().map_err(|_| {
+            CliError::Usage(format!("{path}:{}: not a number: `{line}`", lineno + 1))
+        })?;
+        out.push(v);
+    }
+    if out.len() < 2 {
+        return Err(CliError::Usage(format!("{path}: need at least 2 data points")));
+    }
+    Ok(out)
+}
+
+fn fit_report(data: &[f64], family: Family) -> Result<String, CliError> {
+    let dist: Box<dyn Distribution> = match family {
+        Family::Exponential => Box::new(fit::fit_exponential(data)?),
+        Family::PhaseType(k) => Box::new(fit::fit_phase_type(data, k)?),
+        Family::Gamma(k) => Box::new(fit::fit_multi_stage_gamma(data, k)?),
+    };
+    let ks = gof::ks_statistic(data, &*dist)?;
+    let mut text = format!(
+        "fitted {family:?}: mean {:.3}, std {:.3}\nKS D = {:.4} (p = {:.4})\n",
+        dist.mean(),
+        dist.std_dev(),
+        ks.statistic,
+        ks.p_value
+    );
+    if data.len() >= 100 {
+        let chi = gof::chi_square(data, &*dist, 20)?;
+        let _ = writeln!(
+            text,
+            "chi-square = {:.1} ({} dof, p = {:.4})",
+            chi.statistic, chi.degrees_of_freedom, chi.p_value
+        );
+    }
+    let hi = dist.quantile(0.999);
+    text.push_str(&plot::plot_pdf(&*dist, dist.support_min(), hi, 64, 10));
+    Ok(text)
+}
+
+fn render_run_summary(log: &UsageLog, with_model: bool) -> String {
+    let mut table = Table::new(vec!["system call", "count", "access size (B)", "response (µs)"])
+        .with_title("Per-system-call summary");
+    for row in metrics::op_kind_summaries(log) {
+        table.row(vec![
+            row.kind.to_string(),
+            row.count.to_string(),
+            row.access_size.mean_std(),
+            row.response.mean_std(),
+        ]);
+    }
+    let mut text = table.render();
+    let _ = writeln!(text, "sessions: {}", log.sessions().len());
+    if with_model {
+        let _ = writeln!(
+            text,
+            "response time per byte: {:.3} µs/B",
+            metrics::response_time_per_byte(log)
+        );
+    }
+    text
+}
+
+fn render_tables() -> String {
+    let mut text = String::new();
+    let mut t1 = Table::new(vec!["category", "mean size (B)", "% of files"])
+        .with_title("Table 5.1: file characterization");
+    for &(cat, size, pct) in presets::TABLE_5_1.iter() {
+        t1.row(vec![cat.to_string(), format!("{size:.0}"), format!("{pct:.1}")]);
+    }
+    text.push_str(&t1.render());
+    text.push('\n');
+    let mut t2 = Table::new(vec!["category", "accesses/byte", "file size", "files", "% users"])
+        .with_title("Table 5.2: user characterization");
+    for &(cat, apb, size, files, pct) in presets::TABLE_5_2.iter() {
+        t2.row(vec![
+            cat.to_string(),
+            format!("{apb:.3}"),
+            format!("{size:.0}"),
+            format!("{files:.1}"),
+            format!("{pct:.0}"),
+        ]);
+    }
+    text.push_str(&t2.render());
+    text.push('\n');
+    let mut t4 = Table::new(vec!["user type", "think time (µs)"])
+        .with_title("Table 5.4: simulated user types");
+    for (name, think) in [
+        ("extremely heavy I/O", presets::THINK_EXTREMELY_HEAVY),
+        ("heavy I/O", presets::THINK_HEAVY),
+        ("light I/O", presets::THINK_LIGHT),
+    ] {
+        t4.row(vec![name.to_string(), format!("{think:.0}")]);
+    }
+    text.push_str(&t4.render());
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_help_and_tables() {
+        assert_eq!(parse_args(argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(Vec::new()).unwrap(), Command::Help);
+        assert_eq!(parse_args(argv("tables")).unwrap(), Command::Tables);
+    }
+
+    #[test]
+    fn parses_run_variants() {
+        let cmd = parse_args(argv("run spec.json --model nfs --out log.json")).unwrap();
+        match cmd {
+            Command::Run { path, model, out } => {
+                assert_eq!(path, "spec.json");
+                assert_eq!(model.unwrap().name(), "nfs");
+                assert_eq!(out.as_deref(), Some("log.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(argv("run spec.json --direct")).unwrap();
+        assert!(matches!(cmd, Command::Run { model: None, .. }));
+        let cmd = parse_args(argv("run spec.json --model distributed:3")).unwrap();
+        match cmd {
+            Command::Run { model: Some(m), .. } => assert_eq!(m.name(), "distributed-nfs"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse_args(argv("run")).is_err());
+        assert!(parse_args(argv("run spec.json --model warp-drive")).is_err());
+        assert!(parse_args(argv("run spec.json --bogus")).is_err());
+        assert!(parse_args(argv("frobnicate")).is_err());
+        assert!(parse_args(argv("fit data.txt")).is_err());
+        assert!(parse_model("distributed:0").is_err());
+        assert!(parse_family("phase:0").is_err());
+        assert!(parse_family("phase:99").is_err());
+        assert!(parse_family("cauchy").is_err());
+    }
+
+    #[test]
+    fn parses_families() {
+        assert_eq!(parse_family("exp").unwrap(), Family::Exponential);
+        assert_eq!(parse_family("phase:3").unwrap(), Family::PhaseType(3));
+        assert_eq!(parse_family("gamma:2").unwrap(), Family::Gamma(2));
+    }
+
+    #[test]
+    fn help_and_tables_render() {
+        let help = execute(Command::Help).unwrap();
+        assert!(help.contains("uswg run"));
+        let tables = execute(Command::Tables).unwrap();
+        assert!(tables.contains("Table 5.1"));
+        assert!(tables.contains("REG/USER/TEMP"));
+        assert!(tables.contains("extremely heavy I/O"));
+    }
+
+    #[test]
+    fn init_run_fit_round_trip() {
+        let dir = std::env::temp_dir().join(format!("uswg-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        let log_path = dir.join("log.json");
+
+        // init
+        let msg = execute(Command::Init { path: spec_path.to_string_lossy().into() }).unwrap();
+        assert!(msg.contains("wrote"));
+
+        // shrink the spec so the test is fast
+        let mut spec =
+            WorkloadSpec::from_json(&std::fs::read_to_string(&spec_path).unwrap()).unwrap();
+        spec.run.sessions_per_user = 2;
+        spec.fsc = spec
+            .fsc
+            .with_files_per_user(8)
+            .unwrap()
+            .with_shared_files(10)
+            .unwrap();
+        std::fs::write(&spec_path, spec.to_json().unwrap()).unwrap();
+
+        // run (direct) with log output
+        let out = execute(Command::Run {
+            path: spec_path.to_string_lossy().into(),
+            model: None,
+            out: Some(log_path.to_string_lossy().into()),
+        })
+        .unwrap();
+        assert!(out.contains("Per-system-call summary"));
+        assert!(out.contains("sessions: 2"));
+        let log = UsageLog::from_json(&std::fs::read_to_string(&log_path).unwrap()).unwrap();
+        assert!(!log.ops().is_empty());
+
+        // run (modelled)
+        let out = execute(Command::Run {
+            path: spec_path.to_string_lossy().into(),
+            model: Some(ModelConfig::default_local()),
+            out: None,
+        })
+        .unwrap();
+        assert!(out.contains("response time per byte"));
+
+        // fit
+        let data_path = dir.join("data.txt");
+        let mut body = String::from("# exponential-ish data\n");
+        let truth = uswg_core::Exponential::new(500.0).unwrap();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        for _ in 0..500 {
+            let _ = writeln!(body, "{:.3}", truth.sample(&mut rng));
+        }
+        std::fs::write(&data_path, body).unwrap();
+        let out = execute(Command::Fit {
+            path: data_path.to_string_lossy().into(),
+            family: Family::Exponential,
+        })
+        .unwrap();
+        assert!(out.contains("KS D ="));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,13 @@
+//! The `uswg` binary: parse the command line, execute, print.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match uswg_cli::parse_args(args).and_then(uswg_cli::execute) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("uswg: {e}");
+            eprintln!("run `uswg help` for usage");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The Chapter 5 experiment harness: model selection, user sweeps,
+//! population-mix sweeps and access-size sweeps.
+//!
+//! These functions regenerate the paper's measurements: Table 5.3 (response
+//! time vs number of users), Figures 5.6–5.11 (response time per byte under
+//! different user populations) and Figure 5.12 (response time per byte vs
+//! access size). Section 5.3's file-system comparison procedure is the same
+//! sweep run once per [`ModelConfig`].
+
+use crate::{presets, CoreError, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+use uswg_analyze::{metrics, Summary};
+use uswg_netfs::{
+    DistributedNfsModel, DistributedNfsParams, LocalDiskModel, LocalDiskParams, NfsModel,
+    NfsParams, ServiceModel, WholeFileCacheModel, WholeFileCacheParams,
+};
+use uswg_sim::ResourcePool;
+use uswg_usim::{DesReport, PopulationSpec};
+
+/// Which file-system timing model to measure (the candidates of the Section
+/// 5.3 comparison study).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "model", rename_all = "snake_case")]
+pub enum ModelConfig {
+    /// Local-disk file system.
+    Local(LocalDiskParams),
+    /// NFS-like remote file system.
+    Nfs(NfsParams),
+    /// AFS-like whole-file caching file system.
+    WholeFile(WholeFileCacheParams),
+    /// Distributed NFS: several servers behind one shared network (the
+    /// Section 4.2 distributed-file-system extension).
+    DistributedNfs(DistributedNfsParams),
+}
+
+impl ModelConfig {
+    /// NFS with default parameters.
+    pub fn default_nfs() -> Self {
+        ModelConfig::Nfs(NfsParams::default())
+    }
+
+    /// Local disk with default parameters.
+    pub fn default_local() -> Self {
+        ModelConfig::Local(LocalDiskParams::default())
+    }
+
+    /// Whole-file caching with default parameters.
+    pub fn default_whole_file() -> Self {
+        ModelConfig::WholeFile(WholeFileCacheParams::default())
+    }
+
+    /// Distributed NFS with `servers` default-timing servers.
+    pub fn distributed_nfs(servers: usize) -> Self {
+        ModelConfig::DistributedNfs(DistributedNfsParams::with_servers(servers))
+    }
+
+    /// Instantiates the model, registering its resources in `pool`.
+    pub fn build(&self, pool: &mut ResourcePool) -> Box<dyn ServiceModel> {
+        match self {
+            ModelConfig::Local(p) => Box::new(LocalDiskModel::new(pool, *p)),
+            ModelConfig::Nfs(p) => Box::new(NfsModel::new(pool, *p)),
+            ModelConfig::WholeFile(p) => Box::new(WholeFileCacheModel::new(pool, *p)),
+            ModelConfig::DistributedNfs(p) => Box::new(DistributedNfsModel::new(pool, *p)),
+        }
+    }
+
+    /// The model's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelConfig::Local(_) => "local",
+            ModelConfig::Nfs(_) => "nfs",
+            ModelConfig::WholeFile(_) => "whole-file-cache",
+            ModelConfig::DistributedNfs(_) => "distributed-nfs",
+        }
+    }
+}
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter (number of users, access size, heavy fraction…).
+    pub x: f64,
+    /// Mean response time per byte over all data calls, µs/byte.
+    pub response_per_byte: f64,
+    /// Access-size statistics over data calls (Table 5.3 left column).
+    pub access_size: Summary,
+    /// Response-time statistics over data calls (Table 5.3 right column).
+    pub response: Summary,
+    /// Sessions simulated at this point.
+    pub sessions: usize,
+}
+
+fn measure(x: f64, report: &DesReport) -> SweepPoint {
+    let (access_size, response) = metrics::data_op_summary(&report.log);
+    SweepPoint {
+        x,
+        response_per_byte: metrics::response_time_per_byte(&report.log),
+        access_size,
+        response,
+        sessions: report.log.sessions().len(),
+    }
+}
+
+/// Sweeps the number of concurrent users (Table 5.3, Figures 5.6–5.11):
+/// for each `n`, rebuilds the file system for `n` users and runs the
+/// workload's population against `model`.
+///
+/// # Errors
+///
+/// Propagates generation and simulation errors.
+pub fn user_sweep(
+    base: &WorkloadSpec,
+    model: &ModelConfig,
+    users: impl IntoIterator<Item = usize>,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let mut out = Vec::new();
+    for n in users {
+        let mut spec = base.clone();
+        spec.run.n_users = n;
+        let report = spec.run_des(model)?;
+        out.push(measure(n as f64, &report));
+    }
+    Ok(out)
+}
+
+/// Sweeps the heavy/light population mix at a fixed user count (the figure
+/// family 5.7–5.11 varies the mix across panels).
+///
+/// # Errors
+///
+/// Propagates population validation and simulation errors.
+pub fn mix_sweep(
+    base: &WorkloadSpec,
+    model: &ModelConfig,
+    heavy_fractions: impl IntoIterator<Item = f64>,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let mut out = Vec::new();
+    for frac in heavy_fractions {
+        let spec = base
+            .clone()
+            .with_population(presets::heavy_light_population(frac)?);
+        let report = spec.run_des(model)?;
+        out.push(measure(frac, &report));
+    }
+    Ok(out)
+}
+
+/// Sweeps the mean access size of file I/O system calls under an extremely
+/// heavy I/O user (Figure 5.12: means from 128 to 2048 bytes).
+///
+/// # Errors
+///
+/// Propagates population validation and simulation errors.
+pub fn access_size_sweep(
+    base: &WorkloadSpec,
+    model: &ModelConfig,
+    mean_sizes: impl IntoIterator<Item = f64>,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let mut out = Vec::new();
+    for mean in mean_sizes {
+        let user = presets::user_type_with("extremely heavy I/O", 0.0, mean);
+        let spec = base
+            .clone()
+            .with_population(PopulationSpec::single(user)?);
+        let report = spec.run_des(model)?;
+        out.push(measure(mean, &report));
+    }
+    Ok(out)
+}
+
+/// Runs the same workload against several candidate models (the Section 5.3
+/// file-system comparison procedure) and returns `(model name, point)`.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn compare_models(
+    base: &WorkloadSpec,
+    models: &[ModelConfig],
+) -> Result<Vec<(String, SweepPoint)>, CoreError> {
+    let mut out = Vec::new();
+    for model in models {
+        let report = base.run_des(model)?;
+        out.push((model.name().to_string(), measure(0.0, &report)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> WorkloadSpec {
+        let mut spec = WorkloadSpec::paper_default().unwrap();
+        spec.run.sessions_per_user = 2;
+        spec.fsc = spec
+            .fsc
+            .with_files_per_user(8)
+            .unwrap()
+            .with_shared_files(12)
+            .unwrap();
+        spec
+    }
+
+    #[test]
+    fn model_config_builds_each_model() {
+        for (config, name) in [
+            (ModelConfig::default_local(), "local"),
+            (ModelConfig::default_nfs(), "nfs"),
+            (ModelConfig::default_whole_file(), "whole-file-cache"),
+        ] {
+            let mut pool = ResourcePool::new();
+            let model = config.build(&mut pool);
+            assert_eq!(model.name(), name);
+            assert_eq!(config.name(), name);
+            assert!(!pool.is_empty());
+        }
+    }
+
+    #[test]
+    fn model_config_serde_round_trip() {
+        let config = ModelConfig::default_nfs();
+        let json = serde_json::to_string(&config).unwrap();
+        let back: ModelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+        assert!(json.contains("\"model\":\"nfs\""));
+    }
+
+    #[test]
+    fn user_sweep_grows_response() {
+        let mut spec = quick_spec();
+        // Zero think time saturates the server fastest.
+        spec.population =
+            PopulationSpec::single(presets::extremely_heavy_user()).unwrap();
+        let points = user_sweep(&spec, &ModelConfig::default_nfs(), [1, 3]).unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(points[1].response_per_byte > points[0].response_per_byte);
+        assert!(points[0].sessions > 0);
+    }
+
+    #[test]
+    fn access_size_sweep_amortizes_overhead() {
+        let spec = quick_spec();
+        let points =
+            access_size_sweep(&spec, &ModelConfig::default_nfs(), [128.0, 2048.0]).unwrap();
+        assert!(points[0].response_per_byte > points[1].response_per_byte);
+        // Measured access sizes track the swept means.
+        assert!(points[0].access_size.mean < points[1].access_size.mean);
+    }
+
+    #[test]
+    fn compare_models_ranks_local_fastest() {
+        let spec = quick_spec();
+        let results = compare_models(
+            &spec,
+            &[ModelConfig::default_local(), ModelConfig::default_nfs()],
+        )
+        .unwrap();
+        assert_eq!(results.len(), 2);
+        let local = &results[0].1;
+        let nfs = &results[1].1;
+        assert!(
+            local.response_per_byte < nfs.response_per_byte,
+            "local {} vs nfs {}",
+            local.response_per_byte,
+            nfs.response_per_byte
+        );
+    }
+
+    #[test]
+    fn mix_sweep_runs_all_fractions() {
+        let spec = quick_spec();
+        let points = mix_sweep(&spec, &ModelConfig::default_local(), [0.0, 0.5, 1.0]).unwrap();
+        assert_eq!(points.len(), 3);
+        assert!((points[1].x - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,109 @@
+use std::fmt;
+
+/// Errors produced when constructing or evaluating a distribution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DistrError {
+    /// A mixture was given no phases/stages.
+    Empty,
+    /// Mixture weights must be positive and sum to one.
+    BadWeights {
+        /// The offending weight sum.
+        sum: f64,
+    },
+    /// A scale parameter (`theta`) was not strictly positive.
+    BadScale {
+        /// The offending value.
+        value: f64,
+    },
+    /// A shape parameter (`alpha`) was not strictly positive.
+    BadShape {
+        /// The offending value.
+        value: f64,
+    },
+    /// An offset was negative or non-finite.
+    BadOffset {
+        /// The offending value.
+        value: f64,
+    },
+    /// A tabular specification was malformed (unsorted, too short, negative
+    /// density, or non-monotone CDF).
+    BadTable {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Not enough data points for the requested operation (e.g. fitting).
+    InsufficientData {
+        /// Number of points required.
+        needed: usize,
+        /// Number of points supplied.
+        got: usize,
+    },
+    /// A generic parameter was out of its documented range.
+    BadParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DistrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistrError::Empty => write!(f, "mixture has no phases"),
+            DistrError::BadWeights { sum } => {
+                write!(f, "mixture weights must be positive and sum to 1 (sum = {sum})")
+            }
+            DistrError::BadScale { value } => {
+                write!(f, "scale parameter must be positive (got {value})")
+            }
+            DistrError::BadShape { value } => {
+                write!(f, "shape parameter must be positive (got {value})")
+            }
+            DistrError::BadOffset { value } => {
+                write!(f, "offset must be finite and non-negative (got {value})")
+            }
+            DistrError::BadTable { reason } => write!(f, "invalid table: {reason}"),
+            DistrError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed}, got {got}")
+            }
+            DistrError::BadParameter { name, value } => {
+                write!(f, "parameter `{name}` out of range (got {value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_lowercase() {
+        let errors = [
+            DistrError::Empty,
+            DistrError::BadWeights { sum: 0.5 },
+            DistrError::BadScale { value: -1.0 },
+            DistrError::BadShape { value: 0.0 },
+            DistrError::BadOffset { value: f64::NAN },
+            DistrError::BadTable { reason: "x".into() },
+            DistrError::InsufficientData { needed: 2, got: 0 },
+            DistrError::BadParameter { name: "p", value: 2.0 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DistrError>();
+    }
+}

@@ -1,0 +1,268 @@
+//! Fitting distribution families to empirical data.
+//!
+//! The GDS lets users "fit a phase-type exponential or multi-stage gamma
+//! distribution to an empirical distribution" (Section 4.1.1). This module
+//! implements that fitting step: data is partitioned into `k` clusters with a
+//! one-dimensional Lloyd iteration, then each cluster is fitted by the method
+//! of moments (exponential: mean; gamma: `α = m²/v`, `θ = v/m`) with the
+//! cluster minimum as the offset and the cluster fraction as the weight.
+
+use crate::{DistrError, MultiStageGamma, PhaseTypeExp};
+
+/// Smallest permitted scale when a cluster degenerates to a point.
+const MIN_SCALE: f64 = 1e-9;
+/// Gamma shapes are clamped into this range to keep fits sane.
+const SHAPE_RANGE: (f64, f64) = (0.05, 500.0);
+
+/// Fits a single exponential to `data` by matching the sample mean.
+///
+/// # Errors
+///
+/// Returns [`DistrError::InsufficientData`] for an empty sample and
+/// [`DistrError::BadTable`] for negative or non-finite samples.
+pub fn fit_exponential(data: &[f64]) -> Result<PhaseTypeExp, DistrError> {
+    validate(data, 1)?;
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    PhaseTypeExp::exponential(mean.max(MIN_SCALE))
+}
+
+/// Fits a `k`-phase phase-type exponential mixture to `data`.
+///
+/// # Errors
+///
+/// Returns [`DistrError::BadParameter`] when `k == 0`,
+/// [`DistrError::InsufficientData`] when `data.len() < 2 * k`, and
+/// [`DistrError::BadTable`] for invalid samples.
+pub fn fit_phase_type(data: &[f64], k: usize) -> Result<PhaseTypeExp, DistrError> {
+    if k == 0 {
+        return Err(DistrError::BadParameter { name: "k", value: 0.0 });
+    }
+    validate(data, 2 * k)?;
+    let clusters = cluster_1d(data, k);
+    let n = data.len() as f64;
+    let phases = clusters
+        .into_iter()
+        .map(|c| {
+            let offset = c.min;
+            let shifted_mean = (c.mean - offset).max(MIN_SCALE);
+            (c.count as f64 / n, shifted_mean, offset)
+        })
+        .collect();
+    PhaseTypeExp::new_normalized(phases)
+}
+
+/// Fits a `k`-stage multi-stage gamma mixture to `data`.
+///
+/// # Errors
+///
+/// Returns [`DistrError::BadParameter`] when `k == 0`,
+/// [`DistrError::InsufficientData`] when `data.len() < 2 * k`, and
+/// [`DistrError::BadTable`] for invalid samples.
+pub fn fit_multi_stage_gamma(data: &[f64], k: usize) -> Result<MultiStageGamma, DistrError> {
+    if k == 0 {
+        return Err(DistrError::BadParameter { name: "k", value: 0.0 });
+    }
+    validate(data, 2 * k)?;
+    let clusters = cluster_1d(data, k);
+    let n = data.len() as f64;
+    let stages = clusters
+        .into_iter()
+        .map(|c| {
+            // Offset slightly below the cluster minimum so the minimum itself
+            // has positive density.
+            let offset = (c.min - 0.05 * (c.mean - c.min).max(MIN_SCALE)).max(0.0);
+            let m = (c.mean - offset).max(MIN_SCALE);
+            let v = c.variance.max(MIN_SCALE * m);
+            let alpha = (m * m / v).clamp(SHAPE_RANGE.0, SHAPE_RANGE.1);
+            let theta = (m / alpha).max(MIN_SCALE);
+            (c.count as f64 / n, alpha, theta, offset)
+        })
+        .collect();
+    MultiStageGamma::new_normalized(stages)
+}
+
+/// Summary of one cluster produced by [`cluster_1d`].
+#[derive(Debug, Clone, Copy)]
+struct Cluster {
+    count: usize,
+    min: f64,
+    mean: f64,
+    variance: f64,
+}
+
+/// One-dimensional Lloyd (k-means) clustering on sorted data.
+///
+/// Initializes centroids at the `k` quantile midpoints and iterates
+/// assignment/update until stable (1-D clusters are always contiguous in the
+/// sorted order, so assignment reduces to threshold search).
+fn cluster_1d(data: &[f64], k: usize) -> Vec<Cluster> {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len();
+    let k = k.min(n);
+
+    // Initial boundaries at equal-count quantiles.
+    let mut bounds: Vec<usize> = (1..k).map(|i| i * n / k).collect();
+
+    for _ in 0..64 {
+        // Centroids of current segments.
+        let mut centroids = Vec::with_capacity(k);
+        let mut start = 0;
+        for b in bounds.iter().copied().chain(std::iter::once(n)) {
+            let seg = &sorted[start..b];
+            if seg.is_empty() {
+                centroids.push(sorted[start.min(n - 1)]);
+            } else {
+                centroids.push(seg.iter().sum::<f64>() / seg.len() as f64);
+            }
+            start = b;
+        }
+        // New boundaries: midpoint between adjacent centroids.
+        let mut new_bounds = Vec::with_capacity(k.saturating_sub(1));
+        for w in centroids.windows(2) {
+            let cut = 0.5 * (w[0] + w[1]);
+            let idx = sorted.partition_point(|&x| x < cut);
+            new_bounds.push(idx);
+        }
+        // Enforce strictly increasing, non-empty segments.
+        for i in 0..new_bounds.len() {
+            let lo = if i == 0 { 1 } else { new_bounds[i - 1] + 1 };
+            let hi = n - (new_bounds.len() - i);
+            new_bounds[i] = new_bounds[i].clamp(lo, hi);
+        }
+        if new_bounds == bounds {
+            break;
+        }
+        bounds = new_bounds;
+    }
+
+    let mut clusters = Vec::with_capacity(k);
+    let mut start = 0;
+    for b in bounds.iter().copied().chain(std::iter::once(n)) {
+        let seg = &sorted[start..b];
+        if !seg.is_empty() {
+            let mean = seg.iter().sum::<f64>() / seg.len() as f64;
+            let variance = if seg.len() > 1 {
+                seg.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (seg.len() - 1) as f64
+            } else {
+                0.0
+            };
+            clusters.push(Cluster {
+                count: seg.len(),
+                min: seg[0],
+                mean,
+                variance,
+            });
+        }
+        start = b;
+    }
+    clusters
+}
+
+fn validate(data: &[f64], needed: usize) -> Result<(), DistrError> {
+    if data.len() < needed {
+        return Err(DistrError::InsufficientData { needed, got: data.len() });
+    }
+    if data.iter().any(|x| !x.is_finite() || *x < 0.0) {
+        return Err(DistrError::BadTable {
+            reason: "samples must be finite and non-negative".into(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Distribution;
+    use rand::SeedableRng;
+
+    fn draws(d: &dyn Distribution, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn exponential_fit_recovers_mean() {
+        let truth = crate::Exponential::new(5000.0).unwrap();
+        let data = draws(&truth, 50_000, 1);
+        let fitted = fit_exponential(&data).unwrap();
+        assert!((fitted.mean() - 5000.0).abs() / 5000.0 < 0.02);
+    }
+
+    #[test]
+    fn fit_rejects_bad_input() {
+        assert!(fit_exponential(&[]).is_err());
+        assert!(fit_phase_type(&[1.0], 0).is_err());
+        assert!(fit_phase_type(&[1.0, 2.0], 4).is_err());
+        assert!(fit_exponential(&[1.0, f64::NAN]).is_err());
+        assert!(fit_exponential(&[-1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn phase_type_fit_recovers_bimodal_mixture() {
+        // Well-separated two-phase mixture.
+        let truth =
+            PhaseTypeExp::new(vec![(0.5, 5.0, 0.0), (0.5, 5.0, 100.0)]).unwrap();
+        let data = draws(&truth, 40_000, 2);
+        let fitted = fit_phase_type(&data, 2).unwrap();
+        assert!((fitted.mean() - truth.mean()).abs() / truth.mean() < 0.05);
+        // The fitted phases should be well separated; the second phase's
+        // offset is the cluster minimum, which a stray tail sample from the
+        // first mode can pull well below 100, so only require separation.
+        let offsets: Vec<f64> = fitted.phases().iter().map(|p| p.offset).collect();
+        let spread = offsets.iter().cloned().fold(0.0f64, f64::max)
+            - offsets.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 40.0, "offsets = {offsets:?}");
+    }
+
+    #[test]
+    fn gamma_fit_recovers_shape_roughly() {
+        let truth = MultiStageGamma::single(4.0, 10.0, 0.0).unwrap();
+        let data = draws(&truth, 40_000, 3);
+        let fitted = fit_multi_stage_gamma(&data, 1).unwrap();
+        let stage = fitted.stages()[0];
+        assert!((fitted.mean() - truth.mean()).abs() / truth.mean() < 0.05);
+        assert!(stage.alpha > 2.0 && stage.alpha < 8.0, "alpha = {}", stage.alpha);
+    }
+
+    #[test]
+    fn gamma_mixture_fit_improves_ks_over_single() {
+        let truth = MultiStageGamma::new(vec![
+            (0.6, 2.0, 5.0, 0.0),
+            (0.4, 3.0, 8.0, 80.0),
+        ])
+        .unwrap();
+        let data = draws(&truth, 20_000, 4);
+        let single = fit_multi_stage_gamma(&data, 1).unwrap();
+        let double = fit_multi_stage_gamma(&data, 2).unwrap();
+        let ks1 = crate::gof::ks_statistic(&data, &single).unwrap();
+        let ks2 = crate::gof::ks_statistic(&data, &double).unwrap();
+        assert!(ks2.statistic < ks1.statistic, "{} vs {}", ks2.statistic, ks1.statistic);
+    }
+
+    #[test]
+    fn fit_handles_identical_samples() {
+        let data = vec![3.0; 100];
+        let fitted = fit_phase_type(&data, 2).unwrap();
+        assert!((fitted.mean() - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn cluster_count_never_exceeds_k() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        for k in 1..=5 {
+            let c = cluster_1d(&data, k);
+            assert!(c.len() <= k);
+            assert_eq!(c.iter().map(|c| c.count).sum::<usize>(), 100);
+        }
+    }
+
+    #[test]
+    fn clusters_partition_sorted_data() {
+        let data = vec![1.0, 1.1, 1.2, 50.0, 51.0, 52.0, 200.0, 201.0];
+        let c = cluster_1d(&data, 3);
+        assert_eq!(c.len(), 3);
+        assert!(c[0].min < c[1].min && c[1].min < c[2].min);
+    }
+}

@@ -1,0 +1,183 @@
+//! Goodness-of-fit statistics.
+//!
+//! One of the paper's stated criteria is that a workload generator "be
+//! amenable to statistical tests of similarity to the real workload"
+//! (Section 2.2). This module provides the two classic tests used for that
+//! purpose: Kolmogorov–Smirnov and Pearson's chi-square.
+
+use crate::special::{ks_q, reg_upper_gamma};
+use crate::{DistrError, Distribution};
+
+/// Result of a Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic `D = sup_x |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value for the null hypothesis that the data was drawn
+    /// from the reference distribution.
+    pub p_value: f64,
+}
+
+/// Result of a chi-square test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareTest {
+    /// Pearson's `X² = Σ (O_i − E_i)² / E_i`.
+    pub statistic: f64,
+    /// Degrees of freedom used (`bins − 1`).
+    pub degrees_of_freedom: usize,
+    /// Upper-tail p-value from the chi-square distribution.
+    pub p_value: f64,
+}
+
+/// Computes the one-sample Kolmogorov–Smirnov statistic of `data` against
+/// the reference distribution `dist`.
+///
+/// # Errors
+///
+/// Returns [`DistrError::InsufficientData`] for an empty sample and
+/// [`DistrError::BadTable`] for non-finite samples.
+pub fn ks_statistic(data: &[f64], dist: &dyn Distribution) -> Result<KsTest, DistrError> {
+    if data.is_empty() {
+        return Err(DistrError::InsufficientData { needed: 1, got: 0 });
+    }
+    if data.iter().any(|x| !x.is_finite()) {
+        return Err(DistrError::BadTable {
+            reason: "samples must be finite".into(),
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    let sqrt_n = n.sqrt();
+    // Asymptotic p-value with the standard small-sample correction.
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    Ok(KsTest { statistic: d, p_value: ks_q(lambda) })
+}
+
+/// Computes Pearson's chi-square statistic of `data` against `dist` using
+/// `bins` equal-probability bins (so every expected count is `n / bins`).
+///
+/// # Errors
+///
+/// Returns [`DistrError::BadParameter`] when `bins < 2` and
+/// [`DistrError::InsufficientData`] when the expected count per bin falls
+/// below 5 (the usual validity threshold for the chi-square approximation).
+pub fn chi_square(
+    data: &[f64],
+    dist: &dyn Distribution,
+    bins: usize,
+) -> Result<ChiSquareTest, DistrError> {
+    if bins < 2 {
+        return Err(DistrError::BadParameter { name: "bins", value: bins as f64 });
+    }
+    let n = data.len();
+    if (n as f64) / (bins as f64) < 5.0 {
+        return Err(DistrError::InsufficientData { needed: 5 * bins, got: n });
+    }
+    // Equal-probability bin edges from the reference quantiles.
+    let mut edges = Vec::with_capacity(bins - 1);
+    for i in 1..bins {
+        edges.push(dist.quantile(i as f64 / bins as f64));
+    }
+    let mut observed = vec![0usize; bins];
+    for &x in data {
+        let idx = edges.partition_point(|&e| e < x);
+        observed[idx] += 1;
+    }
+    let expected = n as f64 / bins as f64;
+    let statistic: f64 = observed
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    let dof = bins - 1;
+    // Upper tail of chi-square(dof): Q(dof/2, x/2).
+    let p_value = reg_upper_gamma(dof as f64 / 2.0, statistic / 2.0);
+    Ok(ChiSquareTest {
+        statistic,
+        degrees_of_freedom: dof,
+        p_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Exponential, PhaseTypeExp};
+    use rand::SeedableRng;
+
+    fn draws(d: &dyn Distribution, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn ks_accepts_correct_model() {
+        let d = Exponential::new(1024.0).unwrap();
+        let data = draws(&d, 5_000, 7);
+        let t = ks_statistic(&data, &d).unwrap();
+        assert!(t.p_value > 0.01, "p = {}", t.p_value);
+        assert!(t.statistic < 0.03);
+    }
+
+    #[test]
+    fn ks_rejects_wrong_model() {
+        let truth = Exponential::new(1024.0).unwrap();
+        let wrong = Exponential::new(128.0).unwrap();
+        let data = draws(&truth, 5_000, 8);
+        let t = ks_statistic(&data, &wrong).unwrap();
+        assert!(t.p_value < 1e-6, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn ks_distinguishes_mixture_from_single() {
+        let truth = PhaseTypeExp::new(vec![(0.5, 10.0, 0.0), (0.5, 10.0, 200.0)]).unwrap();
+        let single = Exponential::new(truth.mean()).unwrap();
+        let data = draws(&truth, 5_000, 9);
+        let against_truth = ks_statistic(&data, &truth).unwrap();
+        let against_single = ks_statistic(&data, &single).unwrap();
+        assert!(against_truth.statistic < against_single.statistic);
+    }
+
+    #[test]
+    fn ks_validates_input() {
+        let d = Exponential::new(1.0).unwrap();
+        assert!(ks_statistic(&[], &d).is_err());
+        assert!(ks_statistic(&[f64::NAN], &d).is_err());
+    }
+
+    #[test]
+    fn chi_square_accepts_correct_model() {
+        let d = Exponential::new(50.0).unwrap();
+        let data = draws(&d, 10_000, 10);
+        let t = chi_square(&data, &d, 20).unwrap();
+        assert!(t.p_value > 0.001, "p = {}", t.p_value);
+        assert_eq!(t.degrees_of_freedom, 19);
+    }
+
+    #[test]
+    fn chi_square_rejects_wrong_model() {
+        let truth = Exponential::new(50.0).unwrap();
+        let wrong = Exponential::new(10.0).unwrap();
+        let data = draws(&truth, 10_000, 11);
+        let t = chi_square(&data, &wrong, 20).unwrap();
+        assert!(t.p_value < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_validates_input() {
+        let d = Exponential::new(1.0).unwrap();
+        let data = draws(&d, 30, 12);
+        assert!(chi_square(&data, &d, 1).is_err());
+        assert!(chi_square(&data, &d, 10).is_err()); // 30/10 = 3 < 5 per bin
+    }
+}

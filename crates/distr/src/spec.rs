@@ -1,0 +1,184 @@
+//! Serializable distribution specifications.
+//!
+//! A [`DistributionSpec`] is the on-disk form of a usage-measure
+//! distribution; together with `serde_json` it replaces the interactive GDS
+//! editing loop: workload specs are JSON documents that can be inspected,
+//! versioned and modified, then instantiated into live [`Distribution`]
+//! objects with [`DistributionSpec::build`].
+
+use crate::{
+    Constant, DistrError, Distribution, EmpiricalCdf, Exponential, MultiStageGamma, PdfTable,
+    PhaseTypeExp, Uniform,
+};
+use serde::{Deserialize, Serialize};
+
+/// A declarative, serializable description of a distribution.
+///
+/// # Example
+///
+/// ```
+/// use uswg_distr::DistributionSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = DistributionSpec::exponential(1024.0);
+/// let json = serde_json::to_string(&spec)?;
+/// let back: DistributionSpec = serde_json::from_str(&json)?;
+/// let dist = back.build()?;
+/// assert!((dist.mean() - 1024.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "family", rename_all = "snake_case")]
+pub enum DistributionSpec {
+    /// Plain exponential with the given mean (optionally shifted).
+    Exponential {
+        /// Mean of the exponential part.
+        mean: f64,
+        /// Offset added to every variate.
+        #[serde(default)]
+        offset: f64,
+    },
+    /// Degenerate point mass.
+    Constant {
+        /// The constant value.
+        value: f64,
+    },
+    /// Continuous uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Phase-type exponential mixture; `(weight, theta, offset)` per phase.
+    PhaseTypeExp {
+        /// The mixture phases.
+        phases: Vec<(f64, f64, f64)>,
+    },
+    /// Multi-stage gamma mixture; `(weight, alpha, theta, offset)` per stage.
+    MultiStageGamma {
+        /// The mixture stages.
+        stages: Vec<(f64, f64, f64, f64)>,
+    },
+    /// Tabular density `(x, pdf)`; integrated with Simpson's rule.
+    PdfTable {
+        /// The density sample points.
+        points: Vec<(f64, f64)>,
+    },
+    /// Tabular CDF `(x, cdf)`.
+    CdfTable {
+        /// The CDF sample points.
+        points: Vec<(f64, f64)>,
+    },
+}
+
+impl DistributionSpec {
+    /// Shorthand for an exponential spec with no offset.
+    pub fn exponential(mean: f64) -> Self {
+        DistributionSpec::Exponential { mean, offset: 0.0 }
+    }
+
+    /// Shorthand for a constant spec.
+    pub fn constant(value: f64) -> Self {
+        DistributionSpec::Constant { value }
+    }
+
+    /// Instantiates the spec into a live distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the construction errors of the underlying family (bad
+    /// weights, scales, offsets, or malformed tables).
+    pub fn build(&self) -> Result<Box<dyn Distribution>, DistrError> {
+        Ok(match self {
+            DistributionSpec::Exponential { mean, offset } => {
+                Box::new(Exponential::with_offset(*mean, *offset)?)
+            }
+            DistributionSpec::Constant { value } => Box::new(Constant::new(*value)?),
+            DistributionSpec::Uniform { lo, hi } => Box::new(Uniform::new(*lo, *hi)?),
+            DistributionSpec::PhaseTypeExp { phases } => {
+                Box::new(PhaseTypeExp::new(phases.clone())?)
+            }
+            DistributionSpec::MultiStageGamma { stages } => {
+                Box::new(MultiStageGamma::new(stages.clone())?)
+            }
+            DistributionSpec::PdfTable { points } => Box::new(PdfTable::new(points.clone())?),
+            DistributionSpec::CdfTable { points } => Box::new(EmpiricalCdf::new(points.clone())?),
+        })
+    }
+
+    /// The analytic mean of the spec, without instantiating it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DistributionSpec::build`].
+    pub fn mean(&self) -> Result<f64, DistrError> {
+        Ok(self.build()?.mean())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_builds() {
+        let specs = vec![
+            DistributionSpec::exponential(5000.0),
+            DistributionSpec::constant(0.0),
+            DistributionSpec::Uniform { lo: 128.0, hi: 2048.0 },
+            DistributionSpec::PhaseTypeExp {
+                phases: vec![(0.4, 12.7, 0.0), (0.6, 18.2, 18.0)],
+            },
+            DistributionSpec::MultiStageGamma {
+                stages: vec![(1.0, 1.5, 25.4, 12.0)],
+            },
+            DistributionSpec::PdfTable {
+                points: vec![(0.0, 0.5), (1.0, 0.5), (2.0, 0.5)],
+            },
+            DistributionSpec::CdfTable {
+                points: vec![(0.0, 0.0), (10.0, 1.0)],
+            },
+        ];
+        for spec in specs {
+            let d = spec.build().unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+            assert!(d.mean() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bad_specs_fail_to_build() {
+        assert!(DistributionSpec::exponential(-1.0).build().is_err());
+        assert!(DistributionSpec::PhaseTypeExp { phases: vec![] }.build().is_err());
+        assert!(
+            DistributionSpec::CdfTable { points: vec![(0.0, 0.9), (1.0, 0.1)] }
+                .build()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn json_round_trip_preserves_semantics() {
+        let spec = DistributionSpec::MultiStageGamma {
+            stages: vec![(0.7, 1.3, 12.3, 0.0), (0.3, 1.5, 12.4, 23.0)],
+        };
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: DistributionSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        assert!((spec.mean().unwrap() - back.mean().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_tagged_by_family() {
+        let json = serde_json::to_string(&DistributionSpec::exponential(7.0)).unwrap();
+        assert!(json.contains("\"family\":\"exponential\""));
+    }
+
+    #[test]
+    fn offset_defaults_to_zero_when_absent() {
+        let spec: DistributionSpec =
+            serde_json::from_str(r#"{"family":"exponential","mean":10.0}"#).unwrap();
+        assert!((spec.mean().unwrap() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the distribution engine invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use uswg_distr::{
+    CdfTable, Distribution, EmpiricalCdf, Exponential, MultiStageGamma, PhaseTypeExp,
+};
+
+/// Strategy generating valid phase-type mixtures with 1–4 phases.
+fn phase_type_strategy() -> impl Strategy<Value = PhaseTypeExp> {
+    prop::collection::vec((0.05f64..10.0, 0.5f64..500.0, 0.0f64..200.0), 1..5).prop_map(|raw| {
+        PhaseTypeExp::new_normalized(raw).expect("weights positive by construction")
+    })
+}
+
+/// Strategy generating valid multi-stage gamma mixtures with 1–4 stages.
+fn gamma_strategy() -> impl Strategy<Value = MultiStageGamma> {
+    prop::collection::vec(
+        (0.05f64..10.0, 0.2f64..20.0, 0.5f64..100.0, 0.0f64..200.0),
+        1..5,
+    )
+    .prop_map(|raw| MultiStageGamma::new_normalized(raw).expect("weights positive"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn phase_type_cdf_monotone_and_bounded(d in phase_type_strategy(), xs in prop::collection::vec(0.0f64..2000.0, 2..40)) {
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for x in sorted {
+            let c = d.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn phase_type_pdf_nonnegative(d in phase_type_strategy(), x in 0.0f64..2000.0) {
+        prop_assert!(d.pdf(x) >= 0.0);
+    }
+
+    #[test]
+    fn phase_type_samples_within_support(d in phase_type_strategy(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= d.support_min());
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn phase_type_mean_consistent_with_quantiles(d in phase_type_strategy()) {
+        // Median below mean+std and above mean-3*std (loose sanity envelope).
+        let med = d.quantile(0.5);
+        prop_assert!(med <= d.mean() + d.std_dev() + 1e-9);
+        prop_assert!(med >= d.mean() - 3.0 * d.std_dev() - 1e-9);
+    }
+
+    #[test]
+    fn gamma_cdf_monotone_and_bounded(d in gamma_strategy(), xs in prop::collection::vec(0.0f64..4000.0, 2..40)) {
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for x in sorted {
+            let c = d.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c), "cdf({x}) = {c}");
+            prop_assert!(c >= prev - 1e-9);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn gamma_samples_within_support(d in gamma_strategy(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= d.support_min() - 1e-9);
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn gamma_variance_nonnegative(d in gamma_strategy()) {
+        prop_assert!(d.variance() >= 0.0);
+        prop_assert!(d.mean() >= d.support_min());
+    }
+
+    #[test]
+    fn cdf_table_sampling_stays_in_support(d in phase_type_strategy(), points in 8usize..512) {
+        let table = CdfTable::from_distribution(&d, points).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(points as u64);
+        for _ in 0..64 {
+            let x = table.sample(&mut rng);
+            prop_assert!(x >= d.support_min() - 1e-9);
+            prop_assert!(x <= d.support_max() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cdf_table_quantile_monotone(d in gamma_strategy()) {
+        let table = CdfTable::from_distribution(&d, 256).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = table.quantile(i as f64 / 20.0);
+            prop_assert!(q >= prev - 1e-9);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn empirical_cdf_from_samples_brackets_data(data in prop::collection::vec(0.0f64..1e6, 2..200)) {
+        let e = EmpiricalCdf::from_samples(&data).unwrap();
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(e.support_min() >= lo - 1e-9);
+        prop_assert!(e.support_max() <= hi + hi.abs() * 1e-6 + 1e-6);
+        prop_assert_eq!(e.cdf(hi + 1.0), 1.0);
+    }
+
+    #[test]
+    fn exponential_quantile_cdf_inverse(mean in 0.1f64..1e6, p in 0.001f64..0.999) {
+        let d = Exponential::new(mean).unwrap();
+        let x = d.quantile(p);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fitting_preserves_mean(data in prop::collection::vec(0.1f64..1e4, 16..200)) {
+        let sample_mean = data.iter().sum::<f64>() / data.len() as f64;
+        let fit = uswg_distr::fit::fit_exponential(&data).unwrap();
+        prop_assert!((fit.mean() - sample_mean).abs() < 1e-6 * (1.0 + sample_mean));
+        if let Ok(fit2) = uswg_distr::fit::fit_phase_type(&data, 2) {
+            // Mixture of cluster means weighted by fractions equals sample mean.
+            prop_assert!((fit2.mean() - sample_mean).abs() < 1e-6 * (1.0 + sample_mean));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The file catalog: the FSC's output, consumed by the User Simulator.
+
+use crate::FileCategory;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One file created by the FSC (or registered later by the USIM for files
+/// users create themselves).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogFile {
+    /// Absolute path in the synthetic file system.
+    pub path: String,
+    /// Inode number in the VFS.
+    pub ino: u64,
+    /// Size at creation time, bytes.
+    pub size: u64,
+    /// The file's category.
+    pub category: FileCategory,
+    /// Owning virtual user for `Owner::User` categories, `None` for shared.
+    pub owner_user: Option<usize>,
+}
+
+/// An index of the synthetic file population by `(user, category)`.
+///
+/// The User Simulator asks the catalog for candidate files: a user accessing
+/// a `USER`-owned category draws from their own directory, a user accessing
+/// an `OTHER`-owned category draws from the shared pool.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FileCatalog {
+    files: Vec<CatalogFile>,
+    /// Indices of shared files per category.
+    shared: HashMap<FileCategory, Vec<usize>>,
+    /// Indices of per-user files per (user, category).
+    per_user: HashMap<(usize, FileCategory), Vec<usize>>,
+}
+
+impl FileCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a file and indexes it. Returns its catalog index.
+    pub fn add(&mut self, file: CatalogFile) -> usize {
+        let idx = self.files.len();
+        match file.owner_user {
+            Some(user) => self
+                .per_user
+                .entry((user, file.category))
+                .or_default()
+                .push(idx),
+            None => self.shared.entry(file.category).or_default().push(idx),
+        }
+        self.files.push(file);
+        idx
+    }
+
+    /// Removes a file from the index (e.g. after `unlink`). The entry stays
+    /// in the backing vector so indices remain stable.
+    pub fn remove(&mut self, idx: usize) {
+        let Some(file) = self.files.get(idx) else {
+            return;
+        };
+        let list = match file.owner_user {
+            Some(user) => self.per_user.get_mut(&(user, file.category)),
+            None => self.shared.get_mut(&file.category),
+        };
+        if let Some(list) = list {
+            list.retain(|&i| i != idx);
+        }
+    }
+
+    /// All registered files (including removed ones; see [`Self::remove`]).
+    pub fn files(&self) -> &[CatalogFile] {
+        &self.files
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the catalog has no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// The file at a catalog index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn file(&self, idx: usize) -> &CatalogFile {
+        &self.files[idx]
+    }
+
+    /// Candidate file indices for `user` accessing `category`.
+    pub fn candidates(&self, user: usize, category: FileCategory) -> &[usize] {
+        let list = match category.owner {
+            crate::Owner::User => self.per_user.get(&(user, category)),
+            crate::Owner::Other => self.shared.get(&category),
+        };
+        list.map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Picks a uniformly random candidate for `user` × `category`.
+    pub fn pick(
+        &self,
+        user: usize,
+        category: FileCategory,
+        rng: &mut dyn RngCore,
+    ) -> Option<usize> {
+        let candidates = self.candidates(user, category);
+        if candidates.is_empty() {
+            None
+        } else {
+            let i = (rng.next_u64() % candidates.len() as u64) as usize;
+            Some(candidates[i])
+        }
+    }
+
+    /// Per-category summary: `(count, mean size)` over indexed (live) files.
+    pub fn characterize(&self) -> HashMap<FileCategory, (usize, f64)> {
+        let mut out: HashMap<FileCategory, (usize, f64)> = HashMap::new();
+        let live: Vec<usize> = self
+            .shared
+            .values()
+            .chain(self.per_user.values())
+            .flatten()
+            .copied()
+            .collect();
+        for idx in live {
+            let f = &self.files[idx];
+            let entry = out.entry(f.category).or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 += f.size as f64;
+        }
+        for (_, entry) in out.iter_mut() {
+            if entry.0 > 0 {
+                entry.1 /= entry.0 as f64;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn file(cat: FileCategory, user: Option<usize>, size: u64, n: usize) -> CatalogFile {
+        CatalogFile {
+            path: format!("/f{n}"),
+            ino: n as u64,
+            size,
+            category: cat,
+            owner_user: user,
+        }
+    }
+
+    #[test]
+    fn user_files_are_private() {
+        let mut c = FileCatalog::new();
+        c.add(file(FileCategory::REG_USER_RDONLY, Some(0), 100, 0));
+        c.add(file(FileCategory::REG_USER_RDONLY, Some(1), 100, 1));
+        assert_eq!(c.candidates(0, FileCategory::REG_USER_RDONLY), &[0]);
+        assert_eq!(c.candidates(1, FileCategory::REG_USER_RDONLY), &[1]);
+    }
+
+    #[test]
+    fn shared_files_are_visible_to_all() {
+        let mut c = FileCatalog::new();
+        c.add(file(FileCategory::REG_OTHER_RDONLY, None, 100, 0));
+        assert_eq!(c.candidates(0, FileCategory::REG_OTHER_RDONLY), &[0]);
+        assert_eq!(c.candidates(7, FileCategory::REG_OTHER_RDONLY), &[0]);
+    }
+
+    #[test]
+    fn pick_returns_none_when_empty() {
+        let c = FileCatalog::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(c.pick(0, FileCategory::REG_USER_RDONLY, &mut rng).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn pick_covers_all_candidates() {
+        let mut c = FileCatalog::new();
+        for n in 0..4 {
+            c.add(file(FileCategory::NOTES_OTHER_RDONLY, None, 10, n));
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(c.pick(0, FileCategory::NOTES_OTHER_RDONLY, &mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn remove_hides_from_candidates_but_keeps_record() {
+        let mut c = FileCatalog::new();
+        let idx = c.add(file(FileCategory::REG_USER_TEMP, Some(0), 10, 0));
+        assert_eq!(c.candidates(0, FileCategory::REG_USER_TEMP).len(), 1);
+        c.remove(idx);
+        assert!(c.candidates(0, FileCategory::REG_USER_TEMP).is_empty());
+        assert_eq!(c.len(), 1, "record is retained for stable indices");
+        c.remove(999); // out of range is a no-op
+    }
+
+    #[test]
+    fn characterize_means() {
+        let mut c = FileCatalog::new();
+        c.add(file(FileCategory::REG_USER_RDONLY, Some(0), 100, 0));
+        c.add(file(FileCategory::REG_USER_RDONLY, Some(0), 300, 1));
+        let summary = c.characterize();
+        let (count, mean) = summary[&FileCategory::REG_USER_RDONLY];
+        assert_eq!(count, 2);
+        assert!((mean - 200.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+//! The file taxonomy of the workload model.
+//!
+//! "We classify files into two basic types: system files and user files.
+//! Directories are treated as special files. However, users can define other
+//! types of files for their particular file system." (Section 4.1.2) —
+//! Table 5.1 refines this into (file type, owner, type of use) triples,
+//! which this module encodes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The structural type of a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FileType {
+    /// A directory.
+    Dir,
+    /// A regular file.
+    Reg,
+    /// A notesfile (the UIUC campus bulletin-board files of \[DI86\]); shared,
+    /// append-mostly regular files kept in their own tree.
+    Notes,
+}
+
+impl FileType {
+    /// Table-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FileType::Dir => "DIR",
+            FileType::Reg => "REG",
+            FileType::Notes => "NOTES",
+        }
+    }
+}
+
+/// Who owns a file, relative to the accessing user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Owner {
+    /// The accessing user's own file (lives in their directory).
+    User,
+    /// Someone else's or the system's file (lives in the shared tree).
+    Other,
+}
+
+impl Owner {
+    /// Table-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Owner::User => "USER",
+            Owner::Other => "OTHER",
+        }
+    }
+}
+
+/// How a file is used once accessed (Table 5.1's "type of use").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum UsageClass {
+    /// Read without modification.
+    ReadOnly,
+    /// Created fresh and written (e.g. compiler output).
+    New,
+    /// Read and written in place.
+    ReadWrite,
+    /// Created, used and deleted within a session.
+    Temp,
+}
+
+impl UsageClass {
+    /// Table-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            UsageClass::ReadOnly => "RDONLY",
+            UsageClass::New => "NEW",
+            UsageClass::ReadWrite => "RD-WRT",
+            UsageClass::Temp => "TEMP",
+        }
+    }
+}
+
+/// A file category: the (file type, owner, type of use) triple that indexes
+/// every distribution in the workload model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileCategory {
+    /// Structural type.
+    pub file_type: FileType,
+    /// Ownership relative to the accessing user.
+    pub owner: Owner,
+    /// Type of use.
+    pub usage: UsageClass,
+}
+
+impl FileCategory {
+    /// `DIR / USER / RDONLY`.
+    pub const DIR_USER_RDONLY: Self =
+        Self { file_type: FileType::Dir, owner: Owner::User, usage: UsageClass::ReadOnly };
+    /// `DIR / OTHER / RDONLY`.
+    pub const DIR_OTHER_RDONLY: Self =
+        Self { file_type: FileType::Dir, owner: Owner::Other, usage: UsageClass::ReadOnly };
+    /// `REG / USER / RDONLY`.
+    pub const REG_USER_RDONLY: Self =
+        Self { file_type: FileType::Reg, owner: Owner::User, usage: UsageClass::ReadOnly };
+    /// `REG / USER / NEW`.
+    pub const REG_USER_NEW: Self =
+        Self { file_type: FileType::Reg, owner: Owner::User, usage: UsageClass::New };
+    /// `REG / USER / RD-WRT`.
+    pub const REG_USER_RDWRT: Self =
+        Self { file_type: FileType::Reg, owner: Owner::User, usage: UsageClass::ReadWrite };
+    /// `REG / USER / TEMP`.
+    pub const REG_USER_TEMP: Self =
+        Self { file_type: FileType::Reg, owner: Owner::User, usage: UsageClass::Temp };
+    /// `REG / OTHER / RDONLY`.
+    pub const REG_OTHER_RDONLY: Self =
+        Self { file_type: FileType::Reg, owner: Owner::Other, usage: UsageClass::ReadOnly };
+    /// `REG / OTHER / RD-WRT`.
+    pub const REG_OTHER_RDWRT: Self =
+        Self { file_type: FileType::Reg, owner: Owner::Other, usage: UsageClass::ReadWrite };
+    /// `NOTES / OTHER / RDONLY`.
+    pub const NOTES_OTHER_RDONLY: Self =
+        Self { file_type: FileType::Notes, owner: Owner::Other, usage: UsageClass::ReadOnly };
+
+    /// The nine categories of Table 5.1, in table order.
+    pub const TABLE_5_1: [Self; 9] = [
+        Self::DIR_USER_RDONLY,
+        Self::DIR_OTHER_RDONLY,
+        Self::REG_USER_RDONLY,
+        Self::REG_USER_NEW,
+        Self::REG_USER_RDWRT,
+        Self::REG_USER_TEMP,
+        Self::REG_OTHER_RDONLY,
+        Self::REG_OTHER_RDWRT,
+        Self::NOTES_OTHER_RDONLY,
+    ];
+
+    /// Whether files of this category pre-exist in the initial file system.
+    ///
+    /// `NEW` and `TEMP` files are created by the simulated users themselves,
+    /// so the FSC does not populate them.
+    pub fn preexisting(self) -> bool {
+        !matches!(self.usage, UsageClass::New | UsageClass::Temp)
+    }
+}
+
+impl fmt::Display for FileCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}",
+            self.file_type.name(),
+            self.owner.name(),
+            self.usage.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_table_notation() {
+        assert_eq!(FileCategory::REG_USER_TEMP.to_string(), "REG/USER/TEMP");
+        assert_eq!(FileCategory::NOTES_OTHER_RDONLY.to_string(), "NOTES/OTHER/RDONLY");
+        assert_eq!(FileCategory::REG_USER_RDWRT.to_string(), "REG/USER/RD-WRT");
+    }
+
+    #[test]
+    fn table_5_1_has_nine_distinct_categories() {
+        let set: std::collections::HashSet<_> = FileCategory::TABLE_5_1.iter().collect();
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn new_and_temp_are_not_preexisting() {
+        assert!(!FileCategory::REG_USER_NEW.preexisting());
+        assert!(!FileCategory::REG_USER_TEMP.preexisting());
+        assert!(FileCategory::REG_USER_RDONLY.preexisting());
+        assert!(FileCategory::DIR_USER_RDONLY.preexisting());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = FileCategory::REG_OTHER_RDWRT;
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FileCategory = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

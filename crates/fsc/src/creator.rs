@@ -1,0 +1,499 @@
+//! The creator proper: specification validation and file-system population.
+
+use crate::{CatalogFile, FileCatalog, FileCategory, FileType, FscError, Owner};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use uswg_distr::DistributionSpec;
+use uswg_vfs::Vfs;
+
+/// Tolerance when validating that category fractions sum to one.
+const FRACTION_TOL: f64 = 1e-6;
+
+/// One category's share of the file population and its size distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategorySpec {
+    /// The category being described.
+    pub category: FileCategory,
+    /// Fraction of all files belonging to this category (Table 5.1's
+    /// "percent of files in category" / 100).
+    pub fraction: f64,
+    /// Distribution of file sizes within the category.
+    pub size: DistributionSpec,
+}
+
+impl CategorySpec {
+    /// Creates a category spec.
+    pub fn new(category: FileCategory, fraction: f64, size: DistributionSpec) -> Self {
+        Self { category, fraction, size }
+    }
+}
+
+/// How created files are filled with data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FillPattern {
+    /// Write a deterministic byte pattern (real data blocks are allocated).
+    #[default]
+    Pattern,
+    /// Set sizes with `truncate` only: files are holes and occupy no blocks.
+    /// Reads return zeros; use for large simulated populations.
+    Sparse,
+}
+
+/// The full FSC specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FscSpec {
+    /// Per-category population shares and size distributions.
+    pub categories: Vec<CategorySpec>,
+    /// Total pre-existing files created per virtual user (spread over the
+    /// user-owned categories by their fractions).
+    pub files_per_user: u64,
+    /// Total pre-existing shared files (spread over the `OTHER`-owned
+    /// categories by their fractions).
+    pub shared_files: u64,
+    /// Data fill strategy.
+    pub fill: FillPattern,
+}
+
+impl FscSpec {
+    /// Creates a spec with the default population counts (50 files per user,
+    /// 120 shared files, pattern fill).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FscError::EmptySpec`] for an empty category list and
+    /// [`FscError::BadFractions`] when fractions do not sum to one within
+    /// `1e-6`.
+    pub fn new(categories: Vec<CategorySpec>) -> Result<Self, FscError> {
+        let spec = Self {
+            categories,
+            files_per_user: 50,
+            shared_files: 120,
+            fill: FillPattern::default(),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Builder-style override of the per-user file count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FscError::BadCount`] when `n` is zero.
+    pub fn with_files_per_user(mut self, n: u64) -> Result<Self, FscError> {
+        if n == 0 {
+            return Err(FscError::BadCount { name: "files_per_user", value: n });
+        }
+        self.files_per_user = n;
+        Ok(self)
+    }
+
+    /// Builder-style override of the shared file count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FscError::BadCount`] when `n` is zero.
+    pub fn with_shared_files(mut self, n: u64) -> Result<Self, FscError> {
+        if n == 0 {
+            return Err(FscError::BadCount { name: "shared_files", value: n });
+        }
+        self.shared_files = n;
+        Ok(self)
+    }
+
+    /// Builder-style override of the fill pattern.
+    pub fn with_fill(mut self, fill: FillPattern) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    fn validate(&self) -> Result<(), FscError> {
+        if self.categories.is_empty() {
+            return Err(FscError::EmptySpec);
+        }
+        let sum: f64 = self.categories.iter().map(|c| c.fraction).sum();
+        if (sum - 1.0).abs() > FRACTION_TOL || self.categories.iter().any(|c| c.fraction < 0.0) {
+            return Err(FscError::BadFractions { sum });
+        }
+        Ok(())
+    }
+}
+
+/// Builds a synthetic file system from an [`FscSpec`].
+///
+/// Directory layout (Section 4.1.2): `/system` for shared files, `/notes`
+/// for notesfiles, `/u/user<k>` per virtual user, plus `/tmp/user<k>`
+/// scratch directories for the `TEMP`/`NEW` files users create while running.
+#[derive(Debug, Clone)]
+pub struct FileSystemCreator {
+    spec: FscSpec,
+}
+
+impl FileSystemCreator {
+    /// Wraps a validated specification.
+    pub fn new(spec: FscSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &FscSpec {
+        &self.spec
+    }
+
+    /// The home directory path of virtual user `k`.
+    pub fn user_dir(user: usize) -> String {
+        format!("/u/user{user:03}")
+    }
+
+    /// The scratch directory path of virtual user `k`.
+    pub fn scratch_dir(user: usize) -> String {
+        format!("/tmp/user{user:03}")
+    }
+
+    /// Populates `vfs` for `n_users` virtual users and returns the catalog.
+    ///
+    /// Only *pre-existing* categories are materialized; `NEW` and `TEMP`
+    /// files appear later when simulated users create them. "Note that many
+    /// files are not referenced. For the file distributions, we only need to
+    /// consider those files which were accessed during the measurement"
+    /// (Section 4.1.2) — the population counts in the spec are therefore the
+    /// *accessed* population, not a whole disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation, distribution and file-system errors.
+    pub fn build(
+        &self,
+        vfs: &mut Vfs,
+        n_users: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<FileCatalog, FscError> {
+        self.spec.validate()?;
+        if n_users == 0 {
+            return Err(FscError::BadCount { name: "n_users", value: 0 });
+        }
+        let mut catalog = FileCatalog::new();
+
+        vfs.mkdir_all("/system")?;
+        vfs.mkdir_all("/notes")?;
+        vfs.mkdir_all("/u")?;
+        vfs.mkdir_all("/tmp")?;
+
+        // Shared population: OTHER-owned, pre-existing categories.
+        let shared: Vec<&CategorySpec> = self
+            .spec
+            .categories
+            .iter()
+            .filter(|c| c.category.owner == Owner::Other && c.category.preexisting())
+            .collect();
+        self.populate(vfs, rng, &mut catalog, &shared, self.spec.shared_files, None)?;
+
+        // Per-user population: USER-owned, pre-existing categories.
+        let personal: Vec<&CategorySpec> = self
+            .spec
+            .categories
+            .iter()
+            .filter(|c| c.category.owner == Owner::User && c.category.preexisting())
+            .collect();
+        for user in 0..n_users {
+            vfs.mkdir_all(&Self::user_dir(user))?;
+            vfs.mkdir_all(&Self::scratch_dir(user))?;
+            self.populate(
+                vfs,
+                rng,
+                &mut catalog,
+                &personal,
+                self.spec.files_per_user,
+                Some(user),
+            )?;
+        }
+        Ok(catalog)
+    }
+
+    /// Creates `total` files spread across `specs` by renormalized fraction.
+    fn populate(
+        &self,
+        vfs: &mut Vfs,
+        rng: &mut dyn RngCore,
+        catalog: &mut FileCatalog,
+        specs: &[&CategorySpec],
+        total: u64,
+        owner_user: Option<usize>,
+    ) -> Result<(), FscError> {
+        let frac_sum: f64 = specs.iter().map(|c| c.fraction).sum();
+        if frac_sum <= 0.0 || total == 0 {
+            return Ok(());
+        }
+        for spec in specs {
+            let count =
+                ((spec.fraction / frac_sum) * total as f64).round().max(1.0) as u64;
+            let dist = spec.size.build()?;
+            for i in 0..count {
+                let size = dist.sample(rng).round().max(0.0) as u64;
+                let path = self.file_path(spec.category, owner_user, catalog.len(), i);
+                let ino = match spec.category.file_type {
+                    FileType::Dir => {
+                        vfs.mkdir_all(&path)?;
+                        vfs.resolve(&path)?
+                    }
+                    FileType::Reg | FileType::Notes => {
+                        self.create_file(vfs, &path, size)?;
+                        vfs.resolve(&path)?
+                    }
+                };
+                catalog.add(CatalogFile {
+                    path,
+                    ino: ino.number(),
+                    // Directories have no byte size; record the sampled size
+                    // anyway as the "directory data" the workload reads.
+                    size,
+                    category: spec.category,
+                    owner_user,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn file_path(
+        &self,
+        category: FileCategory,
+        owner_user: Option<usize>,
+        unique: usize,
+        seq: u64,
+    ) -> String {
+        let stem = match category.file_type {
+            FileType::Dir => "dir",
+            FileType::Reg => "file",
+            FileType::Notes => "note",
+        };
+        let root = match (category.file_type, owner_user) {
+            (FileType::Notes, _) => "/notes".to_string(),
+            (_, Some(user)) => Self::user_dir(user),
+            (_, None) => "/system".to_string(),
+        };
+        format!("{root}/{stem}{unique:05}_{seq:04}")
+    }
+
+    fn create_file(&self, vfs: &mut Vfs, path: &str, size: u64) -> Result<(), FscError> {
+        match self.spec.fill {
+            FillPattern::Sparse => {
+                vfs.write_file(path, &[])?;
+                vfs.truncate(path, size)?;
+            }
+            FillPattern::Pattern => {
+                // Deterministic pattern, written in bounded chunks.
+                let mut proc = vfs.new_process();
+                let fd = vfs.creat(&mut proc, path)?;
+                let chunk: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+                let mut left = size as usize;
+                while left > 0 {
+                    let n = left.min(chunk.len());
+                    let written = vfs.write(&mut proc, fd, &chunk[..n])?;
+                    left -= written;
+                    if written == 0 {
+                        break;
+                    }
+                }
+                vfs.close(&mut proc, fd)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uswg_vfs::VfsConfig;
+
+    fn two_category_spec() -> FscSpec {
+        FscSpec::new(vec![
+            CategorySpec::new(
+                FileCategory::REG_USER_RDONLY,
+                0.5,
+                DistributionSpec::exponential(4096.0),
+            ),
+            CategorySpec::new(
+                FileCategory::REG_OTHER_RDONLY,
+                0.5,
+                DistributionSpec::exponential(8192.0),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(matches!(FscSpec::new(vec![]), Err(FscError::EmptySpec)));
+        let bad = FscSpec::new(vec![CategorySpec::new(
+            FileCategory::REG_USER_RDONLY,
+            0.4,
+            DistributionSpec::exponential(1.0),
+        )]);
+        assert!(matches!(bad, Err(FscError::BadFractions { .. })));
+        assert!(two_category_spec().with_files_per_user(0).is_err());
+        assert!(two_category_spec().with_shared_files(0).is_err());
+    }
+
+    #[test]
+    fn build_creates_layout() {
+        let spec = two_category_spec();
+        let creator = FileSystemCreator::new(spec);
+        let mut vfs = Vfs::new(VfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let catalog = creator.build(&mut vfs, 3, &mut rng).unwrap();
+        assert!(vfs.exists("/system"));
+        assert!(vfs.exists("/notes"));
+        for u in 0..3 {
+            assert!(vfs.exists(&FileSystemCreator::user_dir(u)));
+            assert!(vfs.exists(&FileSystemCreator::scratch_dir(u)));
+        }
+        // 50 per user × 3 + 120 shared (only one category on each side).
+        assert_eq!(catalog.len(), 50 * 3 + 120);
+        assert!(creator.spec().files_per_user == 50);
+    }
+
+    #[test]
+    fn zero_users_rejected() {
+        let creator = FileSystemCreator::new(two_category_spec());
+        let mut vfs = Vfs::new(VfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            creator.build(&mut vfs, 0, &mut rng),
+            Err(FscError::BadCount { .. })
+        ));
+    }
+
+    #[test]
+    fn new_and_temp_categories_not_materialized() {
+        let spec = FscSpec::new(vec![
+            CategorySpec::new(
+                FileCategory::REG_USER_TEMP,
+                0.5,
+                DistributionSpec::exponential(1000.0),
+            ),
+            CategorySpec::new(
+                FileCategory::REG_USER_RDONLY,
+                0.5,
+                DistributionSpec::exponential(1000.0),
+            ),
+        ])
+        .unwrap();
+        let creator = FileSystemCreator::new(spec);
+        let mut vfs = Vfs::new(VfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let catalog = creator.build(&mut vfs, 1, &mut rng).unwrap();
+        assert!(catalog
+            .files()
+            .iter()
+            .all(|f| f.category == FileCategory::REG_USER_RDONLY));
+    }
+
+    #[test]
+    fn sparse_fill_allocates_no_blocks() {
+        let spec = two_category_spec().with_fill(FillPattern::Sparse);
+        let creator = FileSystemCreator::new(spec);
+        let mut vfs = Vfs::new(VfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let catalog = creator.build(&mut vfs, 1, &mut rng).unwrap();
+        assert_eq!(vfs.block_stats().allocated, 0, "sparse files hold no blocks");
+        // Sizes still reflect the distribution.
+        let total: u64 = catalog.files().iter().map(|f| f.size).sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn pattern_fill_writes_real_data() {
+        let spec = two_category_spec();
+        let creator = FileSystemCreator::new(spec);
+        let mut vfs = Vfs::new(VfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        let catalog = creator.build(&mut vfs, 1, &mut rng).unwrap();
+        let file = catalog
+            .files()
+            .iter()
+            .find(|f| f.size > 0)
+            .expect("some non-empty file");
+        let data = vfs.read_file(&file.path).unwrap();
+        assert_eq!(data.len() as u64, file.size);
+        assert!(vfs.block_stats().allocated > 0);
+    }
+
+    #[test]
+    fn sampled_sizes_follow_distribution_mean() {
+        let spec = FscSpec::new(vec![CategorySpec::new(
+            FileCategory::REG_OTHER_RDONLY,
+            1.0,
+            DistributionSpec::exponential(8192.0),
+        )])
+        .unwrap()
+        .with_shared_files(2_000)
+        .unwrap()
+        .with_fill(FillPattern::Sparse);
+        let creator = FileSystemCreator::new(spec);
+        let mut vfs = Vfs::new(VfsConfig {
+            max_inodes: 1 << 20,
+            ..VfsConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        let catalog = creator.build(&mut vfs, 1, &mut rng).unwrap();
+        let summary = catalog.characterize();
+        let (count, mean) = summary[&FileCategory::REG_OTHER_RDONLY];
+        assert_eq!(count, 2_000);
+        assert!((mean - 8192.0).abs() / 8192.0 < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn directory_categories_create_directories() {
+        let spec = FscSpec::new(vec![
+            CategorySpec::new(
+                FileCategory::DIR_USER_RDONLY,
+                0.5,
+                DistributionSpec::exponential(714.0),
+            ),
+            CategorySpec::new(
+                FileCategory::REG_USER_RDONLY,
+                0.5,
+                DistributionSpec::exponential(5794.0),
+            ),
+        ])
+        .unwrap();
+        let creator = FileSystemCreator::new(spec);
+        let mut vfs = Vfs::new(VfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(6);
+        let catalog = creator.build(&mut vfs, 1, &mut rng).unwrap();
+        let dir_file = catalog
+            .files()
+            .iter()
+            .find(|f| f.category == FileCategory::DIR_USER_RDONLY)
+            .expect("dir category populated");
+        assert!(vfs.stat(&dir_file.path).unwrap().is_dir());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let build = |seed| {
+            let creator = FileSystemCreator::new(two_category_spec().with_fill(FillPattern::Sparse));
+            let mut vfs = Vfs::new(VfsConfig::default());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let catalog = creator.build(&mut vfs, 2, &mut rng).unwrap();
+            catalog
+                .files()
+                .iter()
+                .map(|f| (f.path.clone(), f.size))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(42), build(42));
+        assert_ne!(build(42), build(43));
+    }
+
+    #[test]
+    fn serde_spec_round_trip() {
+        let spec = two_category_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FscSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,86 @@
+use std::fmt;
+use uswg_distr::DistrError;
+use uswg_vfs::FsError;
+
+/// Errors from building the synthetic file system.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FscError {
+    /// The specification has no categories.
+    EmptySpec,
+    /// Category fractions must be positive and sum to one.
+    BadFractions {
+        /// The offending sum.
+        sum: f64,
+    },
+    /// A count parameter was zero or out of range.
+    BadCount {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// A size distribution could not be instantiated.
+    Distribution(DistrError),
+    /// The underlying file system rejected an operation (usually `ENOSPC`).
+    FileSystem(FsError),
+}
+
+impl fmt::Display for FscError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FscError::EmptySpec => write!(f, "file system spec has no categories"),
+            FscError::BadFractions { sum } => {
+                write!(f, "category fractions must sum to 1 (sum = {sum})")
+            }
+            FscError::BadCount { name, value } => {
+                write!(f, "count parameter `{name}` out of range (got {value})")
+            }
+            FscError::Distribution(e) => write!(f, "size distribution: {e}"),
+            FscError::FileSystem(e) => write!(f, "file system: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FscError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FscError::Distribution(e) => Some(e),
+            FscError::FileSystem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistrError> for FscError {
+    fn from(e: DistrError) -> Self {
+        FscError::Distribution(e)
+    }
+}
+
+impl From<FsError> for FscError {
+    fn from(e: FsError) -> Self {
+        FscError::FileSystem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = FscError::Distribution(DistrError::Empty);
+        assert!(e.to_string().contains("size distribution"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = FscError::FileSystem(FsError::NoSpace);
+        assert!(e.to_string().contains("ENOSPC"));
+        assert!(FscError::EmptySpec.to_string().contains("no categories"));
+    }
+
+    #[test]
+    fn conversions() {
+        let _: FscError = DistrError::Empty.into();
+        let _: FscError = FsError::NotFound.into();
+    }
+}

@@ -1,0 +1,143 @@
+//! A small LRU set used by the caching models.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// An LRU set with O(log n) touch/insert/evict.
+///
+/// Recency is tracked with a monotone clock: `BTreeMap<clock, key>` gives the
+/// least-recently-used key as the first entry.
+#[derive(Debug, Clone)]
+pub(crate) struct LruSet<K> {
+    capacity: usize,
+    clock: u64,
+    by_key: HashMap<K, u64>,
+    by_age: BTreeMap<u64, K>,
+}
+
+impl<K: Eq + Hash + Clone> LruSet<K> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            clock: 0,
+            by_key: HashMap::new(),
+            by_age: BTreeMap::new(),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Whether the key is present; refreshes its recency if so.
+    pub(crate) fn touch(&mut self, key: &K) -> bool {
+        let Some(old) = self.by_key.get(key).copied() else {
+            return false;
+        };
+        self.by_age.remove(&old);
+        self.clock += 1;
+        self.by_age.insert(self.clock, key.clone());
+        self.by_key.insert(key.clone(), self.clock);
+        true
+    }
+
+    /// Inserts a key (refreshing recency if present); returns the evicted
+    /// key, if capacity forced one out.
+    pub(crate) fn insert(&mut self, key: K) -> Option<K> {
+        if self.touch(&key) {
+            return None;
+        }
+        self.clock += 1;
+        self.by_age.insert(self.clock, key.clone());
+        self.by_key.insert(key, self.clock);
+        if self.by_key.len() > self.capacity {
+            let (&age, _) = self.by_age.iter().next().expect("non-empty");
+            let victim = self.by_age.remove(&age).expect("present");
+            self.by_key.remove(&victim);
+            return Some(victim);
+        }
+        None
+    }
+
+    /// Removes a key if present.
+    pub(crate) fn remove(&mut self, key: &K) -> bool {
+        match self.by_key.remove(key) {
+            Some(age) => {
+                self.by_age.remove(&age);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every key matching the predicate.
+    pub(crate) fn retain<F: FnMut(&K) -> bool>(&mut self, mut keep: F) {
+        let dead: Vec<K> = self
+            .by_key
+            .keys()
+            .filter(|k| !keep(k))
+            .cloned()
+            .collect();
+        for k in dead {
+            self.remove(&k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_and_hits() {
+        let mut lru = LruSet::new(2);
+        assert_eq!(lru.insert(1), None);
+        assert_eq!(lru.insert(2), None);
+        assert!(lru.touch(&1));
+        assert!(!lru.touch(&3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recent() {
+        let mut lru = LruSet::new(2);
+        lru.insert(1);
+        lru.insert(2);
+        lru.touch(&1); // 2 is now LRU
+        assert_eq!(lru.insert(3), Some(2));
+        assert!(lru.touch(&1));
+        assert!(lru.touch(&3));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut lru = LruSet::new(2);
+        lru.insert(1);
+        lru.insert(2);
+        assert_eq!(lru.insert(1), None); // refresh, no eviction
+        assert_eq!(lru.insert(3), Some(2));
+    }
+
+    #[test]
+    fn remove_and_retain() {
+        let mut lru = LruSet::new(4);
+        for i in 0..4 {
+            lru.insert(i);
+        }
+        assert!(lru.remove(&2));
+        assert!(!lru.remove(&2));
+        lru.retain(|&k| k != 0);
+        assert_eq!(lru.len(), 2);
+        assert!(lru.touch(&1));
+        assert!(lru.touch(&3));
+    }
+
+    #[test]
+    fn capacity_one_always_evicts() {
+        let mut lru = LruSet::new(1);
+        assert_eq!(lru.insert("a"), None);
+        assert_eq!(lru.insert("b"), Some("a"));
+        assert_eq!(lru.insert("c"), Some("b"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Stage chains: how one operation's latency is assembled from fixed delays
+//! and contended services.
+
+use uswg_sim::{ResourceId, ResourcePool, SimTime};
+
+/// One step in an operation's service path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// A fixed latency with no contention (e.g. wire propagation).
+    Delay(u64),
+    /// FIFO service at a shared resource.
+    Service {
+        /// The contended resource.
+        resource: ResourceId,
+        /// Service demand in microseconds.
+        micros: u64,
+    },
+}
+
+/// Result of advancing a pending operation by one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The operation continues; re-advance at this time.
+    NextAt(SimTime),
+    /// All stages finished.
+    Done,
+}
+
+/// An operation in flight: the remaining stage chain.
+///
+/// The driver advances it one stage at a time, always *at the simulated time
+/// the stage actually begins*, so resource arrivals happen in global time
+/// order and FIFO queueing is exact.
+#[derive(Debug, Clone)]
+pub struct PendingOp {
+    stages: std::collections::VecDeque<Stage>,
+}
+
+impl PendingOp {
+    /// Wraps a stage chain produced by a timing model.
+    pub fn new(stages: Vec<Stage>) -> Self {
+        Self { stages: stages.into() }
+    }
+
+    /// Number of stages still to run.
+    pub fn remaining(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Executes the next stage at time `now`.
+    ///
+    /// For a [`Stage::Delay`] the next advance time is `now + delay`; for a
+    /// [`Stage::Service`] the job is offered to the resource (queueing there
+    /// if busy) and the next advance time is its service completion.
+    pub fn advance(&mut self, pool: &mut ResourcePool, now: SimTime) -> StepOutcome {
+        match self.stages.pop_front() {
+            None => StepOutcome::Done,
+            Some(Stage::Delay(micros)) => StepOutcome::NextAt(now.saturating_add(micros)),
+            Some(Stage::Service { resource, micros }) => {
+                let outcome = pool.get_mut(resource).serve(now, micros);
+                StepOutcome::NextAt(outcome.completion)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uswg_sim::Resource;
+
+    #[test]
+    fn delay_only_chain_sums() {
+        let mut pool = ResourcePool::new();
+        let mut op = PendingOp::new(vec![Stage::Delay(10), Stage::Delay(20)]);
+        assert_eq!(op.remaining(), 2);
+        let t1 = match op.advance(&mut pool, SimTime::ZERO) {
+            StepOutcome::NextAt(t) => t,
+            StepOutcome::Done => panic!("not done"),
+        };
+        assert_eq!(t1, SimTime::from_micros(10));
+        let t2 = match op.advance(&mut pool, t1) {
+            StepOutcome::NextAt(t) => t,
+            StepOutcome::Done => panic!("not done"),
+        };
+        assert_eq!(t2, SimTime::from_micros(30));
+        assert_eq!(op.advance(&mut pool, t2), StepOutcome::Done);
+    }
+
+    #[test]
+    fn service_stage_queues() {
+        let mut pool = ResourcePool::new();
+        let disk = pool.add(Resource::new("disk", 1));
+        let mut a = PendingOp::new(vec![Stage::Service { resource: disk, micros: 100 }]);
+        let mut b = PendingOp::new(vec![Stage::Service { resource: disk, micros: 100 }]);
+        let ta = a.advance(&mut pool, SimTime::ZERO);
+        let tb = b.advance(&mut pool, SimTime::from_micros(10));
+        assert_eq!(ta, StepOutcome::NextAt(SimTime::from_micros(100)));
+        // b queues behind a.
+        assert_eq!(tb, StepOutcome::NextAt(SimTime::from_micros(200)));
+    }
+
+    #[test]
+    fn empty_chain_is_done_immediately() {
+        let mut pool = ResourcePool::new();
+        let mut op = PendingOp::new(vec![]);
+        assert_eq!(op.advance(&mut pool, SimTime::ZERO), StepOutcome::Done);
+    }
+}

@@ -1,0 +1,299 @@
+//! Event scheduling and the simulation main loop.
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The behaviour of a simulated system: how it reacts to each event.
+///
+/// Handlers receive the event and the [`Scheduler`], from which they can read
+/// the current time and schedule follow-up events. Keeping the world and the
+/// scheduler separate sidesteps borrow conflicts between simulation state and
+/// the event queue.
+pub trait World {
+    /// The event type driving this world.
+    type Event;
+
+    /// Reacts to one event. The current time is `sched.now()`.
+    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// One pending event. Ordered by time, then by insertion sequence so that
+/// simultaneous events run in FIFO order (deterministic replay).
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event queue and virtual clock of a simulation.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+}
+
+impl<E> std::fmt::Debug for Scheduled<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduled")
+            .field("at", &self.at)
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay_micros` after the current time.
+    pub fn schedule(&mut self, delay_micros: u64, event: E) {
+        self.schedule_at(self.now.saturating_add(delay_micros), event);
+    }
+
+    /// Schedules `event` at an absolute time.
+    ///
+    /// Events scheduled in the past are clamped to fire "now" (they still run
+    /// after the current handler returns), preserving causality.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.queue.pop().map(|Reverse(s)| s)
+    }
+}
+
+/// A discrete-event simulation: a [`World`] plus its [`Scheduler`].
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug)]
+pub struct Simulation<W: World> {
+    world: W,
+    sched: Scheduler<W::Event>,
+}
+
+impl<W: World> Simulation<W> {
+    /// Creates a simulation at time zero with an empty event queue.
+    pub fn new(world: W) -> Self {
+        Self {
+            world,
+            sched: Scheduler::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedules an initial event `delay_micros` from now.
+    pub fn schedule(&mut self, delay_micros: u64, event: W::Event) {
+        self.sched.schedule(delay_micros, event);
+    }
+
+    /// Runs until the event queue is empty. Returns the number of events
+    /// processed.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until the queue is empty or the next event is later than
+    /// `deadline` (that event stays queued). Returns the number of events
+    /// processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut steps = 0;
+        while let Some(Reverse(head)) = self.sched.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let ev = self.sched.pop().expect("peeked");
+            debug_assert!(ev.at >= self.sched.now, "time must not run backwards");
+            self.sched.now = ev.at;
+            self.world.handle(ev.event, &mut self.sched);
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Runs at most `max_events` events. Returns the number processed.
+    pub fn run_steps(&mut self, max_events: u64) -> u64 {
+        let mut steps = 0;
+        while steps < max_events {
+            let Some(ev) = self.sched.pop() else { break };
+            self.sched.now = ev.at;
+            self.world.handle(ev.event, &mut self.sched);
+            steps += 1;
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records the order and time at which labeled events fire.
+    struct Recorder {
+        fired: Vec<(u32, SimTime)>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, event: u32, sched: &mut Scheduler<u32>) {
+            self.fired.push((event, sched.now()));
+            // Event 100 chains a follow-up.
+            if event == 100 {
+                sched.schedule(10, 101);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new(Recorder { fired: vec![] });
+        sim.schedule(30, 3);
+        sim.schedule(10, 1);
+        sim.schedule(20, 2);
+        let steps = sim.run();
+        assert_eq!(steps, 3);
+        let order: Vec<u32> = sim.world().fired.iter().map(|&(e, _)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_micros(30));
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut sim = Simulation::new(Recorder { fired: vec![] });
+        for i in 0..50 {
+            sim.schedule(5, i);
+        }
+        sim.run();
+        let order: Vec<u32> = sim.world().fired.iter().map(|&(e, _)| e).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut sim = Simulation::new(Recorder { fired: vec![] });
+        sim.schedule(5, 100);
+        sim.run();
+        assert_eq!(
+            sim.world().fired,
+            vec![
+                (100, SimTime::from_micros(5)),
+                (101, SimTime::from_micros(15))
+            ]
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(Recorder { fired: vec![] });
+        sim.schedule(10, 1);
+        sim.schedule(20, 2);
+        sim.schedule(30, 3);
+        let steps = sim.run_until(SimTime::from_micros(20));
+        assert_eq!(steps, 2);
+        assert_eq!(sim.now(), SimTime::from_micros(20));
+        // The remaining event is still there.
+        assert_eq!(sim.run(), 1);
+        assert_eq!(sim.now(), SimTime::from_micros(30));
+    }
+
+    #[test]
+    fn run_steps_bounds_event_count() {
+        let mut sim = Simulation::new(Recorder { fired: vec![] });
+        for i in 0..10 {
+            sim.schedule(i as u64, i);
+        }
+        assert_eq!(sim.run_steps(4), 4);
+        assert_eq!(sim.world().fired.len(), 4);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        struct PastScheduler;
+        impl World for PastScheduler {
+            type Event = bool;
+            fn handle(&mut self, first: bool, sched: &mut Scheduler<bool>) {
+                if first {
+                    // Try to schedule before "now"; must clamp, not panic.
+                    sched.schedule_at(SimTime::ZERO, false);
+                }
+            }
+        }
+        let mut sim = Simulation::new(PastScheduler);
+        sim.schedule(100, true);
+        assert_eq!(sim.run(), 2);
+        assert_eq!(sim.now(), SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn pending_counts_queue() {
+        let mut sim = Simulation::new(Recorder { fired: vec![] });
+        sim.schedule(1, 1);
+        sim.schedule(2, 2);
+        assert_eq!(sim.sched.pending(), 2);
+    }
+
+    #[test]
+    fn into_world_returns_state() {
+        let mut sim = Simulation::new(Recorder { fired: vec![] });
+        sim.schedule(1, 7);
+        sim.run();
+        let world = sim.into_world();
+        assert_eq!(world.fired.len(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! The virtual clock.
+//!
+//! The paper measures response times in **microseconds** (Table 5.3), so the
+//! simulation clock is an integer microsecond counter. A `u64` holds over
+//! half a million simulated years, far beyond any experiment.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in microseconds since the start of
+/// the simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a microsecond count.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates a time from a millisecond count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow (beyond ~584,000 simulated years).
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates a time from a second count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// The microsecond count since simulation start.
+    pub const fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// The time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating addition of a microsecond delay.
+    pub const fn saturating_add(self, micros: u64) -> Self {
+        SimTime(self.0.saturating_add(micros))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: Self) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Microseconds from `earlier` to `self`, or zero if `earlier` is later.
+    pub const fn saturating_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    /// Adds a microsecond delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow in debug builds.
+    fn add(self, micros: u64) -> SimTime {
+        SimTime(self.0 + micros)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, micros: u64) {
+        self.0 += micros;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+
+    /// Microseconds between two times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self` in debug builds.
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_micros(2_000_000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+        assert_eq!(SimTime::ZERO.micros(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_micros(10);
+        assert_eq!((t + 5).micros(), 15);
+        assert_eq!(t + 5 - t, 5);
+        let mut u = t;
+        u += 7;
+        assert_eq!(u.micros(), 17);
+        assert_eq!(t.max(u), u);
+        assert_eq!(u.saturating_since(t), 7);
+        assert_eq!(t.saturating_since(u), 0);
+    }
+
+    #[test]
+    fn saturating_add_caps() {
+        assert_eq!(SimTime::MAX.saturating_add(10), SimTime::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimTime::from_micros(7).to_string(), "7µs");
+        assert_eq!(SimTime::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn as_secs_f64_converts() {
+        assert!((SimTime::from_micros(2_500_000).as_secs_f64() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the simulation kernel's ordering guarantees.
+
+use proptest::prelude::*;
+use uswg_sim::{Resource, Scheduler, SimTime, Simulation, World};
+
+/// Records (event id, fire time) pairs.
+struct Recorder {
+    fired: Vec<(u64, SimTime)>,
+}
+
+impl World for Recorder {
+    type Event = u64;
+    fn handle(&mut self, ev: u64, sched: &mut Scheduler<u64>) {
+        self.fired.push((ev, sched.now()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events fire in non-decreasing time order no matter the insertion
+    /// order, and equal-time events fire in insertion order.
+    #[test]
+    fn time_order_is_total(delays in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut sim = Simulation::new(Recorder { fired: vec![] });
+        for (i, &d) in delays.iter().enumerate() {
+            sim.schedule(d, i as u64);
+        }
+        let n = sim.run();
+        prop_assert_eq!(n as usize, delays.len());
+        let fired = &sim.world().fired;
+        for w in fired.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1, "time went backwards");
+            if w[1].1 == w[0].1 {
+                prop_assert!(w[1].0 > w[0].0, "FIFO violated for simultaneous events");
+            }
+        }
+        // Every event fired exactly at its scheduled time.
+        for &(id, at) in fired {
+            prop_assert_eq!(at.micros(), delays[id as usize]);
+        }
+    }
+
+    /// A FIFO resource conserves work: completions are spaced by at least
+    /// the service times, and total busy time equals total service.
+    #[test]
+    fn resource_conserves_work(jobs in prop::collection::vec((0u64..1_000, 1u64..500), 1..60)) {
+        let mut sorted = jobs.clone();
+        sorted.sort_by_key(|&(at, _)| at);
+        let mut r = Resource::new("srv", 1);
+        let mut last_completion = SimTime::ZERO;
+        for &(at, service) in &sorted {
+            let out = r.serve(SimTime::from_micros(at), service);
+            // Completions are ordered (FIFO) and never overlap.
+            prop_assert!(out.completion >= last_completion);
+            prop_assert!(out.start.micros() >= at);
+            prop_assert_eq!(out.completion - out.start, service);
+            last_completion = out.completion;
+        }
+        let total_service: u64 = sorted.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(r.stats().total_service, total_service);
+        prop_assert_eq!(r.stats().jobs, sorted.len() as u64);
+        // Makespan is at least the total work (single server).
+        prop_assert!(last_completion.micros() >= total_service.min(last_completion.micros()));
+    }
+
+    /// Multi-server resources never give a worse completion than a single
+    /// server for the same arrival sequence.
+    #[test]
+    fn more_servers_never_hurt(jobs in prop::collection::vec((0u64..500, 1u64..300), 1..40)) {
+        let mut sorted = jobs.clone();
+        sorted.sort_by_key(|&(at, _)| at);
+        let run = |capacity: usize| {
+            let mut r = Resource::new("srv", capacity);
+            let mut makespan = SimTime::ZERO;
+            for &(at, service) in &sorted {
+                let out = r.serve(SimTime::from_micros(at), service);
+                makespan = makespan.max(out.completion);
+            }
+            makespan
+        };
+        prop_assert!(run(2) <= run(1));
+        prop_assert!(run(4) <= run(2));
+    }
+}

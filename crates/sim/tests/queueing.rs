@@ -1,0 +1,160 @@
+//! Validation of the simulation kernel against analytic queueing theory.
+//!
+//! If the kernel's FIFO resources do not reproduce M/M/1 and M/D/1 waiting
+//! times, none of the downstream NFS response-time experiments can be
+//! trusted, so these tests pin the kernel to closed-form results.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uswg_distr::{Distribution, Exponential};
+use uswg_sim::{Resource, Scheduler, SimTime, Simulation, World};
+
+/// A single-queue world: Poisson arrivals into one FIFO resource.
+struct Queue {
+    rng: StdRng,
+    interarrival: Exponential,
+    service: Option<Exponential>,
+    fixed_service: u64,
+    resource: Resource,
+    arrivals_left: u64,
+    completed: u64,
+    total_response: u64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrive,
+    Complete { arrived: SimTime },
+}
+
+impl World for Queue {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+        match event {
+            Ev::Arrive => {
+                let now = sched.now();
+                let service = match &self.service {
+                    Some(d) => d.sample(&mut self.rng).round().max(1.0) as u64,
+                    None => self.fixed_service,
+                };
+                let outcome = self.resource.serve(now, service);
+                sched.schedule_at(outcome.completion, Ev::Complete { arrived: now });
+                if self.arrivals_left > 0 {
+                    self.arrivals_left -= 1;
+                    let gap = self.interarrival.sample(&mut self.rng).round().max(1.0) as u64;
+                    sched.schedule(gap, Ev::Arrive);
+                }
+            }
+            Ev::Complete { arrived } => {
+                self.completed += 1;
+                self.total_response += sched.now() - arrived;
+            }
+        }
+    }
+}
+
+fn run_queue(
+    interarrival_mean: f64,
+    service: Option<f64>,
+    fixed_service: u64,
+    jobs: u64,
+    seed: u64,
+) -> (f64, f64) {
+    let world = Queue {
+        rng: StdRng::seed_from_u64(seed),
+        interarrival: Exponential::new(interarrival_mean).unwrap(),
+        service: service.map(|m| Exponential::new(m).unwrap()),
+        fixed_service,
+        resource: Resource::new("server", 1),
+        arrivals_left: jobs - 1,
+        completed: 0,
+        total_response: 0,
+    };
+    let mut sim = Simulation::new(world);
+    sim.schedule(0, Ev::Arrive);
+    sim.run();
+    let w = sim.world();
+    assert_eq!(w.completed, jobs);
+    let mean_response = w.total_response as f64 / jobs as f64;
+    let mean_wait = w.resource.stats().mean_wait();
+    (mean_response, mean_wait)
+}
+
+#[test]
+fn mm1_mean_wait_matches_theory() {
+    // M/M/1 with ρ = 0.5: Wq = ρ/(μ(1−ρ)) = service_mean · ρ/(1−ρ) = 100 µs.
+    let (_resp, wait) = run_queue(200.0, Some(100.0), 0, 400_000, 1);
+    let expected = 100.0;
+    assert!(
+        (wait - expected).abs() / expected < 0.08,
+        "Wq = {wait}, expected ≈ {expected}"
+    );
+}
+
+#[test]
+fn mm1_high_load_wait_explodes() {
+    // ρ = 0.9: Wq = 9 × service mean.
+    let (_resp, wait) = run_queue(111.0, Some(100.0), 0, 400_000, 2);
+    // λ = 1/111, ρ = 100/111; Wq = service · ρ/(1−ρ) = 100 · (100/11) / ... ≈ 909
+    let rho: f64 = 100.0 / 111.0;
+    let expected = 100.0 * rho / (1.0 - rho);
+    assert!(
+        (wait - expected).abs() / expected < 0.25,
+        "Wq = {wait}, expected ≈ {expected}"
+    );
+}
+
+#[test]
+fn md1_wait_is_half_of_mm1() {
+    // Pollaczek–Khinchine: deterministic service halves the queueing delay.
+    let (_r1, wait_md1) = run_queue(200.0, None, 100, 400_000, 3);
+    let expected = 50.0; // Wq(M/D/1) = ρ·s/(2(1−ρ)) = 0.5·100/(2·0.5)
+    assert!(
+        (wait_md1 - expected).abs() / expected < 0.10,
+        "Wq = {wait_md1}, expected ≈ {expected}"
+    );
+}
+
+#[test]
+fn response_time_is_wait_plus_service() {
+    let (resp, wait) = run_queue(200.0, Some(100.0), 0, 200_000, 4);
+    assert!(
+        (resp - (wait + 100.0)).abs() < 5.0,
+        "response {resp} vs wait {wait} + 100"
+    );
+}
+
+#[test]
+fn empty_system_has_no_wait() {
+    // Arrivals far apart: never queue.
+    let (resp, wait) = run_queue(1_000_000.0, None, 100, 1_000, 5);
+    assert_eq!(wait, 0.0);
+    assert!((resp - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn two_servers_halve_utilization_effects() {
+    // Same offered load on capacity 2 should wait far less than capacity 1.
+    struct Fixed {
+        resource: Resource,
+    }
+    impl World for Fixed {
+        type Event = u64;
+        fn handle(&mut self, service: u64, sched: &mut Scheduler<u64>) {
+            self.resource.serve(sched.now(), service);
+        }
+    }
+    let mut single = Simulation::new(Fixed { resource: Resource::new("s", 1) });
+    let mut double = Simulation::new(Fixed { resource: Resource::new("d", 2) });
+    for sim in [&mut single, &mut double] {
+        for i in 0..1_000u64 {
+            sim.schedule(i * 60, 100); // arrivals every 60 µs, service 100 µs
+        }
+        sim.run();
+    }
+    let w1 = single.world().resource.stats().mean_wait();
+    let w2 = double.world().resource.stats().mean_wait();
+    assert!(w1 > 1_000.0, "single-server backlog should grow, got {w1}");
+    assert!(w2 < 10.0, "two servers absorb the load, got {w2}");
+}

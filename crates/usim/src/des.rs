@@ -1,0 +1,288 @@
+//! The discrete-event driver: all users run concurrently in simulated time
+//! against a file-system timing model.
+//!
+//! This is the reproduction of the paper's measurement setup. Each user
+//! alternates between thinking and issuing a system call; the call's
+//! semantic effect executes against the VFS immediately, while its latency
+//! is the traversal of the timing model's stage chain through the shared
+//! resource pool. Response times therefore include queueing behind every
+//! other user — the effect Chapter 5 measures.
+
+use crate::compile::{BehaviorState, CompiledPopulation};
+use crate::log::{OpRecord, SessionRecord, UsageLog};
+use crate::session::{ExecutedOp, Session, MAX_ACCESS_BYTES};
+use crate::{RunConfig, UsimError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uswg_fsc::FileCatalog;
+use uswg_netfs::{PendingOp, ServiceModel, StepOutcome};
+use uswg_sim::{ResourcePool, ResourceStats, Scheduler, SimTime, Simulation, World};
+use uswg_vfs::{Process, Vfs};
+
+/// Events driving one simulated user.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The user's think time expired: issue the next operation.
+    Wake(usize),
+    /// An in-flight operation finished a stage.
+    Step(usize),
+}
+
+/// Per-user simulation state.
+struct UserState {
+    proc: Process,
+    rng: StdRng,
+    type_idx: usize,
+    behavior: BehaviorState,
+    session: Option<Session>,
+    session_start: SimTime,
+    sessions_done: u32,
+    pending: Option<PendingOp>,
+    current: Option<(ExecutedOp, SimTime)>,
+}
+
+/// The simulated world: file system, catalog, model, pool and users.
+struct UsimWorld {
+    vfs: Vfs,
+    catalog: FileCatalog,
+    pool: ResourcePool,
+    model: Box<dyn ServiceModel>,
+    /// Separate stream for model randomness (disk jitter), so the timing
+    /// model never perturbs the users' operation selection: the same seed
+    /// produces the same op stream under every model and under the direct
+    /// driver.
+    model_rng: StdRng,
+    population: CompiledPopulation,
+    config: RunConfig,
+    users: Vec<UserState>,
+    buf: Vec<u8>,
+    log: UsageLog,
+    error: Option<UsimError>,
+}
+
+impl UsimWorld {
+    fn finish_session(&mut self, user: usize, now: SimTime) {
+        let state = &mut self.users[user];
+        if let Some(session) = state.session.take() {
+            let m = session.metrics;
+            self.log.push_session(SessionRecord {
+                user,
+                user_type: session.user_type,
+                session: session.ordinal,
+                start: state.session_start.micros(),
+                end: now.micros(),
+                ops: m.ops,
+                files_referenced: m.files_referenced,
+                file_bytes_referenced: m.file_bytes_referenced,
+                bytes_accessed: m.bytes_read + m.bytes_written,
+                bytes_read: m.bytes_read,
+                bytes_written: m.bytes_written,
+                total_response: m.total_response,
+            });
+            state.sessions_done += 1;
+        }
+    }
+}
+
+impl World for UsimWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+        if self.error.is_some() {
+            return; // drain silently after a fault
+        }
+        let now = sched.now();
+        self.vfs.set_clock(now.micros());
+        match event {
+            Ev::Wake(user) => {
+                // Ensure a session is active (or the user is finished).
+                if self.users[user].session.is_none() {
+                    if self.users[user].sessions_done >= self.config.sessions_per_user {
+                        return;
+                    }
+                    let state = &mut self.users[user];
+                    let ordinal = state.sessions_done;
+                    let utype = &self.population.types()[state.type_idx];
+                    let session = Session::plan(
+                        user,
+                        state.type_idx,
+                        ordinal,
+                        utype,
+                        &self.catalog,
+                        &mut state.rng,
+                    );
+                    state.session = Some(session);
+                    state.session_start = now;
+                }
+                // Issue the next operation.
+                let mut session = self.users[user].session.take().expect("just ensured");
+                let state = &mut self.users[user];
+                let utype = &self.population.types()[state.type_idx];
+                let next = session.next_op(
+                    &mut self.vfs,
+                    &mut state.proc,
+                    utype,
+                    &mut self.buf,
+                    &mut state.rng,
+                );
+                match next {
+                    Ok(Some(exec)) => {
+                        let stages = self.model.stages(&exec.request, &mut self.model_rng);
+                        state.pending = Some(PendingOp::new(stages));
+                        state.current = Some((exec, now));
+                        state.session = Some(session);
+                        sched.schedule(0, Ev::Step(user));
+                    }
+                    Ok(None) => {
+                        // Logout; the next login follows after the user
+                        // type's inter-session gap (0 by default — the
+                        // paper runs sessions back to back per terminal).
+                        self.users[user].session = Some(session);
+                        self.finish_session(user, now);
+                        let state = &mut self.users[user];
+                        let utype = &self.population.types()[state.type_idx];
+                        let gap = utype.sample_inter_session(now.micros(), &mut state.rng);
+                        sched.schedule(gap, Ev::Wake(user));
+                    }
+                    Err(e) => {
+                        self.error = Some(e);
+                    }
+                }
+            }
+            Ev::Step(user) => {
+                let state = &mut self.users[user];
+                let Some(pending) = state.pending.as_mut() else {
+                    return;
+                };
+                match pending.advance(&mut self.pool, now) {
+                    StepOutcome::NextAt(t) => {
+                        sched.schedule_at(t, Ev::Step(user));
+                    }
+                    StepOutcome::Done => {
+                        state.pending = None;
+                        let (exec, issued) = state.current.take().expect("op in flight");
+                        let response = now - issued;
+                        let session = state.session.as_mut().expect("session active");
+                        session.metrics.total_response += response;
+                        if self.config.record_ops {
+                            self.log.push_op(OpRecord {
+                                at: issued.micros(),
+                                user,
+                                session: session.ordinal,
+                                op: exec.request.kind,
+                                ino: exec.request.file.0,
+                                bytes: exec.request.bytes,
+                                file_size: exec.request.file_size,
+                                response,
+                                category: exec.category,
+                            });
+                        }
+                        let utype = &self.population.types()[state.type_idx];
+                        let think = utype.sample_think(&mut state.behavior, &mut state.rng);
+                        sched.schedule(think, Ev::Wake(user));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The result of a discrete-event run.
+#[derive(Debug)]
+pub struct DesReport {
+    /// The usage log (ops + sessions).
+    pub log: UsageLog,
+    /// Final statistics of every model resource, by name.
+    pub resources: Vec<(String, ResourceStats)>,
+    /// Simulated duration of the whole run.
+    pub duration: SimTime,
+    /// Name of the timing model used.
+    pub model: String,
+    /// Total events processed by the kernel.
+    pub events: u64,
+}
+
+/// Runs a population against a timing model in simulated time. See the
+/// module documentation.
+#[derive(Debug, Default)]
+pub struct DesDriver;
+
+impl DesDriver {
+    /// Creates a driver.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Executes the run.
+    ///
+    /// `vfs` and `catalog` are consumed (the simulation owns them while it
+    /// runs); `pool` must be the pool the model registered its resources in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors and any unexpected
+    /// file-system error raised mid-run.
+    pub fn run(
+        &self,
+        vfs: Vfs,
+        catalog: FileCatalog,
+        population: &CompiledPopulation,
+        model: Box<dyn ServiceModel>,
+        pool: ResourcePool,
+        config: &RunConfig,
+    ) -> Result<DesReport, UsimError> {
+        config.validate()?;
+        let assignment = population.assign(config.n_users);
+        let users = (0..config.n_users)
+            .map(|u| UserState {
+                proc: vfs.new_process(),
+                rng: StdRng::seed_from_u64(
+                    config.seed ^ (u as u64).wrapping_mul(0x9E37_79B9),
+                ),
+                type_idx: assignment[u],
+                behavior: population.types()[assignment[u]].new_behavior(),
+                session: None,
+                session_start: SimTime::ZERO,
+                sessions_done: 0,
+                pending: None,
+                current: None,
+            })
+            .collect();
+        let model_name = model.name().to_string();
+        let world = UsimWorld {
+            vfs,
+            catalog,
+            pool,
+            model,
+            model_rng: StdRng::seed_from_u64(config.seed ^ 0x4D4F_4445_4C00_0001),
+            population: population.clone(),
+            config: *config,
+            users,
+            buf: vec![0xA5u8; MAX_ACCESS_BYTES as usize],
+            log: UsageLog::new(),
+            error: None,
+        };
+        let mut sim = Simulation::new(world);
+        for u in 0..config.n_users {
+            sim.schedule(0, Ev::Wake(u));
+        }
+        let events = sim.run();
+        let duration = sim.now();
+        let world = sim.into_world();
+        if let Some(e) = world.error {
+            return Err(e);
+        }
+        let resources = world
+            .pool
+            .iter()
+            .map(|(_, r)| (r.name().to_string(), r.stats()))
+            .collect();
+        Ok(DesReport {
+            log: world.log,
+            resources,
+            duration,
+            model: model_name,
+            events,
+        })
+    }
+}

@@ -1,0 +1,110 @@
+//! The direct driver: executes sessions back-to-back against the VFS with
+//! no timing model.
+//!
+//! This is how the original tool ran when the measured quantity was the
+//! usage distribution itself rather than response time — it powers the
+//! Figure 5.3–5.5 studies (600 login sessions) and the throughput benches.
+//! Response times are measured with the host's monotonic clock, so they
+//! reflect this machine's in-memory file system, not a model.
+
+use crate::compile::CompiledPopulation;
+use crate::log::{OpRecord, SessionRecord, UsageLog};
+use crate::session::{Session, MAX_ACCESS_BYTES};
+use crate::{RunConfig, UsimError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use uswg_fsc::FileCatalog;
+use uswg_vfs::Vfs;
+
+/// Runs every user's sessions sequentially. See the module documentation for the full model description.
+#[derive(Debug, Default)]
+pub struct DirectDriver;
+
+impl DirectDriver {
+    /// Creates a driver.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Executes the run and returns the usage log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and unexpected file-system
+    /// errors.
+    pub fn run(
+        &self,
+        vfs: &mut Vfs,
+        catalog: &FileCatalog,
+        population: &CompiledPopulation,
+        config: &RunConfig,
+    ) -> Result<UsageLog, UsimError> {
+        config.validate()?;
+        let assignment = population.assign(config.n_users);
+        let mut log = UsageLog::new();
+        let mut buf = vec![0xA5u8; MAX_ACCESS_BYTES as usize];
+
+        for user in 0..config.n_users {
+            let type_idx = assignment[user];
+            let utype = &population.types()[type_idx];
+            let mut rng = StdRng::seed_from_u64(config.seed ^ (user as u64).wrapping_mul(0x9E37_79B9));
+            let mut proc = vfs.new_process();
+            let mut behavior = utype.new_behavior();
+            // Virtual clock: think times are sampled (keeping the RNG stream
+            // identical to the DES driver's) and accumulated, but not slept.
+            let mut virtual_clock: u64 = 0;
+
+            for ordinal in 0..config.sessions_per_user {
+                let mut session =
+                    Session::plan(user, type_idx, ordinal, utype, catalog, &mut rng);
+                let start = virtual_clock;
+                vfs.set_clock(start);
+                loop {
+                    let before = Instant::now();
+                    let Some(exec) =
+                        session.next_op(vfs, &mut proc, utype, &mut buf, &mut rng)?
+                    else {
+                        break;
+                    };
+                    let response = before.elapsed().as_micros() as u64;
+                    session.metrics.total_response += response;
+                    if config.record_ops {
+                        log.push_op(OpRecord {
+                            at: virtual_clock,
+                            user,
+                            session: ordinal,
+                            op: exec.request.kind,
+                            ino: exec.request.file.0,
+                            bytes: exec.request.bytes,
+                            file_size: exec.request.file_size,
+                            response,
+                            category: exec.category,
+                        });
+                    }
+                    virtual_clock += utype.sample_think(&mut behavior, &mut rng);
+                    vfs.set_clock(virtual_clock);
+                }
+                let end = virtual_clock;
+                let m = session.metrics;
+                log.push_session(SessionRecord {
+                    user,
+                    user_type: session.user_type,
+                    session: ordinal,
+                    start,
+                    end,
+                    ops: m.ops,
+                    files_referenced: m.files_referenced,
+                    file_bytes_referenced: m.file_bytes_referenced,
+                    bytes_accessed: m.bytes_read + m.bytes_written,
+                    bytes_read: m.bytes_read,
+                    bytes_written: m.bytes_written,
+                    total_response: m.total_response,
+                });
+                // Logout → next login gap (same RNG point as the DES driver).
+                virtual_clock += utype.sample_inter_session(virtual_clock, &mut rng);
+            }
+        }
+        Ok(log)
+    }
+}

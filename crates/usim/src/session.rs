@@ -1,0 +1,533 @@
+//! The login-session engine: operation/file/amount selection under the
+//! model's logical constraints.
+//!
+//! A session is planned at login: for each file category the user's type
+//! says how likely the category is to be touched, how many files are
+//! referenced and how much of each file is accessed (`access-per-byte ×
+//! file size`). The op stream then interleaves the per-file state machines
+//! in random order — the paper's independence assumption "subject to obvious
+//! logical constraints; for example, an open must precede any read or write"
+//! (Section 3.1.4) — with strictly sequential access within each file
+//! (Section 4.2), wrapping with an explicit `lseek` when a pass completes.
+
+use crate::compile::CompiledUserType;
+use crate::spec::AccessPattern;
+use crate::UsimError;
+use rand::RngCore;
+use uswg_fsc::{FileCatalog, FileCategory, FileSystemCreator, FileType, UsageClass};
+use uswg_netfs::{FileId, OpKind, OpRequest};
+use uswg_vfs::{Fd, FsError, OpenFlags, Process, SeekFrom, Vfs};
+
+/// Upper bound on a single access, bytes (guards the exponential tail and
+/// bounds the shared I/O buffer).
+pub const MAX_ACCESS_BYTES: u64 = 262_144;
+
+/// Safety margin on per-task operation counts, so a pathological sample
+/// cannot loop forever.
+const OP_GUARD_SLACK: u64 = 64;
+
+/// One executed system call, ready for timing and logging.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecutedOp {
+    pub request: OpRequest,
+    pub category: FileCategory,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Closed,
+    Io,
+    Unlink,
+    Finished,
+}
+
+/// Per-file state machine.
+#[derive(Debug)]
+struct Task {
+    category: FileCategory,
+    path: String,
+    ino: u64,
+    /// Logical size of the file (target size for created files).
+    file_size: u64,
+    /// Total bytes of I/O this task performs.
+    budget: u64,
+    done: u64,
+    cursor: u64,
+    written: u64,
+    fd: Option<Fd>,
+    phase: Phase,
+    is_dir: bool,
+    creates: bool,
+    unlink_after: bool,
+    ops_issued: u64,
+    pattern: AccessPattern,
+    /// Random-pattern bookkeeping: the next data op must be preceded by a
+    /// seek to a randomly chosen offset.
+    needs_random_seek: bool,
+}
+
+impl Task {
+    fn op_guard(&self) -> u64 {
+        // Every data op moves at least one byte, plus bookkeeping calls.
+        self.budget + OP_GUARD_SLACK
+    }
+}
+
+/// Accumulated per-session metrics.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SessionMetrics {
+    pub ops: u64,
+    pub files_referenced: u64,
+    pub file_bytes_referenced: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub total_response: u64,
+}
+
+/// One login session of one user.
+#[derive(Debug)]
+pub(crate) struct Session {
+    user: usize,
+    pub user_type: usize,
+    pub ordinal: u32,
+    tasks: Vec<Task>,
+    live: Vec<usize>,
+    pub metrics: SessionMetrics,
+}
+
+impl Session {
+    /// Plans a session: selects categories, files and budgets.
+    pub fn plan(
+        user: usize,
+        user_type: usize,
+        ordinal: u32,
+        utype: &CompiledUserType,
+        catalog: &FileCatalog,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        let mut tasks = Vec::new();
+        for (ci, usage) in utype.categories.iter().enumerate() {
+            if uniform01(rng) >= usage.pct_users {
+                continue;
+            }
+            let n_files = usage.files.sample_count(rng);
+            for k in 0..n_files {
+                let preexisting = usage.category.preexisting();
+                let (path, ino, file_size) = if preexisting {
+                    match catalog.pick(user, usage.category, rng) {
+                        Some(idx) => {
+                            let f = catalog.file(idx);
+                            (f.path.clone(), f.ino, f.size)
+                        }
+                        None => continue, // nothing of this category exists
+                    }
+                } else {
+                    let size = usage.file_size.sample_count(rng);
+                    let path = format!(
+                        "{}/s{ordinal:05}_c{ci:02}_f{k:03}",
+                        FileSystemCreator::scratch_dir(user)
+                    );
+                    (path, 0, size)
+                };
+                let accessed = (usage.access_per_byte * file_size as f64).round() as u64;
+                let budget = if preexisting {
+                    accessed
+                } else {
+                    // Created files are written in full at least once.
+                    accessed.max(file_size)
+                };
+                tasks.push(Task {
+                    category: usage.category,
+                    path,
+                    ino,
+                    file_size,
+                    budget,
+                    done: 0,
+                    cursor: 0,
+                    written: 0,
+                    fd: None,
+                    phase: Phase::Closed,
+                    is_dir: usage.category.file_type == FileType::Dir,
+                    creates: !preexisting,
+                    unlink_after: usage.category.usage == UsageClass::Temp,
+                    ops_issued: 0,
+                    pattern: usage.access_pattern,
+                    needs_random_seek: usage.access_pattern == AccessPattern::Random,
+                });
+            }
+        }
+        let live = (0..tasks.len()).collect();
+        Self {
+            user,
+            user_type,
+            ordinal,
+            tasks,
+            live,
+            metrics: SessionMetrics::default(),
+        }
+    }
+
+    /// Selects and executes the next system call against `vfs`.
+    ///
+    /// Returns `Ok(None)` when the session has logged out (no tasks left).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected file-system errors; `ENOSPC`/`EFBIG` during
+    /// writes degrade the task gracefully instead of failing the run.
+    pub fn next_op(
+        &mut self,
+        vfs: &mut Vfs,
+        proc: &mut Process,
+        utype: &CompiledUserType,
+        buf: &mut [u8],
+        rng: &mut dyn RngCore,
+    ) -> Result<Option<ExecutedOp>, UsimError> {
+        loop {
+            if self.live.is_empty() {
+                return Ok(None);
+            }
+            // Random selection among unfinished files (the independence
+            // assumption of Section 3.1.4).
+            let slot = (rng.next_u64() % self.live.len() as u64) as usize;
+            let tidx = self.live[slot];
+
+            // Runaway guard: a task that somehow exceeds its op budget is
+            // force-finished rather than looping forever.
+            if self.tasks[tidx].ops_issued > self.tasks[tidx].op_guard() {
+                self.tasks[tidx].done = self.tasks[tidx].budget;
+            }
+
+            match self.step_task(tidx, vfs, proc, utype, buf, rng)? {
+                StepResult::Op(exec) => {
+                    self.tasks[tidx].ops_issued += 1;
+                    self.metrics.ops += 1;
+                    return Ok(Some(exec));
+                }
+                StepResult::TaskDone => {
+                    self.live.swap_remove(slot);
+                    // Loop on: pick another task.
+                }
+                StepResult::TaskAbandoned => {
+                    self.live.swap_remove(slot);
+                }
+            }
+        }
+    }
+
+    fn step_task(
+        &mut self,
+        tidx: usize,
+        vfs: &mut Vfs,
+        proc: &mut Process,
+        utype: &CompiledUserType,
+        buf: &mut [u8],
+        rng: &mut dyn RngCore,
+    ) -> Result<StepResult, UsimError> {
+        let task = &mut self.tasks[tidx];
+        match task.phase {
+            Phase::Closed => {
+                if task.is_dir {
+                    // Directories are walked via stat + readdir.
+                    match vfs.stat(&task.path) {
+                        Ok(md) => {
+                            task.ino = md.ino.number();
+                            task.phase = Phase::Io;
+                            self.metrics.files_referenced += 1;
+                            self.metrics.file_bytes_referenced += task.file_size;
+                            Ok(StepResult::Op(ExecutedOp {
+                                request: OpRequest::metadata(
+                                    self.user,
+                                    OpKind::Stat,
+                                    FileId(task.ino),
+                                    task.file_size,
+                                ),
+                                category: task.category,
+                            }))
+                        }
+                        Err(FsError::NotFound) => Ok(StepResult::TaskAbandoned),
+                        Err(e) => Err(e.into()),
+                    }
+                } else if task.creates {
+                    let fd = match vfs.open(proc, &task.path, OpenFlags::read_write_create()) {
+                        Ok(fd) => fd,
+                        Err(FsError::NoSpace | FsError::TooManyOpenFiles) => {
+                            return Ok(StepResult::TaskAbandoned);
+                        }
+                        Err(e) => return Err(e.into()),
+                    };
+                    task.fd = Some(fd);
+                    task.ino = vfs.fstat(proc, fd)?.ino.number();
+                    task.phase = Phase::Io;
+                    self.metrics.files_referenced += 1;
+                    self.metrics.file_bytes_referenced += task.file_size;
+                    Ok(StepResult::Op(ExecutedOp {
+                        request: OpRequest::metadata(
+                            self.user,
+                            OpKind::Create,
+                            FileId(task.ino),
+                            task.file_size,
+                        ),
+                        category: task.category,
+                    }))
+                } else {
+                    let flags = if task.category.usage == UsageClass::ReadWrite {
+                        OpenFlags::read_write()
+                    } else {
+                        OpenFlags::read_only()
+                    };
+                    let fd = match vfs.open(proc, &task.path, flags) {
+                        Ok(fd) => fd,
+                        Err(FsError::NotFound) => return Ok(StepResult::TaskAbandoned),
+                        Err(FsError::TooManyOpenFiles) => return Ok(StepResult::TaskAbandoned),
+                        Err(e) => return Err(e.into()),
+                    };
+                    task.fd = Some(fd);
+                    task.ino = vfs.fstat(proc, fd)?.ino.number();
+                    task.phase = Phase::Io;
+                    self.metrics.files_referenced += 1;
+                    self.metrics.file_bytes_referenced += task.file_size;
+                    Ok(StepResult::Op(ExecutedOp {
+                        request: OpRequest::metadata(
+                            self.user,
+                            OpKind::Open,
+                            FileId(task.ino),
+                            task.file_size,
+                        ),
+                        category: task.category,
+                    }))
+                }
+            }
+            Phase::Io => {
+                if task.done >= task.budget {
+                    // Finished with the data: close (files) or finish (dirs).
+                    if task.is_dir {
+                        task.phase = Phase::Finished;
+                        return Ok(StepResult::TaskDone);
+                    }
+                    let fd = task.fd.take().expect("file task in Io phase has fd");
+                    vfs.close(proc, fd)?;
+                    let exec = ExecutedOp {
+                        request: OpRequest::metadata(
+                            self.user,
+                            OpKind::Close,
+                            FileId(task.ino),
+                            task.file_size,
+                        ),
+                        category: task.category,
+                    };
+                    task.phase = if task.unlink_after {
+                        Phase::Unlink
+                    } else {
+                        Phase::Finished
+                    };
+                    return Ok(StepResult::Op(exec));
+                }
+                self.io_step(tidx, vfs, proc, utype, buf, rng)
+            }
+            Phase::Unlink => {
+                match vfs.unlink(&task.path) {
+                    Ok(()) | Err(FsError::NotFound) => {}
+                    Err(e) => return Err(e.into()),
+                }
+                let exec = ExecutedOp {
+                    request: OpRequest::metadata(
+                        self.user,
+                        OpKind::Unlink,
+                        FileId(task.ino),
+                        task.file_size,
+                    ),
+                    category: task.category,
+                };
+                task.phase = Phase::Finished;
+                Ok(StepResult::Op(exec))
+            }
+            Phase::Finished => Ok(StepResult::TaskDone),
+        }
+    }
+
+    fn io_step(
+        &mut self,
+        tidx: usize,
+        vfs: &mut Vfs,
+        proc: &mut Process,
+        utype: &CompiledUserType,
+        buf: &mut [u8],
+        rng: &mut dyn RngCore,
+    ) -> Result<StepResult, UsimError> {
+        let task = &mut self.tasks[tidx];
+        let want_write = match task.category.usage {
+            UsageClass::ReadOnly => false,
+            UsageClass::New | UsageClass::Temp => task.written < task.file_size,
+            UsageClass::ReadWrite => {
+                if task.creates {
+                    task.written < task.file_size
+                } else {
+                    rng.next_u64() % 2 == 0
+                }
+            }
+        } && !task.is_dir;
+
+        // In the create-fill stage, even random-pattern files are written
+        // sequentially (a file must exist before records can be addressed).
+        let filling = task.creates && task.written < task.file_size;
+
+        // Random (direct) access: precede each data op with a seek to a
+        // uniformly random offset — the database-style behaviour Section
+        // 4.2 contrasts with the sequential default.
+        if task.pattern == AccessPattern::Random
+            && !task.is_dir
+            && !filling
+            && task.file_size > 0
+            && task.needs_random_seek
+        {
+            let fd = task.fd.expect("Io phase has fd");
+            let target = rng.next_u64() % task.file_size;
+            vfs.lseek(proc, fd, SeekFrom::Start(target))?;
+            task.cursor = target;
+            task.needs_random_seek = false;
+            return Ok(StepResult::Op(ExecutedOp {
+                request: OpRequest::metadata(
+                    self.user,
+                    OpKind::Seek,
+                    FileId(task.ino),
+                    task.file_size,
+                ),
+                category: task.category,
+            }));
+        }
+
+        // Sequential constraint: wrap to the start with an explicit lseek
+        // when the cursor passes the end of the file.
+        if !task.is_dir && task.file_size > 0 && task.cursor >= task.file_size {
+            let fd = task.fd.expect("Io phase has fd");
+            vfs.lseek(proc, fd, SeekFrom::Start(0))?;
+            task.cursor = 0;
+            return Ok(StepResult::Op(ExecutedOp {
+                request: OpRequest::metadata(
+                    self.user,
+                    OpKind::Seek,
+                    FileId(task.ino),
+                    task.file_size,
+                ),
+                category: task.category,
+            }));
+        }
+
+        let mut access = utype
+            .access_size
+            .sample_count(rng)
+            .clamp(1, MAX_ACCESS_BYTES.min(buf.len() as u64));
+        access = access.min(task.budget - task.done);
+        let offset = task.cursor;
+        if task.pattern == AccessPattern::Random && !filling {
+            // The data op consumes this position; the next one seeks anew.
+            task.needs_random_seek = true;
+            // Keep the access within the file so reads return data
+            // (task.cursor < file_size holds after a random seek).
+            if !task.is_dir && task.file_size > task.cursor {
+                access = access.min(task.file_size - task.cursor).max(1);
+            }
+        }
+
+        if task.is_dir {
+            // Directory data is consumed through readdir; the nominal bytes
+            // drive the timing model.
+            match vfs.readdir(&task.path) {
+                Ok(_) => {}
+                Err(FsError::NotFound | FsError::NotADirectory) => {
+                    return Ok(StepResult::TaskAbandoned);
+                }
+                Err(e) => return Err(e.into()),
+            }
+            task.done += access;
+            task.cursor += access;
+            self.metrics.bytes_read += access;
+            return Ok(StepResult::Op(ExecutedOp {
+                request: OpRequest::data(
+                    self.user,
+                    OpKind::Read,
+                    FileId(task.ino),
+                    offset,
+                    access,
+                    task.file_size,
+                ),
+                category: task.category,
+            }));
+        }
+
+        let fd = task.fd.expect("Io phase has fd");
+        if want_write {
+            // During the fill phase, do not write past the target size.
+            if task.written < task.file_size {
+                access = access.min(task.file_size - task.written).max(1);
+            }
+            let n = match vfs.write(proc, fd, &buf[..access as usize]) {
+                Ok(n) => n as u64,
+                Err(FsError::NoSpace | FsError::FileTooLarge) => {
+                    // Device full: stop writing, degrade to finishing early.
+                    task.done = task.budget;
+                    return Ok(StepResult::TaskDone);
+                }
+                Err(e) => return Err(e.into()),
+            };
+            task.cursor += n;
+            task.written += n;
+            task.done += n;
+            self.metrics.bytes_written += n;
+            Ok(StepResult::Op(ExecutedOp {
+                request: OpRequest::data(
+                    self.user,
+                    OpKind::Write,
+                    FileId(task.ino),
+                    offset,
+                    n,
+                    task.file_size,
+                ),
+                category: task.category,
+            }))
+        } else {
+            let n = vfs.read(proc, fd, &mut buf[..access as usize])? as u64;
+            if n == 0 {
+                // EOF. An empty file has nothing to give: finish the task;
+                // otherwise wrap on the next selection.
+                if task.file_size == 0 || task.written == 0 && task.creates {
+                    task.done = task.budget;
+                } else {
+                    task.cursor = task.file_size;
+                }
+            } else {
+                task.cursor += n;
+                task.done += n;
+                self.metrics.bytes_read += n;
+            }
+            Ok(StepResult::Op(ExecutedOp {
+                request: OpRequest::data(
+                    self.user,
+                    OpKind::Read,
+                    FileId(task.ino),
+                    offset,
+                    n,
+                    task.file_size,
+                ),
+                category: task.category,
+            }))
+        }
+    }
+}
+
+/// Outcome of stepping one task.
+#[derive(Debug)]
+enum StepResult {
+    /// A system call was executed.
+    Op(ExecutedOp),
+    /// The task completed without emitting a call; prune and pick another.
+    TaskDone,
+    /// The task could not run (missing file, fd pressure); prune silently.
+    TaskAbandoned,
+}
+
+fn uniform01(rng: &mut dyn RngCore) -> f64 {
+    const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+    (rng.next_u64() >> 11) as f64 * SCALE
+}

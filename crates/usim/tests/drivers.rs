@@ -1,0 +1,284 @@
+//! End-to-end tests of both USIM drivers on a small Table-5.2-like workload.
+
+use uswg_distr::DistributionSpec;
+use uswg_fsc::{
+    CategorySpec, FileCatalog, FileCategory, FileSystemCreator, FillPattern, FscSpec,
+};
+use uswg_netfs::{LocalDiskModel, LocalDiskParams, NfsModel, NfsParams, OpKind};
+use uswg_sim::ResourcePool;
+use uswg_usim::{
+    CategoryUsage, CompiledPopulation, DesDriver, DirectDriver, PopulationSpec, RunConfig,
+    UserTypeSpec,
+};
+use uswg_vfs::{Vfs, VfsConfig};
+
+fn build_fs(n_users: usize, seed: u64) -> (Vfs, FileCatalog) {
+    let spec = FscSpec::new(vec![
+        CategorySpec::new(
+            FileCategory::DIR_USER_RDONLY,
+            0.15,
+            DistributionSpec::exponential(714.0),
+        ),
+        CategorySpec::new(
+            FileCategory::REG_USER_RDONLY,
+            0.45,
+            DistributionSpec::exponential(2608.0),
+        ),
+        CategorySpec::new(
+            FileCategory::REG_USER_RDWRT,
+            0.15,
+            DistributionSpec::exponential(17431.0),
+        ),
+        CategorySpec::new(
+            FileCategory::REG_OTHER_RDONLY,
+            0.25,
+            DistributionSpec::exponential(31347.0),
+        ),
+    ])
+    .unwrap()
+    .with_files_per_user(12)
+    .unwrap()
+    .with_shared_files(20)
+    .unwrap()
+    .with_fill(FillPattern::Sparse);
+    let creator = FileSystemCreator::new(spec);
+    let mut vfs = Vfs::new(VfsConfig::default());
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let catalog = creator.build(&mut vfs, n_users, &mut rng).unwrap();
+    (vfs, catalog)
+}
+
+fn population(think_us: f64) -> PopulationSpec {
+    let utype = UserTypeSpec::new(
+        "test user",
+        if think_us == 0.0 {
+            DistributionSpec::constant(0.0)
+        } else {
+            DistributionSpec::exponential(think_us)
+        },
+        DistributionSpec::exponential(1024.0),
+        vec![
+            CategoryUsage::exponential(FileCategory::DIR_USER_RDONLY, 3.128, 808.0, 2.9, 0.69),
+            CategoryUsage::exponential(FileCategory::REG_USER_RDONLY, 1.42, 2608.0, 3.0, 1.0),
+            CategoryUsage::exponential(FileCategory::REG_USER_RDWRT, 3.50, 19860.0, 1.5, 0.46),
+            CategoryUsage::exponential(FileCategory::REG_USER_NEW, 2.36, 11438.0, 2.0, 0.40),
+            CategoryUsage::exponential(FileCategory::REG_USER_TEMP, 2.00, 9233.0, 2.0, 0.59),
+            CategoryUsage::exponential(FileCategory::REG_OTHER_RDONLY, 0.75, 53965.0, 1.5, 0.53),
+        ],
+    );
+    PopulationSpec::single(utype).unwrap()
+}
+
+#[test]
+fn direct_driver_produces_sessions_and_ops() {
+    let (mut vfs, catalog) = build_fs(2, 1);
+    let pop = CompiledPopulation::compile(&population(0.0), 512).unwrap();
+    let config = RunConfig::default().with_users(2).with_sessions(5).with_seed(7);
+    let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+
+    assert_eq!(log.sessions().len(), 10);
+    assert!(!log.ops().is_empty());
+    // Session metrics add up against the op stream.
+    let total_ops: u64 = log.sessions().iter().map(|s| s.ops).sum();
+    assert_eq!(total_ops as usize, log.ops().len());
+    let read_bytes: u64 = log
+        .ops()
+        .iter()
+        .filter(|o| o.op == OpKind::Read)
+        .map(|o| o.bytes)
+        .sum();
+    let session_reads: u64 = log.sessions().iter().map(|s| s.bytes_read).sum();
+    assert_eq!(read_bytes, session_reads);
+}
+
+#[test]
+fn op_stream_respects_logical_constraints() {
+    let (mut vfs, catalog) = build_fs(1, 2);
+    let pop = CompiledPopulation::compile(&population(0.0), 512).unwrap();
+    let config = RunConfig::default().with_users(1).with_sessions(3).with_seed(3);
+    let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+
+    // Per (session, ino): open/creat before any read/write; close after.
+    // A file may be referenced by several concurrent tasks in one session
+    // (catalog selection is with replacement), so track an open *count*.
+    use std::collections::HashMap;
+    let mut open_count: HashMap<(u32, u64), i64> = HashMap::new();
+    for op in log.ops() {
+        let key = (op.session, op.ino);
+        match op.op {
+            OpKind::Open | OpKind::Create => {
+                *open_count.entry(key).or_insert(0) += 1;
+            }
+            OpKind::Read | OpKind::Write | OpKind::Seek => {
+                // DIR tasks read via stat+readdir and never open.
+                let is_dir = op.category.file_type == uswg_fsc::FileType::Dir;
+                if !is_dir {
+                    assert!(
+                        open_count.get(&key).copied().unwrap_or(0) > 0,
+                        "I/O before open: {op:?}"
+                    );
+                }
+            }
+            OpKind::Close => {
+                let c = open_count.get_mut(&key).expect("close without open");
+                assert!(*c > 0, "close without open: {op:?}");
+                *c -= 1;
+            }
+            OpKind::Unlink => {
+                // TEMP files unlink only after their own close.
+                assert_eq!(
+                    open_count.get(&key).copied().unwrap_or(0),
+                    0,
+                    "unlink before close: {op:?}"
+                );
+            }
+            _ => {}
+        }
+    }
+    // Everything opened was eventually closed.
+    assert!(open_count.values().all(|&c| c == 0), "dangling opens at logout");
+}
+
+#[test]
+fn temp_files_do_not_accumulate() {
+    let (mut vfs, catalog) = build_fs(1, 3);
+    let before = vfs.statfs().used_inodes;
+    let utype = UserTypeSpec::new(
+        "temp-only",
+        DistributionSpec::constant(0.0),
+        DistributionSpec::exponential(1024.0),
+        vec![CategoryUsage::exponential(
+            FileCategory::REG_USER_TEMP,
+            1.0,
+            4096.0,
+            3.0,
+            1.0,
+        )],
+    );
+    let pop = CompiledPopulation::compile(&PopulationSpec::single(utype).unwrap(), 256).unwrap();
+    let config = RunConfig::default().with_users(1).with_sessions(10).with_seed(11);
+    let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+    let creates = log.ops().iter().filter(|o| o.op == OpKind::Create).count();
+    let unlinks = log.ops().iter().filter(|o| o.op == OpKind::Unlink).count();
+    assert!(creates > 0, "temp workload must create files");
+    assert_eq!(creates, unlinks, "every temp file is deleted");
+    assert_eq!(vfs.statfs().used_inodes, before, "no inode leak");
+}
+
+#[test]
+fn des_driver_measures_response_times() {
+    let (vfs, catalog) = build_fs(2, 4);
+    let pop = CompiledPopulation::compile(&population(5000.0), 512).unwrap();
+    let mut pool = ResourcePool::new();
+    let model = Box::new(NfsModel::new(&mut pool, NfsParams::default()));
+    let config = RunConfig::default().with_users(2).with_sessions(3).with_seed(5);
+    let report = DesDriver::new().run(vfs, catalog, &pop, model, pool, &config).unwrap();
+
+    assert_eq!(report.model, "nfs");
+    assert_eq!(report.log.sessions().len(), 6);
+    assert!(report.events > 0);
+    assert!(report.duration.micros() > 0);
+    // Remote data ops must cost at least the uncontended NFS path.
+    let min_read = report
+        .log
+        .ops()
+        .iter()
+        .filter(|o| o.op == OpKind::Read && o.bytes > 0)
+        .map(|o| o.response)
+        .min()
+        .expect("some reads happen");
+    assert!(min_read > 1_000, "NFS read under 1 ms is impossible: {min_read}");
+    // Resources actually served jobs.
+    let disk = report
+        .resources
+        .iter()
+        .find(|(name, _)| name == "nfs.server_disk")
+        .expect("disk resource");
+    assert!(disk.1.jobs > 0);
+}
+
+#[test]
+fn des_contention_raises_response_times() {
+    let run = |n_users| {
+        let (vfs, catalog) = build_fs(n_users, 6);
+        let pop = CompiledPopulation::compile(&population(0.0), 512).unwrap();
+        let mut pool = ResourcePool::new();
+        let model = Box::new(NfsModel::new(&mut pool, NfsParams::default()));
+        let config = RunConfig {
+            n_users,
+            sessions_per_user: 4,
+            seed: 21,
+            record_ops: true,
+            cdf_resolution: 512,
+        };
+        let report = DesDriver::new().run(vfs, catalog, &pop, model, pool, &config).unwrap();
+        let total: u64 = report.log.ops().iter().map(|o| o.response).sum();
+        total as f64 / report.log.ops().len() as f64
+    };
+    let one = run(1);
+    let four = run(4);
+    assert!(
+        four > 1.5 * one,
+        "4 zero-think users must contend: {four:.0} vs {one:.0} µs"
+    );
+}
+
+#[test]
+fn des_and_direct_semantics_agree() {
+    // The same seed produces the same op stream regardless of driver,
+    // because op generation only consumes the per-user RNG.
+    let (mut vfs1, catalog1) = build_fs(1, 8);
+    let pop = CompiledPopulation::compile(&population(0.0), 512).unwrap();
+    let config = RunConfig::default().with_users(1).with_sessions(2).with_seed(9);
+    let direct = DirectDriver::new().run(&mut vfs1, &catalog1, &pop, &config).unwrap();
+
+    let (vfs2, catalog2) = build_fs(1, 8);
+    let mut pool = ResourcePool::new();
+    let model = Box::new(LocalDiskModel::new(&mut pool, LocalDiskParams::default()));
+    let des = DesDriver::new().run(vfs2, catalog2, &pop, model, pool, &config).unwrap();
+
+    let seq_direct: Vec<(OpKind, u64)> =
+        direct.ops().iter().map(|o| (o.op, o.bytes)).collect();
+    let seq_des: Vec<(OpKind, u64)> = des.log.ops().iter().map(|o| (o.op, o.bytes)).collect();
+    assert_eq!(seq_direct, seq_des);
+}
+
+#[test]
+fn log_round_trips_through_json() {
+    let (mut vfs, catalog) = build_fs(1, 10);
+    let pop = CompiledPopulation::compile(&population(0.0), 256).unwrap();
+    let config = RunConfig::default().with_users(1).with_sessions(1).with_seed(13);
+    let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+    let json = log.to_json().unwrap();
+    let back = uswg_usim::UsageLog::from_json(&json).unwrap();
+    assert_eq!(back.ops().len(), log.ops().len());
+    assert_eq!(back.sessions().len(), log.sessions().len());
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run = |seed| {
+        let (mut vfs, catalog) = build_fs(2, 42);
+        let pop = CompiledPopulation::compile(&population(0.0), 256).unwrap();
+        let config = RunConfig::default().with_users(2).with_sessions(3).with_seed(seed);
+        let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+        log.ops()
+            .iter()
+            .map(|o| (o.user, o.op, o.bytes, o.ino))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(1));
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn record_ops_off_still_counts_sessions() {
+    let (mut vfs, catalog) = build_fs(1, 11);
+    let pop = CompiledPopulation::compile(&population(0.0), 256).unwrap();
+    let mut config = RunConfig::default().with_users(1).with_sessions(4).with_seed(15);
+    config.record_ops = false;
+    let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+    assert!(log.ops().is_empty());
+    assert_eq!(log.sessions().len(), 4);
+    assert!(log.sessions().iter().any(|s| s.ops > 0));
+}

@@ -1,0 +1,159 @@
+//! The block store: fixed-size data blocks with a free list and a capacity
+//! limit, giving the file system real `ENOSPC` behaviour and allocation
+//! statistics.
+
+use crate::FsError;
+
+/// Identifier of one block in the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct BlockId(u32);
+
+/// Allocation statistics of the block store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockStats {
+    /// Blocks currently allocated to files.
+    pub allocated: u64,
+    /// Lifetime allocation count.
+    pub total_allocations: u64,
+    /// Lifetime free count.
+    pub total_frees: u64,
+}
+
+/// A pool of fixed-size data blocks.
+#[derive(Debug)]
+pub(crate) struct BlockStore {
+    block_size: usize,
+    max_blocks: usize,
+    blocks: Vec<Option<Box<[u8]>>>,
+    free: Vec<BlockId>,
+    stats: BlockStats,
+}
+
+impl BlockStore {
+    pub(crate) fn new(block_size: usize, max_blocks: usize) -> Self {
+        assert!(block_size >= 64, "block size unrealistically small");
+        Self {
+            block_size,
+            max_blocks,
+            blocks: Vec::new(),
+            free: Vec::new(),
+            stats: BlockStats::default(),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    #[cfg(test)]
+    pub(crate) fn allocated(&self) -> u64 {
+        self.stats.allocated
+    }
+
+    pub(crate) fn free_blocks(&self) -> u64 {
+        (self.max_blocks as u64).saturating_sub(self.stats.allocated)
+    }
+
+    pub(crate) fn stats(&self) -> BlockStats {
+        self.stats
+    }
+
+    /// Allocates a zeroed block.
+    pub(crate) fn alloc(&mut self) -> Result<BlockId, FsError> {
+        if self.stats.allocated as usize >= self.max_blocks {
+            return Err(FsError::NoSpace);
+        }
+        self.stats.allocated += 1;
+        self.stats.total_allocations += 1;
+        if let Some(id) = self.free.pop() {
+            self.blocks[id.0 as usize] = Some(vec![0u8; self.block_size].into_boxed_slice());
+            return Ok(id);
+        }
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks
+            .push(Some(vec![0u8; self.block_size].into_boxed_slice()));
+        Ok(id)
+    }
+
+    /// Returns a block to the free list.
+    pub(crate) fn free(&mut self, id: BlockId) {
+        let slot = &mut self.blocks[id.0 as usize];
+        debug_assert!(slot.is_some(), "double free of block {id:?}");
+        *slot = None;
+        self.free.push(id);
+        self.stats.allocated -= 1;
+        self.stats.total_frees += 1;
+    }
+
+    pub(crate) fn data(&self, id: BlockId) -> &[u8] {
+        self.blocks[id.0 as usize]
+            .as_deref()
+            .expect("access to freed block")
+    }
+
+    pub(crate) fn data_mut(&mut self, id: BlockId) -> &mut [u8] {
+        self.blocks[id.0 as usize]
+            .as_deref_mut()
+            .expect("access to freed block")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_cycle() {
+        let mut s = BlockStore::new(4096, 4);
+        let a = s.alloc().unwrap();
+        let b = s.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(s.allocated(), 2);
+        assert_eq!(s.free_blocks(), 2);
+        s.free(a);
+        assert_eq!(s.allocated(), 1);
+        let c = s.alloc().unwrap();
+        assert_eq!(c, a, "freed block is reused");
+        assert_eq!(s.stats().total_allocations, 3);
+        assert_eq!(s.stats().total_frees, 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut s = BlockStore::new(128, 2);
+        s.alloc().unwrap();
+        s.alloc().unwrap();
+        assert_eq!(s.alloc(), Err(FsError::NoSpace));
+        // Freeing restores capacity.
+        let id = BlockId(0);
+        s.free(id);
+        assert!(s.alloc().is_ok());
+    }
+
+    #[test]
+    fn blocks_are_zeroed_on_alloc() {
+        let mut s = BlockStore::new(128, 2);
+        let a = s.alloc().unwrap();
+        s.data_mut(a).fill(0xAB);
+        s.free(a);
+        let b = s.alloc().unwrap();
+        assert_eq!(b, a);
+        assert!(s.data(b).iter().all(|&x| x == 0), "recycled block must be zeroed");
+    }
+
+    #[test]
+    fn data_round_trips() {
+        let mut s = BlockStore::new(128, 1);
+        let a = s.alloc().unwrap();
+        s.data_mut(a)[..5].copy_from_slice(b"hello");
+        assert_eq!(&s.data(a)[..5], b"hello");
+        assert_eq!(s.block_size(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrealistically small")]
+    fn tiny_blocks_rejected() {
+        let _ = BlockStore::new(16, 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! Inodes and file metadata.
+
+use crate::block::BlockId;
+use serde::{Deserialize, Serialize};
+
+/// Inode number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ino(pub(crate) u64);
+
+impl Ino {
+    /// The raw inode number.
+    pub fn number(self) -> u64 {
+        self.0
+    }
+}
+
+/// What kind of object an inode describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileKind {
+    /// A regular file with data blocks.
+    Regular,
+    /// A directory with named entries.
+    Directory,
+}
+
+/// The in-memory inode.
+#[derive(Debug, Clone)]
+pub(crate) struct Inode {
+    pub ino: Ino,
+    pub kind: FileKind,
+    /// Logical file size in bytes (directories: entry count).
+    pub size: u64,
+    /// Number of directory entries referencing this inode.
+    pub nlink: u32,
+    /// Number of open descriptors referencing this inode.
+    pub open_count: u32,
+    /// Owner id recorded at creation (workload-level classification).
+    pub uid: u32,
+    /// Data blocks; `None` entries are holes that read as zeros.
+    pub blocks: Vec<Option<BlockId>>,
+    /// Last access time, microseconds of the file-system clock.
+    pub atime: u64,
+    /// Last modification time.
+    pub mtime: u64,
+    /// Inode change time.
+    pub ctime: u64,
+}
+
+impl Inode {
+    pub(crate) fn new(ino: Ino, kind: FileKind, uid: u32, now: u64) -> Self {
+        Self {
+            ino,
+            kind,
+            size: 0,
+            nlink: 1,
+            open_count: 0,
+            uid,
+            blocks: Vec::new(),
+            atime: now,
+            mtime: now,
+            ctime: now,
+        }
+    }
+
+    pub(crate) fn metadata(&self, block_size: usize) -> Metadata {
+        Metadata {
+            ino: self.ino,
+            kind: self.kind,
+            size: self.size,
+            nlink: self.nlink,
+            uid: self.uid,
+            blocks: self.blocks.iter().flatten().count() as u64,
+            block_size: block_size as u32,
+            atime: self.atime,
+            mtime: self.mtime,
+            ctime: self.ctime,
+        }
+    }
+}
+
+/// The result of `stat`/`fstat`: a snapshot of an inode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metadata {
+    /// Inode number.
+    pub ino: Ino,
+    /// Object kind.
+    pub kind: FileKind,
+    /// Logical size in bytes.
+    pub size: u64,
+    /// Link count.
+    pub nlink: u32,
+    /// Owner id.
+    pub uid: u32,
+    /// Number of allocated data blocks (holes excluded).
+    pub blocks: u64,
+    /// Block size of the containing file system.
+    pub block_size: u32,
+    /// Last access time (µs).
+    pub atime: u64,
+    /// Last modification time (µs).
+    pub mtime: u64,
+    /// Inode change time (µs).
+    pub ctime: u64,
+}
+
+impl Metadata {
+    /// Whether this is a directory.
+    pub fn is_dir(&self) -> bool {
+        self.kind == FileKind::Directory
+    }
+
+    /// Whether this is a regular file.
+    pub fn is_file(&self) -> bool {
+        self.kind == FileKind::Regular
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_snapshot() {
+        let mut inode = Inode::new(Ino(7), FileKind::Regular, 42, 1_000);
+        inode.size = 100;
+        inode.blocks = vec![None, None];
+        let md = inode.metadata(4096);
+        assert_eq!(md.ino.number(), 7);
+        assert!(md.is_file());
+        assert!(!md.is_dir());
+        assert_eq!(md.size, 100);
+        assert_eq!(md.blocks, 0, "holes are not allocated blocks");
+        assert_eq!(md.uid, 42);
+        assert_eq!(md.atime, 1_000);
+    }
+}

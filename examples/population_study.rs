@@ -1,0 +1,59 @@
+//! The Section 5.1 usage study: simulate 600 login sessions and display the
+//! system-wide usage distributions of Figures 5.3–5.5, before and after
+//! smoothing.
+//!
+//! ```sh
+//! cargo run --release -p uswg-examples --bin population_study
+//! ```
+
+use uswg_core::metrics::{session_series, SessionMetric};
+use uswg_core::{plot, FillPattern, Histogram, Summary, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut spec = WorkloadSpec::paper_default()?;
+    // 600 login sessions, as in the paper's Figures 5.3–5.5 run.
+    spec.run.n_users = 6;
+    spec.run.sessions_per_user = 100;
+    spec.run.record_ops = false; // sessions are all this study needs
+    spec.fsc = spec.fsc.with_fill(FillPattern::Sparse); // large population, no data blocks
+
+    println!("== Simulating 600 login sessions (Figures 5.3-5.5) ==\n");
+    let log = spec.run_direct()?;
+    assert_eq!(log.sessions().len(), 600);
+
+    let figures = [
+        (
+            "Figure 5.3: average access-per-byte",
+            SessionMetric::AccessPerByte,
+            (0.0, 8.0),
+        ),
+        (
+            "Figure 5.4: average file size (bytes)",
+            SessionMetric::MeanFileSize,
+            (0.0, 60_000.0),
+        ),
+        (
+            "Figure 5.5: number of files referenced",
+            SessionMetric::FilesReferenced,
+            (0.0, 100.0),
+        ),
+    ];
+
+    for (title, metric, (lo, hi)) in figures {
+        let series = session_series(&log, metric);
+        let summary = Summary::of(&series);
+        println!(
+            "{title}\n  n = {}, mean = {:.2}, std = {:.2}, p95 = {:.2}",
+            summary.n,
+            summary.mean,
+            summary.std_dev,
+            Summary::quantile(&series, 0.95)
+        );
+        let hist = Histogram::new(&series, lo, hi, 24);
+        println!("\n(a) before smoothing");
+        println!("{}", plot::plot_histogram(&hist.bins(), 48));
+        println!("(b) after smoothing (moving average, window 1)");
+        println!("{}", plot::plot_histogram(&hist.smoothed(1).bins(), 48));
+    }
+    Ok(())
+}

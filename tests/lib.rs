@@ -1,0 +1,5 @@
+//! Integration-test package for the `uswg` workspace.
+//!
+//! The library target is intentionally empty; the test targets
+//! (`end_to_end`, `experiments`, `paper_properties`) exercise the public
+//! API of `uswg-core` across every crate boundary.
