@@ -41,7 +41,12 @@ impl Histogram {
             };
             counts[idx] += 1.0;
         }
-        Self { lo, width, counts, clamped }
+        Self {
+            lo,
+            width,
+            counts,
+            clamped,
+        }
     }
 
     /// Builds a histogram spanning the data's own range with `bins` bins.
@@ -52,7 +57,11 @@ impl Histogram {
         }
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let hi = if hi > lo { hi * (1.0 + 1e-9) + 1e-12 } else { lo + 1.0 };
+        let hi = if hi > lo {
+            hi * (1.0 + 1e-9) + 1e-12
+        } else {
+            lo + 1.0
+        };
         Self::new(values, lo, hi, bins)
     }
 
@@ -86,11 +95,11 @@ impl Histogram {
     pub fn smoothed(&self, window: usize) -> Histogram {
         let n = self.counts.len();
         let mut out = vec![0.0; n];
-        for i in 0..n {
+        for (i, slot) in out.iter_mut().enumerate() {
             let lo = i.saturating_sub(window);
             let hi = (i + window + 1).min(n);
             let span = &self.counts[lo..hi];
-            out[i] = span.iter().sum::<f64>() / span.len() as f64;
+            *slot = span.iter().sum::<f64>() / span.len() as f64;
         }
         Histogram {
             lo: self.lo,

@@ -244,10 +244,22 @@ mod tests {
     #[test]
     fn series_extraction() {
         let log = log_with(vec![], vec![session(200, 100, 4, 50)]);
-        assert_eq!(session_series(&log, SessionMetric::AccessPerByte), vec![2.0]);
-        assert_eq!(session_series(&log, SessionMetric::MeanFileSize), vec![25.0]);
-        assert_eq!(session_series(&log, SessionMetric::FilesReferenced), vec![4.0]);
-        assert_eq!(session_series(&log, SessionMetric::ResponsePerByte), vec![0.25]);
+        assert_eq!(
+            session_series(&log, SessionMetric::AccessPerByte),
+            vec![2.0]
+        );
+        assert_eq!(
+            session_series(&log, SessionMetric::MeanFileSize),
+            vec![25.0]
+        );
+        assert_eq!(
+            session_series(&log, SessionMetric::FilesReferenced),
+            vec![4.0]
+        );
+        assert_eq!(
+            session_series(&log, SessionMetric::ResponsePerByte),
+            vec![0.25]
+        );
     }
 
     #[test]

@@ -21,7 +21,13 @@ impl Summary {
     /// Summarizes a sample. Returns the zero summary for empty input.
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Self { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+            return Self {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let n = values.len();
         let mean = values.iter().sum::<f64>() / n as f64;
@@ -32,7 +38,13 @@ impl Summary {
         };
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        Self { n, mean, std_dev: var.sqrt(), min, max }
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Summarizes an iterator of integers (common for byte/µs counts).
@@ -47,7 +59,10 @@ impl Summary {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn quantile(values: &[f64], p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile probability out of range"
+        );
         if values.is_empty() {
             return 0.0;
         }

@@ -39,7 +39,12 @@ impl Table {
         if let Some(first) = aligns.first_mut() {
             *first = Align::Left;
         }
-        Self { headers, aligns, rows: Vec::new(), title: None }
+        Self {
+            headers,
+            aligns,
+            rows: Vec::new(),
+            title: None,
+        }
     }
 
     /// Sets per-column alignment.

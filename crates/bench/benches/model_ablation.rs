@@ -25,8 +25,7 @@ fn bench_stage_generation(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     file += 1;
-                    let req =
-                        OpRequest::data(0, OpKind::Read, FileId(file % 512), 0, 1_024, 8_192);
+                    let req = OpRequest::data(0, OpKind::Read, FileId(file % 512), 0, 1_024, 8_192);
                     black_box(model.stages(&req, &mut rng));
                 })
             },
@@ -61,8 +60,7 @@ fn bench_isolated_response(c: &mut Criterion) {
                     let close = OpRequest::metadata(0, OpKind::Close, file, 8_192);
                     let mut total = 0u64;
                     for req in [&open, &read, &close] {
-                        total +=
-                            isolated_response(model.as_mut(), &mut pool, req, &mut rng, start);
+                        total += isolated_response(model.as_mut(), &mut pool, req, &mut rng, start);
                     }
                     black_box(total)
                 })

@@ -16,8 +16,8 @@ fn bench_sampling(c: &mut Criterion) {
         b.iter(|| black_box(exp.sample(&mut rng)))
     });
 
-    let phase = PhaseTypeExp::new(vec![(0.4, 12.7, 0.0), (0.3, 18.2, 18.0), (0.3, 15.0, 40.0)])
-        .unwrap();
+    let phase =
+        PhaseTypeExp::new(vec![(0.4, 12.7, 0.0), (0.3, 18.2, 18.0), (0.3, 15.0, 40.0)]).unwrap();
     group.bench_function("analytic/phase_type_3", |b| {
         b.iter(|| black_box(phase.sample(&mut rng)))
     });

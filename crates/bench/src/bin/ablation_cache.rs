@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.0}", a.x),
             format!("{:.3}", a.response_per_byte),
             format!("{:.3}", b.response_per_byte),
-            format!("{:.0}%", 100.0 * (1.0 - b.response_per_byte / a.response_per_byte)),
+            format!(
+                "{:.0}%",
+                100.0 * (1.0 - b.response_per_byte / a.response_per_byte)
+            ),
         ]);
     }
     println!("{}", table.render());
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{}", a.x as usize),
             format!("{:.3}", a.response_per_byte),
             format!("{:.3}", b.response_per_byte),
-            format!("{:.0}%", 100.0 * (1.0 - b.response_per_byte / a.response_per_byte)),
+            format!(
+                "{:.0}%",
+                100.0 * (1.0 - b.response_per_byte / a.response_per_byte)
+            ),
         ]);
     }
     println!("{}", table.render());

@@ -27,11 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let samples: Vec<f64> = (0..n).map(|_| compiled.sample(&mut rng)).collect();
         let s = Summary::of(&samples);
         let mean_err = 100.0 * (s.mean - truth.mean()).abs() / truth.mean();
-        let p50_err = 100.0
-            * (Summary::quantile(&samples, 0.5) - truth.quantile(0.5)).abs()
+        let p50_err = 100.0 * (Summary::quantile(&samples, 0.5) - truth.quantile(0.5)).abs()
             / truth.quantile(0.5);
-        let p99_err = 100.0
-            * (Summary::quantile(&samples, 0.99) - truth.quantile(0.99)).abs()
+        let p99_err = 100.0 * (Summary::quantile(&samples, 0.99) - truth.quantile(0.99)).abs()
             / truth.quantile(0.99);
         let ks = uswg_core::gof::ks_statistic(&samples, &truth)?;
         table.row(vec![

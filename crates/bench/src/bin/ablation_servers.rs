@@ -7,8 +7,8 @@ use uswg_core::experiment::{user_sweep, ModelConfig};
 use uswg_core::{presets, PopulationSpec, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let spec = paper_workload()?
-        .with_population(PopulationSpec::single(presets::extremely_heavy_user())?);
+    let spec =
+        paper_workload()?.with_population(PopulationSpec::single(presets::extremely_heavy_user())?);
 
     let mut table = Table::new(vec![
         "servers",
@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.3}", points[0].response_per_byte),
             format!("{:.3}", points[1].response_per_byte),
             format!("{:.3}", points[2].response_per_byte),
-            format!("{:.2}×", points[2].response_per_byte / points[0].response_per_byte),
+            format!(
+                "{:.2}×",
+                points[2].response_per_byte / points[0].response_per_byte
+            ),
         ]);
     }
     println!("{}", table.render());

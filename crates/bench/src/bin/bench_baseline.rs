@@ -1,0 +1,184 @@
+//! Perf-baseline snapshot: measures the three hot paths this repo's
+//! performance work targets and writes a machine-readable `BENCH_*.json`.
+//!
+//! Measurements:
+//!
+//! 1. **Sampling** — guide-table vs binary-search inverse transform, ns per
+//!    draw at several table resolutions;
+//! 2. **DES throughput** — end-to-end events/sec of a 4-user NFS run;
+//! 3. **Sweep parallelism** — wall-clock of a 4-point `user_sweep`, serial
+//!    vs all-cores.
+//!
+//! Usage: `cargo run --release -p uswg-bench --bin bench_baseline [out.json]`
+//! (default output `BENCH_baseline.json` in the current directory). CI runs
+//! this as a non-blocking job and uploads the JSON as an artifact, so the
+//! perf trajectory of the repo is recorded per commit.
+
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use uswg_core::experiment::{user_sweep_with, ModelConfig, Parallelism};
+use uswg_core::{CdfTable, FillPattern, MultiStageGamma, WorkloadSpec};
+
+#[derive(Debug, Serialize)]
+struct SamplingPoint {
+    resolution: usize,
+    guided_ns_per_draw: f64,
+    binary_search_ns_per_draw: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct DesPoint {
+    users: usize,
+    sessions_per_user: u32,
+    events: u64,
+    events_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SweepPointTiming {
+    points: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    workers: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    schema: u32,
+    sampling: Vec<SamplingPoint>,
+    des: DesPoint,
+    sweep: SweepPointTiming,
+}
+
+/// Times `f` over enough iterations to fill ~200 ms; returns ns/iter.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    // Warm up + calibrate.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 50 || iters >= 1 << 28 {
+            return elapsed.as_secs_f64() * 1e9 / iters as f64;
+        }
+        iters = iters.saturating_mul(8);
+    }
+}
+
+fn measure_sampling() -> Vec<SamplingPoint> {
+    use rand::SeedableRng;
+    let gamma = MultiStageGamma::new(vec![
+        (0.7, 1.3, 12.3, 0.0),
+        (0.2, 1.5, 12.4, 23.0),
+        (0.1, 1.4, 12.3, 41.0),
+    ])
+    .expect("valid mixture");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    [256usize, 1_024, 4_096, 16_384]
+        .into_iter()
+        .map(|resolution| {
+            let table = CdfTable::from_distribution(&gamma, resolution).expect("tabulates");
+            let guided = time_ns(|| {
+                black_box(table.sample(&mut rng));
+            });
+            let binary = time_ns(|| {
+                black_box(table.sample_unguided(&mut rng));
+            });
+            SamplingPoint {
+                resolution,
+                guided_ns_per_draw: guided,
+                binary_search_ns_per_draw: binary,
+                speedup: binary / guided,
+            }
+        })
+        .collect()
+}
+
+fn bench_spec(users: usize, sessions: u32) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::paper_default().expect("paper defaults build");
+    spec.run.n_users = users;
+    spec.run.sessions_per_user = sessions;
+    spec.fsc = spec
+        .fsc
+        .with_files_per_user(15)
+        .expect("positive")
+        .with_shared_files(30)
+        .expect("positive")
+        .with_fill(FillPattern::Sparse);
+    spec
+}
+
+fn measure_des() -> DesPoint {
+    let spec = bench_spec(4, 4);
+    let model = ModelConfig::default_nfs();
+    let events = spec.run_des(&model).expect("runs").events;
+    let ns_per_run = time_ns(|| {
+        black_box(spec.run_des(&model).expect("runs").events);
+    });
+    DesPoint {
+        users: 4,
+        sessions_per_user: 4,
+        events,
+        events_per_sec: events as f64 / (ns_per_run / 1e9),
+    }
+}
+
+fn measure_sweep() -> SweepPointTiming {
+    let spec = bench_spec(1, 6);
+    let model = ModelConfig::default_nfs();
+    let users = [1usize, 2, 3, 4];
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(users.len());
+
+    // One untimed pass warms allocators and the page cache.
+    let warm = user_sweep_with(&spec, &model, users, Parallelism::Serial).expect("runs");
+
+    let start = Instant::now();
+    let serial = user_sweep_with(&spec, &model, users, Parallelism::Serial).expect("runs");
+    let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let parallel = user_sweep_with(&spec, &model, users, Parallelism::Auto).expect("runs");
+    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(serial, parallel, "parallel sweep must reproduce serial");
+    assert_eq!(serial, warm, "sweeps must be deterministic");
+    SweepPointTiming {
+        points: users.len(),
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms,
+        workers,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+
+    eprintln!("measuring sampling paths...");
+    let sampling = measure_sampling();
+    eprintln!("measuring DES throughput...");
+    let des = measure_des();
+    eprintln!("measuring sweep parallelism...");
+    let sweep = measure_sweep();
+
+    let baseline = Baseline {
+        schema: 1,
+        sampling,
+        des,
+        sweep,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("serializes");
+    std::fs::write(&out_path, &json).expect("snapshot written");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -29,18 +29,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])
     .with_title("Table 5.1: File characterization by file category (spec vs built)");
     for &(category, mean_size, pct) in presets::TABLE_5_1.iter() {
-        let (count, measured) = characterization
-            .get(&category)
-            .copied()
-            .unwrap_or((0, 0.0));
+        let (count, measured) = characterization.get(&category).copied().unwrap_or((0, 0.0));
         let built_pct = 100.0 * count as f64 / live as f64;
-        let note = if category.preexisting() { "" } else { " (runtime)" };
+        let note = if category.preexisting() {
+            ""
+        } else {
+            " (runtime)"
+        };
         table.row(vec![
             format!("{category}{note}"),
             format!("{mean_size:.0}"),
-            if count == 0 { "-".into() } else { format!("{measured:.0}") },
+            if count == 0 {
+                "-".into()
+            } else {
+                format!("{measured:.0}")
+            },
             format!("{pct:.1}"),
-            if count == 0 { "-".into() } else { format!("{built_pct:.1}") },
+            if count == 0 {
+                "-".into()
+            } else {
+                format!("{built_pct:.1}")
+            },
             count.to_string(),
         ]);
     }

@@ -7,11 +7,18 @@ fn main() {
     let mut table = Table::new(vec!["user type", "think time (µs)", "distribution"])
         .with_title("Table 5.4: Types of users simulated in experiments");
     for (spec, value) in [
-        (presets::extremely_heavy_user(), presets::THINK_EXTREMELY_HEAVY),
+        (
+            presets::extremely_heavy_user(),
+            presets::THINK_EXTREMELY_HEAVY,
+        ),
         (presets::heavy_user(), presets::THINK_HEAVY),
         (presets::light_user(), presets::THINK_LIGHT),
     ] {
-        let family = if value <= 0.0 { "constant" } else { "exponential" };
+        let family = if value <= 0.0 {
+            "constant"
+        } else {
+            "exponential"
+        };
         table.row(vec![
             spec.name.clone(),
             format!("{value:.0}"),

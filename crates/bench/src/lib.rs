@@ -80,7 +80,9 @@ pub fn print_user_sweep(figure: &str, label: &str, points: &[SweepPoint]) {
         "response µs mean(std)",
         "sessions",
     ])
-    .with_title(format!("{figure}: average response time per byte — {label}"));
+    .with_title(format!(
+        "{figure}: average response time per byte — {label}"
+    ));
     for p in points {
         table.row(vec![
             format!("{}", p.x as usize),
@@ -91,10 +93,7 @@ pub fn print_user_sweep(figure: &str, label: &str, points: &[SweepPoint]) {
         ]);
     }
     println!("{}", table.render());
-    let series: Vec<(f64, f64)> = points
-        .iter()
-        .map(|p| (p.x, p.response_per_byte))
-        .collect();
+    let series: Vec<(f64, f64)> = points.iter().map(|p| (p.x, p.response_per_byte)).collect();
     println!("{}", uswg_core::plot::plot_histogram(&series, 48));
 }
 

@@ -215,8 +215,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     }
                 }
             }
-            let family =
-                family.ok_or_else(|| CliError::Usage("fit requires --family".into()))?;
+            let family = family.ok_or_else(|| CliError::Usage("fit requires --family".into()))?;
             Ok(Command::Fit { path, family })
         }
         "run" => {
@@ -320,7 +319,9 @@ fn read_data(path: &str) -> Result<Vec<f64>, CliError> {
         out.push(v);
     }
     if out.len() < 2 {
-        return Err(CliError::Usage(format!("{path}: need at least 2 data points")));
+        return Err(CliError::Usage(format!(
+            "{path}: need at least 2 data points"
+        )));
     }
     Ok(out)
 }
@@ -353,8 +354,13 @@ fn fit_report(data: &[f64], family: Family) -> Result<String, CliError> {
 }
 
 fn render_run_summary(log: &UsageLog, with_model: bool) -> String {
-    let mut table = Table::new(vec!["system call", "count", "access size (B)", "response (µs)"])
-        .with_title("Per-system-call summary");
+    let mut table = Table::new(vec![
+        "system call",
+        "count",
+        "access size (B)",
+        "response (µs)",
+    ])
+    .with_title("Per-system-call summary");
     for row in metrics::op_kind_summaries(log) {
         table.row(vec![
             row.kind.to_string(),
@@ -380,12 +386,22 @@ fn render_tables() -> String {
     let mut t1 = Table::new(vec!["category", "mean size (B)", "% of files"])
         .with_title("Table 5.1: file characterization");
     for &(cat, size, pct) in presets::TABLE_5_1.iter() {
-        t1.row(vec![cat.to_string(), format!("{size:.0}"), format!("{pct:.1}")]);
+        t1.row(vec![
+            cat.to_string(),
+            format!("{size:.0}"),
+            format!("{pct:.1}"),
+        ]);
     }
     text.push_str(&t1.render());
     text.push('\n');
-    let mut t2 = Table::new(vec!["category", "accesses/byte", "file size", "files", "% users"])
-        .with_title("Table 5.2: user characterization");
+    let mut t2 = Table::new(vec![
+        "category",
+        "accesses/byte",
+        "file size",
+        "files",
+        "% users",
+    ])
+    .with_title("Table 5.2: user characterization");
     for &(cat, apb, size, files, pct) in presets::TABLE_5_2.iter() {
         t2.row(vec![
             cat.to_string(),
@@ -483,7 +499,10 @@ mod tests {
         let log_path = dir.join("log.json");
 
         // init
-        let msg = execute(Command::Init { path: spec_path.to_string_lossy().into() }).unwrap();
+        let msg = execute(Command::Init {
+            path: spec_path.to_string_lossy().into(),
+        })
+        .unwrap();
         assert!(msg.contains("wrote"));
 
         // shrink the spec so the test is fast

@@ -9,6 +9,7 @@
 
 use crate::{presets, CoreError, WorkloadSpec};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use uswg_analyze::{metrics, Summary};
 use uswg_netfs::{
     DistributedNfsModel, DistributedNfsParams, LocalDiskModel, LocalDiskParams, NfsModel,
@@ -101,9 +102,115 @@ fn measure(x: f64, report: &DesReport) -> SweepPoint {
     }
 }
 
+/// How a sweep distributes its points over OS threads.
+///
+/// Every point of a sweep is an independent simulation seeded from
+/// `run.seed` alone, so execution order cannot affect results: the parallel
+/// schedule returns points byte-identical to the serial one (guarded by the
+/// `parallel_sweeps_match_serial` integration test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One point after another on the calling thread.
+    Serial,
+    /// One worker per available core (capped at the point count).
+    Auto,
+    /// Exactly this many workers (capped at the point count; `0` and `1`
+    /// both mean serial).
+    Threads(usize),
+}
+
+impl Parallelism {
+    fn workers(self, points: usize) -> usize {
+        let want = match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Threads(n) => n.max(1),
+        };
+        want.min(points.max(1))
+    }
+}
+
+/// Runs `f` over every input, fanning out across a scoped thread pool, and
+/// returns outputs in input order (identical to the serial order).
+///
+/// On failure the remaining undispatched points are cancelled (each point
+/// can be a full simulation — finishing a doomed sweep would waste minutes),
+/// and the input-order-first error among the points that ran is returned;
+/// with a single failing point that is exactly the error the serial loop
+/// reports.
+fn fan_out<T, O, F>(inputs: Vec<T>, parallelism: Parallelism, f: F) -> Result<Vec<O>, CoreError>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> Result<O, CoreError> + Sync,
+{
+    let n = inputs.len();
+    let workers = parallelism.workers(n);
+    if workers <= 1 || n <= 1 {
+        return inputs.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let mut slots: Vec<Option<Result<O, CoreError>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let collected: Vec<(usize, Result<O, CoreError>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let result = f(&inputs[i]);
+                        if result.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        local.push((i, result));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    for (i, result) in collected {
+        slots[i] = Some(result);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut first_err: Option<CoreError> = None;
+    for slot in slots {
+        match slot {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => {
+                first_err.get_or_insert(e);
+            }
+            // Cancelled after a failure elsewhere; the error below explains.
+            None => {}
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => {
+            debug_assert_eq!(out.len(), n, "no error, so every point must have run");
+            Ok(out)
+        }
+    }
+}
+
 /// Sweeps the number of concurrent users (Table 5.3, Figures 5.6–5.11):
 /// for each `n`, rebuilds the file system for `n` users and runs the
-/// workload's population against `model`.
+/// workload's population against `model`. Points fan out across all cores
+/// ([`Parallelism::Auto`]); use [`user_sweep_with`] to control scheduling.
 ///
 /// # Errors
 ///
@@ -113,18 +220,32 @@ pub fn user_sweep(
     model: &ModelConfig,
     users: impl IntoIterator<Item = usize>,
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    let mut out = Vec::new();
-    for n in users {
+    user_sweep_with(base, model, users, Parallelism::Auto)
+}
+
+/// [`user_sweep`] with explicit scheduling.
+///
+/// # Errors
+///
+/// Propagates generation and simulation errors.
+pub fn user_sweep_with(
+    base: &WorkloadSpec,
+    model: &ModelConfig,
+    users: impl IntoIterator<Item = usize>,
+    parallelism: Parallelism,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let points: Vec<usize> = users.into_iter().collect();
+    fan_out(points, parallelism, |&n| {
         let mut spec = base.clone();
         spec.run.n_users = n;
         let report = spec.run_des(model)?;
-        out.push(measure(n as f64, &report));
-    }
-    Ok(out)
+        Ok(measure(n as f64, &report))
+    })
 }
 
 /// Sweeps the heavy/light population mix at a fixed user count (the figure
-/// family 5.7–5.11 varies the mix across panels).
+/// family 5.7–5.11 varies the mix across panels). Points fan out across all
+/// cores; use [`mix_sweep_with`] to control scheduling.
 ///
 /// # Errors
 ///
@@ -134,19 +255,34 @@ pub fn mix_sweep(
     model: &ModelConfig,
     heavy_fractions: impl IntoIterator<Item = f64>,
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    let mut out = Vec::new();
-    for frac in heavy_fractions {
+    mix_sweep_with(base, model, heavy_fractions, Parallelism::Auto)
+}
+
+/// [`mix_sweep`] with explicit scheduling.
+///
+/// # Errors
+///
+/// Propagates population validation and simulation errors.
+pub fn mix_sweep_with(
+    base: &WorkloadSpec,
+    model: &ModelConfig,
+    heavy_fractions: impl IntoIterator<Item = f64>,
+    parallelism: Parallelism,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let points: Vec<f64> = heavy_fractions.into_iter().collect();
+    fan_out(points, parallelism, |&frac| {
         let spec = base
             .clone()
             .with_population(presets::heavy_light_population(frac)?);
         let report = spec.run_des(model)?;
-        out.push(measure(frac, &report));
-    }
-    Ok(out)
+        Ok(measure(frac, &report))
+    })
 }
 
 /// Sweeps the mean access size of file I/O system calls under an extremely
-/// heavy I/O user (Figure 5.12: means from 128 to 2048 bytes).
+/// heavy I/O user (Figure 5.12: means from 128 to 2048 bytes). Points fan
+/// out across all cores; use [`access_size_sweep_with`] to control
+/// scheduling.
 ///
 /// # Errors
 ///
@@ -156,20 +292,33 @@ pub fn access_size_sweep(
     model: &ModelConfig,
     mean_sizes: impl IntoIterator<Item = f64>,
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    let mut out = Vec::new();
-    for mean in mean_sizes {
+    access_size_sweep_with(base, model, mean_sizes, Parallelism::Auto)
+}
+
+/// [`access_size_sweep`] with explicit scheduling.
+///
+/// # Errors
+///
+/// Propagates population validation and simulation errors.
+pub fn access_size_sweep_with(
+    base: &WorkloadSpec,
+    model: &ModelConfig,
+    mean_sizes: impl IntoIterator<Item = f64>,
+    parallelism: Parallelism,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let points: Vec<f64> = mean_sizes.into_iter().collect();
+    fan_out(points, parallelism, |&mean| {
         let user = presets::user_type_with("extremely heavy I/O", 0.0, mean);
-        let spec = base
-            .clone()
-            .with_population(PopulationSpec::single(user)?);
+        let spec = base.clone().with_population(PopulationSpec::single(user)?);
         let report = spec.run_des(model)?;
-        out.push(measure(mean, &report));
-    }
-    Ok(out)
+        Ok(measure(mean, &report))
+    })
 }
 
 /// Runs the same workload against several candidate models (the Section 5.3
 /// file-system comparison procedure) and returns `(model name, point)`.
+/// Models fan out across all cores; use [`compare_models_with`] to control
+/// scheduling.
 ///
 /// # Errors
 ///
@@ -178,12 +327,120 @@ pub fn compare_models(
     base: &WorkloadSpec,
     models: &[ModelConfig],
 ) -> Result<Vec<(String, SweepPoint)>, CoreError> {
-    let mut out = Vec::new();
-    for model in models {
+    compare_models_with(base, models, Parallelism::Auto)
+}
+
+/// [`compare_models`] with explicit scheduling.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn compare_models_with(
+    base: &WorkloadSpec,
+    models: &[ModelConfig],
+    parallelism: Parallelism,
+) -> Result<Vec<(String, SweepPoint)>, CoreError> {
+    fan_out(models.to_vec(), parallelism, |model| {
         let report = base.run_des(model)?;
-        out.push((model.name().to_string(), measure(0.0, &report)));
+        Ok((model.name().to_string(), measure(0.0, &report)))
+    })
+}
+
+/// One replicated run of [`run_des_replicated`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Replicate {
+    /// The seed this replicate ran under.
+    pub seed: u64,
+    /// The measured point (`x` holds the seed as a float for plotting).
+    pub point: SweepPoint,
+}
+
+/// Replicated-run statistics: a confidence interval over independent seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationStudy {
+    /// Every replicate, in seed order.
+    pub replicates: Vec<Replicate>,
+    /// Mean response time per byte across replicates, µs/byte.
+    pub mean_response_per_byte: f64,
+    /// Sample standard deviation across replicates.
+    pub std_dev_response_per_byte: f64,
+    /// Half-width of the 95% confidence interval on the mean (Student's t).
+    pub ci95_half_width: f64,
+}
+
+/// Two-sided 95% t quantiles for small degrees of freedom; the normal
+/// approximation takes over beyond the table.
+fn t_quantile_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else if df <= 40 {
+        // Bracketed fallbacks use the smallest df of each bracket, so the
+        // interval is conservative (never anti-conservative) and coverage
+        // degrades smoothly toward the normal quantile instead of cliffing
+        // from 2.042 straight to 1.96 at df = 31.
+        2.040
+    } else if df <= 60 {
+        2.021
+    } else if df <= 120 {
+        2.000
+    } else {
+        1.96
     }
-    Ok(out)
+}
+
+/// Runs the same workload under each seed (in parallel) and reports the
+/// spread: the statistical backing for any response-time claim. Each
+/// replicate is completely determined by its seed, so the study is
+/// reproducible point for point.
+///
+/// # Errors
+///
+/// Propagates simulation errors; returns [`CoreError::Spec`] for an empty
+/// seed list.
+pub fn run_des_replicated(
+    base: &WorkloadSpec,
+    model: &ModelConfig,
+    seeds: impl IntoIterator<Item = u64>,
+    parallelism: Parallelism,
+) -> Result<ReplicationStudy, CoreError> {
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    if seeds.is_empty() {
+        return Err(CoreError::Spec(
+            "replication needs at least one seed".into(),
+        ));
+    }
+    let replicates = fan_out(seeds, parallelism, |&seed| {
+        let mut spec = base.clone();
+        spec.run.seed = seed;
+        let report = spec.run_des(model)?;
+        Ok(Replicate {
+            seed,
+            point: measure(seed as f64, &report),
+        })
+    })?;
+    let values: Vec<f64> = replicates
+        .iter()
+        .map(|r| r.point.response_per_byte)
+        .collect();
+    let summary = Summary::of(&values);
+    let ci95_half_width = if summary.n < 2 {
+        0.0
+    } else {
+        t_quantile_95(summary.n - 1) * summary.std_dev / (summary.n as f64).sqrt()
+    };
+    Ok(ReplicationStudy {
+        replicates,
+        mean_response_per_byte: summary.mean,
+        std_dev_response_per_byte: summary.std_dev,
+        ci95_half_width,
+    })
 }
 
 #[cfg(test)]
@@ -230,8 +487,7 @@ mod tests {
     fn user_sweep_grows_response() {
         let mut spec = quick_spec();
         // Zero think time saturates the server fastest.
-        spec.population =
-            PopulationSpec::single(presets::extremely_heavy_user()).unwrap();
+        spec.population = PopulationSpec::single(presets::extremely_heavy_user()).unwrap();
         let points = user_sweep(&spec, &ModelConfig::default_nfs(), [1, 3]).unwrap();
         assert_eq!(points.len(), 2);
         assert!(points[1].response_per_byte > points[0].response_per_byte);
@@ -273,5 +529,98 @@ mod tests {
         let points = mix_sweep(&spec, &ModelConfig::default_local(), [0.0, 0.5, 1.0]).unwrap();
         assert_eq!(points.len(), 3);
         assert!((points[1].x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallelism_worker_counts() {
+        assert_eq!(Parallelism::Serial.workers(10), 1);
+        assert_eq!(Parallelism::Threads(4).workers(10), 4);
+        assert_eq!(Parallelism::Threads(4).workers(2), 2);
+        assert_eq!(Parallelism::Threads(0).workers(10), 1);
+        assert!(Parallelism::Auto.workers(64) >= 1);
+    }
+
+    #[test]
+    fn fan_out_preserves_input_order() {
+        let inputs: Vec<usize> = (0..32).collect();
+        let serial = fan_out(inputs.clone(), Parallelism::Serial, |&i| Ok(i * 3)).unwrap();
+        let parallel = fan_out(inputs, Parallelism::Threads(8), |&i| Ok(i * 3)).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[5], 15);
+    }
+
+    #[test]
+    fn fan_out_surfaces_errors() {
+        let result = fan_out(vec![1usize, 2, 3], Parallelism::Threads(3), |&i| {
+            if i == 2 {
+                Err(CoreError::Spec("boom".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(matches!(result, Err(CoreError::Spec(_))));
+    }
+
+    #[test]
+    fn replication_reports_spread() {
+        let mut spec = quick_spec();
+        spec.run.n_users = 1;
+        let study = run_des_replicated(
+            &spec,
+            &ModelConfig::default_local(),
+            [1u64, 2, 3],
+            Parallelism::Threads(3),
+        )
+        .unwrap();
+        assert_eq!(study.replicates.len(), 3);
+        assert!(study.mean_response_per_byte > 0.0);
+        assert!(study.ci95_half_width >= 0.0);
+        // Replicates are keyed and ordered by seed.
+        let seeds: Vec<u64> = study.replicates.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![1, 2, 3]);
+        // Empty seed list is rejected.
+        assert!(run_des_replicated(
+            &spec,
+            &ModelConfig::default_local(),
+            [],
+            Parallelism::Serial
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn replication_is_seed_deterministic() {
+        let spec = quick_spec();
+        let a = run_des_replicated(
+            &spec,
+            &ModelConfig::default_local(),
+            [7u64, 8],
+            Parallelism::Serial,
+        )
+        .unwrap();
+        let b = run_des_replicated(
+            &spec,
+            &ModelConfig::default_local(),
+            [7u64, 8],
+            Parallelism::Threads(2),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn t_quantiles_shrink_toward_normal() {
+        assert!(t_quantile_95(1) > t_quantile_95(5));
+        assert!(t_quantile_95(5) > t_quantile_95(29));
+        // Monotone non-increasing across the table/bracket boundaries: no
+        // anti-conservative cliff at df = 31.
+        for df in 1..200 {
+            assert!(
+                t_quantile_95(df + 1) <= t_quantile_95(df),
+                "t quantile must not grow with df: df={df}"
+            );
+        }
+        assert_eq!(t_quantile_95(100), 2.000);
+        assert_eq!(t_quantile_95(500), 1.96);
     }
 }

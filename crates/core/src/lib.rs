@@ -57,8 +57,8 @@ pub use uswg_distr::{
     Exponential, MultiStageGamma, PdfTable, PhaseTypeExp,
 };
 pub use uswg_fsc::{
-    CatalogFile, CategorySpec, FileCatalog, FileCategory, FileSystemCreator, FileType,
-    FillPattern, FscError, FscSpec, Owner, UsageClass,
+    CatalogFile, CategorySpec, FileCatalog, FileCategory, FileSystemCreator, FileType, FillPattern,
+    FscError, FscSpec, Owner, UsageClass,
 };
 pub use uswg_netfs::{
     isolated_response, DistributedNfsModel, DistributedNfsParams, FileId, LocalDiskModel,
@@ -68,7 +68,7 @@ pub use uswg_netfs::{
 pub use uswg_sim::{Resource, ResourcePool, ResourceStats, SimTime};
 pub use uswg_usim::{
     AccessPattern, BehaviorState, CategoryUsage, CompiledPopulation, DesDriver, DesReport,
-    DirectDriver, DiurnalProfile, OpRecord, PhaseModel, PhaseState, PopulationSpec, RunConfig,
-    SessionRecord, UsageLog, UserTypeSpec, UsimError,
+    DesRunStats, DirectDriver, DiurnalProfile, LogSink, OpRecord, PhaseModel, PhaseState,
+    PopulationSpec, RunConfig, SessionRecord, SummarySink, UsageLog, UserTypeSpec, UsimError,
 };
 pub use uswg_vfs::{Fd, FsError, Metadata, OpenFlags, SeekFrom, Vfs, VfsConfig};

@@ -67,7 +67,11 @@ pub fn table_5_1_fs_spec() -> Result<FscSpec, uswg_fsc::FscError> {
     let categories = TABLE_5_1
         .iter()
         .map(|&(category, mean_size, pct)| {
-            CategorySpec::new(category, pct / 100.0, DistributionSpec::exponential(mean_size))
+            CategorySpec::new(
+                category,
+                pct / 100.0,
+                DistributionSpec::exponential(mean_size),
+            )
         })
         .collect();
     FscSpec::new(categories)
@@ -150,18 +154,17 @@ pub fn heavy_light_population(heavy_fraction: f64) -> Result<PopulationSpec, usw
 /// Never fails for the built-in constants.
 pub fn figure_5_1_examples() -> Result<Vec<(String, PhaseTypeExp)>, uswg_distr::DistrError> {
     Ok(vec![
-        ("f(x) = exp(22.1, x)".to_string(), PhaseTypeExp::new(vec![(1.0, 22.1, 0.0)])?),
+        (
+            "f(x) = exp(22.1, x)".to_string(),
+            PhaseTypeExp::new(vec![(1.0, 22.1, 0.0)])?,
+        ),
         (
             "f(x) = 0.6 exp(15.3, x) + 0.4 exp(15.3, x-35)".to_string(),
             PhaseTypeExp::new(vec![(0.6, 15.3, 0.0), (0.4, 15.3, 35.0)])?,
         ),
         (
             "f(x) = 0.4 exp(12.7, x) + 0.3 exp(18.2, x-18) + 0.3 exp(15.0, x-40)".to_string(),
-            PhaseTypeExp::new(vec![
-                (0.4, 12.7, 0.0),
-                (0.3, 18.2, 18.0),
-                (0.3, 15.0, 40.0),
-            ])?,
+            PhaseTypeExp::new(vec![(0.4, 12.7, 0.0), (0.3, 18.2, 18.0), (0.3, 15.0, 40.0)])?,
         ),
     ])
 }
@@ -210,8 +213,7 @@ mod tests {
     fn table_5_2_has_all_nine_categories() {
         let usages = table_5_2_usages();
         assert_eq!(usages.len(), 9);
-        let set: std::collections::HashSet<_> =
-            usages.iter().map(|u| u.category).collect();
+        let set: std::collections::HashSet<_> = usages.iter().map(|u| u.category).collect();
         assert_eq!(set.len(), 9);
         // Every REG/USER/RDONLY session accesses the category (100%).
         let rdonly = usages

@@ -140,7 +140,12 @@ mod tests {
         let mut spec = WorkloadSpec::paper_default().unwrap();
         spec.run.sessions_per_user = 2;
         spec.run.n_users = 1;
-        spec.fsc = spec.fsc.with_files_per_user(10).unwrap().with_shared_files(15).unwrap();
+        spec.fsc = spec
+            .fsc
+            .with_files_per_user(10)
+            .unwrap()
+            .with_shared_files(15)
+            .unwrap();
         spec
     }
 

@@ -6,6 +6,7 @@
 //! method the paper names — while [`EmpiricalCdf`] holds `(x, F(x))` samples
 //! directly and samples by inverse transform.
 
+use crate::guide::GuideTable;
 use crate::{uniform01, DistrError, Distribution};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -20,13 +21,29 @@ const GRID_TOL: f64 = 1e-9;
 /// correction for a trailing odd interval), plain trapezoid otherwise. The
 /// integrated table is normalized so the final CDF value is exactly one,
 /// which mirrors how the GDS "creates CDF tables for the FSC and the USIM".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PdfTable {
     xs: Vec<f64>,
     pdf: Vec<f64>,
     cdf: Vec<f64>,
     mean: f64,
     variance: f64,
+    /// O(1) sampling index; rebuilt by constructors, empty (= binary-search
+    /// fallback) when absent from serialized input.
+    #[serde(default)]
+    guide: GuideTable,
+}
+
+/// Equality ignores the guide: a derived index, legitimately empty on
+/// deserialized tables until [`PdfTable::rebuild_guide`] runs.
+impl PartialEq for PdfTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.xs == other.xs
+            && self.pdf == other.pdf
+            && self.cdf == other.cdf
+            && self.mean == other.mean
+            && self.variance == other.variance
+    }
 }
 
 impl PdfTable {
@@ -80,13 +97,19 @@ impl PdfTable {
         for i in 1..xs.len() {
             let h = xs[i] - xs[i - 1];
             mean += 0.5 * h * (xs[i] * norm_pdf[i] + xs[i - 1] * norm_pdf[i - 1]);
-            m2 += 0.5
-                * h
-                * (xs[i] * xs[i] * norm_pdf[i] + xs[i - 1] * xs[i - 1] * norm_pdf[i - 1]);
+            m2 += 0.5 * h * (xs[i] * xs[i] * norm_pdf[i] + xs[i - 1] * xs[i - 1] * norm_pdf[i - 1]);
         }
         let variance = (m2 - mean * mean).max(0.0);
 
-        Ok(Self { xs, pdf: norm_pdf, cdf, mean, variance })
+        let guide = GuideTable::build(&cdf);
+        Ok(Self {
+            xs,
+            pdf: norm_pdf,
+            cdf,
+            mean,
+            variance,
+            guide,
+        })
     }
 
     /// The grid of `x` values.
@@ -109,7 +132,15 @@ impl PdfTable {
         EmpiricalCdf {
             xs: self.xs.clone(),
             cdf: self.cdf.clone(),
+            // Same CDF grid, so the bucket index transfers verbatim.
+            guide: self.guide.clone(),
         }
+    }
+
+    /// Rebuilds the O(1) sampling index (empty after deserialization; see
+    /// [`crate::GuideTable`]).
+    pub fn rebuild_guide(&mut self) {
+        self.guide = GuideTable::build(&self.cdf);
     }
 }
 
@@ -125,7 +156,8 @@ fn integrate_cumulative(xs: &[f64], f: &[f64]) -> Vec<f64> {
     let mut out = vec![0.0; n];
     let uniform = {
         let h0 = xs[1] - xs[0];
-        xs.windows(2).all(|w| ((w[1] - w[0]) - h0).abs() <= GRID_TOL * h0.abs().max(1.0))
+        xs.windows(2)
+            .all(|w| ((w[1] - w[0]) - h0).abs() <= GRID_TOL * h0.abs().max(1.0))
     };
     if uniform {
         let h = xs[1] - xs[0];
@@ -177,7 +209,7 @@ impl Distribution for PdfTable {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
-        inverse_transform(&self.xs, &self.cdf, uniform01(rng))
+        inverse_transform_guided(&self.xs, &self.cdf, &self.guide, uniform01(rng))
     }
 
     fn support_min(&self) -> f64 {
@@ -190,10 +222,22 @@ impl Distribution for PdfTable {
 }
 
 /// A distribution supplied directly as a table of `(x, F(x))` CDF points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EmpiricalCdf {
     xs: Vec<f64>,
     cdf: Vec<f64>,
+    /// O(1) sampling index; rebuilt by constructors, empty (= binary-search
+    /// fallback) when absent from serialized input.
+    #[serde(default)]
+    guide: GuideTable,
+}
+
+/// Equality ignores the guide: a derived index, legitimately empty on
+/// deserialized tables until [`EmpiricalCdf::rebuild_guide`] runs.
+impl PartialEq for EmpiricalCdf {
+    fn eq(&self, other: &Self) -> bool {
+        self.xs == other.xs && self.cdf == other.cdf
+    }
 }
 
 impl EmpiricalCdf {
@@ -209,6 +253,17 @@ impl EmpiricalCdf {
         if points.len() < 2 {
             return Err(DistrError::BadTable {
                 reason: format!("need at least 2 points, got {}", points.len()),
+            });
+        }
+        // Reject non-finite values first: NaN slips through every ordering
+        // comparison below (`NaN < x` and `x <= NaN` are both false) and
+        // would then be laundered to 1.0 by the rescaling clamp.
+        if points
+            .iter()
+            .any(|&(x, c)| !x.is_finite() || !c.is_finite())
+        {
+            return Err(DistrError::BadTable {
+                reason: "x and cdf values must be finite".into(),
             });
         }
         for w in points.windows(2) {
@@ -241,8 +296,40 @@ impl EmpiricalCdf {
             });
         }
         let xs = points.iter().map(|&(x, _)| x).collect();
-        let cdf = points.iter().map(|&(_, c)| (c / last).min(1.0)).collect();
-        Ok(Self { xs, cdf })
+        let cdf: Vec<f64> = points.iter().map(|&(_, c)| (c / last).min(1.0)).collect();
+        // Re-validate after rescaling: dividing by a `last` below 1 inflates
+        // every value, so the table-shape invariants are re-checked on the
+        // rescaled sequence rather than assumed from the raw input. With
+        // finite inputs this is defense in depth — it documents and enforces
+        // the invariant every downstream sampler relies on.
+        Self::validate_rescaled(&cdf)?;
+        let guide = GuideTable::build(&cdf);
+        Ok(Self { xs, cdf, guide })
+    }
+
+    /// Checks that a rescaled CDF sequence is within `[0, 1]`, ends at
+    /// exactly 1 and is non-decreasing.
+    fn validate_rescaled(cdf: &[f64]) -> Result<(), DistrError> {
+        let first = cdf[0];
+        if !(0.0..=1.0).contains(&first) {
+            return Err(DistrError::BadTable {
+                reason: format!("rescaled first cdf value {first} outside [0, 1]"),
+            });
+        }
+        let last = *cdf.last().expect("non-empty");
+        if last != 1.0 {
+            return Err(DistrError::BadTable {
+                reason: format!("rescaled last cdf value {last} is not 1"),
+            });
+        }
+        for w in cdf.windows(2) {
+            if !(w[1].is_finite() && w[1] >= w[0]) {
+                return Err(DistrError::BadTable {
+                    reason: format!("rescaled cdf not non-decreasing: {} then {}", w[0], w[1]),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Builds the empirical CDF of a data sample (the standard step function
@@ -254,7 +341,10 @@ impl EmpiricalCdf {
     /// [`DistrError::BadTable`] if any sample is negative or non-finite.
     pub fn from_samples(data: &[f64]) -> Result<Self, DistrError> {
         if data.len() < 2 {
-            return Err(DistrError::InsufficientData { needed: 2, got: data.len() });
+            return Err(DistrError::InsufficientData {
+                needed: 2,
+                got: data.len(),
+            });
         }
         if data.iter().any(|x| !x.is_finite() || *x < 0.0) {
             return Err(DistrError::BadTable {
@@ -281,12 +371,16 @@ impl EmpiricalCdf {
         if xs.len() < 2 {
             // All samples identical: widen into a two-point step.
             let x = xs[0];
+            let cdf = vec![0.0, 1.0];
+            let guide = GuideTable::build(&cdf);
             return Ok(Self {
                 xs: vec![x, x + x.abs().max(1.0) * 1e-9],
-                cdf: vec![0.0, 1.0],
+                cdf,
+                guide,
             });
         }
-        Ok(Self { xs, cdf })
+        let guide = GuideTable::build(&cdf);
+        Ok(Self { xs, cdf, guide })
     }
 
     /// The grid of `x` values.
@@ -306,7 +400,25 @@ impl EmpiricalCdf {
     /// Panics if `p` is not within `[0, 1]`.
     pub fn table_quantile(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
+        inverse_transform_guided(&self.xs, &self.cdf, &self.guide, p)
+    }
+
+    /// The quantile via the unguided binary search: the reference
+    /// implementation the guide-table path must match bit for bit. Kept
+    /// public for equivalence tests and benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn table_quantile_unguided(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
         inverse_transform(&self.xs, &self.cdf, p)
+    }
+
+    /// Rebuilds the O(1) sampling index (empty after deserialization; see
+    /// [`crate::GuideTable`]).
+    pub fn rebuild_guide(&mut self) {
+        self.guide = GuideTable::build(&self.cdf);
     }
 }
 
@@ -316,7 +428,10 @@ impl Distribution for EmpiricalCdf {
         if x < self.xs[0] || x > *self.xs.last().expect("non-empty") {
             return 0.0;
         }
-        match self.xs.binary_search_by(|v| v.partial_cmp(&x).expect("finite")) {
+        match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+        {
             Ok(i) | Err(i) => {
                 let i = i.clamp(1, self.xs.len() - 1);
                 let dx = self.xs[i] - self.xs[i - 1];
@@ -368,7 +483,7 @@ impl Distribution for EmpiricalCdf {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
-        inverse_transform(&self.xs, &self.cdf, uniform01(rng))
+        inverse_transform_guided(&self.xs, &self.cdf, &self.guide, uniform01(rng))
     }
 
     fn support_min(&self) -> f64 {
@@ -394,7 +509,21 @@ fn interp(xs: &[f64], ys: &[f64], x: f64) -> Option<f64> {
     Some(y0 + (y1 - y0) * (x - x0) / (x1 - x0))
 }
 
+/// Interpolates within the bracket `[hi - 1, hi]`, where `hi` is the first
+/// index with `cdf[hi] >= p`. Shared by the guided and unguided transforms
+/// so both produce bit-identical variates.
+#[inline]
+fn bracket_interpolate(xs: &[f64], cdf: &[f64], p: f64, hi: usize) -> f64 {
+    let lo = hi - 1;
+    let (c0, c1) = (cdf[lo], cdf[hi]);
+    if c1 <= c0 {
+        return xs[hi];
+    }
+    xs[lo] + (xs[hi] - xs[lo]) * (p - c0) / (c1 - c0)
+}
+
 /// Inverse-transform lookup: smallest `x` with `cdf(x) >= p`, interpolated.
+/// O(log n) binary search — the reference path.
 pub(crate) fn inverse_transform(xs: &[f64], cdf: &[f64], p: f64) -> f64 {
     let p = p.clamp(0.0, 1.0);
     if p <= cdf[0] {
@@ -414,11 +543,28 @@ pub(crate) fn inverse_transform(xs: &[f64], cdf: &[f64], p: f64) -> f64 {
             hi = mid;
         }
     }
-    let (c0, c1) = (cdf[lo], cdf[hi]);
-    if c1 <= c0 {
-        return xs[hi];
+    bracket_interpolate(xs, cdf, p, hi)
+}
+
+/// Inverse-transform lookup through a [`GuideTable`]: O(1) bucket lookup
+/// plus local scan instead of the binary search, bit-identical output.
+/// Falls back to [`inverse_transform`] when the guide is empty (e.g. a table
+/// deserialized from a pre-guide snapshot).
+#[inline]
+pub(crate) fn inverse_transform_guided(xs: &[f64], cdf: &[f64], guide: &GuideTable, p: f64) -> f64 {
+    if guide.is_empty() {
+        return inverse_transform(xs, cdf, p);
     }
-    xs[lo] + (xs[hi] - xs[lo]) * (p - c0) / (c1 - c0)
+    let p = p.clamp(0.0, 1.0);
+    if p <= cdf[0] {
+        return xs[0];
+    }
+    let last = *cdf.last().expect("non-empty");
+    if p >= last {
+        return *xs.last().expect("non-empty");
+    }
+    let hi = guide.first_at_or_above(cdf, p);
+    bracket_interpolate(xs, cdf, p, hi)
 }
 
 #[cfg(test)]
@@ -428,9 +574,7 @@ mod tests {
 
     fn uniform_pdf_table(n: usize) -> PdfTable {
         // Uniform density on [0, 10].
-        let points: Vec<(f64, f64)> = (0..=n)
-            .map(|i| (10.0 * i as f64 / n as f64, 0.1))
-            .collect();
+        let points: Vec<(f64, f64)> = (0..=n).map(|i| (10.0 * i as f64 / n as f64, 0.1)).collect();
         PdfTable::new(points).unwrap()
     }
 
@@ -501,6 +645,47 @@ mod tests {
     }
 
     #[test]
+    fn empirical_cdf_rejects_non_finite_values() {
+        // NaN defeats ordering comparisons and would otherwise be clamped to
+        // 1.0 by the rescale (`(NaN / last).min(1.0)` is 1.0).
+        assert!(EmpiricalCdf::new(vec![(0.0, 0.0), (1.0, f64::NAN), (2.0, 1.0)]).is_err());
+        assert!(EmpiricalCdf::new(vec![(0.0, 0.0), (f64::NAN, 0.5), (2.0, 1.0)]).is_err());
+        assert!(EmpiricalCdf::new(vec![(0.0, 0.0), (1.0, f64::INFINITY)]).is_err());
+        assert!(EmpiricalCdf::new(vec![(0.0, 0.0), (f64::INFINITY, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn empirical_cdf_rescales_last_value_0_995() {
+        // Regression: a table whose raw CDF tops out at 0.995 (within the 1%
+        // acceptance band) is rescaled by 1/0.995 — every rescaled value must
+        // land back inside [0, 1], stay non-decreasing, and end at exactly 1.
+        let e =
+            EmpiricalCdf::new(vec![(0.0, 0.1), (5.0, 0.5), (10.0, 0.9), (20.0, 0.995)]).unwrap();
+        let cdf = e.cumulative();
+        assert_eq!(*cdf.last().unwrap(), 1.0);
+        assert!((cdf[0] - 0.1 / 0.995).abs() < 1e-15);
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(cdf.iter().all(|c| (0.0..=1.0).contains(c)));
+        // The rescaled table samples and inverts sanely, guided == unguided.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..256 {
+            let x = e.sample(&mut rng);
+            assert!((0.0..=20.0).contains(&x));
+        }
+        for k in 0..=50 {
+            let p = k as f64 / 50.0;
+            assert_eq!(
+                e.table_quantile(p).to_bits(),
+                e.table_quantile_unguided(p).to_bits()
+            );
+        }
+        // Just outside the band still fails.
+        assert!(EmpiricalCdf::new(vec![(0.0, 0.0), (1.0, 0.98)]).is_err());
+    }
+
+    #[test]
     fn empirical_cdf_from_samples_step_function() {
         let e = EmpiricalCdf::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
         assert_eq!(e.cdf(4.0), 1.0);
@@ -518,7 +703,8 @@ mod tests {
 
     #[test]
     fn quantile_round_trip() {
-        let e = EmpiricalCdf::new(vec![(0.0, 0.0), (10.0, 0.25), (20.0, 0.5), (40.0, 1.0)]).unwrap();
+        let e =
+            EmpiricalCdf::new(vec![(0.0, 0.0), (10.0, 0.25), (20.0, 0.5), (40.0, 1.0)]).unwrap();
         for &p in &[0.1, 0.25, 0.5, 0.75, 0.99] {
             let x = e.table_quantile(p);
             assert!((e.cdf(x) - p).abs() < 1e-9, "p={p} x={x}");
@@ -528,7 +714,9 @@ mod tests {
     #[test]
     fn empirical_mean_of_uniform_grid() {
         // CDF of U[0,100] sampled at 11 points.
-        let pts: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64 * 10.0, i as f64 / 10.0)).collect();
+        let pts: Vec<(f64, f64)> = (0..=10)
+            .map(|i| (i as f64 * 10.0, i as f64 / 10.0))
+            .collect();
         let e = EmpiricalCdf::new(pts).unwrap();
         assert!((e.mean() - 50.0).abs() < 1e-9);
         assert!((e.variance() - 100.0 * 100.0 / 12.0).abs() < 1e-6);

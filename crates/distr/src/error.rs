@@ -53,7 +53,10 @@ impl fmt::Display for DistrError {
         match self {
             DistrError::Empty => write!(f, "mixture has no phases"),
             DistrError::BadWeights { sum } => {
-                write!(f, "mixture weights must be positive and sum to 1 (sum = {sum})")
+                write!(
+                    f,
+                    "mixture weights must be positive and sum to 1 (sum = {sum})"
+                )
             }
             DistrError::BadScale { value } => {
                 write!(f, "scale parameter must be positive (got {value})")
@@ -91,7 +94,10 @@ mod tests {
             DistrError::BadOffset { value: f64::NAN },
             DistrError::BadTable { reason: "x".into() },
             DistrError::InsufficientData { needed: 2, got: 0 },
-            DistrError::BadParameter { name: "p", value: 2.0 },
+            DistrError::BadParameter {
+                name: "p",
+                value: 2.0,
+            },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -35,7 +35,10 @@ pub fn fit_exponential(data: &[f64]) -> Result<PhaseTypeExp, DistrError> {
 /// [`DistrError::BadTable`] for invalid samples.
 pub fn fit_phase_type(data: &[f64], k: usize) -> Result<PhaseTypeExp, DistrError> {
     if k == 0 {
-        return Err(DistrError::BadParameter { name: "k", value: 0.0 });
+        return Err(DistrError::BadParameter {
+            name: "k",
+            value: 0.0,
+        });
     }
     validate(data, 2 * k)?;
     let clusters = cluster_1d(data, k);
@@ -60,7 +63,10 @@ pub fn fit_phase_type(data: &[f64], k: usize) -> Result<PhaseTypeExp, DistrError
 /// [`DistrError::BadTable`] for invalid samples.
 pub fn fit_multi_stage_gamma(data: &[f64], k: usize) -> Result<MultiStageGamma, DistrError> {
     if k == 0 {
-        return Err(DistrError::BadParameter { name: "k", value: 0.0 });
+        return Err(DistrError::BadParameter {
+            name: "k",
+            value: 0.0,
+        });
     }
     validate(data, 2 * k)?;
     let clusters = cluster_1d(data, k);
@@ -161,7 +167,10 @@ fn cluster_1d(data: &[f64], k: usize) -> Vec<Cluster> {
 
 fn validate(data: &[f64], needed: usize) -> Result<(), DistrError> {
     if data.len() < needed {
-        return Err(DistrError::InsufficientData { needed, got: data.len() });
+        return Err(DistrError::InsufficientData {
+            needed,
+            got: data.len(),
+        });
     }
     if data.iter().any(|x| !x.is_finite() || *x < 0.0) {
         return Err(DistrError::BadTable {
@@ -202,8 +211,7 @@ mod tests {
     #[test]
     fn phase_type_fit_recovers_bimodal_mixture() {
         // Well-separated two-phase mixture.
-        let truth =
-            PhaseTypeExp::new(vec![(0.5, 5.0, 0.0), (0.5, 5.0, 100.0)]).unwrap();
+        let truth = PhaseTypeExp::new(vec![(0.5, 5.0, 0.0), (0.5, 5.0, 100.0)]).unwrap();
         let data = draws(&truth, 40_000, 2);
         let fitted = fit_phase_type(&data, 2).unwrap();
         assert!((fitted.mean() - truth.mean()).abs() / truth.mean() < 0.05);
@@ -223,22 +231,28 @@ mod tests {
         let fitted = fit_multi_stage_gamma(&data, 1).unwrap();
         let stage = fitted.stages()[0];
         assert!((fitted.mean() - truth.mean()).abs() / truth.mean() < 0.05);
-        assert!(stage.alpha > 2.0 && stage.alpha < 8.0, "alpha = {}", stage.alpha);
+        assert!(
+            stage.alpha > 2.0 && stage.alpha < 8.0,
+            "alpha = {}",
+            stage.alpha
+        );
     }
 
     #[test]
     fn gamma_mixture_fit_improves_ks_over_single() {
-        let truth = MultiStageGamma::new(vec![
-            (0.6, 2.0, 5.0, 0.0),
-            (0.4, 3.0, 8.0, 80.0),
-        ])
-        .unwrap();
+        let truth =
+            MultiStageGamma::new(vec![(0.6, 2.0, 5.0, 0.0), (0.4, 3.0, 8.0, 80.0)]).unwrap();
         let data = draws(&truth, 20_000, 4);
         let single = fit_multi_stage_gamma(&data, 1).unwrap();
         let double = fit_multi_stage_gamma(&data, 2).unwrap();
         let ks1 = crate::gof::ks_statistic(&data, &single).unwrap();
         let ks2 = crate::gof::ks_statistic(&data, &double).unwrap();
-        assert!(ks2.statistic < ks1.statistic, "{} vs {}", ks2.statistic, ks1.statistic);
+        assert!(
+            ks2.statistic < ks1.statistic,
+            "{} vs {}",
+            ks2.statistic,
+            ks1.statistic
+        );
     }
 
     #[test]

@@ -55,7 +55,12 @@ impl GammaStage {
         if !(offset.is_finite() && offset >= 0.0) {
             return Err(DistrError::BadOffset { value: offset });
         }
-        Ok(Self { weight, alpha, theta, offset })
+        Ok(Self {
+            weight,
+            alpha,
+            theta,
+            offset,
+        })
     }
 
     /// Density of this stage alone (without the mixture weight).
@@ -74,7 +79,8 @@ impl GammaStage {
                 f64::INFINITY
             };
         }
-        let ln_pdf = (self.alpha - 1.0) * y.ln() - y / self.theta
+        let ln_pdf = (self.alpha - 1.0) * y.ln()
+            - y / self.theta
             - ln_gamma(self.alpha)
             - self.alpha * self.theta.ln();
         ln_pdf.exp()
@@ -299,7 +305,11 @@ mod tests {
             acc += 0.5 * (d.pdf(a) + d.pdf(a + h)) * h;
             if (i + 1) % 10_000 == 0 {
                 let x = (i + 1) as f64 * h;
-                assert!((acc - d.cdf(x)).abs() < 1e-4, "x={x} acc={acc} cdf={}", d.cdf(x));
+                assert!(
+                    (acc - d.cdf(x)).abs() < 1e-4,
+                    "x={x} acc={acc} cdf={}",
+                    d.cdf(x)
+                );
             }
         }
     }

@@ -58,7 +58,10 @@ pub fn ks_statistic(data: &[f64], dist: &dyn Distribution) -> Result<KsTest, Dis
     let sqrt_n = n.sqrt();
     // Asymptotic p-value with the standard small-sample correction.
     let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
-    Ok(KsTest { statistic: d, p_value: ks_q(lambda) })
+    Ok(KsTest {
+        statistic: d,
+        p_value: ks_q(lambda),
+    })
 }
 
 /// Computes Pearson's chi-square statistic of `data` against `dist` using
@@ -75,11 +78,17 @@ pub fn chi_square(
     bins: usize,
 ) -> Result<ChiSquareTest, DistrError> {
     if bins < 2 {
-        return Err(DistrError::BadParameter { name: "bins", value: bins as f64 });
+        return Err(DistrError::BadParameter {
+            name: "bins",
+            value: bins as f64,
+        });
     }
     let n = data.len();
     if (n as f64) / (bins as f64) < 5.0 {
-        return Err(DistrError::InsufficientData { needed: 5 * bins, got: n });
+        return Err(DistrError::InsufficientData {
+            needed: 5 * bins,
+            got: n,
+        });
     }
     // Equal-probability bin edges from the reference quantiles.
     let mut edges = Vec::with_capacity(bins - 1);

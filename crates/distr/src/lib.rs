@@ -37,6 +37,7 @@
 mod empirical;
 mod error;
 mod gamma;
+mod guide;
 mod phase_type;
 mod simple;
 mod table;
@@ -50,6 +51,7 @@ pub mod special;
 pub use empirical::{EmpiricalCdf, PdfTable};
 pub use error::DistrError;
 pub use gamma::{GammaStage, MultiStageGamma};
+pub use guide::GuideTable;
 pub use phase_type::{ExpPhase, PhaseTypeExp};
 pub use simple::{Constant, Exponential, Uniform};
 pub use spec::DistributionSpec;
@@ -111,7 +113,10 @@ pub trait Distribution: std::fmt::Debug + Send + Sync {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile probability out of range"
+        );
         let mut lo = self.support_min();
         let mut hi = self.support_max();
         if p <= 0.0 {

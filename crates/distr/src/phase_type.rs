@@ -48,7 +48,11 @@ impl ExpPhase {
         if !(offset.is_finite() && offset >= 0.0) {
             return Err(DistrError::BadOffset { value: offset });
         }
-        Ok(Self { weight, theta, offset })
+        Ok(Self {
+            weight,
+            theta,
+            offset,
+        })
     }
 
     /// Density of this phase alone (without the mixture weight).
@@ -141,7 +145,12 @@ impl PhaseTypeExp {
         if !(sum.is_finite() && sum > 0.0) {
             return Err(DistrError::BadWeights { sum });
         }
-        Self::new(phases.into_iter().map(|(w, t, s)| (w / sum, t, s)).collect())
+        Self::new(
+            phases
+                .into_iter()
+                .map(|(w, t, s)| (w / sum, t, s))
+                .collect(),
+        )
     }
 
     /// Convenience constructor for a plain exponential with the given mean.
@@ -187,7 +196,8 @@ impl Distribution for PhaseTypeExp {
             .phases
             .iter()
             .map(|p| {
-                p.weight * (p.offset * p.offset + 2.0 * p.offset * p.theta + 2.0 * p.theta * p.theta)
+                p.weight
+                    * (p.offset * p.offset + 2.0 * p.offset * p.theta + 2.0 * p.theta * p.theta)
             })
             .sum();
         (m2 - m * m).max(0.0)
@@ -271,12 +281,8 @@ mod tests {
     #[test]
     fn pdf_integrates_to_one() {
         // Figure 5.1 bottom panel: three-phase mixture.
-        let d = PhaseTypeExp::new(vec![
-            (0.4, 12.7, 0.0),
-            (0.3, 18.2, 18.0),
-            (0.3, 15.0, 40.0),
-        ])
-        .unwrap();
+        let d = PhaseTypeExp::new(vec![(0.4, 12.7, 0.0), (0.3, 18.2, 18.0), (0.3, 15.0, 40.0)])
+            .unwrap();
         // Trapezoidal integral of the pdf over the support.
         let (lo, hi) = (0.0, d.support_max());
         let n = 20_000;

@@ -13,12 +13,24 @@ use crate::Distribution;
 /// `width`/`height` are clamped to sensible minimums (16×4). The plot marks
 /// the curve with `*`, includes a y-axis scale of the peak density, and an
 /// x-axis rule with the endpoints labeled.
-pub fn plot_pdf(dist: &dyn Distribution, x_min: f64, x_max: f64, width: usize, height: usize) -> String {
+pub fn plot_pdf(
+    dist: &dyn Distribution,
+    x_min: f64,
+    x_max: f64,
+    width: usize,
+    height: usize,
+) -> String {
     plot_function(|x| dist.pdf(x), x_min, x_max, width, height)
 }
 
 /// Renders the CDF of `dist` over `[x_min, x_max]` as an ASCII plot.
-pub fn plot_cdf(dist: &dyn Distribution, x_min: f64, x_max: f64, width: usize, height: usize) -> String {
+pub fn plot_cdf(
+    dist: &dyn Distribution,
+    x_min: f64,
+    x_max: f64,
+    width: usize,
+    height: usize,
+) -> String {
     plot_function(|x| dist.cdf(x), x_min, x_max, width, height)
 }
 
@@ -45,7 +57,11 @@ pub fn plot_function<F: Fn(f64) -> f64>(
             }
         })
         .collect();
-    let y_max = ys.iter().cloned().fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let y_max = ys
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
 
     let mut grid = vec![vec![' '; width]; height];
     for (i, &y) in ys.iter().enumerate() {
@@ -64,7 +80,11 @@ pub fn plot_function<F: Fn(f64) -> f64>(
     out.push_str("           +");
     out.push_str(&"-".repeat(width));
     out.push('\n');
-    out.push_str(&format!("            {x_min:<12.2}{:>w$.2}\n", x_max, w = width.saturating_sub(12)));
+    out.push_str(&format!(
+        "            {x_min:<12.2}{:>w$.2}\n",
+        x_max,
+        w = width.saturating_sub(12)
+    ));
     out
 }
 
@@ -80,7 +100,11 @@ pub fn plot_histogram(bins: &[(f64, f64)], width: usize) -> String {
     }
     for &(center, count) in bins {
         let bar_len = ((count / max_count) * width as f64).round() as usize;
-        out.push_str(&format!("{center:>12.2} | {:<w$} {count:.1}\n", "#".repeat(bar_len), w = width));
+        out.push_str(&format!(
+            "{center:>12.2} | {:<w$} {count:.1}\n",
+            "#".repeat(bar_len),
+            w = width
+        ));
     }
     out
 }

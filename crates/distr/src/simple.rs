@@ -109,7 +109,10 @@ impl Constant {
     /// non-finite (usage measures are non-negative).
     pub fn new(value: f64) -> Result<Self, DistrError> {
         if !(value.is_finite() && value >= 0.0) {
-            return Err(DistrError::BadParameter { name: "value", value });
+            return Err(DistrError::BadParameter {
+                name: "value",
+                value,
+            });
         }
         Ok(Self { value })
     }
@@ -176,10 +179,16 @@ impl Uniform {
     /// `lo` is negative, or `hi <= lo`.
     pub fn new(lo: f64, hi: f64) -> Result<Self, DistrError> {
         if !(lo.is_finite() && lo >= 0.0) {
-            return Err(DistrError::BadParameter { name: "lo", value: lo });
+            return Err(DistrError::BadParameter {
+                name: "lo",
+                value: lo,
+            });
         }
         if !(hi.is_finite() && hi > lo) {
-            return Err(DistrError::BadParameter { name: "hi", value: hi });
+            return Err(DistrError::BadParameter {
+                name: "hi",
+                value: hi,
+            });
         }
         Ok(Self { lo, hi })
     }

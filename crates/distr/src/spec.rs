@@ -127,7 +127,10 @@ mod tests {
         let specs = vec![
             DistributionSpec::exponential(5000.0),
             DistributionSpec::constant(0.0),
-            DistributionSpec::Uniform { lo: 128.0, hi: 2048.0 },
+            DistributionSpec::Uniform {
+                lo: 128.0,
+                hi: 2048.0,
+            },
             DistributionSpec::PhaseTypeExp {
                 phases: vec![(0.4, 12.7, 0.0), (0.6, 18.2, 18.0)],
             },
@@ -150,12 +153,14 @@ mod tests {
     #[test]
     fn bad_specs_fail_to_build() {
         assert!(DistributionSpec::exponential(-1.0).build().is_err());
-        assert!(DistributionSpec::PhaseTypeExp { phases: vec![] }.build().is_err());
-        assert!(
-            DistributionSpec::CdfTable { points: vec![(0.0, 0.9), (1.0, 0.1)] }
-                .build()
-                .is_err()
-        );
+        assert!(DistributionSpec::PhaseTypeExp { phases: vec![] }
+            .build()
+            .is_err());
+        assert!(DistributionSpec::CdfTable {
+            points: vec![(0.0, 0.9), (1.0, 0.1)]
+        }
+        .build()
+        .is_err());
     }
 
     #[test]

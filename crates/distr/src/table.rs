@@ -9,18 +9,40 @@
 //! [`CdfTable::memory_bytes`] exposes that cost so the trade-off can be
 //! measured (see the `cdf_table_resolution` bench).
 
-use crate::empirical::inverse_transform;
+use crate::empirical::{inverse_transform, inverse_transform_guided};
+use crate::guide::GuideTable;
 use crate::{uniform01, DistrError, Distribution};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 /// A discretized CDF used for inverse-transform random variate generation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Sampling is O(1): a precomputed [`GuideTable`] replaces the per-draw
+/// binary search with an equal-probability bucket lookup, producing
+/// bit-identical variates for the same uniform draw (see
+/// [`CdfTable::quantile_unguided`] for the reference path).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CdfTable {
     xs: Vec<f64>,
     cdf: Vec<f64>,
     mean: f64,
     std_dev: f64,
+    /// O(1) sampling index; rebuilt by constructors, empty (= binary-search
+    /// fallback) when absent from serialized input.
+    #[serde(default)]
+    guide: GuideTable,
+}
+
+/// Equality ignores the guide: it is a derived index, and deserialized
+/// tables legitimately carry an empty one until [`CdfTable::rebuild_guide`]
+/// runs, while sampling identically either way.
+impl PartialEq for CdfTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.xs == other.xs
+            && self.cdf == other.cdf
+            && self.mean == other.mean
+            && self.std_dev == other.std_dev
+    }
 }
 
 impl CdfTable {
@@ -41,11 +63,14 @@ impl CdfTable {
         let hi = dist.support_max();
         if hi <= lo {
             // Degenerate distribution (e.g. Constant): a two-point step.
+            let cdf = vec![1.0, 1.0];
+            let guide = GuideTable::build(&cdf);
             return Ok(Self {
                 xs: vec![lo, lo],
-                cdf: vec![1.0, 1.0],
+                cdf,
                 mean: dist.mean(),
                 std_dev: 0.0,
+                guide,
             });
         }
         let mut xs = Vec::with_capacity(points);
@@ -62,16 +87,27 @@ impl CdfTable {
             }
         }
         *cdf.last_mut().expect("points >= 2") = 1.0;
+        let guide = GuideTable::build(&cdf);
         Ok(Self {
             xs,
             cdf,
             mean: dist.mean(),
             std_dev: dist.std_dev(),
+            guide,
         })
     }
 
-    /// Draws a variate by inverse transform over the table.
+    /// Draws a variate by inverse transform over the table: O(1) guide-table
+    /// bucket lookup plus local interpolation.
     pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        inverse_transform_guided(&self.xs, &self.cdf, &self.guide, uniform01(rng))
+    }
+
+    /// Draws a variate via the unguided O(log n) binary search — the
+    /// reference implementation. Public so equivalence tests and benches can
+    /// compare the two paths; both produce bit-identical variates for the
+    /// same RNG stream.
+    pub fn sample_unguided(&self, rng: &mut dyn RngCore) -> f64 {
         inverse_transform(&self.xs, &self.cdf, uniform01(rng))
     }
 
@@ -89,6 +125,17 @@ impl CdfTable {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        inverse_transform_guided(&self.xs, &self.cdf, &self.guide, p)
+    }
+
+    /// The quantile via the unguided binary search (reference path; see
+    /// [`CdfTable::sample_unguided`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn quantile_unguided(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         inverse_transform(&self.xs, &self.cdf, p)
     }
@@ -119,6 +166,27 @@ impl CdfTable {
     /// 4.2: total memory is `user types × file types × samples` of this.
     pub fn memory_bytes(&self) -> usize {
         2 * self.xs.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Resident bytes of the guide-table sampling index (~a quarter of
+    /// [`Self::memory_bytes`]), reported separately so resolution ablations
+    /// keep comparing grid cost alone.
+    pub fn guide_memory_bytes(&self) -> usize {
+        self.guide.memory_bytes()
+    }
+
+    /// Rebuilds the O(1) sampling index. Guides are never trusted from
+    /// serialized input (deserialization leaves the empty binary-search
+    /// fallback); call this after loading a table to restore O(1) draws.
+    pub fn rebuild_guide(&mut self) {
+        self.guide = GuideTable::build(&self.cdf);
+    }
+
+    /// Whether the O(1) guide index is present (false after deserialization
+    /// until [`Self::rebuild_guide`] runs; sampling then falls back to the
+    /// binary search).
+    pub fn has_guide(&self) -> bool {
+        !self.guide.is_empty()
     }
 
     /// The grid of `x` values.
@@ -206,6 +274,31 @@ mod tests {
         let err_coarse = (coarse.quantile(p) - exact).abs();
         let err_fine = (fine.quantile(p) - exact).abs();
         assert!(err_fine <= err_coarse, "{err_fine} vs {err_coarse}");
+    }
+
+    #[test]
+    fn deserialized_guide_is_never_trusted() {
+        // A serialized guide could be stale or hand-edited relative to its
+        // grid, so deserialization always yields the binary-search fallback;
+        // rebuild_guide restores O(1) sampling with identical output.
+        let d = Exponential::new(50.0).unwrap();
+        let t = CdfTable::from_distribution(&d, 256).unwrap();
+        assert!(t.has_guide());
+        let json = serde_json::to_string(&t).unwrap();
+        // Even a hostile guide payload in the JSON is ignored.
+        let json = json.replace("\"guide\":null", "\"guide\":{\"cuts\":[500]}");
+        let mut back: CdfTable = serde_json::from_str(&json).unwrap();
+        assert!(!back.has_guide());
+        for k in 0..=100 {
+            let p = k as f64 / 100.0;
+            assert_eq!(back.quantile(p).to_bits(), t.quantile(p).to_bits());
+        }
+        back.rebuild_guide();
+        assert!(back.has_guide());
+        for k in 0..=100 {
+            let p = k as f64 / 100.0;
+            assert_eq!(back.quantile(p).to_bits(), t.quantile(p).to_bits());
+        }
     }
 
     #[test]

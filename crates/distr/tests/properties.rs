@@ -139,4 +139,67 @@ proptest! {
             prop_assert!((fit2.mean() - sample_mean).abs() < 1e-6 * (1.0 + sample_mean));
         }
     }
+
+    // ---- Guide-table / binary-search equivalence -------------------------
+    // The O(1) guide-table path must return the *bit-identical* variate the
+    // O(log n) binary search returns for the same probability, across random
+    // tables of every supported construction.
+
+    #[test]
+    fn guide_matches_binary_search_on_tabulated_mixtures(
+        d in gamma_strategy(),
+        resolution in 8usize..2048,
+        ps in prop::collection::vec(0.0f64..1.0, 1..64),
+    ) {
+        let table = CdfTable::from_distribution(&d, resolution).unwrap();
+        for p in ps {
+            let guided = table.quantile(p);
+            let unguided = table.quantile_unguided(p);
+            prop_assert!(
+                guided.to_bits() == unguided.to_bits(),
+                "p={p} resolution={resolution}: {guided} vs {unguided}"
+            );
+        }
+    }
+
+    #[test]
+    fn guide_matches_binary_search_on_phase_type_tables(
+        d in phase_type_strategy(),
+        ps in prop::collection::vec(0.0f64..1.0, 1..64),
+    ) {
+        let table = CdfTable::from_distribution(&d, 1024).unwrap();
+        for p in ps {
+            prop_assert_eq!(
+                table.quantile(p).to_bits(),
+                table.quantile_unguided(p).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn guide_matches_binary_search_on_empirical_cdfs(
+        data in prop::collection::vec(0.0f64..1e6, 2..300),
+        ps in prop::collection::vec(0.0f64..1.0, 1..64),
+    ) {
+        let e = EmpiricalCdf::from_samples(&data).unwrap();
+        for p in ps {
+            prop_assert_eq!(
+                e.table_quantile(p).to_bits(),
+                e.table_quantile_unguided(p).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn guided_sampling_stream_equals_unguided_stream(d in gamma_strategy(), seed in any::<u64>()) {
+        let table = CdfTable::from_distribution(&d, 512).unwrap();
+        let mut a = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..128 {
+            prop_assert_eq!(
+                table.sample(&mut a).to_bits(),
+                table.sample_unguided(&mut b).to_bits()
+            );
+        }
+    }
 }

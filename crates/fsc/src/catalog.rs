@@ -194,7 +194,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
-            seen.insert(c.pick(0, FileCategory::NOTES_OTHER_RDONLY, &mut rng).unwrap());
+            seen.insert(
+                c.pick(0, FileCategory::NOTES_OTHER_RDONLY, &mut rng)
+                    .unwrap(),
+            );
         }
         assert_eq!(seen.len(), 4);
     }

@@ -90,32 +90,59 @@ pub struct FileCategory {
 
 impl FileCategory {
     /// `DIR / USER / RDONLY`.
-    pub const DIR_USER_RDONLY: Self =
-        Self { file_type: FileType::Dir, owner: Owner::User, usage: UsageClass::ReadOnly };
+    pub const DIR_USER_RDONLY: Self = Self {
+        file_type: FileType::Dir,
+        owner: Owner::User,
+        usage: UsageClass::ReadOnly,
+    };
     /// `DIR / OTHER / RDONLY`.
-    pub const DIR_OTHER_RDONLY: Self =
-        Self { file_type: FileType::Dir, owner: Owner::Other, usage: UsageClass::ReadOnly };
+    pub const DIR_OTHER_RDONLY: Self = Self {
+        file_type: FileType::Dir,
+        owner: Owner::Other,
+        usage: UsageClass::ReadOnly,
+    };
     /// `REG / USER / RDONLY`.
-    pub const REG_USER_RDONLY: Self =
-        Self { file_type: FileType::Reg, owner: Owner::User, usage: UsageClass::ReadOnly };
+    pub const REG_USER_RDONLY: Self = Self {
+        file_type: FileType::Reg,
+        owner: Owner::User,
+        usage: UsageClass::ReadOnly,
+    };
     /// `REG / USER / NEW`.
-    pub const REG_USER_NEW: Self =
-        Self { file_type: FileType::Reg, owner: Owner::User, usage: UsageClass::New };
+    pub const REG_USER_NEW: Self = Self {
+        file_type: FileType::Reg,
+        owner: Owner::User,
+        usage: UsageClass::New,
+    };
     /// `REG / USER / RD-WRT`.
-    pub const REG_USER_RDWRT: Self =
-        Self { file_type: FileType::Reg, owner: Owner::User, usage: UsageClass::ReadWrite };
+    pub const REG_USER_RDWRT: Self = Self {
+        file_type: FileType::Reg,
+        owner: Owner::User,
+        usage: UsageClass::ReadWrite,
+    };
     /// `REG / USER / TEMP`.
-    pub const REG_USER_TEMP: Self =
-        Self { file_type: FileType::Reg, owner: Owner::User, usage: UsageClass::Temp };
+    pub const REG_USER_TEMP: Self = Self {
+        file_type: FileType::Reg,
+        owner: Owner::User,
+        usage: UsageClass::Temp,
+    };
     /// `REG / OTHER / RDONLY`.
-    pub const REG_OTHER_RDONLY: Self =
-        Self { file_type: FileType::Reg, owner: Owner::Other, usage: UsageClass::ReadOnly };
+    pub const REG_OTHER_RDONLY: Self = Self {
+        file_type: FileType::Reg,
+        owner: Owner::Other,
+        usage: UsageClass::ReadOnly,
+    };
     /// `REG / OTHER / RD-WRT`.
-    pub const REG_OTHER_RDWRT: Self =
-        Self { file_type: FileType::Reg, owner: Owner::Other, usage: UsageClass::ReadWrite };
+    pub const REG_OTHER_RDWRT: Self = Self {
+        file_type: FileType::Reg,
+        owner: Owner::Other,
+        usage: UsageClass::ReadWrite,
+    };
     /// `NOTES / OTHER / RDONLY`.
-    pub const NOTES_OTHER_RDONLY: Self =
-        Self { file_type: FileType::Notes, owner: Owner::Other, usage: UsageClass::ReadOnly };
+    pub const NOTES_OTHER_RDONLY: Self = Self {
+        file_type: FileType::Notes,
+        owner: Owner::Other,
+        usage: UsageClass::ReadOnly,
+    };
 
     /// The nine categories of Table 5.1, in table order.
     pub const TABLE_5_1: [Self; 9] = [
@@ -158,7 +185,10 @@ mod tests {
     #[test]
     fn display_matches_table_notation() {
         assert_eq!(FileCategory::REG_USER_TEMP.to_string(), "REG/USER/TEMP");
-        assert_eq!(FileCategory::NOTES_OTHER_RDONLY.to_string(), "NOTES/OTHER/RDONLY");
+        assert_eq!(
+            FileCategory::NOTES_OTHER_RDONLY.to_string(),
+            "NOTES/OTHER/RDONLY"
+        );
         assert_eq!(FileCategory::REG_USER_RDWRT.to_string(), "REG/USER/RD-WRT");
     }
 

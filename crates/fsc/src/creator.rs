@@ -24,7 +24,11 @@ pub struct CategorySpec {
 impl CategorySpec {
     /// Creates a category spec.
     pub fn new(category: FileCategory, fraction: f64, size: DistributionSpec) -> Self {
-        Self { category, fraction, size }
+        Self {
+            category,
+            fraction,
+            size,
+        }
     }
 }
 
@@ -81,7 +85,10 @@ impl FscSpec {
     /// Returns [`FscError::BadCount`] when `n` is zero.
     pub fn with_files_per_user(mut self, n: u64) -> Result<Self, FscError> {
         if n == 0 {
-            return Err(FscError::BadCount { name: "files_per_user", value: n });
+            return Err(FscError::BadCount {
+                name: "files_per_user",
+                value: n,
+            });
         }
         self.files_per_user = n;
         Ok(self)
@@ -94,7 +101,10 @@ impl FscSpec {
     /// Returns [`FscError::BadCount`] when `n` is zero.
     pub fn with_shared_files(mut self, n: u64) -> Result<Self, FscError> {
         if n == 0 {
-            return Err(FscError::BadCount { name: "shared_files", value: n });
+            return Err(FscError::BadCount {
+                name: "shared_files",
+                value: n,
+            });
         }
         self.shared_files = n;
         Ok(self)
@@ -169,7 +179,10 @@ impl FileSystemCreator {
     ) -> Result<FileCatalog, FscError> {
         self.spec.validate()?;
         if n_users == 0 {
-            return Err(FscError::BadCount { name: "n_users", value: 0 });
+            return Err(FscError::BadCount {
+                name: "n_users",
+                value: 0,
+            });
         }
         let mut catalog = FileCatalog::new();
 
@@ -185,7 +198,14 @@ impl FileSystemCreator {
             .iter()
             .filter(|c| c.category.owner == Owner::Other && c.category.preexisting())
             .collect();
-        self.populate(vfs, rng, &mut catalog, &shared, self.spec.shared_files, None)?;
+        self.populate(
+            vfs,
+            rng,
+            &mut catalog,
+            &shared,
+            self.spec.shared_files,
+            None,
+        )?;
 
         // Per-user population: USER-owned, pre-existing categories.
         let personal: Vec<&CategorySpec> = self
@@ -224,8 +244,7 @@ impl FileSystemCreator {
             return Ok(());
         }
         for spec in specs {
-            let count =
-                ((spec.fraction / frac_sum) * total as f64).round().max(1.0) as u64;
+            let count = ((spec.fraction / frac_sum) * total as f64).round().max(1.0) as u64;
             let dist = spec.size.build()?;
             for i in 0..count {
                 let size = dist.sample(rng).round().max(0.0) as u64;
@@ -398,7 +417,11 @@ mod tests {
         let mut vfs = Vfs::new(VfsConfig::default());
         let mut rng = StdRng::seed_from_u64(3);
         let catalog = creator.build(&mut vfs, 1, &mut rng).unwrap();
-        assert_eq!(vfs.block_stats().allocated, 0, "sparse files hold no blocks");
+        assert_eq!(
+            vfs.block_stats().allocated,
+            0,
+            "sparse files hold no blocks"
+        );
         // Sizes still reflect the distribution.
         let total: u64 = catalog.files().iter().map(|f| f.size).sum();
         assert!(total > 0);
@@ -475,7 +498,8 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let build = |seed| {
-            let creator = FileSystemCreator::new(two_category_spec().with_fill(FillPattern::Sparse));
+            let creator =
+                FileSystemCreator::new(two_category_spec().with_fill(FillPattern::Sparse));
             let mut vfs = Vfs::new(VfsConfig::default());
             let mut rng = StdRng::seed_from_u64(seed);
             let catalog = creator.build(&mut vfs, 2, &mut rng).unwrap();

@@ -119,11 +119,23 @@ impl WholeFileCacheModel {
         let wire = ((bytes + p.rpc_header_bytes) as f64 * p.net_per_byte).round() as u64;
         let disk = p.server_disk_per_op + (bytes as f64 * p.server_disk_per_byte).round() as u64;
         vec![
-            Stage::Service { resource: self.client_cpu, micros: p.client_cpu_per_call },
+            Stage::Service {
+                resource: self.client_cpu,
+                micros: p.client_cpu_per_call,
+            },
             Stage::Delay(p.net_latency),
-            Stage::Service { resource: self.network, micros: wire },
-            Stage::Service { resource: self.server_cpu, micros: p.server_cpu_per_call },
-            Stage::Service { resource: self.server_disk, micros: disk },
+            Stage::Service {
+                resource: self.network,
+                micros: wire,
+            },
+            Stage::Service {
+                resource: self.server_cpu,
+                micros: p.server_cpu_per_call,
+            },
+            Stage::Service {
+                resource: self.server_disk,
+                micros: disk,
+            },
             Stage::Delay(p.net_latency),
             Stage::Service {
                 resource: self.network,
@@ -135,7 +147,10 @@ impl WholeFileCacheModel {
     fn local_data(&self, bytes: u64) -> Vec<Stage> {
         let p = self.params;
         vec![
-            Stage::Service { resource: self.client_cpu, micros: p.client_cpu_per_call },
+            Stage::Service {
+                resource: self.client_cpu,
+                micros: p.client_cpu_per_call,
+            },
             Stage::Service {
                 resource: self.local_disk,
                 micros: p.local_per_op + (bytes as f64 * p.local_per_byte).round() as u64,
@@ -276,7 +291,12 @@ mod tests {
         // magnitude under the remote path (~5 ms for 8 KiB).
         assert!(t < 700, "local read should be cheap, got {t}");
         let remote = OpRequest::data(0, OpKind::Read, FileId(9), 0, 8_192, 8_192);
-        let t_open = response(&mut m, &mut pool, &OpRequest::metadata(0, OpKind::Open, FileId(9), 8_192), 3);
+        let t_open = response(
+            &mut m,
+            &mut pool,
+            &OpRequest::metadata(0, OpKind::Open, FileId(9), 8_192),
+            3,
+        );
         assert!(t_open > 5 * t, "uncached open {t_open} vs local read {t}");
         let _ = remote;
     }
@@ -300,7 +320,10 @@ mod tests {
     #[test]
     fn eviction_forgets_dirtiness() {
         let mut pool = ResourcePool::new();
-        let params = WholeFileCacheParams { cache_files: 1, ..WholeFileCacheParams::default() };
+        let params = WholeFileCacheParams {
+            cache_files: 1,
+            ..WholeFileCacheParams::default()
+        };
         let mut m = WholeFileCacheModel::new(&mut pool, params);
         let w = OpRequest::data(0, OpKind::Write, FileId(1), 0, 10, 100);
         response(&mut m, &mut pool, &w, 1);

@@ -29,7 +29,10 @@ pub struct DistributedNfsParams {
 impl DistributedNfsParams {
     /// `servers` servers with default per-server timing.
     pub fn with_servers(servers: usize) -> Self {
-        Self { per_server: NfsParams::default(), servers }
+        Self {
+            per_server: NfsParams::default(),
+            servers,
+        }
     }
 }
 
@@ -128,9 +131,15 @@ impl DistributedNfsModel {
     ) -> Vec<Stage> {
         let p = self.params.per_server;
         let mut stages = vec![
-            Stage::Service { resource: self.client_cpu, micros: p.client_cpu_per_call },
+            Stage::Service {
+                resource: self.client_cpu,
+                micros: p.client_cpu_per_call,
+            },
             Stage::Delay(p.net_latency),
-            Stage::Service { resource: self.network, micros: self.wire(request_payload) },
+            Stage::Service {
+                resource: self.network,
+                micros: self.wire(request_payload),
+            },
             Stage::Service {
                 resource: self.server_cpus[server],
                 micros: p.server_cpu_per_call,
@@ -143,7 +152,10 @@ impl DistributedNfsModel {
             });
         }
         stages.push(Stage::Delay(p.net_latency));
-        stages.push(Stage::Service { resource: self.network, micros: self.wire(reply_payload) });
+        stages.push(Stage::Service {
+            resource: self.network,
+            micros: self.wire(reply_payload),
+        });
         stages
     }
 }
@@ -196,7 +208,10 @@ mod tests {
 
     fn no_jitter(servers: usize) -> DistributedNfsParams {
         DistributedNfsParams {
-            per_server: NfsParams { disk_jitter: 0, ..NfsParams::default() },
+            per_server: NfsParams {
+                disk_jitter: 0,
+                ..NfsParams::default()
+            },
             servers,
         }
     }
@@ -215,7 +230,10 @@ mod tests {
         let mut pool_n = ResourcePool::new();
         let mut n = crate::NfsModel::new(
             &mut pool_n,
-            NfsParams { disk_jitter: 0, ..NfsParams::default() },
+            NfsParams {
+                disk_jitter: 0,
+                ..NfsParams::default()
+            },
         );
         let req = OpRequest::data(0, OpKind::Read, FileId(5), 0, 1024, 8192);
         let mut rng = StdRng::seed_from_u64(1);
@@ -233,7 +251,10 @@ mod tests {
             counts[m.server_of(FileId(ino))] += 1;
         }
         for &c in &counts {
-            assert!((800..=1_200).contains(&c), "unbalanced placement: {counts:?}");
+            assert!(
+                (800..=1_200).contains(&c),
+                "unbalanced placement: {counts:?}"
+            );
         }
     }
 

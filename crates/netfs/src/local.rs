@@ -73,7 +73,10 @@ impl ServiceModel for LocalDiskModel {
 
     fn stages(&mut self, req: &OpRequest, rng: &mut dyn RngCore) -> Vec<Stage> {
         let p = self.params;
-        let mut stages = vec![Stage::Service { resource: self.cpu, micros: p.cpu_per_call }];
+        let mut stages = vec![Stage::Service {
+            resource: self.cpu,
+            micros: p.cpu_per_call,
+        }];
         match req.kind {
             OpKind::Read | OpKind::Write => {
                 let transfer = (req.bytes as f64 * p.disk_per_byte).round() as u64;
@@ -112,7 +115,10 @@ mod tests {
     use uswg_sim::SimTime;
 
     fn no_jitter() -> LocalDiskParams {
-        LocalDiskParams { disk_jitter: 0, ..LocalDiskParams::default() }
+        LocalDiskParams {
+            disk_jitter: 0,
+            ..LocalDiskParams::default()
+        }
     }
 
     #[test]
@@ -151,26 +157,22 @@ mod tests {
         let stat = OpRequest::metadata(0, OpKind::Stat, FileId(1), 0);
         let creat = OpRequest::metadata(0, OpKind::Create, FileId(1), 0);
         let t_stat = isolated_response(&mut m, &mut pool, &stat, &mut rng, SimTime::ZERO);
-        let t_creat =
-            isolated_response(&mut m, &mut pool, &creat, &mut rng, SimTime::from_secs(1));
+        let t_creat = isolated_response(&mut m, &mut pool, &creat, &mut rng, SimTime::from_secs(1));
         assert!(t_creat > t_stat);
     }
 
     #[test]
     fn jitter_stays_bounded() {
         let mut pool = ResourcePool::new();
-        let params = LocalDiskParams { disk_jitter: 100, ..LocalDiskParams::default() };
+        let params = LocalDiskParams {
+            disk_jitter: 100,
+            ..LocalDiskParams::default()
+        };
         let mut m = LocalDiskModel::new(&mut pool, params);
         let mut rng = StdRng::seed_from_u64(4);
         let req = OpRequest::data(0, OpKind::Read, FileId(1), 0, 0, 0);
         for i in 0..200 {
-            let t = isolated_response(
-                &mut m,
-                &mut pool,
-                &req,
-                &mut rng,
-                SimTime::from_secs(i + 1),
-            );
+            let t = isolated_response(&mut m, &mut pool, &req, &mut rng, SimTime::from_secs(i + 1));
             let base = 50 + 300;
             assert!(t >= base && t <= base + 200, "t = {t}");
         }

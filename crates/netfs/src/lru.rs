@@ -73,12 +73,7 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
 
     /// Removes every key matching the predicate.
     pub(crate) fn retain<F: FnMut(&K) -> bool>(&mut self, mut keep: F) {
-        let dead: Vec<K> = self
-            .by_key
-            .keys()
-            .filter(|k| !keep(k))
-            .cloned()
-            .collect();
+        let dead: Vec<K> = self.by_key.keys().filter(|k| !keep(k)).cloned().collect();
         for k in dead {
             self.remove(&k);
         }

@@ -73,7 +73,10 @@ impl Default for NfsParams {
 impl NfsParams {
     /// The defaults with a client block cache of `blocks` blocks.
     pub fn with_cache(blocks: usize) -> Self {
-        Self { cache_blocks: blocks, ..Self::default() }
+        Self {
+            cache_blocks: blocks,
+            ..Self::default()
+        }
     }
 }
 
@@ -144,7 +147,11 @@ impl NfsModel {
     fn blocks_of(&self, offset: u64, bytes: u64) -> (u64, u64) {
         let bs = self.params.cache_block_bytes.max(1);
         let first = offset / bs;
-        let last = if bytes == 0 { first } else { (offset + bytes - 1) / bs };
+        let last = if bytes == 0 {
+            first
+        } else {
+            (offset + bytes - 1) / bs
+        };
         (first, last)
     }
 
@@ -170,16 +177,31 @@ impl NfsModel {
     fn remote(&mut self, disk_micros: u64, request_payload: u64, reply_payload: u64) -> Vec<Stage> {
         let p = self.params;
         let mut stages = vec![
-            Stage::Service { resource: self.client_cpu, micros: p.client_cpu_per_call },
+            Stage::Service {
+                resource: self.client_cpu,
+                micros: p.client_cpu_per_call,
+            },
             Stage::Delay(p.net_latency),
-            Stage::Service { resource: self.network, micros: self.wire(request_payload) },
-            Stage::Service { resource: self.server_cpu, micros: p.server_cpu_per_call },
+            Stage::Service {
+                resource: self.network,
+                micros: self.wire(request_payload),
+            },
+            Stage::Service {
+                resource: self.server_cpu,
+                micros: p.server_cpu_per_call,
+            },
         ];
         if disk_micros > 0 {
-            stages.push(Stage::Service { resource: self.server_disk, micros: disk_micros });
+            stages.push(Stage::Service {
+                resource: self.server_disk,
+                micros: disk_micros,
+            });
         }
         stages.push(Stage::Delay(p.net_latency));
-        stages.push(Stage::Service { resource: self.network, micros: self.wire(reply_payload) });
+        stages.push(Stage::Service {
+            resource: self.network,
+            micros: self.wire(reply_payload),
+        });
         stages
     }
 }
@@ -225,8 +247,8 @@ impl ServiceModel for NfsModel {
                 self.remote(disk, 0, 0)
             }
             OpKind::Create | OpKind::Unlink => {
-                let disk = p.sync_metadata_factor * p.server_disk_per_metadata_op
-                    + self.jitter(rng);
+                let disk =
+                    p.sync_metadata_factor * p.server_disk_per_metadata_op + self.jitter(rng);
                 if req.kind == OpKind::Unlink {
                     self.invalidate(req.file);
                 }
@@ -234,7 +256,10 @@ impl ServiceModel for NfsModel {
             }
             OpKind::Close | OpKind::Seek => {
                 // Local: NFS v2 has no close RPC; lseek moves a local cursor.
-                vec![Stage::Service { resource: self.client_cpu, micros: p.client_cpu_per_call }]
+                vec![Stage::Service {
+                    resource: self.client_cpu,
+                    micros: p.client_cpu_per_call,
+                }]
             }
         }
     }
@@ -255,7 +280,10 @@ mod tests {
     use uswg_sim::SimTime;
 
     fn no_jitter() -> NfsParams {
-        NfsParams { disk_jitter: 0, ..NfsParams::default() }
+        NfsParams {
+            disk_jitter: 0,
+            ..NfsParams::default()
+        }
     }
 
     fn response(model: &mut NfsModel, pool: &mut ResourcePool, req: &OpRequest, at: u64) -> u64 {
@@ -311,7 +339,10 @@ mod tests {
         let mut pool = ResourcePool::new();
         let mut m = NfsModel::new(
             &mut pool,
-            NfsParams { disk_jitter: 0, ..NfsParams::with_cache(1024) },
+            NfsParams {
+                disk_jitter: 0,
+                ..NfsParams::with_cache(1024)
+            },
         );
         let req = OpRequest::data(0, OpKind::Read, FileId(9), 0, 4096, 65_536);
         let cold = response(&mut m, &mut pool, &req, 1);
@@ -326,7 +357,10 @@ mod tests {
         let mut pool = ResourcePool::new();
         let mut m = NfsModel::new(
             &mut pool,
-            NfsParams { disk_jitter: 0, ..NfsParams::with_cache(1024) },
+            NfsParams {
+                disk_jitter: 0,
+                ..NfsParams::with_cache(1024)
+            },
         );
         let read = OpRequest::data(0, OpKind::Read, FileId(3), 0, 1024, 4096);
         response(&mut m, &mut pool, &read, 1);
@@ -334,7 +368,10 @@ mod tests {
         response(&mut m, &mut pool, &unlink, 2);
         let again = response(&mut m, &mut pool, &read, 3);
         let cold = response(&mut m, &mut pool, &read, 4); // now cached again
-        assert!(again > cold, "after unlink the read must miss: {again} vs {cold}");
+        assert!(
+            again > cold,
+            "after unlink the read must miss: {again} vs {cold}"
+        );
         assert_eq!(m.cache_stats().read_misses, 2);
     }
 
@@ -343,7 +380,10 @@ mod tests {
         let mut pool = ResourcePool::new();
         let mut m = NfsModel::new(
             &mut pool,
-            NfsParams { disk_jitter: 0, ..NfsParams::with_cache(1024) },
+            NfsParams {
+                disk_jitter: 0,
+                ..NfsParams::with_cache(1024)
+            },
         );
         let w = OpRequest::data(0, OpKind::Write, FileId(4), 0, 1024, 1024);
         let t1 = response(&mut m, &mut pool, &w, 1);

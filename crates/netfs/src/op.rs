@@ -92,7 +92,14 @@ pub struct OpRequest {
 impl OpRequest {
     /// A metadata operation (no payload bytes).
     pub fn metadata(user: UserId, kind: OpKind, file: FileId, file_size: u64) -> Self {
-        Self { user, kind, bytes: 0, file, offset: 0, file_size }
+        Self {
+            user,
+            kind,
+            bytes: 0,
+            file,
+            offset: 0,
+            file_size,
+        }
     }
 
     /// A data operation at the given offset.
@@ -104,7 +111,14 @@ impl OpRequest {
         bytes: u64,
         file_size: u64,
     ) -> Self {
-        Self { user, kind, bytes, file, offset, file_size }
+        Self {
+            user,
+            kind,
+            bytes,
+            file,
+            offset,
+            file_size,
+        }
     }
 }
 

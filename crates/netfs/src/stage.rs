@@ -39,7 +39,9 @@ pub struct PendingOp {
 impl PendingOp {
     /// Wraps a stage chain produced by a timing model.
     pub fn new(stages: Vec<Stage>) -> Self {
-        Self { stages: stages.into() }
+        Self {
+            stages: stages.into(),
+        }
     }
 
     /// Number of stages still to run.
@@ -91,8 +93,14 @@ mod tests {
     fn service_stage_queues() {
         let mut pool = ResourcePool::new();
         let disk = pool.add(Resource::new("disk", 1));
-        let mut a = PendingOp::new(vec![Stage::Service { resource: disk, micros: 100 }]);
-        let mut b = PendingOp::new(vec![Stage::Service { resource: disk, micros: 100 }]);
+        let mut a = PendingOp::new(vec![Stage::Service {
+            resource: disk,
+            micros: 100,
+        }]);
+        let mut b = PendingOp::new(vec![Stage::Service {
+            resource: disk,
+            micros: 100,
+        }]);
         let ta = a.advance(&mut pool, SimTime::ZERO);
         let tb = b.advance(&mut pool, SimTime::from_micros(10));
         assert_eq!(ta, StepOutcome::NextAt(SimTime::from_micros(100)));

@@ -132,17 +132,16 @@ impl Resource {
         self.stats.total_service += service_micros;
         self.stats.total_wait += waited;
         self.stats.max_wait = self.stats.max_wait.max(waited);
-        ServiceOutcome { start, completion, waited }
+        ServiceOutcome {
+            start,
+            completion,
+            waited,
+        }
     }
 
     /// Earliest time at which a job arriving now could start service.
     pub fn earliest_start(&self, now: SimTime) -> SimTime {
-        let free = self
-            .free_at
-            .iter()
-            .copied()
-            .min()
-            .expect("capacity > 0");
+        let free = self.free_at.iter().copied().min().expect("capacity > 0");
         now.max(free)
     }
 
@@ -309,8 +308,14 @@ mod tests {
     fn earliest_start_reflects_backlog() {
         let mut r = Resource::new("disk", 1);
         r.serve(SimTime::ZERO, 100);
-        assert_eq!(r.earliest_start(SimTime::from_micros(10)), SimTime::from_micros(100));
-        assert_eq!(r.earliest_start(SimTime::from_micros(200)), SimTime::from_micros(200));
+        assert_eq!(
+            r.earliest_start(SimTime::from_micros(10)),
+            SimTime::from_micros(100)
+        );
+        assert_eq!(
+            r.earliest_start(SimTime::from_micros(200)),
+            SimTime::from_micros(200)
+        );
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub trait World {
 
 /// One pending event. Ordered by time, then by insertion sequence so that
 /// simultaneous events run in FIFO order (deterministic replay).
+///
+/// Layout note: `at` and `seq` lead so the comparison key sits in the first
+/// 16 bytes; with a zero-sized or small event payload the whole entry packs
+/// into one or two cache lines' worth of heap slots (see the
+/// `scheduled_stays_compact` test).
 struct Scheduled<E> {
     at: SimTime,
     seq: u64,
@@ -33,11 +38,13 @@ impl<E> PartialEq for Scheduled<E> {
 }
 impl<E> Eq for Scheduled<E> {}
 impl<E> PartialOrd for Scheduled<E> {
+    #[inline]
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 impl<E> Ord for Scheduled<E> {
+    #[inline]
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
@@ -62,19 +69,25 @@ impl<E> std::fmt::Debug for Scheduled<E> {
 
 impl<E> Scheduler<E> {
     fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    fn with_capacity(capacity: usize) -> Self {
         Self {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(capacity),
         }
     }
 
     /// The current simulated time.
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
 
     /// Schedules `event` to fire `delay_micros` after the current time.
+    #[inline]
     pub fn schedule(&mut self, delay_micros: u64, event: E) {
         self.schedule_at(self.now.saturating_add(delay_micros), event);
     }
@@ -83,6 +96,7 @@ impl<E> Scheduler<E> {
     ///
     /// Events scheduled in the past are clamped to fire "now" (they still run
     /// after the current handler returns), preserving causality.
+    #[inline]
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         let at = at.max(self.now);
         let seq = self.seq;
@@ -95,6 +109,13 @@ impl<E> Scheduler<E> {
         self.queue.len()
     }
 
+    /// Pre-allocates room for at least `additional` more pending events, so
+    /// steady-state scheduling never reallocates the heap mid-run.
+    pub fn reserve(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
+    #[inline]
     fn pop(&mut self) -> Option<Scheduled<E>> {
         self.queue.pop().map(|Reverse(s)| s)
     }
@@ -118,9 +139,30 @@ impl<W: World> Simulation<W> {
         }
     }
 
+    /// Creates a simulation whose event queue is pre-sized for `capacity`
+    /// concurrent pending events. Drivers that know their steady-state
+    /// event population (e.g. one in-flight event per simulated user) avoid
+    /// every mid-run heap reallocation this way.
+    pub fn with_capacity(world: W, capacity: usize) -> Self {
+        Self {
+            world,
+            sched: Scheduler::with_capacity(capacity),
+        }
+    }
+
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.sched.now()
+    }
+
+    /// Number of events still pending in the queue.
+    pub fn pending(&self) -> usize {
+        self.sched.pending()
+    }
+
+    /// Pre-allocates room for at least `additional` more pending events.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.sched.reserve(additional);
     }
 
     /// Shared access to the world.
@@ -152,13 +194,19 @@ impl<W: World> Simulation<W> {
     /// Runs until the queue is empty or the next event is later than
     /// `deadline` (that event stays queued). Returns the number of events
     /// processed.
+    ///
+    /// The loop is fused: each event is extracted with a single heap pop
+    /// instead of a peek/pop pair, and the rare event beyond the deadline is
+    /// pushed back with its original sequence number, which re-inserts it at
+    /// exactly its previous position (FIFO order among simultaneous events
+    /// is untouched).
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut steps = 0;
-        while let Some(Reverse(head)) = self.sched.queue.peek() {
-            if head.at > deadline {
+        while let Some(ev) = self.sched.pop() {
+            if ev.at > deadline {
+                self.sched.queue.push(Reverse(ev));
                 break;
             }
-            let ev = self.sched.pop().expect("peeked");
             debug_assert!(ev.at >= self.sched.now, "time must not run backwards");
             self.sched.now = ev.at;
             self.world.handle(ev.event, &mut self.sched);
@@ -286,6 +334,43 @@ mod tests {
         sim.schedule(1, 1);
         sim.schedule(2, 2);
         assert_eq!(sim.sched.pending(), 2);
+        assert_eq!(sim.pending(), 2);
+    }
+
+    #[test]
+    fn with_capacity_presizes_without_behavior_change() {
+        let mut plain = Simulation::new(Recorder { fired: vec![] });
+        let mut sized = Simulation::with_capacity(Recorder { fired: vec![] }, 64);
+        sized.reserve_events(64);
+        for i in 0..50 {
+            plain.schedule(100 - i as u64, i);
+            sized.schedule(100 - i as u64, i);
+        }
+        plain.run();
+        sized.run();
+        assert_eq!(plain.world().fired, sized.world().fired);
+    }
+
+    #[test]
+    fn run_until_pushback_preserves_fifo_order() {
+        // Two events at the same instant beyond the deadline: the popped-
+        // then-reinserted head must still fire before its sibling.
+        let mut sim = Simulation::new(Recorder { fired: vec![] });
+        sim.schedule(5, 0);
+        sim.schedule(10, 1);
+        sim.schedule(10, 2);
+        assert_eq!(sim.run_until(SimTime::from_micros(5)), 1);
+        assert_eq!(sim.pending(), 2);
+        sim.run();
+        let order: Vec<u32> = sim.world().fired.iter().map(|&(e, _)| e).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scheduled_stays_compact() {
+        // The hot-loop entry must remain two comparison words plus payload.
+        assert_eq!(std::mem::size_of::<Scheduled<()>>(), 16);
+        assert!(std::mem::size_of::<Scheduled<u64>>() <= 24);
     }
 
     #[test]

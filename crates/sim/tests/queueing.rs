@@ -145,8 +145,12 @@ fn two_servers_halve_utilization_effects() {
             self.resource.serve(sched.now(), service);
         }
     }
-    let mut single = Simulation::new(Fixed { resource: Resource::new("s", 1) });
-    let mut double = Simulation::new(Fixed { resource: Resource::new("d", 2) });
+    let mut single = Simulation::new(Fixed {
+        resource: Resource::new("s", 1),
+    });
+    let mut double = Simulation::new(Fixed {
+        resource: Resource::new("d", 2),
+    });
     for sim in [&mut single, &mut double] {
         for i in 0..1_000u64 {
             sim.schedule(i * 60, 100); // arrivals every 60 µs, service 100 µs

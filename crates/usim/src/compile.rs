@@ -92,6 +92,24 @@ impl CompiledUserType {
         (base * factor).round().max(0.0) as u64
     }
 
+    /// Expected file-access system calls per login session, estimated from
+    /// the compiled tables' recorded means: per category, `pct_users ×
+    /// mean_files × (bookkeeping calls + data calls)`, where data calls ≈
+    /// `access_per_byte × mean_file_size / mean_access_size`. Used to
+    /// pre-size usage logs; it is a capacity hint, not a guarantee.
+    pub fn expected_ops_per_session(&self) -> f64 {
+        // open + close + the occasional create/unlink/stat/seek per file.
+        const BOOKKEEPING_OPS: f64 = 4.0;
+        let access = self.access_size.mean().max(1.0);
+        self.categories
+            .iter()
+            .map(|c| {
+                let data_ops = (c.access_per_byte * c.file_size.mean().max(0.0) / access).ceil();
+                c.pct_users * c.files.mean().max(0.0) * (BOOKKEEPING_OPS + data_ops)
+            })
+            .sum()
+    }
+
     /// Total CDF-table bytes held by this type — the memory cost the paper
     /// flags in Section 4.2 ("the product of the number of user types,
     /// number of file types, and the number of sample values").

@@ -8,9 +8,10 @@
 //! resource pool. Response times therefore include queueing behind every
 //! other user — the effect Chapter 5 measures.
 
-use crate::compile::{BehaviorState, CompiledPopulation};
+use crate::compile::{BehaviorState, CompiledPopulation, CompiledUserType};
 use crate::log::{OpRecord, SessionRecord, UsageLog};
 use crate::session::{ExecutedOp, Session, MAX_ACCESS_BYTES};
+use crate::sink::LogSink;
 use crate::{RunConfig, UsimError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,7 +43,9 @@ struct UserState {
 }
 
 /// The simulated world: file system, catalog, model, pool and users.
-struct UsimWorld {
+/// Generic over the [`LogSink`] receiving its records, so sweeps can stream
+/// straight into running summaries instead of materializing the op vector.
+struct UsimWorld<S: LogSink> {
     vfs: Vfs,
     catalog: FileCatalog,
     pool: ResourcePool,
@@ -56,16 +59,16 @@ struct UsimWorld {
     config: RunConfig,
     users: Vec<UserState>,
     buf: Vec<u8>,
-    log: UsageLog,
+    sink: S,
     error: Option<UsimError>,
 }
 
-impl UsimWorld {
+impl<S: LogSink> UsimWorld<S> {
     fn finish_session(&mut self, user: usize, now: SimTime) {
         let state = &mut self.users[user];
         if let Some(session) = state.session.take() {
             let m = session.metrics;
-            self.log.push_session(SessionRecord {
+            self.sink.record_session(&SessionRecord {
                 user,
                 user_type: session.user_type,
                 session: session.ordinal,
@@ -84,7 +87,7 @@ impl UsimWorld {
     }
 }
 
-impl World for UsimWorld {
+impl<S: LogSink> World for UsimWorld<S> {
     type Event = Ev;
 
     fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
@@ -165,7 +168,7 @@ impl World for UsimWorld {
                         let session = state.session.as_mut().expect("session active");
                         session.metrics.total_response += response;
                         if self.config.record_ops {
-                            self.log.push_op(OpRecord {
+                            self.sink.record_op(&OpRecord {
                                 at: issued.micros(),
                                 user,
                                 session: session.ordinal,
@@ -192,6 +195,36 @@ impl World for UsimWorld {
 pub struct DesReport {
     /// The usage log (ops + sessions).
     pub log: UsageLog,
+    /// Final statistics of every model resource, by name.
+    pub resources: Vec<(String, ResourceStats)>,
+    /// Simulated duration of the whole run.
+    pub duration: SimTime,
+    /// Name of the timing model used.
+    pub model: String,
+    /// Total events processed by the kernel.
+    pub events: u64,
+}
+
+impl DesReport {
+    /// Assembles a report from a collected log and the run's statistics —
+    /// the single place the two shapes are stitched together, so adding a
+    /// run-level statistic means touching [`DesRunStats`] and this
+    /// constructor only.
+    fn from_parts(log: UsageLog, stats: DesRunStats) -> Self {
+        Self {
+            log,
+            resources: stats.resources,
+            duration: stats.duration,
+            model: stats.model,
+            events: stats.events,
+        }
+    }
+}
+
+/// Run-level statistics of a sink-driven DES run (everything a
+/// [`DesReport`] carries except the materialized log).
+#[derive(Debug)]
+pub struct DesRunStats {
     /// Final statistics of every model resource, by name.
     pub resources: Vec<(String, ResourceStats)>,
     /// Simulated duration of the whole run.
@@ -233,12 +266,79 @@ impl DesDriver {
     ) -> Result<DesReport, UsimError> {
         config.validate()?;
         let assignment = population.assign(config.n_users);
+        // Pre-size the log: sessions are exact, ops come from the compiled
+        // population's expected-ops estimate (a hint; growth still works).
+        let sessions = config.n_users * config.sessions_per_user as usize;
+        let est_ops = if config.record_ops {
+            // Memoize the estimate per type: it walks the type's category
+            // tables, so evaluating it per user would cost O(users × cats).
+            let per_type: Vec<f64> = population
+                .types()
+                .iter()
+                .map(CompiledUserType::expected_ops_per_session)
+                .collect();
+            let per_user: f64 = assignment.iter().map(|&t| per_type[t]).sum();
+            // Cap the upfront reservation: the estimate can overshoot, and
+            // 2^20 records (~80 MiB of OpRecords) is the most a hint should
+            // pre-commit — beyond that, amortized growth is cheap anyway.
+            ((per_user * f64::from(config.sessions_per_user)) as usize).min(1 << 20)
+        } else {
+            0
+        };
+        let log = UsageLog::with_capacity(est_ops, sessions);
+        let (log, stats) = self.run_inner(
+            vfs, catalog, population, model, pool, config, assignment, log,
+        )?;
+        Ok(DesReport::from_parts(log, stats))
+    }
+
+    /// Executes the run, streaming records into `sink` instead of
+    /// materializing a [`UsageLog`]. This is the memory-lean entry point for
+    /// large-population sweeps; `DesDriver::run` is a thin wrapper passing a
+    /// pre-sized log as the sink. Record streams are identical between the
+    /// two paths for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors and any unexpected
+    /// file-system error raised mid-run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_sink<S: LogSink>(
+        &self,
+        vfs: Vfs,
+        catalog: FileCatalog,
+        population: &CompiledPopulation,
+        model: Box<dyn ServiceModel>,
+        pool: ResourcePool,
+        config: &RunConfig,
+        sink: S,
+    ) -> Result<(S, DesRunStats), UsimError> {
+        config.validate()?;
+        let assignment = population.assign(config.n_users);
+        self.run_inner(
+            vfs, catalog, population, model, pool, config, assignment, sink,
+        )
+    }
+
+    /// Shared body of [`Self::run`] and [`Self::run_with_sink`]: both entry
+    /// points compute the user-to-type assignment exactly once (`run` also
+    /// needs it for log pre-sizing) and hand it down here.
+    #[allow(clippy::too_many_arguments)]
+    fn run_inner<S: LogSink>(
+        &self,
+        vfs: Vfs,
+        catalog: FileCatalog,
+        population: &CompiledPopulation,
+        model: Box<dyn ServiceModel>,
+        pool: ResourcePool,
+        config: &RunConfig,
+        assignment: Vec<usize>,
+        sink: S,
+    ) -> Result<(S, DesRunStats), UsimError> {
         let users = (0..config.n_users)
             .map(|u| UserState {
                 proc: vfs.new_process(),
-                rng: StdRng::seed_from_u64(
-                    config.seed ^ (u as u64).wrapping_mul(0x9E37_79B9),
-                ),
+                rng: StdRng::seed_from_u64(config.seed ^ (u as u64).wrapping_mul(0x9E37_79B9)),
                 type_idx: assignment[u],
                 behavior: population.types()[assignment[u]].new_behavior(),
                 session: None,
@@ -259,10 +359,12 @@ impl DesDriver {
             config: *config,
             users,
             buf: vec![0xA5u8; MAX_ACCESS_BYTES as usize],
-            log: UsageLog::new(),
+            sink,
             error: None,
         };
-        let mut sim = Simulation::new(world);
+        // Steady state holds at most one pending event per user (wake or
+        // step); ×2 leaves slack for logout/login turnover.
+        let mut sim = Simulation::with_capacity(world, config.n_users * 2 + 1);
         for u in 0..config.n_users {
             sim.schedule(0, Ev::Wake(u));
         }
@@ -277,12 +379,14 @@ impl DesDriver {
             .iter()
             .map(|(_, r)| (r.name().to_string(), r.stats()))
             .collect();
-        Ok(DesReport {
-            log: world.log,
-            resources,
-            duration,
-            model: model_name,
-            events,
-        })
+        Ok((
+            world.sink,
+            DesRunStats {
+                resources,
+                duration,
+                model: model_name,
+                events,
+            },
+        ))
     }
 }

@@ -45,10 +45,10 @@ impl DirectDriver {
         let mut log = UsageLog::new();
         let mut buf = vec![0xA5u8; MAX_ACCESS_BYTES as usize];
 
-        for user in 0..config.n_users {
-            let type_idx = assignment[user];
+        for (user, &type_idx) in assignment.iter().enumerate() {
             let utype = &population.types()[type_idx];
-            let mut rng = StdRng::seed_from_u64(config.seed ^ (user as u64).wrapping_mul(0x9E37_79B9));
+            let mut rng =
+                StdRng::seed_from_u64(config.seed ^ (user as u64).wrapping_mul(0x9E37_79B9));
             let mut proc = vfs.new_process();
             let mut behavior = utype.new_behavior();
             // Virtual clock: think times are sampled (keeping the RNG stream
@@ -56,14 +56,12 @@ impl DirectDriver {
             let mut virtual_clock: u64 = 0;
 
             for ordinal in 0..config.sessions_per_user {
-                let mut session =
-                    Session::plan(user, type_idx, ordinal, utype, catalog, &mut rng);
+                let mut session = Session::plan(user, type_idx, ordinal, utype, catalog, &mut rng);
                 let start = virtual_clock;
                 vfs.set_clock(start);
                 loop {
                     let before = Instant::now();
-                    let Some(exec) =
-                        session.next_op(vfs, &mut proc, utype, &mut buf, &mut rng)?
+                    let Some(exec) = session.next_op(vfs, &mut proc, utype, &mut buf, &mut rng)?
                     else {
                         break;
                     };

@@ -84,8 +84,12 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(UsimError::EmptyPopulation.to_string().contains("no user types"));
-        assert!(UsimError::BadFractions { sum: 0.5 }.to_string().contains("0.5"));
+        assert!(UsimError::EmptyPopulation
+            .to_string()
+            .contains("no user types"));
+        assert!(UsimError::BadFractions { sum: 0.5 }
+            .to_string()
+            .contains("0.5"));
         let e: UsimError = FsError::NoSpace.into();
         assert!(std::error::Error::source(&e).is_some());
     }

@@ -34,14 +34,16 @@ mod direct;
 mod error;
 mod log;
 mod session;
+mod sink;
 mod spec;
 mod temporal;
 
 pub use compile::{BehaviorState, CompiledPopulation, CompiledUserType};
-pub use des::{DesDriver, DesReport};
+pub use des::{DesDriver, DesReport, DesRunStats};
 pub use direct::DirectDriver;
 pub use error::UsimError;
 pub use log::{OpRecord, SessionRecord, UsageLog};
 pub use session::MAX_ACCESS_BYTES;
+pub use sink::{LogSink, SummarySink};
 pub use spec::{AccessPattern, CategoryUsage, PopulationSpec, RunConfig, UserTypeSpec};
 pub use temporal::{DiurnalProfile, PhaseModel, PhaseState};

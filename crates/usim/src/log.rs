@@ -101,6 +101,17 @@ impl UsageLog {
         Self::default()
     }
 
+    /// Creates an empty log pre-sized for `ops` operation records and
+    /// `sessions` session records, so steady-state recording never
+    /// reallocates. Drivers size this from `n_users × sessions_per_user`
+    /// and the population's expected operations per session.
+    pub fn with_capacity(ops: usize, sessions: usize) -> Self {
+        Self {
+            ops: Vec::with_capacity(ops),
+            sessions: Vec::with_capacity(sessions),
+        }
+    }
+
     /// Appends an operation record.
     pub fn push_op(&mut self, record: OpRecord) {
         self.ops.push(record);

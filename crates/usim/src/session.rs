@@ -363,7 +363,7 @@ impl Session {
                 if task.creates {
                     task.written < task.file_size
                 } else {
-                    rng.next_u64() % 2 == 0
+                    rng.next_u64().is_multiple_of(2)
                 }
             }
         } && !task.is_dir;

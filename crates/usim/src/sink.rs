@@ -1,0 +1,195 @@
+//! Streaming destinations for usage records.
+//!
+//! At paper scale (a handful of users × 50 sessions) materializing every
+//! [`OpRecord`] is free; at the ROADMAP's millions-of-users scale the op
+//! vector **is** the memory ceiling — a sweep point only needs running
+//! summaries of the op stream. [`LogSink`] abstracts where records go: the
+//! default [`UsageLog`] sink collects everything (so existing figures are
+//! byte-identical), while [`SummarySink`] folds each record into running
+//! aggregates and retains O(1) memory regardless of run length.
+
+use crate::log::{OpRecord, SessionRecord, UsageLog};
+
+/// A destination for the records a driver produces.
+///
+/// Methods take references so a sink never forces a copy it does not need.
+pub trait LogSink {
+    /// Receives one executed operation. Only called when the run's
+    /// `record_ops` flag is on.
+    fn record_op(&mut self, op: &OpRecord);
+
+    /// Receives one completed session.
+    fn record_session(&mut self, session: &SessionRecord);
+}
+
+impl LogSink for UsageLog {
+    fn record_op(&mut self, op: &OpRecord) {
+        self.push_op(*op);
+    }
+
+    fn record_session(&mut self, session: &SessionRecord) {
+        self.push_session(*session);
+    }
+}
+
+/// Streaming-aggregate sink: folds the op stream into the figures' headline
+/// metrics without materializing any records.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SummarySink {
+    /// Operations observed.
+    pub ops: u64,
+    /// Data operations (reads/writes moving at least one byte).
+    pub data_ops: u64,
+    /// Bytes moved by data operations.
+    pub data_bytes: u64,
+    /// Total response time over all operations, µs.
+    pub total_response: u64,
+    /// Sum of data-op access sizes (for the mean).
+    access_size_sum: f64,
+    /// Sum of squared data-op access sizes (for the std dev).
+    access_size_sumsq: f64,
+    /// Sum of data-op response times.
+    response_sum: f64,
+    /// Sum of squared data-op response times.
+    response_sumsq: f64,
+    /// Sessions observed.
+    pub sessions: u64,
+    /// Total bytes accessed across sessions.
+    pub session_bytes_accessed: u64,
+}
+
+impl SummarySink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean response time per data byte, µs — the Figures 5.6–5.12 metric,
+    /// charging metadata calls to the transferred bytes exactly like
+    /// `uswg_analyze::metrics::response_time_per_byte`.
+    pub fn response_per_byte(&self) -> f64 {
+        if self.data_bytes == 0 {
+            0.0
+        } else {
+            self.total_response as f64 / self.data_bytes as f64
+        }
+    }
+
+    /// Mean access size over data operations, bytes.
+    pub fn mean_access_size(&self) -> f64 {
+        if self.data_ops == 0 {
+            0.0
+        } else {
+            self.access_size_sum / self.data_ops as f64
+        }
+    }
+
+    /// Sample standard deviation of data-op access sizes, bytes.
+    pub fn std_dev_access_size(&self) -> f64 {
+        sample_std_dev(self.access_size_sum, self.access_size_sumsq, self.data_ops)
+    }
+
+    /// Mean response time over data operations, µs.
+    pub fn mean_response(&self) -> f64 {
+        if self.data_ops == 0 {
+            0.0
+        } else {
+            self.response_sum / self.data_ops as f64
+        }
+    }
+
+    /// Sample standard deviation of data-op response times, µs.
+    pub fn std_dev_response(&self) -> f64 {
+        sample_std_dev(self.response_sum, self.response_sumsq, self.data_ops)
+    }
+}
+
+fn sample_std_dev(sum: f64, sumsq: f64, n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let n = n as f64;
+    let var = (sumsq - sum * sum / n) / (n - 1.0);
+    var.max(0.0).sqrt()
+}
+
+impl LogSink for SummarySink {
+    fn record_op(&mut self, op: &OpRecord) {
+        self.ops += 1;
+        self.total_response += op.response;
+        if op.op.is_data() && op.bytes > 0 {
+            self.data_ops += 1;
+            self.data_bytes += op.bytes;
+            let bytes = op.bytes as f64;
+            let resp = op.response as f64;
+            self.access_size_sum += bytes;
+            self.access_size_sumsq += bytes * bytes;
+            self.response_sum += resp;
+            self.response_sumsq += resp * resp;
+        }
+    }
+
+    fn record_session(&mut self, session: &SessionRecord) {
+        self.sessions += 1;
+        self.session_bytes_accessed += session.bytes_accessed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uswg_fsc::FileCategory;
+    use uswg_netfs::OpKind;
+
+    fn op(kind: OpKind, bytes: u64, response: u64) -> OpRecord {
+        OpRecord {
+            at: 0,
+            user: 0,
+            session: 0,
+            op: kind,
+            ino: 1,
+            bytes,
+            file_size: 1000,
+            response,
+            category: FileCategory::REG_USER_RDONLY,
+        }
+    }
+
+    #[test]
+    fn summary_matches_metrics_semantics() {
+        let mut sink = SummarySink::new();
+        sink.record_op(&op(OpKind::Open, 0, 400));
+        sink.record_op(&op(OpKind::Read, 400, 100));
+        // (400 + 100) µs over 400 data bytes, as response_time_per_byte.
+        assert!((sink.response_per_byte() - 1.25).abs() < 1e-12);
+        assert_eq!(sink.ops, 2);
+        assert_eq!(sink.data_ops, 1);
+    }
+
+    #[test]
+    fn summary_moments_match_direct_computation() {
+        let mut sink = SummarySink::new();
+        for (bytes, resp) in [(100u64, 10u64), (300, 30)] {
+            sink.record_op(&op(OpKind::Write, bytes, resp));
+        }
+        assert!((sink.mean_access_size() - 200.0).abs() < 1e-9);
+        // Sample std dev of {100, 300} is sqrt(20000) ≈ 141.42.
+        assert!((sink.std_dev_access_size() - 20000f64.sqrt()).abs() < 1e-9);
+        assert!((sink.mean_response() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sink_is_all_zero() {
+        let sink = SummarySink::new();
+        assert_eq!(sink.response_per_byte(), 0.0);
+        assert_eq!(sink.mean_access_size(), 0.0);
+        assert_eq!(sink.std_dev_response(), 0.0);
+    }
+
+    #[test]
+    fn usage_log_is_a_sink() {
+        let mut log = UsageLog::new();
+        LogSink::record_op(&mut log, &op(OpKind::Read, 8, 1));
+        assert_eq!(log.ops().len(), 1);
+    }
+}

@@ -81,7 +81,10 @@ impl CategoryUsage {
 
     fn validate(&self, type_name: &str) -> Result<(), UsimError> {
         if !(0.0..=1.0).contains(&self.pct_users) {
-            return Err(UsimError::BadProbability { name: "pct_users", value: self.pct_users });
+            return Err(UsimError::BadProbability {
+                name: "pct_users",
+                value: self.pct_users,
+            });
         }
         if !(self.access_per_byte.is_finite() && self.access_per_byte >= 0.0) {
             return Err(UsimError::BadProbability {
@@ -164,7 +167,9 @@ impl UserTypeSpec {
 
     pub(crate) fn validate(&self) -> Result<(), UsimError> {
         if self.categories.is_empty() {
-            return Err(UsimError::EmptyUserType { name: self.name.clone() });
+            return Err(UsimError::EmptyUserType {
+                name: self.name.clone(),
+            });
         }
         for usage in &self.categories {
             usage.validate(&self.name)?;
@@ -280,10 +285,14 @@ impl RunConfig {
             return Err(UsimError::BadCount { name: "n_users" });
         }
         if self.sessions_per_user == 0 {
-            return Err(UsimError::BadCount { name: "sessions_per_user" });
+            return Err(UsimError::BadCount {
+                name: "sessions_per_user",
+            });
         }
         if self.cdf_resolution < 2 {
-            return Err(UsimError::BadCount { name: "cdf_resolution" });
+            return Err(UsimError::BadCount {
+                name: "cdf_resolution",
+            });
         }
         Ok(())
     }
@@ -328,7 +337,10 @@ mod tests {
 
     #[test]
     fn population_validation() {
-        assert!(matches!(PopulationSpec::new(vec![]), Err(UsimError::EmptyPopulation)));
+        assert!(matches!(
+            PopulationSpec::new(vec![]),
+            Err(UsimError::EmptyPopulation)
+        ));
         let bad = PopulationSpec::new(vec![(minimal_type("a"), 0.5)]);
         assert!(matches!(bad, Err(UsimError::BadFractions { .. })));
         let empty_type = UserTypeSpec::new(
@@ -385,8 +397,10 @@ mod tests {
         assert!(RunConfig::default().validate().is_ok());
         assert!(RunConfig::default().with_users(0).validate().is_err());
         assert!(RunConfig::default().with_sessions(0).validate().is_err());
-        let mut c = RunConfig::default();
-        c.cdf_resolution = 1;
+        let c = RunConfig {
+            cdf_resolution: 1,
+            ..RunConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

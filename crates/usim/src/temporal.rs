@@ -46,7 +46,10 @@ impl PhaseModel {
     /// negative, or a scale is negative/non-finite.
     pub fn new(states: Vec<PhaseState>, transitions: Vec<Vec<f64>>) -> Result<Self, UsimError> {
         if states.is_empty() {
-            return Err(UsimError::BadProbability { name: "phase_states", value: 0.0 });
+            return Err(UsimError::BadProbability {
+                name: "phase_states",
+                value: 0.0,
+            });
         }
         if transitions.len() != states.len() {
             return Err(UsimError::BadProbability {
@@ -71,10 +74,16 @@ impl PhaseModel {
             }
             let sum: f64 = row.iter().sum();
             if (sum - 1.0).abs() > 1e-6 || row.iter().any(|&p| p < 0.0) {
-                return Err(UsimError::BadProbability { name: "transition_row_sum", value: sum });
+                return Err(UsimError::BadProbability {
+                    name: "transition_row_sum",
+                    value: sum,
+                });
             }
         }
-        Ok(Self { states, transitions })
+        Ok(Self {
+            states,
+            transitions,
+        })
     }
 
     /// The classic two-phase I/O-bound / CPU-bound model: in the I/O phase
@@ -88,12 +97,21 @@ impl PhaseModel {
     /// `[0, 1]` or non-positive scales.
     pub fn io_cpu(io_scale: f64, cpu_scale: f64, persistence: f64) -> Result<Self, UsimError> {
         if !(0.0..=1.0).contains(&persistence) {
-            return Err(UsimError::BadProbability { name: "persistence", value: persistence });
+            return Err(UsimError::BadProbability {
+                name: "persistence",
+                value: persistence,
+            });
         }
         Self::new(
             vec![
-                PhaseState { name: "I/O-bound".into(), think_scale: io_scale },
-                PhaseState { name: "CPU-bound".into(), think_scale: cpu_scale },
+                PhaseState {
+                    name: "I/O-bound".into(),
+                    think_scale: io_scale,
+                },
+                PhaseState {
+                    name: "CPU-bound".into(),
+                    think_scale: cpu_scale,
+                },
             ],
             vec![
                 vec![persistence, 1.0 - persistence],
@@ -152,7 +170,10 @@ impl DiurnalProfile {
             });
         }
         if hourly.iter().any(|&f| !f.is_finite() || f <= 0.0) {
-            return Err(UsimError::BadProbability { name: "hourly_factor", value: -1.0 });
+            return Err(UsimError::BadProbability {
+                name: "hourly_factor",
+                value: -1.0,
+            });
         }
         Ok(Self { hourly })
     }
@@ -185,17 +206,24 @@ mod tests {
     fn phase_model_validation() {
         assert!(PhaseModel::new(vec![], vec![]).is_err());
         let states = vec![
-            PhaseState { name: "a".into(), think_scale: 1.0 },
-            PhaseState { name: "b".into(), think_scale: 2.0 },
+            PhaseState {
+                name: "a".into(),
+                think_scale: 1.0,
+            },
+            PhaseState {
+                name: "b".into(),
+                think_scale: 2.0,
+            },
         ];
         // Wrong row count.
         assert!(PhaseModel::new(states.clone(), vec![vec![1.0, 0.0]]).is_err());
         // Row does not sum to 1.
-        assert!(
-            PhaseModel::new(states.clone(), vec![vec![0.5, 0.4], vec![0.0, 1.0]]).is_err()
-        );
+        assert!(PhaseModel::new(states.clone(), vec![vec![0.5, 0.4], vec![0.0, 1.0]]).is_err());
         // Negative scale.
-        let bad = vec![PhaseState { name: "x".into(), think_scale: -1.0 }];
+        let bad = vec![PhaseState {
+            name: "x".into(),
+            think_scale: -1.0,
+        }];
         assert!(PhaseModel::new(bad, vec![vec![1.0]]).is_err());
         // Valid.
         assert!(PhaseModel::new(states, vec![vec![0.9, 0.1], vec![0.1, 0.9]]).is_ok());

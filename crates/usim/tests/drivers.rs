@@ -1,9 +1,7 @@
 //! End-to-end tests of both USIM drivers on a small Table-5.2-like workload.
 
 use uswg_distr::DistributionSpec;
-use uswg_fsc::{
-    CategorySpec, FileCatalog, FileCategory, FileSystemCreator, FillPattern, FscSpec,
-};
+use uswg_fsc::{CategorySpec, FileCatalog, FileCategory, FileSystemCreator, FillPattern, FscSpec};
 use uswg_netfs::{LocalDiskModel, LocalDiskParams, NfsModel, NfsParams, OpKind};
 use uswg_sim::ResourcePool;
 use uswg_usim::{
@@ -73,8 +71,13 @@ fn population(think_us: f64) -> PopulationSpec {
 fn direct_driver_produces_sessions_and_ops() {
     let (mut vfs, catalog) = build_fs(2, 1);
     let pop = CompiledPopulation::compile(&population(0.0), 512).unwrap();
-    let config = RunConfig::default().with_users(2).with_sessions(5).with_seed(7);
-    let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+    let config = RunConfig::default()
+        .with_users(2)
+        .with_sessions(5)
+        .with_seed(7);
+    let log = DirectDriver::new()
+        .run(&mut vfs, &catalog, &pop, &config)
+        .unwrap();
 
     assert_eq!(log.sessions().len(), 10);
     assert!(!log.ops().is_empty());
@@ -95,8 +98,13 @@ fn direct_driver_produces_sessions_and_ops() {
 fn op_stream_respects_logical_constraints() {
     let (mut vfs, catalog) = build_fs(1, 2);
     let pop = CompiledPopulation::compile(&population(0.0), 512).unwrap();
-    let config = RunConfig::default().with_users(1).with_sessions(3).with_seed(3);
-    let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+    let config = RunConfig::default()
+        .with_users(1)
+        .with_sessions(3)
+        .with_seed(3);
+    let log = DirectDriver::new()
+        .run(&mut vfs, &catalog, &pop, &config)
+        .unwrap();
 
     // Per (session, ino): open/creat before any read/write; close after.
     // A file may be referenced by several concurrent tasks in one session
@@ -136,7 +144,10 @@ fn op_stream_respects_logical_constraints() {
         }
     }
     // Everything opened was eventually closed.
-    assert!(open_count.values().all(|&c| c == 0), "dangling opens at logout");
+    assert!(
+        open_count.values().all(|&c| c == 0),
+        "dangling opens at logout"
+    );
 }
 
 #[test]
@@ -156,8 +167,13 @@ fn temp_files_do_not_accumulate() {
         )],
     );
     let pop = CompiledPopulation::compile(&PopulationSpec::single(utype).unwrap(), 256).unwrap();
-    let config = RunConfig::default().with_users(1).with_sessions(10).with_seed(11);
-    let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+    let config = RunConfig::default()
+        .with_users(1)
+        .with_sessions(10)
+        .with_seed(11);
+    let log = DirectDriver::new()
+        .run(&mut vfs, &catalog, &pop, &config)
+        .unwrap();
     let creates = log.ops().iter().filter(|o| o.op == OpKind::Create).count();
     let unlinks = log.ops().iter().filter(|o| o.op == OpKind::Unlink).count();
     assert!(creates > 0, "temp workload must create files");
@@ -171,8 +187,13 @@ fn des_driver_measures_response_times() {
     let pop = CompiledPopulation::compile(&population(5000.0), 512).unwrap();
     let mut pool = ResourcePool::new();
     let model = Box::new(NfsModel::new(&mut pool, NfsParams::default()));
-    let config = RunConfig::default().with_users(2).with_sessions(3).with_seed(5);
-    let report = DesDriver::new().run(vfs, catalog, &pop, model, pool, &config).unwrap();
+    let config = RunConfig::default()
+        .with_users(2)
+        .with_sessions(3)
+        .with_seed(5);
+    let report = DesDriver::new()
+        .run(vfs, catalog, &pop, model, pool, &config)
+        .unwrap();
 
     assert_eq!(report.model, "nfs");
     assert_eq!(report.log.sessions().len(), 6);
@@ -187,7 +208,10 @@ fn des_driver_measures_response_times() {
         .map(|o| o.response)
         .min()
         .expect("some reads happen");
-    assert!(min_read > 1_000, "NFS read under 1 ms is impossible: {min_read}");
+    assert!(
+        min_read > 1_000,
+        "NFS read under 1 ms is impossible: {min_read}"
+    );
     // Resources actually served jobs.
     let disk = report
         .resources
@@ -211,7 +235,9 @@ fn des_contention_raises_response_times() {
             record_ops: true,
             cdf_resolution: 512,
         };
-        let report = DesDriver::new().run(vfs, catalog, &pop, model, pool, &config).unwrap();
+        let report = DesDriver::new()
+            .run(vfs, catalog, &pop, model, pool, &config)
+            .unwrap();
         let total: u64 = report.log.ops().iter().map(|o| o.response).sum();
         total as f64 / report.log.ops().len() as f64
     };
@@ -229,16 +255,22 @@ fn des_and_direct_semantics_agree() {
     // because op generation only consumes the per-user RNG.
     let (mut vfs1, catalog1) = build_fs(1, 8);
     let pop = CompiledPopulation::compile(&population(0.0), 512).unwrap();
-    let config = RunConfig::default().with_users(1).with_sessions(2).with_seed(9);
-    let direct = DirectDriver::new().run(&mut vfs1, &catalog1, &pop, &config).unwrap();
+    let config = RunConfig::default()
+        .with_users(1)
+        .with_sessions(2)
+        .with_seed(9);
+    let direct = DirectDriver::new()
+        .run(&mut vfs1, &catalog1, &pop, &config)
+        .unwrap();
 
     let (vfs2, catalog2) = build_fs(1, 8);
     let mut pool = ResourcePool::new();
     let model = Box::new(LocalDiskModel::new(&mut pool, LocalDiskParams::default()));
-    let des = DesDriver::new().run(vfs2, catalog2, &pop, model, pool, &config).unwrap();
+    let des = DesDriver::new()
+        .run(vfs2, catalog2, &pop, model, pool, &config)
+        .unwrap();
 
-    let seq_direct: Vec<(OpKind, u64)> =
-        direct.ops().iter().map(|o| (o.op, o.bytes)).collect();
+    let seq_direct: Vec<(OpKind, u64)> = direct.ops().iter().map(|o| (o.op, o.bytes)).collect();
     let seq_des: Vec<(OpKind, u64)> = des.log.ops().iter().map(|o| (o.op, o.bytes)).collect();
     assert_eq!(seq_direct, seq_des);
 }
@@ -247,8 +279,13 @@ fn des_and_direct_semantics_agree() {
 fn log_round_trips_through_json() {
     let (mut vfs, catalog) = build_fs(1, 10);
     let pop = CompiledPopulation::compile(&population(0.0), 256).unwrap();
-    let config = RunConfig::default().with_users(1).with_sessions(1).with_seed(13);
-    let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+    let config = RunConfig::default()
+        .with_users(1)
+        .with_sessions(1)
+        .with_seed(13);
+    let log = DirectDriver::new()
+        .run(&mut vfs, &catalog, &pop, &config)
+        .unwrap();
     let json = log.to_json().unwrap();
     let back = uswg_usim::UsageLog::from_json(&json).unwrap();
     assert_eq!(back.ops().len(), log.ops().len());
@@ -260,8 +297,13 @@ fn deterministic_given_seed() {
     let run = |seed| {
         let (mut vfs, catalog) = build_fs(2, 42);
         let pop = CompiledPopulation::compile(&population(0.0), 256).unwrap();
-        let config = RunConfig::default().with_users(2).with_sessions(3).with_seed(seed);
-        let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+        let config = RunConfig::default()
+            .with_users(2)
+            .with_sessions(3)
+            .with_seed(seed);
+        let log = DirectDriver::new()
+            .run(&mut vfs, &catalog, &pop, &config)
+            .unwrap();
         log.ops()
             .iter()
             .map(|o| (o.user, o.op, o.bytes, o.ino))
@@ -275,10 +317,83 @@ fn deterministic_given_seed() {
 fn record_ops_off_still_counts_sessions() {
     let (mut vfs, catalog) = build_fs(1, 11);
     let pop = CompiledPopulation::compile(&population(0.0), 256).unwrap();
-    let mut config = RunConfig::default().with_users(1).with_sessions(4).with_seed(15);
+    let mut config = RunConfig::default()
+        .with_users(1)
+        .with_sessions(4)
+        .with_seed(15);
     config.record_ops = false;
-    let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+    let log = DirectDriver::new()
+        .run(&mut vfs, &catalog, &pop, &config)
+        .unwrap();
     assert!(log.ops().is_empty());
     assert_eq!(log.sessions().len(), 4);
     assert!(log.sessions().iter().any(|s| s.ops > 0));
+}
+
+#[test]
+fn summary_sink_matches_collected_log() {
+    use uswg_usim::SummarySink;
+
+    let config = RunConfig::default()
+        .with_users(2)
+        .with_sessions(3)
+        .with_seed(21);
+    let pop = CompiledPopulation::compile(&population(2000.0), 512).unwrap();
+
+    // Collected path.
+    let (vfs, catalog) = build_fs(2, 9);
+    let mut pool = ResourcePool::new();
+    let model = Box::new(NfsModel::new(&mut pool, NfsParams::default()));
+    let report = DesDriver::new()
+        .run(vfs, catalog, &pop, model, pool, &config)
+        .unwrap();
+
+    // Streaming path: same seed, fresh world, SummarySink instead of a log.
+    let (vfs, catalog) = build_fs(2, 9);
+    let mut pool = ResourcePool::new();
+    let model = Box::new(NfsModel::new(&mut pool, NfsParams::default()));
+    let (sink, stats) = DesDriver::new()
+        .run_with_sink(vfs, catalog, &pop, model, pool, &config, SummarySink::new())
+        .unwrap();
+
+    // The record streams are identical, so the streamed aggregates must
+    // equal the same aggregates computed from the materialized log.
+    assert_eq!(stats.events, report.events);
+    assert_eq!(stats.duration, report.duration);
+    assert_eq!(sink.ops as usize, report.log.ops().len());
+    assert_eq!(sink.sessions as usize, report.log.sessions().len());
+    let log_total: u64 = report.log.ops().iter().map(|o| o.response).sum();
+    assert_eq!(sink.total_response, log_total);
+    let log_data_bytes: u64 = report
+        .log
+        .ops()
+        .iter()
+        .filter(|o| o.op.is_data() && o.bytes > 0)
+        .map(|o| o.bytes)
+        .sum();
+    assert_eq!(sink.data_bytes, log_data_bytes);
+    assert!(sink.response_per_byte() > 0.0);
+}
+
+#[test]
+fn expected_ops_estimate_is_a_sane_capacity_hint() {
+    let pop = CompiledPopulation::compile(&population(0.0), 256).unwrap();
+    let est = pop.types()[0].expected_ops_per_session();
+    assert!(est > 0.0, "estimate must be positive, got {est}");
+
+    // Compare against an actual run: the hint should be the right order of
+    // magnitude (it guides Vec pre-sizing, nothing else).
+    let (mut vfs, catalog) = build_fs(1, 9);
+    let config = RunConfig::default()
+        .with_users(1)
+        .with_sessions(8)
+        .with_seed(3);
+    let log = DirectDriver::new()
+        .run(&mut vfs, &catalog, &pop, &config)
+        .unwrap();
+    let actual = log.ops().len() as f64 / 8.0;
+    assert!(
+        est > actual / 20.0 && est < actual * 20.0,
+        "estimate {est} vs actual {actual} ops/session"
+    );
 }

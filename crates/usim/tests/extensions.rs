@@ -34,14 +34,10 @@ fn rdonly_user(pattern: AccessPattern) -> UserTypeSpec {
         "reader",
         DistributionSpec::constant(0.0),
         DistributionSpec::exponential(1_024.0),
-        vec![CategoryUsage::exponential(
-            FileCategory::REG_USER_RDONLY,
-            1.5,
-            20_000.0,
-            3.0,
-            1.0,
-        )
-        .with_access_pattern(pattern)],
+        vec![
+            CategoryUsage::exponential(FileCategory::REG_USER_RDONLY, 1.5, 20_000.0, 3.0, 1.0)
+                .with_access_pattern(pattern),
+        ],
     )
 }
 
@@ -53,8 +49,13 @@ fn random_access_interleaves_seeks() {
         256,
     )
     .unwrap();
-    let config = RunConfig::default().with_users(1).with_sessions(3).with_seed(5);
-    let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+    let config = RunConfig::default()
+        .with_users(1)
+        .with_sessions(3)
+        .with_seed(5);
+    let log = DirectDriver::new()
+        .run(&mut vfs, &catalog, &pop, &config)
+        .unwrap();
     let seeks = log.ops().iter().filter(|o| o.op == OpKind::Seek).count();
     let reads = log.ops().iter().filter(|o| o.op == OpKind::Read).count();
     assert!(reads > 10);
@@ -74,8 +75,13 @@ fn sequential_access_seeks_rarely() {
         256,
     )
     .unwrap();
-    let config = RunConfig::default().with_users(1).with_sessions(3).with_seed(5);
-    let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+    let config = RunConfig::default()
+        .with_users(1)
+        .with_sessions(3)
+        .with_seed(5);
+    let log = DirectDriver::new()
+        .run(&mut vfs, &catalog, &pop, &config)
+        .unwrap();
     let seeks = log.ops().iter().filter(|o| o.op == OpKind::Seek).count();
     let reads = log.ops().iter().filter(|o| o.op == OpKind::Read).count();
     // Sequential: only wraparound seeks (~1 per whole-file pass).
@@ -93,8 +99,13 @@ fn random_access_offsets_are_scattered() {
         256,
     )
     .unwrap();
-    let config = RunConfig::default().with_users(1).with_sessions(2).with_seed(6);
-    let log = DirectDriver::new().run(&mut vfs, &catalog, &pop, &config).unwrap();
+    let config = RunConfig::default()
+        .with_users(1)
+        .with_sessions(2)
+        .with_seed(6);
+    let log = DirectDriver::new()
+        .run(&mut vfs, &catalog, &pop, &config)
+        .unwrap();
     // Reads on one file must NOT be monotone in offset.
     use std::collections::HashMap;
     let mut offsets: HashMap<u64, Vec<u64>> = HashMap::new();
@@ -127,15 +138,19 @@ fn phase_model_stretches_session_durations() {
         if let Some(p) = phases {
             user = user.with_phases(p);
         }
-        let pop =
-            CompiledPopulation::compile(&PopulationSpec::single(user).unwrap(), 256).unwrap();
-        let config = RunConfig::default().with_users(1).with_sessions(4).with_seed(9);
+        let pop = CompiledPopulation::compile(&PopulationSpec::single(user).unwrap(), 256).unwrap();
+        let config = RunConfig::default()
+            .with_users(1)
+            .with_sessions(4)
+            .with_seed(9);
         let mut pool = uswg_sim::ResourcePool::new();
         let model = Box::new(uswg_netfs::LocalDiskModel::new(
             &mut pool,
             uswg_netfs::LocalDiskParams::default(),
         ));
-        let report = DesDriver::new().run(vfs, catalog, &pop, model, pool, &config).unwrap();
+        let report = DesDriver::new()
+            .run(vfs, catalog, &pop, model, pool, &config)
+            .unwrap();
         report.duration.micros()
     };
     let stationary = run(None);
@@ -152,13 +167,18 @@ fn inter_session_gaps_appear_in_timeline() {
     let user = rdonly_user(AccessPattern::Sequential)
         .with_inter_session_time(DistributionSpec::constant(5_000_000.0)); // 5 s
     let pop = CompiledPopulation::compile(&PopulationSpec::single(user).unwrap(), 256).unwrap();
-    let config = RunConfig::default().with_users(1).with_sessions(3).with_seed(11);
+    let config = RunConfig::default()
+        .with_users(1)
+        .with_sessions(3)
+        .with_seed(11);
     let mut pool = uswg_sim::ResourcePool::new();
     let model = Box::new(uswg_netfs::LocalDiskModel::new(
         &mut pool,
         uswg_netfs::LocalDiskParams::default(),
     ));
-    let report = DesDriver::new().run(vfs, catalog, &pop, model, pool, &config).unwrap();
+    let report = DesDriver::new()
+        .run(vfs, catalog, &pop, model, pool, &config)
+        .unwrap();
     let sessions = report.log.sessions();
     assert_eq!(sessions.len(), 3);
     for pair in sessions.windows(2) {
@@ -179,13 +199,18 @@ fn diurnal_profile_modulates_gaps() {
         .with_inter_session_time(DistributionSpec::constant(60_000_000.0))
         .with_diurnal(DiurnalProfile::university_lab());
     let pop = CompiledPopulation::compile(&PopulationSpec::single(user).unwrap(), 256).unwrap();
-    let config = RunConfig::default().with_users(1).with_sessions(2).with_seed(13);
+    let config = RunConfig::default()
+        .with_users(1)
+        .with_sessions(2)
+        .with_seed(13);
     let mut pool = uswg_sim::ResourcePool::new();
     let model = Box::new(uswg_netfs::LocalDiskModel::new(
         &mut pool,
         uswg_netfs::LocalDiskParams::default(),
     ));
-    let report = DesDriver::new().run(vfs, catalog, &pop, model, pool, &config).unwrap();
+    let report = DesDriver::new()
+        .run(vfs, catalog, &pop, model, pool, &config)
+        .unwrap();
     let sessions = report.log.sessions();
     let gap = sessions[1].start - sessions[0].end;
     assert!(
@@ -220,7 +245,10 @@ fn extended_spec_serde_round_trips() {
         }, 1.0]]
     }"#;
     let parsed: PopulationSpec = serde_json::from_str(legacy).unwrap();
-    assert_eq!(parsed.types()[0].0.categories[0].access_pattern, AccessPattern::Sequential);
+    assert_eq!(
+        parsed.types()[0].0.categories[0].access_pattern,
+        AccessPattern::Sequential
+    );
     assert!(parsed.types()[0].0.phases.is_none());
 }
 
@@ -231,10 +259,15 @@ fn drivers_still_agree_with_extensions_enabled() {
         .with_inter_session_time(DistributionSpec::exponential(100_000.0))
         .with_phases(PhaseModel::io_cpu(0.5, 2.0, 0.8).unwrap());
     let pop = CompiledPopulation::compile(&PopulationSpec::single(user).unwrap(), 256).unwrap();
-    let config = RunConfig::default().with_users(1).with_sessions(3).with_seed(17);
+    let config = RunConfig::default()
+        .with_users(1)
+        .with_sessions(3)
+        .with_seed(17);
 
     let (mut vfs1, catalog1) = build_fs(1, 6);
-    let direct = DirectDriver::new().run(&mut vfs1, &catalog1, &pop, &config).unwrap();
+    let direct = DirectDriver::new()
+        .run(&mut vfs1, &catalog1, &pop, &config)
+        .unwrap();
 
     let (vfs2, catalog2) = build_fs(1, 6);
     let mut pool = uswg_sim::ResourcePool::new();
@@ -242,7 +275,9 @@ fn drivers_still_agree_with_extensions_enabled() {
         &mut pool,
         uswg_netfs::LocalDiskParams::default(),
     ));
-    let des = DesDriver::new().run(vfs2, catalog2, &pop, model, pool, &config).unwrap();
+    let des = DesDriver::new()
+        .run(vfs2, catalog2, &pop, model, pool, &config)
+        .unwrap();
 
     let a: Vec<(OpKind, u64)> = direct.ops().iter().map(|o| (o.op, o.bytes)).collect();
     let b: Vec<(OpKind, u64)> = des.log.ops().iter().map(|o| (o.op, o.bytes)).collect();

@@ -139,7 +139,10 @@ mod tests {
         s.free(a);
         let b = s.alloc().unwrap();
         assert_eq!(b, a);
-        assert!(s.data(b).iter().all(|&x| x == 0), "recycled block must be zeroed");
+        assert!(
+            s.data(b).iter().all(|&x| x == 0),
+            "recycled block must be zeroed"
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn display_includes_errno() {
-        assert_eq!(FsError::NotFound.to_string(), "no such file or directory (ENOENT)");
+        assert_eq!(
+            FsError::NotFound.to_string(),
+            "no such file or directory (ENOENT)"
+        );
         assert_eq!(FsError::NoSpace.errno_name(), "ENOSPC");
     }
 

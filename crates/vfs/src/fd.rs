@@ -34,27 +34,62 @@ pub struct OpenFlags {
 impl OpenFlags {
     /// `O_RDONLY`.
     pub fn read_only() -> Self {
-        Self { read: true, write: false, create: false, truncate: false, append: false, exclusive: false }
+        Self {
+            read: true,
+            write: false,
+            create: false,
+            truncate: false,
+            append: false,
+            exclusive: false,
+        }
     }
 
     /// `O_WRONLY | O_CREAT | O_TRUNC` — the classic `creat(2)`.
     pub fn create_write() -> Self {
-        Self { read: false, write: true, create: true, truncate: true, append: false, exclusive: false }
+        Self {
+            read: false,
+            write: true,
+            create: true,
+            truncate: true,
+            append: false,
+            exclusive: false,
+        }
     }
 
     /// `O_RDWR`.
     pub fn read_write() -> Self {
-        Self { read: true, write: true, create: false, truncate: false, append: false, exclusive: false }
+        Self {
+            read: true,
+            write: true,
+            create: false,
+            truncate: false,
+            append: false,
+            exclusive: false,
+        }
     }
 
     /// `O_RDWR | O_CREAT`.
     pub fn read_write_create() -> Self {
-        Self { read: true, write: true, create: true, truncate: false, append: false, exclusive: false }
+        Self {
+            read: true,
+            write: true,
+            create: true,
+            truncate: false,
+            append: false,
+            exclusive: false,
+        }
     }
 
     /// `O_WRONLY | O_APPEND`.
     pub fn append_only() -> Self {
-        Self { read: false, write: true, create: false, truncate: false, append: true, exclusive: false }
+        Self {
+            read: false,
+            write: true,
+            create: false,
+            truncate: false,
+            append: true,
+            exclusive: false,
+        }
     }
 
     /// Builder-style setter for `exclusive`.
@@ -95,7 +130,10 @@ pub struct Process {
 
 impl Process {
     pub(crate) fn new(max_fds: usize) -> Self {
-        Self { files: Vec::new(), max_fds }
+        Self {
+            files: Vec::new(),
+            max_fds,
+        }
     }
 
     /// Number of descriptors currently open.
@@ -145,7 +183,11 @@ mod tests {
     use super::*;
 
     fn open_file() -> OpenFile {
-        OpenFile { ino: Ino(1), offset: 0, flags: OpenFlags::read_only() }
+        OpenFile {
+            ino: Ino(1),
+            offset: 0,
+            flags: OpenFlags::read_only(),
+        }
     }
 
     #[test]

@@ -342,7 +342,7 @@ impl Vfs {
             cur.push_str(comp);
             match self.mkdir(&cur) {
                 Ok(()) | Err(FsError::AlreadyExists) => {
-                    if self.dirs.get(&self.resolve(&cur)?).is_none() {
+                    if !self.dirs.contains_key(&self.resolve(&cur)?) {
                         return Err(FsError::NotADirectory);
                     }
                 }
@@ -420,7 +420,12 @@ impl Vfs {
     /// for writing, [`FsError::TooManyOpenFiles`] when the process table is
     /// full, [`FsError::InvalidArgument`] for flags with neither read nor
     /// write access.
-    pub fn open(&mut self, proc: &mut Process, path: &str, flags: OpenFlags) -> Result<Fd, FsError> {
+    pub fn open(
+        &mut self,
+        proc: &mut Process,
+        path: &str,
+        flags: OpenFlags,
+    ) -> Result<Fd, FsError> {
         self.counters.opens += 1;
         if !flags.read && !flags.write {
             return Err(FsError::InvalidArgument);
@@ -457,7 +462,11 @@ impl Vfs {
         if flags.truncate {
             self.truncate_inode(ino, 0)?;
         }
-        let open = OpenFile { ino, offset: 0, flags };
+        let open = OpenFile {
+            ino,
+            offset: 0,
+            flags,
+        };
         let fd = proc.insert(open).ok_or(FsError::TooManyOpenFiles)?;
         let clock = self.clock;
         let node = self.inode_mut(ino);
@@ -674,8 +683,7 @@ impl Vfs {
                 self.inode_mut(old_parent).nlink -= 1;
                 self.inode_mut(new_parent).nlink += 1;
             }
-            self.inode_mut(old_parent).size =
-                self.inode(old_parent).size.saturating_sub(1);
+            self.inode_mut(old_parent).size = self.inode(old_parent).size.saturating_sub(1);
             self.inode_mut(new_parent).size += 1;
         }
         self.inode_mut(old_parent).mtime = clock;
@@ -838,13 +846,10 @@ impl Vfs {
         }
         // Zero the tail of the boundary block so re-extension reads zeros.
         let node_size = self.inode(ino).size;
-        if len < node_size && len % bs != 0 {
-            if let Some(Some(id)) = self.inode(ino).blocks.get(keep_blocks - 1).copied().map(Some)
-            {
-                if let Some(id) = id {
-                    let from = (len % bs) as usize;
-                    self.store.data_mut(id)[from..].fill(0);
-                }
+        if len < node_size && !len.is_multiple_of(bs) {
+            if let Some(Some(id)) = self.inode(ino).blocks.get(keep_blocks - 1).copied() {
+                let from = (len % bs) as usize;
+                self.store.data_mut(id)[from..].fill(0);
             }
         }
         self.inode_mut(ino).size = len;
@@ -859,9 +864,9 @@ impl Vfs {
         let Some(entries) = self.dirs.get(&dir) else {
             return false;
         };
-        entries
-            .values()
-            .any(|&child| self.dirs.contains_key(&child) && self.is_same_or_descendant(child, candidate))
+        entries.values().any(|&child| {
+            self.dirs.contains_key(&child) && self.is_same_or_descendant(child, candidate)
+        })
     }
 }
 
@@ -979,7 +984,14 @@ mod tests {
     fn open_flags_validated() {
         let mut f = fs();
         let mut p = f.new_process();
-        let none = OpenFlags { read: false, write: false, create: false, truncate: false, append: false, exclusive: false };
+        let none = OpenFlags {
+            read: false,
+            write: false,
+            create: false,
+            truncate: false,
+            append: false,
+            exclusive: false,
+        };
         assert_eq!(f.open(&mut p, "/x", none), Err(FsError::InvalidArgument));
         assert_eq!(
             f.open(&mut p, "/missing", OpenFlags::read_only()),
@@ -1018,7 +1030,12 @@ mod tests {
         f.mkdir("/a/b").unwrap();
         f.write_file("/a/b/f1", b"1").unwrap();
         f.write_file("/a/b/f2", b"2").unwrap();
-        let names: Vec<String> = f.readdir("/a/b").unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<String> = f
+            .readdir("/a/b")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["f1", "f2"]);
         assert!(f.stat("/a/b").unwrap().is_dir());
         assert_eq!(f.stat("/a").unwrap().nlink, 3); // ., .., b
@@ -1196,7 +1213,10 @@ mod tests {
         }
         let mut fds = Vec::new();
         for i in 0..4 {
-            fds.push(f.open(&mut p, &format!("/f{i}"), OpenFlags::read_only()).unwrap());
+            fds.push(
+                f.open(&mut p, &format!("/f{i}"), OpenFlags::read_only())
+                    .unwrap(),
+            );
         }
         assert_eq!(
             f.open(&mut p, "/f0", OpenFlags::read_only()),

@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec1 = base
         .clone()
         .with_population(PopulationSpec::single(presets::heavy_user())?);
-    report("Environment 1: Table 5.2 usage (moderate re-reading)", &spec1, &candidates)?;
+    report(
+        "Environment 1: Table 5.2 usage (moderate re-reading)",
+        &spec1,
+        &candidates,
+    )?;
 
     // Environment 2: touch-a-little users — open big files, read a sliver.
     // Whole-file caching must pay to fetch entire files it barely uses.
@@ -46,7 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         uswg_core::DistributionSpec::exponential(presets::ACCESS_SIZE_MEAN),
         sliver_categories,
     );
-    let spec2 = base.clone().with_population(PopulationSpec::single(sliver)?);
+    let spec2 = base
+        .clone()
+        .with_population(PopulationSpec::single(sliver)?);
     report(
         "Environment 2: sliver readers (0.05 accesses per byte)",
         &spec2,
@@ -65,8 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         uswg_core::DistributionSpec::exponential(presets::ACCESS_SIZE_MEAN),
         rereader_categories,
     );
-    let spec3 = base.clone().with_population(PopulationSpec::single(rereader)?);
-    report("Environment 3: re-readers (8 accesses per byte)", &spec3, &candidates)?;
+    let spec3 = base
+        .clone()
+        .with_population(PopulationSpec::single(rereader)?);
+    report(
+        "Environment 3: re-readers (8 accesses per byte)",
+        &spec3,
+        &candidates,
+    )?;
 
     println!(
         "No file system wins every environment: the local disk always leads,\n\
@@ -83,8 +95,12 @@ fn report(
     candidates: &[ModelConfig],
 ) -> Result<(), Box<dyn std::error::Error>> {
     let results = compare_models(spec, candidates)?;
-    let mut table = Table::new(vec!["file system", "resp/byte (µs/B)", "response µs mean(std)"])
-        .with_title(title);
+    let mut table = Table::new(vec![
+        "file system",
+        "resp/byte (µs/B)",
+        "response µs mean(std)",
+    ])
+    .with_title(title);
     for (name, point) in &results {
         table.row(vec![
             name.clone(),

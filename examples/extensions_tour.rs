@@ -8,8 +8,8 @@
 
 use uswg_core::experiment::{user_sweep, ModelConfig};
 use uswg_core::{
-    metrics, presets, AccessPattern, DistributionSpec, DiurnalProfile, PhaseModel,
-    PopulationSpec, Table, UserTypeSpec, WorkloadSpec,
+    metrics, presets, AccessPattern, DistributionSpec, DiurnalProfile, PhaseModel, PopulationSpec,
+    Table, UserTypeSpec, WorkloadSpec,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         table.row(vec![
             label.to_string(),
             format!("{:.3}", metrics::response_time_per_byte(&report.log)),
-            format!("{:.0}%", 100.0 * seeks as f64 / report.log.ops().len() as f64),
+            format!(
+                "{:.0}%",
+                100.0 * seeks as f64 / report.log.ops().len() as f64
+            ),
         ]);
     }
     println!("{}", table.render());
@@ -55,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(vec!["behaviour", "sim duration (s)", "resp/byte (µs/B)"]);
     for (label, phases) in [
         ("stationary (paper)", None),
-        ("I/O-bound ⇄ CPU-bound", Some(PhaseModel::io_cpu(0.2, 10.0, 0.95)?)),
+        (
+            "I/O-bound ⇄ CPU-bound",
+            Some(PhaseModel::io_cpu(0.2, 10.0, 0.95)?),
+        ),
     ] {
         let mut user = presets::heavy_user();
         if let Some(p) = phases {

@@ -21,11 +21,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "100% extremely heavy (Fig 5.6)",
             PopulationSpec::single(presets::extremely_heavy_user())?,
         ),
-        ("100% heavy (Fig 5.7)", presets::heavy_light_population(1.0)?),
-        ("80% heavy / 20% light (Fig 5.8)", presets::heavy_light_population(0.8)?),
-        ("50% heavy / 50% light (Fig 5.9)", presets::heavy_light_population(0.5)?),
-        ("20% heavy / 80% light (Fig 5.10)", presets::heavy_light_population(0.2)?),
-        ("100% light (Fig 5.11)", presets::heavy_light_population(0.0)?),
+        (
+            "100% heavy (Fig 5.7)",
+            presets::heavy_light_population(1.0)?,
+        ),
+        (
+            "80% heavy / 20% light (Fig 5.8)",
+            presets::heavy_light_population(0.8)?,
+        ),
+        (
+            "50% heavy / 50% light (Fig 5.9)",
+            presets::heavy_light_population(0.5)?,
+        ),
+        (
+            "20% heavy / 80% light (Fig 5.10)",
+            presets::heavy_light_population(0.2)?,
+        ),
+        (
+            "100% light (Fig 5.11)",
+            presets::heavy_light_population(0.0)?,
+        ),
     ];
 
     println!("== Measuring the simulated SUN NFS (Section 5.2) ==\n");

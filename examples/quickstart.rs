@@ -37,8 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Per-system-call summary, the Table 5.3 presentation.
-    let mut table = Table::new(vec!["system call", "count", "access size (B)", "response (µs)"])
-        .with_title("Per-system-call summary (mean(std) as in Table 5.3)");
+    let mut table = Table::new(vec![
+        "system call",
+        "count",
+        "access size (B)",
+        "response (µs)",
+    ])
+    .with_title("Per-system-call summary (mean(std) as in Table 5.3)");
     for row in metrics::op_kind_summaries(&report.log) {
         table.row(vec![
             row.kind.to_string(),

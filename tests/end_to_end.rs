@@ -2,9 +2,7 @@
 //! public `uswg-core` API.
 
 use uswg_core::experiment::ModelConfig;
-use uswg_core::{
-    metrics, presets, FillPattern, OpKind, PopulationSpec, Summary, WorkloadSpec,
-};
+use uswg_core::{metrics, presets, FillPattern, OpKind, PopulationSpec, Summary, WorkloadSpec};
 
 fn small_spec() -> WorkloadSpec {
     let mut spec = WorkloadSpec::paper_default().unwrap();
@@ -69,7 +67,11 @@ fn des_response_times_exceed_direct_zero_baseline() {
     let report = spec.run_des(&ModelConfig::default_nfs()).unwrap();
     let (_, response) = metrics::data_op_summary(&report.log);
     assert!(response.n > 0);
-    assert!(response.mean > 500.0, "NFS data ops are >0.5 ms, got {}", response.mean);
+    assert!(
+        response.mean > 500.0,
+        "NFS data ops are >0.5 ms, got {}",
+        response.mean
+    );
 }
 
 #[test]
@@ -104,12 +106,8 @@ fn populations_mix_in_des_runs() {
     spec.run.n_users = 5;
     spec.population = presets::heavy_light_population(0.8).unwrap();
     let report = spec.run_des(&ModelConfig::default_local()).unwrap();
-    let types: std::collections::HashSet<usize> = report
-        .log
-        .sessions()
-        .iter()
-        .map(|s| s.user_type)
-        .collect();
+    let types: std::collections::HashSet<usize> =
+        report.log.sessions().iter().map(|s| s.user_type).collect();
     assert_eq!(types.len(), 2, "both user types must appear");
     // 4 heavy users, 1 light user.
     let heavy_users: std::collections::HashSet<usize> = report

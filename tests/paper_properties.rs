@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use uswg_core::experiment::ModelConfig;
 use uswg_core::{
     metrics, CategorySpec, CategoryUsage, DistributionSpec, FileCategory, FillPattern, FscSpec,
-    PopulationSpec, RunConfig, UserTypeSpec, WorkloadSpec, VfsConfig,
+    PopulationSpec, RunConfig, UserTypeSpec, VfsConfig, WorkloadSpec,
 };
 
 /// A small random-but-valid workload spec.
@@ -54,13 +54,7 @@ fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
                         files,
                         1.0,
                     ),
-                    CategoryUsage::exponential(
-                        FileCategory::REG_USER_TEMP,
-                        apb,
-                        size,
-                        files,
-                        0.5,
-                    ),
+                    CategoryUsage::exponential(FileCategory::REG_USER_TEMP, apb, size, files, 0.5),
                 ],
             );
             WorkloadSpec {

@@ -1,0 +1,141 @@
+//! Offline stand-in for the `rand_distr` crate: the [`Gamma`] distribution
+//! used by `uswg-distr`'s multi-stage gamma mixtures, sampled with the
+//! Marsaglia–Tsang squeeze method (2000), the same algorithm the real crate
+//! uses.
+
+use rand::RngCore;
+
+/// Sampling interface, mirroring `rand_distr::Distribution<T>`.
+pub trait Distribution<T> {
+    /// Draws one variate.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error from invalid distribution parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The gamma distribution `Gamma(shape, scale)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates `Gamma(shape α, scale θ)` with mean `αθ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when either parameter is non-positive or non-finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, Error> {
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(Error("shape must be positive and finite"));
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(Error("scale must be positive and finite"));
+        }
+        Ok(Self { shape, scale })
+    }
+}
+
+#[inline]
+fn uniform01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+    (rng.next_u64() >> 11) as f64 * SCALE
+}
+
+/// Standard normal via Box–Muller (the polar form needs rejection; the
+/// trigonometric form keeps the RNG stream consumption fixed at two draws).
+#[inline]
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = (1.0 - uniform01(rng)).max(f64::MIN_POSITIVE); // (0, 1]
+    let u2 = uniform01(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape < 1.0 {
+            // Boost: Gamma(α) = Gamma(α + 1) · U^{1/α}.
+            let boosted = Gamma {
+                shape: self.shape + 1.0,
+                scale: self.scale,
+            };
+            let u = uniform01(rng).max(f64::MIN_POSITIVE);
+            return boosted.sample(rng) * u.powf(1.0 / self.shape);
+        }
+        // Marsaglia–Tsang for α >= 1.
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v = v * v * v;
+            let u = uniform01(rng).max(f64::MIN_POSITIVE);
+            // Squeeze check, then the full acceptance check.
+            if u < 1.0 - 0.0331 * x * x * x * x || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+                return self.scale * d * v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean_var(shape: f64, scale: f64, n: usize) -> (f64, f64) {
+        let g = Gamma::new(shape, scale).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let xs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn moments_match_large_shape() {
+        let (mean, var) = sample_mean_var(4.0, 2.5, 200_000);
+        assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
+        assert!((var - 25.0).abs() < 1.0, "var = {var}");
+    }
+
+    #[test]
+    fn moments_match_small_shape() {
+        // α < 1 exercises the boost path.
+        let (mean, var) = sample_mean_var(0.5, 3.0, 200_000);
+        assert!((mean - 1.5).abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.5).abs() < 0.3, "var = {var}");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let g = Gamma::new(1.3, 12.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = g.sample(&mut rng);
+            assert!(x > 0.0 && x.is_finite());
+        }
+    }
+}

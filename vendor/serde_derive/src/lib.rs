@@ -1,0 +1,623 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the workspace's value-tree `serde::Serialize` /
+//! `serde::Deserialize` traits for structs and enums, supporting the
+//! attribute subset the uswg workspace uses:
+//!
+//! * container: `#[serde(tag = "...")]` (internally tagged enums),
+//!   `#[serde(rename_all = "snake_case")]`;
+//! * field: `#[serde(default)]`, `#[serde(default = "path")]`.
+//!
+//! The parser walks the raw token stream (no `syn`), which is sufficient for
+//! non-generic type definitions; generic types are rejected with a clear
+//! error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_definition(input);
+    gen_serialize(&def)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_definition(input);
+    gen_deserialize(&def)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct SerdeAttrs {
+    /// `Some(None)` = `default`, `Some(Some(path))` = `default = "path"`.
+    default: Option<Option<String>>,
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+struct Field {
+    name: String,
+    default: Option<Option<String>>,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Definition {
+    name: String,
+    attrs: SerdeAttrs,
+    shape: Shape,
+}
+
+impl Definition {
+    fn wire_name(&self, variant: &str) -> String {
+        if self.attrs.rename_all_snake {
+            to_snake_case(variant)
+        } else {
+            variant.to_string()
+        }
+    }
+}
+
+fn to_snake_case(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    for (i, c) in s.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading `#[...]` attributes, folding `#[serde(...)]` items into
+/// the returned attrs and skipping everything else (doc comments, `#[default]`
+/// and the like).
+fn take_attrs(it: &mut TokenIter) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                let Some(TokenTree::Group(g)) = it.next() else {
+                    panic!("expected [...] after #");
+                };
+                let mut inner = g.stream().into_iter().peekable();
+                if let Some(TokenTree::Ident(id)) = inner.peek() {
+                    if id.to_string() == "serde" {
+                        inner.next();
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            parse_serde_items(args.stream(), &mut attrs);
+                        }
+                    }
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+fn parse_serde_items(ts: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut it = ts.into_iter().peekable();
+    while let Some(tok) = it.next() {
+        let TokenTree::Ident(key) = tok else { continue };
+        let key = key.to_string();
+        let value = match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Literal(lit)) => Some(unquote(&lit.to_string())),
+                    other => panic!("expected string literal after `{key} =`, got {other:?}"),
+                }
+            }
+            _ => None,
+        };
+        match (key.as_str(), value) {
+            ("default", v) => attrs.default = Some(v),
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("rename_all", Some(v)) => {
+                if v != "snake_case" {
+                    panic!("only rename_all = \"snake_case\" is supported, got {v:?}");
+                }
+                attrs.rename_all_snake = true;
+            }
+            (other, _) => panic!("unsupported serde attribute `{other}`"),
+        }
+        // Skip the separating comma, if any.
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == ',' {
+                it.next();
+            }
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Skips `pub` / `pub(crate)` style visibility.
+fn skip_visibility(it: &mut TokenIter) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type, stopping at a top-level `,` (consumed) or end of stream.
+fn skip_type(it: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = it.peek() {
+        if let TokenTree::Punct(p) = tok {
+            let c = p.as_char();
+            if c == '<' {
+                angle_depth += 1;
+            } else if c == '>' {
+                angle_depth -= 1;
+            } else if c == ',' && angle_depth == 0 {
+                it.next();
+                return;
+            }
+        }
+        it.next();
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        let attrs = take_attrs(&mut it);
+        skip_visibility(&mut it);
+        let Some(TokenTree::Ident(name)) = it.next() else {
+            return fields;
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut it);
+        fields.push(Field {
+            name: name.to_string(),
+            default: attrs.default,
+        });
+    }
+}
+
+/// Counts the fields of a tuple struct/variant body `(A, B, ...)`.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut it = ts.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        let _ = take_attrs(&mut it);
+        skip_visibility(&mut it);
+        if it.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_type(&mut it);
+    }
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        let _ = take_attrs(&mut it); // variant-level serde attrs unsupported, drops #[default]
+        let Some(TokenTree::Ident(name)) = it.next() else {
+            return variants;
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == ',' {
+                it.next();
+            }
+        }
+    }
+}
+
+fn parse_definition(input: TokenStream) -> Definition {
+    let mut it = input.into_iter().peekable();
+    let attrs = take_attrs(&mut it);
+    skip_visibility(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize): generic type `{name}` is not supported by the vendored serde shim");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    };
+    Definition { name, attrs, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+const S: &str = "::std::string::String::from";
+
+fn gen_serialize(def: &Definition) -> String {
+    let name = &def.name;
+    let body = match &def.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({S}(\"{n}\"), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_serialize_variant(def, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_variant(def: &Definition, v: &Variant) -> String {
+    let ty = &def.name;
+    let vn = &v.name;
+    let wire = def.wire_name(vn);
+    match (&v.shape, &def.attrs.tag) {
+        (VariantShape::Unit, None) => {
+            format!("{ty}::{vn} => ::serde::Value::Str({S}(\"{wire}\")),")
+        }
+        (VariantShape::Unit, Some(tag)) => format!(
+            "{ty}::{vn} => ::serde::Value::Map(::std::vec![({S}(\"{tag}\"), ::serde::Value::Str({S}(\"{wire}\")))]),"
+        ),
+        (VariantShape::Tuple(1), None) => format!(
+            "{ty}::{vn}(__f0) => ::serde::Value::Map(::std::vec![({S}(\"{wire}\"), ::serde::Serialize::to_value(__f0))]),"
+        ),
+        (VariantShape::Tuple(1), Some(tag)) => format!(
+            "{ty}::{vn}(__f0) => {{\n\
+                let mut __m = ::std::vec![({S}(\"{tag}\"), ::serde::Value::Str({S}(\"{wire}\")))];\n\
+                match ::serde::Serialize::to_value(__f0) {{\n\
+                    ::serde::Value::Map(__inner) => __m.extend(__inner),\n\
+                    __other => __m.push(({S}(\"value\"), __other)),\n\
+                }}\n\
+                ::serde::Value::Map(__m)\n\
+            }}"
+        ),
+        (VariantShape::Tuple(n), _) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{ty}::{vn}({binders}) => ::serde::Value::Map(::std::vec![({S}(\"{wire}\"), ::serde::Value::Seq(::std::vec![{items}]))]),",
+                binders = binders.join(", "),
+                items = items.join(", ")
+            )
+        }
+        (VariantShape::Named(fields), Some(tag)) => {
+            let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({S}(\"{n}\"), ::serde::Serialize::to_value({n}))", n = f.name))
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {binders} }} => ::serde::Value::Map(::std::vec![({S}(\"{tag}\"), ::serde::Value::Str({S}(\"{wire}\"))), {entries}]),",
+                binders = binders.join(", "),
+                entries = entries.join(", ")
+            )
+        }
+        (VariantShape::Named(fields), None) => {
+            let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({S}(\"{n}\"), ::serde::Serialize::to_value({n}))", n = f.name))
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {binders} }} => ::serde::Value::Map(::std::vec![({S}(\"{wire}\"), ::serde::Value::Map(::std::vec![{entries}]))]),",
+                binders = binders.join(", "),
+                entries = entries.join(", ")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// The expression extracting field `f` from the map expression `src`.
+fn field_extract(ty: &str, f: &Field, src: &str) -> String {
+    let n = &f.name;
+    let missing = match &f.default {
+        None => format!(
+            "return ::std::result::Result::Err(::serde::DeError::custom(\"missing field `{n}` in {ty}\"))"
+        ),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+    };
+    format!(
+        "{n}: match {src}.get(\"{n}\") {{\n\
+            ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+            ::std::option::Option::None => {missing},\n\
+        }}"
+    )
+}
+
+fn gen_deserialize(def: &Definition) -> String {
+    let name = &def.name;
+    let body = match &def.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| field_extract(name, f, "__v"))
+                .collect();
+            format!(
+                "if __v.as_map().is_none() {{\n\
+                    return ::std::result::Result::Err(::serde::DeError::custom(\"expected map for {name}\"));\n\
+                }}\n\
+                ::std::result::Result::Ok({name} {{ {inits} }})",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __v.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if __seq.len() != {n} {{\n\
+                    return ::std::result::Result::Err(::serde::DeError::custom(\"wrong tuple arity for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_deserialize_enum(def, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                {body}\n\
+            }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(def: &Definition, variants: &[Variant]) -> String {
+    let name = &def.name;
+    // Unit variants arrive as bare strings (externally tagged form).
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!(
+                "\"{wire}\" => ::std::result::Result::Ok({name}::{vn}),",
+                wire = def.wire_name(&v.name),
+                vn = v.name
+            )
+        })
+        .collect();
+    let str_branch = if unit_arms.is_empty() {
+        format!(
+            "::std::result::Result::Err(::serde::DeError::custom(\"unexpected string for {name}\"))"
+        )
+    } else {
+        format!(
+            "match __s.as_str() {{\n{arms}\n__other => ::std::result::Result::Err(::serde::DeError::custom(\
+                ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n}}",
+            arms = unit_arms.join("\n")
+        )
+    };
+
+    let map_branch = if let Some(tag) = &def.attrs.tag {
+        // Internally tagged: the tag names the variant; remaining keys are
+        // the variant's own payload.
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|v| {
+                let wire = def.wire_name(&v.name);
+                let vn = &v.name;
+                let build = match &v.shape {
+                    VariantShape::Unit => format!("::std::result::Result::Ok({name}::{vn})"),
+                    VariantShape::Tuple(1) => format!(
+                        "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__v)?))"
+                    ),
+                    VariantShape::Tuple(_) => format!(
+                        "::std::result::Result::Err(::serde::DeError::custom(\"tuple variant `{vn}` cannot be internally tagged\"))"
+                    ),
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| field_extract(name, f, "__v"))
+                            .collect();
+                        format!(
+                            "::std::result::Result::Ok({name}::{vn} {{ {} }})",
+                            inits.join(", ")
+                        )
+                    }
+                };
+                format!("\"{wire}\" => {{ {build} }}")
+            })
+            .collect();
+        format!(
+            "let __tag = __v.get(\"{tag}\").and_then(|__t| __t.as_str()).ok_or_else(|| \
+                ::serde::DeError::custom(\"missing tag `{tag}` for {name}\"))?;\n\
+             match __tag {{\n{arms}\n__other => ::std::result::Result::Err(::serde::DeError::custom(\
+                ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n}}",
+            arms = arms.join("\n")
+        )
+    } else {
+        // Externally tagged: a single-entry map keyed by the variant name.
+        let arms: Vec<String> = variants
+            .iter()
+            .filter(|v| !matches!(v.shape, VariantShape::Unit))
+            .map(|v| {
+                let wire = def.wire_name(&v.name);
+                let vn = &v.name;
+                let build = match &v.shape {
+                    VariantShape::Unit => unreachable!("filtered above"),
+                    VariantShape::Tuple(1) => format!(
+                        "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__val)?))"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_value(&__seq[{i}])?")
+                            })
+                            .collect();
+                        format!(
+                            "let __seq = __val.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected array payload for {name}::{vn}\"))?;\n\
+                             if __seq.len() != {n} {{\n\
+                                return ::std::result::Result::Err(::serde::DeError::custom(\"wrong arity for {name}::{vn}\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({items}))",
+                            items = items.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| field_extract(name, f, "__val"))
+                            .collect();
+                        format!(
+                            "::std::result::Result::Ok({name}::{vn} {{ {} }})",
+                            inits.join(", ")
+                        )
+                    }
+                };
+                format!("\"{wire}\" => {{ {build} }}")
+            })
+            .collect();
+        if arms.is_empty() {
+            format!(
+                "::std::result::Result::Err(::serde::DeError::custom(\"expected string for {name}\"))"
+            )
+        } else {
+            format!(
+                "if __entries.len() != 1 {{\n\
+                    return ::std::result::Result::Err(::serde::DeError::custom(\"expected single-key map for {name}\"));\n\
+                 }}\n\
+                 let (__key, __val) = &__entries[0];\n\
+                 match __key.as_str() {{\n{arms}\n__other => ::std::result::Result::Err(::serde::DeError::custom(\
+                    ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n}}",
+                arms = arms.join("\n")
+            )
+        }
+    };
+
+    format!(
+        "match __v {{\n\
+            ::serde::Value::Str(__s) => {str_branch},\n\
+            ::serde::Value::Map(__entries) => {{\n\
+                let _ = __entries;\n\
+                {map_branch}\n\
+            }}\n\
+            __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                ::std::format!(\"expected string or map for {name}, got {{__other:?}}\"))),\n\
+        }}"
+    )
+}
