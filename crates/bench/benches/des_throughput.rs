@@ -1,12 +1,13 @@
-//! Criterion: end-to-end discrete-event throughput (events/sec) and the
-//! guide-table vs binary-search sampling comparison backing this PR's
-//! speedup claim.
+//! Criterion: end-to-end discrete-event throughput (events/sec), the
+//! heap-vs-calendar scheduler comparison across pending-event populations,
+//! and the guide-table vs binary-search sampling comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::SeedableRng;
 use std::hint::black_box;
+use uswg_bench::{hold_simulation, HOLD_BATCH};
 use uswg_core::experiment::ModelConfig;
-use uswg_core::{CdfTable, FillPattern, MultiStageGamma, WorkloadSpec};
+use uswg_core::{CdfTable, FillPattern, MultiStageGamma, SchedulerBackend, WorkloadSpec};
 
 /// A small but non-trivial DES workload: 4 users × 4 sessions against NFS.
 fn des_spec() -> WorkloadSpec {
@@ -24,18 +25,44 @@ fn des_spec() -> WorkloadSpec {
 }
 
 fn bench_des_events(c: &mut Criterion) {
-    let spec = des_spec();
+    let mut spec = des_spec();
     let model = ModelConfig::default_nfs();
-    // Count events once; the run is seed-deterministic, so every iteration
-    // processes exactly this many.
+    // Count events once; the run is seed-deterministic (and backend-
+    // invariant), so every iteration processes exactly this many.
     let events = spec.run_des(&model).unwrap().events;
 
     let mut group = c.benchmark_group("des_throughput");
     group.sample_size(10);
     group.throughput(Throughput::Elements(events));
-    group.bench_function("nfs/4users_4sessions", |b| {
-        b.iter(|| black_box(spec.run_des(&model).unwrap().events))
-    });
+    for backend in [SchedulerBackend::Heap, SchedulerBackend::Calendar] {
+        spec.run.scheduler = Some(backend);
+        group.bench_with_input(
+            BenchmarkId::new("nfs/4users_4sessions", backend.name()),
+            &spec,
+            |b, spec| b.iter(|| black_box(spec.run_des(&model).unwrap().events)),
+        );
+    }
+    group.finish();
+}
+
+/// The tentpole comparison on the shared [`uswg_bench::HoldModel`] workout:
+/// heap vs calendar at pending populations from 1k to 1M. The acceptance
+/// bar is calendar ≥ 2× heap at ≥ 100k pending (`BENCH_baseline.json`
+/// records the measured ratios for the same workout).
+fn bench_scheduler_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_hold");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(HOLD_BATCH));
+    for pending in [1_000usize, 10_000, 100_000, 1_000_000] {
+        for backend in [SchedulerBackend::Heap, SchedulerBackend::Calendar] {
+            let mut sim = hold_simulation(backend, pending);
+            group.bench_with_input(
+                BenchmarkId::new(backend.name(), pending),
+                &pending,
+                |b, _| b.iter(|| black_box(sim.run_steps(HOLD_BATCH))),
+            );
+        }
+    }
     group.finish();
 }
 
@@ -62,5 +89,10 @@ fn bench_guided_vs_binary(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_des_events, bench_guided_vs_binary);
+criterion_group!(
+    benches,
+    bench_des_events,
+    bench_scheduler_backends,
+    bench_guided_vs_binary
+);
 criterion_main!(benches);

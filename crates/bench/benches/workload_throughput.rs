@@ -15,6 +15,7 @@ fn quick_spec(users: usize, sessions: u32, seed: u64) -> WorkloadSpec {
         seed,
         record_ops: false,
         cdf_resolution: 1024,
+        ..RunConfig::default()
     };
     spec.fsc = spec
         .fsc

@@ -6,7 +6,10 @@
 //! 1. **Sampling** — guide-table vs binary-search inverse transform, ns per
 //!    draw at several table resolutions;
 //! 2. **DES throughput** — end-to-end events/sec of a 4-user NFS run;
-//! 3. **Sweep parallelism** — wall-clock of a 4-point `user_sweep`, serial
+//! 3. **Scheduler backends** — heap vs calendar-queue hold-model churn at
+//!    pending populations from 1k to 1M events (the acceptance bar:
+//!    calendar ≥ 2× heap at ≥ 100k pending);
+//! 4. **Sweep parallelism** — wall-clock of a 4-point `user_sweep`, serial
 //!    vs all-cores.
 //!
 //! Usage: `cargo run --release -p uswg-bench --bin bench_baseline [out.json]`
@@ -17,8 +20,9 @@
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
+use uswg_bench::{hold_simulation, HOLD_BATCH};
 use uswg_core::experiment::{user_sweep_with, ModelConfig, Parallelism};
-use uswg_core::{CdfTable, FillPattern, MultiStageGamma, WorkloadSpec};
+use uswg_core::{CdfTable, FillPattern, MultiStageGamma, SchedulerBackend, WorkloadSpec};
 
 #[derive(Debug, Serialize)]
 struct SamplingPoint {
@@ -37,6 +41,14 @@ struct DesPoint {
 }
 
 #[derive(Debug, Serialize)]
+struct SchedulerPoint {
+    pending_events: usize,
+    heap_ns_per_event: f64,
+    calendar_ns_per_event: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct SweepPointTiming {
     points: usize,
     serial_ms: f64,
@@ -50,6 +62,7 @@ struct Baseline {
     schema: u32,
     sampling: Vec<SamplingPoint>,
     des: DesPoint,
+    scheduler: Vec<SchedulerPoint>,
     sweep: SweepPointTiming,
 }
 
@@ -128,6 +141,31 @@ fn measure_des() -> DesPoint {
     }
 }
 
+/// Per-event cost of the shared [`uswg_bench::HoldModel`] workout (the same
+/// one the `scheduler_hold` criterion group measures).
+fn hold_ns_per_event(backend: SchedulerBackend, pending: usize) -> f64 {
+    let mut sim = hold_simulation(backend, pending);
+    time_ns(|| {
+        black_box(sim.run_steps(HOLD_BATCH));
+    }) / HOLD_BATCH as f64
+}
+
+fn measure_scheduler() -> Vec<SchedulerPoint> {
+    [1_000usize, 10_000, 100_000, 1_000_000]
+        .into_iter()
+        .map(|pending| {
+            let heap = hold_ns_per_event(SchedulerBackend::Heap, pending);
+            let calendar = hold_ns_per_event(SchedulerBackend::Calendar, pending);
+            SchedulerPoint {
+                pending_events: pending,
+                heap_ns_per_event: heap,
+                calendar_ns_per_event: calendar,
+                speedup: heap / calendar,
+            }
+        })
+        .collect()
+}
+
 fn measure_sweep() -> SweepPointTiming {
     let spec = bench_spec(1, 6);
     let model = ModelConfig::default_nfs();
@@ -168,13 +206,16 @@ fn main() {
     let sampling = measure_sampling();
     eprintln!("measuring DES throughput...");
     let des = measure_des();
+    eprintln!("measuring scheduler backends...");
+    let scheduler = measure_scheduler();
     eprintln!("measuring sweep parallelism...");
     let sweep = measure_sweep();
 
     let baseline = Baseline {
-        schema: 1,
+        schema: 2,
         sampling,
         des,
+        scheduler,
         sweep,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializes");

@@ -23,7 +23,54 @@
 #![warn(missing_docs)]
 
 use uswg_core::experiment::{user_sweep, ModelConfig, SweepPoint};
-use uswg_core::{CoreError, PopulationSpec, Table, WorkloadSpec};
+use uswg_core::{
+    CoreError, PopulationSpec, Scheduler, SchedulerBackend, Simulation, Table, WorkloadSpec, World,
+};
+
+/// The classic hold-model workout for scheduler benchmarking: every handled
+/// event reschedules itself a pseudo-random (LCG) delay ahead, so the
+/// pending population stays exactly constant while the queue churns — the
+/// pure cost of one pop + one push at a given population, with zero
+/// workload logic attached. Shared by the `scheduler_hold` criterion group
+/// and the `bench_baseline` snapshot so their numbers measure the same
+/// workout.
+#[derive(Debug)]
+pub struct HoldModel {
+    state: u64,
+}
+
+impl World for HoldModel {
+    type Event = ();
+    #[inline]
+    fn handle(&mut self, (): (), sched: &mut Scheduler<()>) {
+        self.state = lcg(self.state);
+        sched.schedule(self.state % 10_000 + 1, ());
+    }
+}
+
+#[inline]
+fn lcg(state: u64) -> u64 {
+    state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+/// A simulation pre-loaded with `pending` hold events at deterministic
+/// LCG-jittered offsets, with the queue geometry warmed past its growth
+/// phase (one batch already run).
+pub fn hold_simulation(backend: SchedulerBackend, pending: usize) -> Simulation<HoldModel> {
+    let mut sim = Simulation::with_backend(HoldModel { state: 0x5EED }, backend, pending);
+    let mut state = 0x9E37_79B9u64;
+    for _ in 0..pending {
+        state = lcg(state);
+        sim.schedule(state % 10_000, ());
+    }
+    sim.run_steps(HOLD_BATCH);
+    sim
+}
+
+/// Events per measured hold batch.
+pub const HOLD_BATCH: u64 = 10_000;
 
 /// Sessions per run point (the paper: "each response time is the mean value
 /// during 50 login sessions"), overridable via `USWG_SESSIONS`.

@@ -18,8 +18,8 @@
 use std::fmt::Write as _;
 use uswg_core::experiment::ModelConfig;
 use uswg_core::{
-    fit, gof, metrics, plot, presets, CoreError, DistrError, Distribution, NfsParams, Table,
-    UsageLog, WorkloadSpec,
+    fit, gof, metrics, plot, presets, CoreError, DistrError, Distribution, NfsParams,
+    SchedulerBackend, Table, UsageLog, WorkloadSpec,
 };
 
 /// A parsed command line.
@@ -38,6 +38,9 @@ pub enum Command {
         model: Option<ModelConfig>,
         /// Optional path to write the usage log JSON.
         out: Option<String>,
+        /// Event-queue backend override (None = the spec's choice, which
+        /// itself defaults to `USWG_SCHEDULER` or the heap).
+        scheduler: Option<SchedulerBackend>,
     },
     /// `fit <path> --family F`: fit a family to a data file.
     Fit {
@@ -115,6 +118,9 @@ USAGE:
       --model <M>      timing model: nfs | nfs-cached | local | whole-file |
                        distributed:<servers>   (default: direct driver, no model)
       --out <log.json> write the usage log as JSON
+      --scheduler <S>  event-queue backend: heap | calendar (default: the
+                       spec's choice; both give byte-identical results,
+                       calendar is faster beyond ~100k concurrent users)
   uswg fit <data.txt> --family <F>      fit a family to one-number-per-line data
       <F> = exp | phase:<K> | gamma:<K>
   uswg tables                           print the Table 5.1/5.2/5.4 presets
@@ -225,6 +231,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 .clone();
             let mut model = None;
             let mut out = None;
+            let mut scheduler = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -246,12 +253,28 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         out = Some(v.clone());
                         i += 2;
                     }
+                    "--scheduler" => {
+                        let v = args
+                            .get(i + 1)
+                            .ok_or_else(|| CliError::Usage("--scheduler needs a value".into()))?;
+                        scheduler = Some(SchedulerBackend::parse(v).ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "unknown scheduler `{v}` (expected heap, calendar)"
+                            ))
+                        })?);
+                        i += 2;
+                    }
                     other => {
                         return Err(CliError::Usage(format!("unknown flag `{other}`")));
                     }
                 }
             }
-            Ok(Command::Run { path, model, out })
+            Ok(Command::Run {
+                path,
+                model,
+                out,
+                scheduler,
+            })
         }
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -274,8 +297,16 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                  edit it, then: uswg run {path} --model nfs\n"
             ))
         }
-        Command::Run { path, model, out } => {
-            let spec = WorkloadSpec::from_json(&std::fs::read_to_string(&path)?)?;
+        Command::Run {
+            path,
+            model,
+            out,
+            scheduler,
+        } => {
+            let mut spec = WorkloadSpec::from_json(&std::fs::read_to_string(&path)?)?;
+            if let Some(backend) = scheduler {
+                spec.run.scheduler = Some(backend);
+            }
             let (log, header) = match &model {
                 Some(m) => {
                     let report = spec.run_des(m)?;
@@ -445,10 +476,16 @@ mod tests {
     fn parses_run_variants() {
         let cmd = parse_args(argv("run spec.json --model nfs --out log.json")).unwrap();
         match cmd {
-            Command::Run { path, model, out } => {
+            Command::Run {
+                path,
+                model,
+                out,
+                scheduler,
+            } => {
                 assert_eq!(path, "spec.json");
                 assert_eq!(model.unwrap().name(), "nfs");
                 assert_eq!(out.as_deref(), Some("log.json"));
+                assert_eq!(scheduler, None);
             }
             other => panic!("{other:?}"),
         }
@@ -459,12 +496,21 @@ mod tests {
             Command::Run { model: Some(m), .. } => assert_eq!(m.name(), "distributed-nfs"),
             other => panic!("{other:?}"),
         }
+        let cmd = parse_args(argv("run spec.json --scheduler calendar")).unwrap();
+        match cmd {
+            Command::Run { scheduler, .. } => {
+                assert_eq!(scheduler, Some(SchedulerBackend::Calendar));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
     fn rejects_bad_usage() {
         assert!(parse_args(argv("run")).is_err());
         assert!(parse_args(argv("run spec.json --model warp-drive")).is_err());
+        assert!(parse_args(argv("run spec.json --scheduler splay")).is_err());
+        assert!(parse_args(argv("run spec.json --scheduler")).is_err());
         assert!(parse_args(argv("run spec.json --bogus")).is_err());
         assert!(parse_args(argv("frobnicate")).is_err());
         assert!(parse_args(argv("fit data.txt")).is_err());
@@ -522,6 +568,7 @@ mod tests {
             path: spec_path.to_string_lossy().into(),
             model: None,
             out: Some(log_path.to_string_lossy().into()),
+            scheduler: None,
         })
         .unwrap();
         assert!(out.contains("Per-system-call summary"));
@@ -529,14 +576,20 @@ mod tests {
         let log = UsageLog::from_json(&std::fs::read_to_string(&log_path).unwrap()).unwrap();
         assert!(!log.ops().is_empty());
 
-        // run (modelled)
-        let out = execute(Command::Run {
-            path: spec_path.to_string_lossy().into(),
-            model: Some(ModelConfig::default_local()),
-            out: None,
-        })
-        .unwrap();
+        // run (modelled), once per scheduler backend: same spec, same seed,
+        // so the rendered summaries must be identical text.
+        let run_with = |scheduler| {
+            execute(Command::Run {
+                path: spec_path.to_string_lossy().into(),
+                model: Some(ModelConfig::default_local()),
+                out: None,
+                scheduler,
+            })
+            .unwrap()
+        };
+        let out = run_with(Some(SchedulerBackend::Heap));
         assert!(out.contains("response time per byte"));
+        assert_eq!(out, run_with(Some(SchedulerBackend::Calendar)));
 
         // fit
         let data_path = dir.join("data.txt");

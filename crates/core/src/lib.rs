@@ -65,7 +65,9 @@ pub use uswg_netfs::{
     LocalDiskParams, NfsModel, NfsParams, OpKind, OpRequest, PendingOp, ServiceModel, Stage,
     StepOutcome, WholeFileCacheModel, WholeFileCacheParams,
 };
-pub use uswg_sim::{Resource, ResourcePool, ResourceStats, SimTime};
+pub use uswg_sim::{
+    Resource, ResourcePool, ResourceStats, Scheduler, SchedulerBackend, SimTime, Simulation, World,
+};
 pub use uswg_usim::{
     AccessPattern, BehaviorState, CategoryUsage, CompiledPopulation, DesDriver, DesReport,
     DesRunStats, DirectDriver, DiurnalProfile, LogSink, OpRecord, PhaseModel, PhaseState,

@@ -1,6 +1,6 @@
 //! The file catalog: the FSC's output, consumed by the User Simulator.
 
-use crate::FileCategory;
+use crate::{AliasTable, FileCategory};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -33,6 +33,13 @@ pub struct FileCatalog {
     shared: HashMap<FileCategory, Vec<usize>>,
     /// Indices of per-user files per (user, category).
     per_user: HashMap<(usize, FileCategory), Vec<usize>>,
+    /// O(1) alias samplers over the shared candidate lists, built by
+    /// [`FileCatalog::seal`] and invalidated per list on mutation.
+    #[serde(default)]
+    shared_alias: HashMap<FileCategory, AliasTable>,
+    /// Alias samplers over the per-user candidate lists.
+    #[serde(default)]
+    per_user_alias: HashMap<(usize, FileCategory), AliasTable>,
 }
 
 impl FileCatalog {
@@ -45,12 +52,17 @@ impl FileCatalog {
     pub fn add(&mut self, file: CatalogFile) -> usize {
         let idx = self.files.len();
         match file.owner_user {
-            Some(user) => self
-                .per_user
-                .entry((user, file.category))
-                .or_default()
-                .push(idx),
-            None => self.shared.entry(file.category).or_default().push(idx),
+            Some(user) => {
+                self.per_user
+                    .entry((user, file.category))
+                    .or_default()
+                    .push(idx);
+                self.per_user_alias.remove(&(user, file.category));
+            }
+            None => {
+                self.shared.entry(file.category).or_default().push(idx);
+                self.shared_alias.remove(&file.category);
+            }
         }
         self.files.push(file);
         idx
@@ -63,12 +75,45 @@ impl FileCatalog {
             return;
         };
         let list = match file.owner_user {
-            Some(user) => self.per_user.get_mut(&(user, file.category)),
-            None => self.shared.get_mut(&file.category),
+            Some(user) => {
+                self.per_user_alias.remove(&(user, file.category));
+                self.per_user.get_mut(&(user, file.category))
+            }
+            None => {
+                self.shared_alias.remove(&file.category);
+                self.shared.get_mut(&file.category)
+            }
         };
         if let Some(list) = list {
             list.retain(|&i| i != idx);
         }
+    }
+
+    /// Precomputes a uniform [`AliasTable`] for every candidate list, so
+    /// [`FileCatalog::pick`] answers from the O(1) alias path. Sealing is
+    /// purely an access-path change: a uniform alias draw is bit-identical
+    /// to the modulo fallback, so a sealed and an unsealed catalog pick
+    /// exactly the same files from the same PRNG stream (see
+    /// `tests/alias_equivalence.rs`). Mutating the catalog afterwards
+    /// invalidates the touched list; re-seal to restore it.
+    pub fn seal(&mut self) {
+        self.shared_alias = self
+            .shared
+            .iter()
+            .filter(|(_, list)| !list.is_empty())
+            .map(|(&cat, list)| (cat, AliasTable::uniform(list.len()).expect("non-empty")))
+            .collect();
+        self.per_user_alias = self
+            .per_user
+            .iter()
+            .filter(|(_, list)| !list.is_empty())
+            .map(|(&key, list)| (key, AliasTable::uniform(list.len()).expect("non-empty")))
+            .collect();
+    }
+
+    /// Whether [`FileCatalog::seal`] has built any alias tables.
+    pub fn is_sealed(&self) -> bool {
+        !self.shared_alias.is_empty() || !self.per_user_alias.is_empty()
     }
 
     /// All registered files (including removed ones; see [`Self::remove`]).
@@ -105,6 +150,11 @@ impl FileCatalog {
     }
 
     /// Picks a uniformly random candidate for `user` × `category`.
+    ///
+    /// A sealed catalog (see [`FileCatalog::seal`]) answers through the
+    /// precomputed alias table; an unsealed or invalidated list falls back
+    /// to the modulo draw. Both consume one `next_u64` and return the same
+    /// file for the same stream.
     pub fn pick(
         &self,
         user: usize,
@@ -113,11 +163,17 @@ impl FileCatalog {
     ) -> Option<usize> {
         let candidates = self.candidates(user, category);
         if candidates.is_empty() {
-            None
-        } else {
-            let i = (rng.next_u64() % candidates.len() as u64) as usize;
-            Some(candidates[i])
+            return None;
         }
+        let alias = match category.owner {
+            crate::Owner::User => self.per_user_alias.get(&(user, category)),
+            crate::Owner::Other => self.shared_alias.get(&category),
+        };
+        let i = match alias {
+            Some(table) if table.len() == candidates.len() => table.draw(rng),
+            _ => (rng.next_u64() % candidates.len() as u64) as usize,
+        };
+        Some(candidates[i])
     }
 
     /// Per-category summary: `(count, mean size)` over indexed (live) files.

@@ -20,6 +20,11 @@ pub enum FscError {
         /// The offending value.
         value: u64,
     },
+    /// An alias table was given unusable weights.
+    BadWeights {
+        /// Why the weights were rejected.
+        reason: &'static str,
+    },
     /// A size distribution could not be instantiated.
     Distribution(DistrError),
     /// The underlying file system rejected an operation (usually `ENOSPC`).
@@ -36,6 +41,7 @@ impl fmt::Display for FscError {
             FscError::BadCount { name, value } => {
                 write!(f, "count parameter `{name}` out of range (got {value})")
             }
+            FscError::BadWeights { reason } => write!(f, "alias table weights: {reason}"),
             FscError::Distribution(e) => write!(f, "size distribution: {e}"),
             FscError::FileSystem(e) => write!(f, "file system: {e}"),
         }

@@ -37,11 +37,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod alias;
 mod catalog;
 mod category;
 mod creator;
 mod error;
 
+pub use alias::{linear_scan_draw, AliasTable};
 pub use catalog::{CatalogFile, FileCatalog};
 pub use category::{FileCategory, FileType, Owner, UsageClass};
 pub use creator::{CategorySpec, FileSystemCreator, FillPattern, FscSpec};

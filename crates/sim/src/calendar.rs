@@ -1,0 +1,366 @@
+//! The calendar-queue backend of the event [`Scheduler`](crate::Scheduler).
+//!
+//! A calendar queue (Brown 1988) hashes each event into a circular array of
+//! time buckets — "days" of a fixed `width` — and pops by walking the
+//! calendar from the current day forward. With the bucket count and width
+//! tracking the event population (the ladder-queue-style `rebuild` below),
+//! both `push` and `pop` are O(1) amortized, against the binary heap's
+//! O(log n): at the ROADMAP's million-pending-event populations that log
+//! factor is the DES hot loop's dominant cost.
+//!
+//! Ordering contract: events drain in exactly `(time, seq)` order — the same
+//! total order as the heap backend, including FIFO tie-breaking of
+//! simultaneous events — so the two backends are interchangeable oracles for
+//! one another (see `tests/properties.rs` and the end-to-end byte-identity
+//! tests). Two invariants make the search exact:
+//!
+//! * every queued event is at or after `floor`, the time of the last popped
+//!   event (the scheduler clamps scheduling into the past), and
+//! * equal-time events always hash to the same bucket, so FIFO ties are
+//!   resolved inside one sorted bucket, never across buckets.
+
+use crate::scheduler::Scheduled;
+use std::collections::VecDeque;
+
+/// Smallest and largest bucket counts (both powers of two). The cap bounds
+/// the bucket array's memory at ~64 MiB of `VecDeque` headers while still
+/// giving millions of pending events ~1 event per bucket.
+const MIN_BUCKETS: usize = 4;
+const MAX_BUCKETS: usize = 1 << 21;
+
+/// Events sampled when re-estimating the bucket width.
+const WIDTH_SAMPLE: usize = 64;
+
+/// Consecutive direct-search pops tolerated before the geometry is declared
+/// stale and rebuilt. Keeps a queue whose time scale drifted (e.g. after a
+/// burst of far-future events) from paying O(buckets) per pop forever.
+const MISS_LIMIT: u32 = 16;
+
+/// The calendar proper. See the module documentation.
+#[derive(Debug)]
+pub(crate) struct CalendarQueue<E> {
+    /// One `VecDeque` per day, each sorted ascending by `(at, seq)`:
+    /// `front()` is the day's earliest event, and same-time FIFO appends
+    /// (the common case) are O(1) `push_back`s.
+    buckets: Vec<VecDeque<Scheduled<E>>>,
+    /// `buckets.len() - 1`; the bucket count is always a power of two.
+    mask: usize,
+    /// Width of one day, µs (≥ 1).
+    width: u64,
+    len: usize,
+    /// Time of the last popped event: a floor under every queued event.
+    floor: u64,
+    /// The day the search currently stands on.
+    cur: usize,
+    /// Exclusive upper time bound of `cur`'s current year-lap window.
+    /// `u128`: the window may sweep past `u64::MAX` while scanning toward a
+    /// far-future outlier.
+    bucket_top: u128,
+    /// Consecutive pops that fell through to a direct search.
+    misses: u32,
+}
+
+impl<E> CalendarQueue<E> {
+    pub(crate) fn new() -> Self {
+        let mut q = Self {
+            buckets: (0..MIN_BUCKETS).map(|_| VecDeque::new()).collect(),
+            mask: MIN_BUCKETS - 1,
+            width: 1,
+            len: 0,
+            floor: 0,
+            cur: 0,
+            bucket_top: 0,
+            misses: 0,
+        };
+        q.anchor(0);
+        q
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Rewinds the floor and search position to `at`, undoing the floor
+    /// advance of a pop whose event is being reinserted (deadline overshoot
+    /// in `run_until`). Sound only when every queued and subsequently pushed
+    /// event is at or after `at` — which the scheduler's clock guarantees.
+    pub(crate) fn reanchor(&mut self, at: u64) {
+        self.floor = at;
+        self.anchor(at);
+    }
+
+    /// Points the search at the day containing `at`.
+    fn anchor(&mut self, at: u64) {
+        let day = at / self.width;
+        self.cur = (day as usize) & self.mask;
+        self.bucket_top = (u128::from(day) + 1) * u128::from(self.width);
+    }
+
+    fn bucket_of(&self, at: u64) -> usize {
+        ((at / self.width) as usize) & self.mask
+    }
+
+    /// Inserts without checking the resize thresholds (shared by `push` and
+    /// `rebuild`).
+    fn insert(&mut self, ev: Scheduled<E>) {
+        let idx = self.bucket_of(ev.at.micros());
+        let key = (ev.at, ev.seq);
+        let dq = &mut self.buckets[idx];
+        // Sequence numbers grow monotonically, so an event usually sorts
+        // after everything already in its bucket; only a later-day resident
+        // of the same bucket forces a real insertion.
+        if dq.back().is_some_and(|last| (last.at, last.seq) > key) {
+            let pos = dq.partition_point(|e| (e.at, e.seq) < key);
+            dq.insert(pos, ev);
+        } else {
+            dq.push_back(ev);
+        }
+        self.len += 1;
+    }
+
+    pub(crate) fn push(&mut self, ev: Scheduled<E>) {
+        self.insert(ev);
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild(self.buckets.len() * 2);
+        }
+    }
+
+    /// Removes and returns the earliest event by `(time, seq)`.
+    pub(crate) fn pop(&mut self) -> Option<Scheduled<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        // Year lap: walk at most one full calendar year from the current
+        // day. The first event found inside its day's window is the global
+        // minimum: every queued event is ≥ the window start (the `floor`
+        // invariant), and any event earlier than the current window's top
+        // would have hashed into a day already inspected.
+        let n = self.buckets.len();
+        for _ in 0..n {
+            if let Some(front) = self.buckets[self.cur].front() {
+                if u128::from(front.at.micros()) < self.bucket_top {
+                    self.misses = 0;
+                    return Some(self.take_front(self.cur));
+                }
+            }
+            self.cur = (self.cur + 1) & self.mask;
+            self.bucket_top += u128::from(self.width);
+        }
+        // A whole year holds nothing (far-future outliers): jump straight
+        // to the earliest event instead of spinning through empty years.
+        let best = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.front().map(|e| ((e.at, e.seq), i)))
+            .min()
+            .map(|((at, _), i)| (at, i))
+            .expect("len > 0 means some bucket is non-empty");
+        self.anchor(best.0.micros());
+        self.misses += 1;
+        let ev = self.take_front(best.1);
+        if self.misses >= MISS_LIMIT && self.len > 0 {
+            // The geometry keeps missing its events: re-estimate the width.
+            self.rebuild(self.buckets.len());
+        }
+        Some(ev)
+    }
+
+    fn take_front(&mut self, idx: usize) -> Scheduled<E> {
+        let ev = self.buckets[idx]
+            .pop_front()
+            .expect("bucket checked non-empty");
+        self.len -= 1;
+        self.floor = ev.at.micros();
+        if self.len < self.buckets.len() / 2 && self.buckets.len() > MIN_BUCKETS {
+            self.rebuild(self.buckets.len() / 2);
+        }
+        ev
+    }
+
+    /// Re-sizes to `nbuckets` days, re-estimating the day width from the
+    /// surviving events and re-hashing them all. O(len); the doubling/
+    /// halving thresholds amortize it to O(1) per operation.
+    fn rebuild(&mut self, nbuckets: usize) {
+        let nbuckets = nbuckets.clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let mut all: Vec<Scheduled<E>> = Vec::with_capacity(self.len);
+        for dq in &mut self.buckets {
+            all.extend(dq.drain(..));
+        }
+        self.width = estimate_width(&all);
+        if self.buckets.len() != nbuckets {
+            self.buckets = (0..nbuckets).map(|_| VecDeque::new()).collect();
+            self.mask = nbuckets - 1;
+        }
+        self.len = 0;
+        self.misses = 0;
+        self.anchor(self.floor);
+        for ev in all {
+            self.insert(ev);
+        }
+    }
+}
+
+/// Picks a day width giving ~3 events per occupied day: the 10th–90th
+/// percentile span of a deterministic event sample, divided by the events it
+/// covers. Robust against the two adversarial shapes the property suite
+/// throws at it — all-same-timestamp bursts (zero span → minimum width) and
+/// far-future outliers (trimmed percentiles ignore them).
+fn estimate_width<E>(events: &[Scheduled<E>]) -> u64 {
+    if events.len() < 2 {
+        return 1;
+    }
+    let stride = (events.len() / WIDTH_SAMPLE).max(1);
+    let mut sample: Vec<u64> = events
+        .iter()
+        .step_by(stride)
+        .take(WIDTH_SAMPLE)
+        .map(|e| e.at.micros())
+        .collect();
+    sample.sort_unstable();
+    let trim = sample.len() / 10;
+    let span = sample[sample.len() - 1 - trim] - sample[trim];
+    if span == 0 {
+        return 1;
+    }
+    // The trimmed span covers ~80% of the population.
+    let gap = span as f64 / (0.8 * events.len() as f64);
+    ((3.0 * gap).ceil() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimTime;
+
+    fn ev(at: u64, seq: u64) -> Scheduled<u64> {
+        Scheduled {
+            at: SimTime::from_micros(at),
+            seq,
+            event: seq,
+        }
+    }
+
+    /// Drains the queue, asserting the exact (time, seq) total order.
+    fn drain_sorted(q: &mut CalendarQueue<u64>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push((e.at.micros(), e.seq));
+        }
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(out, sorted, "calendar queue broke (time, seq) order");
+        out
+    }
+
+    #[test]
+    fn drains_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        for (i, at) in [30u64, 10, 20, 10, 0, 30].iter().enumerate() {
+            q.push(ev(*at, i as u64));
+        }
+        assert_eq!(q.len(), 6);
+        let order = drain_sorted(&mut q);
+        assert_eq!(
+            order,
+            vec![(0, 4), (10, 1), (10, 3), (20, 2), (30, 0), (30, 5)]
+        );
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_timestamp_burst_stays_fifo_through_resizes() {
+        // 10k simultaneous events force several doublings with a zero-span
+        // width estimate; FIFO order must survive every rebuild.
+        let mut q = CalendarQueue::new();
+        for seq in 0..10_000u64 {
+            q.push(ev(777, seq));
+        }
+        let order = drain_sorted(&mut q);
+        assert_eq!(order.len(), 10_000);
+        assert!(order
+            .iter()
+            .enumerate()
+            .all(|(i, &(at, seq))| at == 777 && seq == i as u64));
+    }
+
+    #[test]
+    fn far_future_outlier_does_not_stall_the_lap() {
+        let mut q = CalendarQueue::new();
+        q.push(ev(u64::MAX - 3, 0)); // ~584k years out
+        for seq in 1..100u64 {
+            q.push(ev(seq, seq));
+        }
+        let order = drain_sorted(&mut q);
+        assert_eq!(order.first(), Some(&(1, 1)));
+        assert_eq!(order.last(), Some(&(u64::MAX - 3, 0)));
+    }
+
+    #[test]
+    fn grows_and_shrinks_around_the_population() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..4_096u64 {
+            q.push(ev(seq * 17, seq));
+        }
+        assert!(q.buckets.len() >= 1_024, "queue should have grown");
+        for _ in 0..4_090 {
+            q.pop();
+        }
+        assert!(q.buckets.len() <= 16, "queue should have shrunk");
+        assert_eq!(drain_sorted(&mut q).len(), 6);
+    }
+
+    #[test]
+    fn interleaved_push_pop_respects_floor() {
+        // Pushes at exactly the floor time (the scheduler's clamp case) must
+        // still drain before later events.
+        let mut q = CalendarQueue::new();
+        q.push(ev(50, 0));
+        assert_eq!(q.pop().unwrap().seq, 0);
+        q.push(ev(50, 1)); // "now"
+        q.push(ev(51, 2));
+        q.push(ev(50, 3)); // same instant, later seq
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 3);
+        assert_eq!(q.pop().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn repeated_sparse_hold_recalibrates() {
+        // A standing population of 2 events light-years apart direct-searches
+        // until MISS_LIMIT trips the rebuild; the queue must stay correct
+        // throughout.
+        let mut q = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut t = 0u64;
+        q.push(ev(t + 1, seq));
+        q.push(ev(t + 1_000_000_000, seq + 1));
+        seq += 2;
+        for _ in 0..100 {
+            let e = q.pop().unwrap();
+            assert!(e.at.micros() >= t, "time ran backwards");
+            t = e.at.micros();
+            q.push(ev(t + 1_000_000_000, seq));
+            seq += 1;
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn width_estimate_handles_edge_shapes() {
+        let burst: Vec<Scheduled<u64>> = (0..100).map(|s| ev(5, s)).collect();
+        assert_eq!(estimate_width(&burst), 1);
+        assert_eq!(estimate_width(&burst[..1]), 1);
+        let spread: Vec<Scheduled<u64>> = (0..100).map(|s| ev(s * 1_000, s)).collect();
+        let w = estimate_width(&spread);
+        assert!(
+            (1_000..=10_000).contains(&w),
+            "width {w} off the ~3-per-day target"
+        );
+        // One outlier must not blow up the width.
+        let mut with_outlier = spread;
+        with_outlier.push(ev(u64::MAX / 2, 100));
+        assert!(estimate_width(&with_outlier) < 100_000);
+    }
+}

@@ -34,10 +34,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod calendar;
 mod resource;
 mod scheduler;
 mod time;
 
 pub use resource::{Resource, ResourceId, ResourcePool, ResourceStats, ServiceOutcome};
-pub use scheduler::{Scheduler, Simulation, World};
+pub use scheduler::{Scheduler, SchedulerBackend, Simulation, World};
 pub use time::SimTime;

@@ -1,8 +1,11 @@
 //! Event scheduling and the simulation main loop.
 
+use crate::calendar::CalendarQueue;
 use crate::SimTime;
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 /// The behaviour of a simulated system: how it reacts to each event.
 ///
@@ -18,6 +21,79 @@ pub trait World {
     fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
+/// Which data structure backs the event queue.
+///
+/// Both backends drain events in exactly the same `(time, seq)` total order
+/// — the heap by comparison, the calendar by construction (see
+/// [`CalendarQueue`]) — so a given seed produces byte-identical simulations
+/// under either. They differ only in cost: the heap pays O(log n) per
+/// operation, the calendar O(1) amortized, which starts to matter around
+/// ~10⁴ pending events and dominates at ≥ 10⁵ (see the `des_throughput`
+/// bench and `BENCH_baseline.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SchedulerBackend {
+    /// Binary min-heap: O(log n) push/pop, lowest constant factors, best for
+    /// small event populations (≲ 10k pending events).
+    Heap,
+    /// Calendar queue with adaptive bucket resizing: O(1) amortized
+    /// push/pop, best for large populations (≳ 100k pending events).
+    Calendar,
+}
+
+impl SchedulerBackend {
+    /// Parses a backend name (`"heap"` or `"calendar"`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "heap" => Some(SchedulerBackend::Heap),
+            "calendar" => Some(SchedulerBackend::Calendar),
+            _ => None,
+        }
+    }
+
+    /// The backend's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerBackend::Heap => "heap",
+            SchedulerBackend::Calendar => "calendar",
+        }
+    }
+
+    /// The process-wide default backend: the `USWG_SCHEDULER` environment
+    /// variable (`heap` | `calendar`), or [`SchedulerBackend::Heap`] when
+    /// unset. Read once and memoized, so a process cannot observe a
+    /// mid-run change. This is how CI runs the whole test suite as a
+    /// two-entry backend matrix without touching any individual test.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value — a misconfigured matrix entry must
+    /// fail loudly, not silently test the wrong backend.
+    pub fn from_env() -> Self {
+        static CHOICE: OnceLock<SchedulerBackend> = OnceLock::new();
+        *CHOICE.get_or_init(|| match std::env::var("USWG_SCHEDULER") {
+            Ok(v) => SchedulerBackend::parse(&v).unwrap_or_else(|| {
+                panic!("USWG_SCHEDULER={v:?} is not a scheduler backend (expected heap|calendar)")
+            }),
+            Err(_) => SchedulerBackend::Heap,
+        })
+    }
+}
+
+impl Default for SchedulerBackend {
+    /// Defaults to [`SchedulerBackend::from_env`], so one environment
+    /// variable switches every default-configured simulation in the process.
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl std::fmt::Display for SchedulerBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One pending event. Ordered by time, then by insertion sequence so that
 /// simultaneous events run in FIFO order (deterministic replay).
 ///
@@ -25,10 +101,10 @@ pub trait World {
 /// 16 bytes; with a zero-sized or small event payload the whole entry packs
 /// into one or two cache lines' worth of heap slots (see the
 /// `scheduled_stays_compact` test).
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+pub(crate) struct Scheduled<E> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
@@ -50,12 +126,57 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// The pending-event store: one variant per [`SchedulerBackend`]. Enum
+/// dispatch (not a trait object) keeps every queue operation inlinable in
+/// the hot loop; the branch is perfectly predicted since a scheduler never
+/// changes backend mid-run.
+#[derive(Debug)]
+enum Queue<E> {
+    Heap(BinaryHeap<Reverse<Scheduled<E>>>),
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> Queue<E> {
+    #[inline]
+    fn push(&mut self, ev: Scheduled<E>) {
+        match self {
+            Queue::Heap(h) => h.push(Reverse(ev)),
+            Queue::Calendar(c) => c.push(ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        match self {
+            Queue::Heap(h) => h.pop().map(|Reverse(s)| s),
+            Queue::Calendar(c) => c.pop(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Queue::Heap(h) => h.len(),
+            Queue::Calendar(c) => c.len(),
+        }
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        match self {
+            Queue::Heap(h) => h.reserve(additional),
+            // The calendar sizes its bucket array from the live population;
+            // per-bucket deques are too small to be worth pre-sizing.
+            Queue::Calendar(_) => {}
+        }
+    }
+}
+
 /// The event queue and virtual clock of a simulation.
 #[derive(Debug)]
 pub struct Scheduler<E> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    backend: SchedulerBackend,
+    queue: Queue<E>,
 }
 
 impl<E> std::fmt::Debug for Scheduled<E> {
@@ -73,11 +194,24 @@ impl<E> Scheduler<E> {
     }
 
     fn with_capacity(capacity: usize) -> Self {
+        Self::with_backend(SchedulerBackend::default(), capacity)
+    }
+
+    fn with_backend(backend: SchedulerBackend, capacity: usize) -> Self {
         Self {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::with_capacity(capacity),
+            backend,
+            queue: match backend {
+                SchedulerBackend::Heap => Queue::Heap(BinaryHeap::with_capacity(capacity)),
+                SchedulerBackend::Calendar => Queue::Calendar(CalendarQueue::new()),
+            },
         }
+    }
+
+    /// The backend this scheduler runs on.
+    pub fn backend(&self) -> SchedulerBackend {
+        self.backend
     }
 
     /// The current simulated time.
@@ -101,7 +235,7 @@ impl<E> Scheduler<E> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, event }));
+        self.queue.push(Scheduled { at, seq, event });
     }
 
     /// Number of events still pending.
@@ -117,7 +251,21 @@ impl<E> Scheduler<E> {
 
     #[inline]
     fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.queue.pop().map(|Reverse(s)| s)
+        self.queue.pop()
+    }
+
+    /// Reinserts an event that was popped but **not** executed (the
+    /// deadline overshoot in [`Simulation::run_until`]). The original
+    /// sequence number puts it back at exactly its previous position. The
+    /// calendar backend additionally rewinds its search floor to `now`:
+    /// popping had advanced the floor to the event's (possibly far-future)
+    /// time, and leaving it there would let later `schedule` calls insert
+    /// events below the search window — draining them out of order.
+    fn unpop(&mut self, ev: Scheduled<E>) {
+        if let Queue::Calendar(c) = &mut self.queue {
+            c.reanchor(self.now.micros());
+        }
+        self.queue.push(ev);
     }
 }
 
@@ -148,6 +296,22 @@ impl<W: World> Simulation<W> {
             world,
             sched: Scheduler::with_capacity(capacity),
         }
+    }
+
+    /// Creates a simulation on an explicit [`SchedulerBackend`], pre-sized
+    /// for `capacity` pending events. [`Simulation::new`] and
+    /// [`Simulation::with_capacity`] use [`SchedulerBackend::default`]
+    /// (the `USWG_SCHEDULER` environment variable, or the heap).
+    pub fn with_backend(world: W, backend: SchedulerBackend, capacity: usize) -> Self {
+        Self {
+            world,
+            sched: Scheduler::with_backend(backend, capacity),
+        }
+    }
+
+    /// The backend the event queue runs on.
+    pub fn backend(&self) -> SchedulerBackend {
+        self.sched.backend()
     }
 
     /// The current simulated time.
@@ -204,7 +368,7 @@ impl<W: World> Simulation<W> {
         let mut steps = 0;
         while let Some(ev) = self.sched.pop() {
             if ev.at > deadline {
-                self.sched.queue.push(Reverse(ev));
+                self.sched.unpop(ev);
                 break;
             }
             debug_assert!(ev.at >= self.sched.now, "time must not run backwards");
@@ -364,6 +528,113 @@ mod tests {
         sim.run();
         let order: Vec<u32> = sim.world().fired.iter().map(|&(e, _)| e).collect();
         assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn backend_parsing_round_trips() {
+        for b in [SchedulerBackend::Heap, SchedulerBackend::Calendar] {
+            assert_eq!(SchedulerBackend::parse(b.name()), Some(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(SchedulerBackend::parse("splay"), None);
+    }
+
+    #[test]
+    fn backend_serde_uses_snake_case_names() {
+        let json = serde_json::to_string(&SchedulerBackend::Calendar).unwrap();
+        assert_eq!(json, "\"calendar\"");
+        let back: SchedulerBackend = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, SchedulerBackend::Calendar);
+    }
+
+    /// Runs a deterministic pseudo-random schedule/run_until/run_steps
+    /// script and returns the fired sequence.
+    fn scripted_run(backend: SchedulerBackend) -> Vec<(u32, SimTime)> {
+        let mut sim = Simulation::with_backend(Recorder { fired: vec![] }, backend, 0);
+        assert_eq!(sim.backend(), backend);
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut id = 0u32;
+        for round in 0..40 {
+            for _ in 0..25 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Mix of clustered, simultaneous and far-future delays.
+                let delay = match state % 5 {
+                    0 => 0,
+                    1 => state % 7,
+                    2 => state % 10_000,
+                    3 => 1_000_000 + state % 1_000,
+                    _ => u64::MAX / 2,
+                };
+                sim.schedule(delay, id);
+                id += 1;
+            }
+            if round % 3 == 0 {
+                sim.run_steps(7);
+            } else {
+                sim.run_until(sim.now().saturating_add(5_000));
+            }
+        }
+        sim.run();
+        sim.into_world().fired
+    }
+
+    #[test]
+    fn backends_fire_identical_sequences() {
+        let heap = scripted_run(SchedulerBackend::Heap);
+        let calendar = scripted_run(SchedulerBackend::Calendar);
+        // 1000 scripted events plus the follow-up Recorder chains off id 100.
+        assert_eq!(heap.len(), 1_001);
+        assert_eq!(heap, calendar);
+    }
+
+    #[test]
+    fn calendar_backend_passes_the_heap_scenarios() {
+        // The representative kernel behaviours, re-run on the calendar.
+        let mut sim =
+            Simulation::with_backend(Recorder { fired: vec![] }, SchedulerBackend::Calendar, 0);
+        sim.schedule(30, 3);
+        sim.schedule(10, 1);
+        sim.schedule(20, 2);
+        assert_eq!(sim.run_until(SimTime::from_micros(20)), 2);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.run(), 1);
+        let order: Vec<u32> = sim.world().fired.iter().map(|&(e, _)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+
+        let mut sim =
+            Simulation::with_backend(Recorder { fired: vec![] }, SchedulerBackend::Calendar, 0);
+        for i in 0..50 {
+            sim.schedule(5, i);
+        }
+        sim.run();
+        let order: Vec<u32> = sim.world().fired.iter().map(|&(e, _)| e).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pushback_then_earlier_schedule_stays_ordered() {
+        // Regression: run_until pops a far-future event, pushes it back,
+        // and the caller then schedules an *earlier* event. The calendar's
+        // search floor had advanced to the far event's time during the pop;
+        // without the unpop rewind, the later schedule lands below the
+        // search window and the far event drains first (debug builds panic
+        // on "time must not run backwards").
+        let run = |backend| {
+            let mut sim = Simulation::with_backend(Recorder { fired: vec![] }, backend, 0);
+            sim.schedule(5, 0);
+            sim.schedule(1_000_000, 1);
+            assert_eq!(sim.run_until(SimTime::from_micros(10)), 1);
+            sim.schedule(100, 2); // earlier than the pushed-back event
+            sim.run();
+            sim.into_world().fired
+        };
+        let heap = run(SchedulerBackend::Heap);
+        let calendar = run(SchedulerBackend::Calendar);
+        let order: Vec<u32> = heap.iter().map(|&(e, _)| e).collect();
+        assert_eq!(order, vec![0, 2, 1]);
+        assert_eq!(heap, calendar);
     }
 
     #[test]

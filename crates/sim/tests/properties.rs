@@ -1,7 +1,7 @@
 //! Property-based tests of the simulation kernel's ordering guarantees.
 
 use proptest::prelude::*;
-use uswg_sim::{Resource, Scheduler, SimTime, Simulation, World};
+use uswg_sim::{Resource, Scheduler, SchedulerBackend, SimTime, Simulation, World};
 
 /// Records (event id, fire time) pairs.
 struct Recorder {
@@ -15,8 +15,99 @@ impl World for Recorder {
     }
 }
 
+/// One step of a random scheduler workout: either schedule a batch of
+/// events or drain a few.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    /// Schedule one event this many µs after the current time.
+    Schedule(u64),
+    /// Pop (run) up to this many pending events.
+    Drain(u64),
+    /// Run until `now + delta`, exercising the pop-then-push-back path on
+    /// the event just beyond the deadline.
+    RunUntil(u64),
+}
+
+/// Delays spanning the calendar queue's adversarial shapes: same-instant
+/// bursts (0), dense clusters, mid-range spread, and far-future outliers
+/// that park an event many bucket-years out.
+fn delay_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        0u64..8,
+        0u64..10_000,
+        1_000_000u64..1_000_050_000,
+        Just(u64::MAX / 3),
+        Just(u64::MAX - 1),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        delay_strategy().prop_map(QueueOp::Schedule),
+        (1u64..20).prop_map(QueueOp::Drain),
+        (0u64..20_000).prop_map(QueueOp::RunUntil),
+    ]
+}
+
+/// Applies one schedule/pop interleaving to a fresh simulation on `backend`
+/// and returns the full `(event id, fire time)` drain sequence.
+fn interleave(backend: SchedulerBackend, ops: &[QueueOp]) -> Vec<(u64, SimTime)> {
+    let mut sim = Simulation::with_backend(Recorder { fired: vec![] }, backend, 0);
+    let mut id = 0u64;
+    for op in ops {
+        match *op {
+            QueueOp::Schedule(delay) => {
+                sim.schedule(delay, id);
+                id += 1;
+            }
+            QueueOp::Drain(count) => {
+                sim.run_steps(count);
+            }
+            QueueOp::RunUntil(delta) => {
+                sim.run_until(sim.now().saturating_add(delta));
+            }
+        }
+    }
+    sim.run();
+    sim.into_world().fired
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tentpole oracle: any random schedule/pop interleaving — including
+    /// bucket-rotation, resize, all-same-timestamp and far-future-outlier
+    /// shapes — drains in identical `(time, seq)` order on the calendar and
+    /// heap backends.
+    #[test]
+    fn backends_drain_identically(ops in prop::collection::vec(op_strategy(), 1..250)) {
+        let heap = interleave(SchedulerBackend::Heap, &ops);
+        let calendar = interleave(SchedulerBackend::Calendar, &ops);
+        prop_assert_eq!(heap.len(), calendar.len());
+        prop_assert_eq!(heap, calendar);
+    }
+
+    /// Heavy same-instant bursts punctuated by far-future jumps: the
+    /// calendar's zero-width-span resizes and direct-search laps must not
+    /// disturb FIFO order.
+    #[test]
+    fn calendar_burst_and_outlier_storm_matches_heap(
+        bursts in prop::collection::vec((0u64..4, 1usize..60), 1..20),
+        outlier in 1_000_000_000u64..u64::MAX / 2,
+    ) {
+        let mut ops = Vec::new();
+        for &(delay, burst) in &bursts {
+            for _ in 0..burst {
+                ops.push(QueueOp::Schedule(delay));
+            }
+            ops.push(QueueOp::Schedule(outlier));
+            ops.push(QueueOp::Drain(burst as u64 / 2 + 1));
+        }
+        let heap = interleave(SchedulerBackend::Heap, &ops);
+        let calendar = interleave(SchedulerBackend::Calendar, &ops);
+        prop_assert_eq!(heap, calendar);
+    }
 
     /// Events fire in non-decreasing time order no matter the insertion
     /// order, and equal-time events fire in insertion order.

@@ -327,7 +327,7 @@ impl DesDriver {
     fn run_inner<S: LogSink>(
         &self,
         vfs: Vfs,
-        catalog: FileCatalog,
+        mut catalog: FileCatalog,
         population: &CompiledPopulation,
         model: Box<dyn ServiceModel>,
         pool: ResourcePool,
@@ -335,6 +335,10 @@ impl DesDriver {
         assignment: Vec<usize>,
         sink: S,
     ) -> Result<(S, DesRunStats), UsimError> {
+        // Precompute the O(1) alias samplers for session planning's
+        // file-selection picks. Draw-for-draw identical to the unsealed
+        // modulo path, so seeded replay is unaffected.
+        catalog.seal();
         let users = (0..config.n_users)
             .map(|u| UserState {
                 proc: vfs.new_process(),
@@ -363,8 +367,11 @@ impl DesDriver {
             error: None,
         };
         // Steady state holds at most one pending event per user (wake or
-        // step); ×2 leaves slack for logout/login turnover.
-        let mut sim = Simulation::with_capacity(world, config.n_users * 2 + 1);
+        // step); ×2 leaves slack for logout/login turnover. The backend
+        // choice never changes the drain order (both drain in (time, seq)
+        // order), so it is free to vary per run without breaking replay.
+        let mut sim =
+            Simulation::with_backend(world, config.scheduler_backend(), config.n_users * 2 + 1);
         for u in 0..config.n_users {
             sim.schedule(0, Ev::Wake(u));
         }

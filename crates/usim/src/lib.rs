@@ -47,3 +47,4 @@ pub use session::MAX_ACCESS_BYTES;
 pub use sink::{LogSink, SummarySink};
 pub use spec::{AccessPattern, CategoryUsage, PopulationSpec, RunConfig, UserTypeSpec};
 pub use temporal::{DiurnalProfile, PhaseModel, PhaseState};
+pub use uswg_sim::SchedulerBackend;

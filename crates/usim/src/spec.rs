@@ -5,6 +5,7 @@ use crate::UsimError;
 use serde::{Deserialize, Serialize};
 use uswg_distr::DistributionSpec;
 use uswg_fsc::FileCategory;
+use uswg_sim::SchedulerBackend;
 
 /// Tolerance when validating that population fractions sum to one.
 const FRACTION_TOL: f64 = 1e-6;
@@ -257,6 +258,16 @@ pub struct RunConfig {
     pub record_ops: bool,
     /// Resolution of the compiled CDF tables (samples per distribution).
     pub cdf_resolution: usize,
+    /// Event-queue backend of the DES driver. Both backends produce
+    /// byte-identical simulations for the same seed; the calendar queue is
+    /// O(1) per event and wins beyond ~100k concurrently pending events
+    /// (roughly, users). `None` — the default, and what a freshly written
+    /// spec serializes — resolves at run time to the `USWG_SCHEDULER`
+    /// environment variable or the binary heap, so spec files stay portable
+    /// across backend matrices; set `Some` (or pass `--scheduler` to
+    /// `uswg run`) to pin one explicitly.
+    #[serde(default)]
+    pub scheduler: Option<SchedulerBackend>,
 }
 
 impl Default for RunConfig {
@@ -269,6 +280,7 @@ impl Default for RunConfig {
             seed: 0x5EED,
             record_ops: true,
             cdf_resolution: 1024,
+            scheduler: None,
         }
     }
 }
@@ -313,6 +325,18 @@ impl RunConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Builder-style scheduler-backend override.
+    pub fn with_scheduler(mut self, scheduler: SchedulerBackend) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// The backend this run will use: the pinned choice, or the
+    /// process-wide default (`USWG_SCHEDULER`, falling back to the heap).
+    pub fn scheduler_backend(&self) -> SchedulerBackend {
+        self.scheduler.unwrap_or_default()
     }
 }
 

@@ -234,6 +234,7 @@ fn des_contention_raises_response_times() {
             seed: 21,
             record_ops: true,
             cdf_resolution: 512,
+            ..RunConfig::default()
         };
         let report = DesDriver::new()
             .run(vfs, catalog, &pop, model, pool, &config)

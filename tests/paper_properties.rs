@@ -66,6 +66,7 @@ fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
                     seed,
                     record_ops: true,
                     cdf_resolution: 128,
+                    ..RunConfig::default()
                 },
                 vfs: VfsConfig::default(),
             }
