@@ -1,5 +1,5 @@
-//! Perf-baseline snapshot: measures the three hot paths this repo's
-//! performance work targets and writes a machine-readable `BENCH_*.json`.
+//! Perf-baseline snapshot: measures the hot paths this repo's performance
+//! work targets and writes a machine-readable `BENCH_*.json` (schema 3).
 //!
 //! Measurements:
 //!
@@ -9,8 +9,16 @@
 //! 3. **Scheduler backends** — heap vs calendar-queue hold-model churn at
 //!    pending populations from 1k to 1M events (the acceptance bar:
 //!    calendar ≥ 2× heap at ≥ 100k pending);
-//! 4. **Sweep parallelism** — wall-clock of a 4-point `user_sweep`, serial
-//!    vs all-cores.
+//! 4. **Sweep parallelism** — wall-clock of a `user_sweep`, serial vs
+//!    all-cores (best of [`TRIALS`] runs each, so the committed snapshot
+//!    reports schedule cost rather than timer noise);
+//! 5. **Sweep memory** — peak allocation of a full sweep in `FullLog` vs
+//!    `Summary` mode (counting global allocator) and the bytes each mode
+//!    retains per point: the O(users × sessions × ops) log versus the
+//!    O(1) streaming sink;
+//! 6. **Pool scaling** — the work-stealing pool at 1/2/4 workers against
+//!    the serial loop (best-of-[`TRIALS`]; 1 worker short-circuits to the
+//!    identical serial code path, so regressions there are pure noise).
 //!
 //! Usage: `cargo run --release -p uswg-bench --bin bench_baseline [out.json]`
 //! (default output `BENCH_baseline.json` in the current directory). CI runs
@@ -18,11 +26,77 @@
 //! perf trajectory of the repo is recorded per commit.
 
 use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use uswg_bench::{hold_simulation, HOLD_BATCH};
-use uswg_core::experiment::{user_sweep_with, ModelConfig, Parallelism};
-use uswg_core::{CdfTable, FillPattern, MultiStageGamma, SchedulerBackend, WorkloadSpec};
+use uswg_core::experiment::{user_sweep_with, ModelConfig, Parallelism, SweepMode};
+use uswg_core::{
+    CdfTable, FillPattern, MultiStageGamma, SchedulerBackend, SummarySink, WorkloadSpec,
+};
+
+/// A [`System`]-backed global allocator that tracks live and peak bytes, so
+/// the memory section below measures *actual* allocation, not estimates.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn note_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+// SAFETY: defers entirely to `System`; the atomics only observe sizes.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+            note_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Peak bytes allocated above the starting water line while `f` runs.
+fn peak_alloc_during(f: impl FnOnce()) -> usize {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    f();
+    PEAK.load(Ordering::Relaxed).saturating_sub(base)
+}
+
+/// Timed trials per wall-clock measurement; the minimum is reported.
+const TRIALS: usize = 5;
+
+/// Best-of-[`TRIALS`] wall-clock of `f`, in milliseconds.
+fn best_ms(mut f: impl FnMut()) -> f64 {
+    (0..TRIALS)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
 
 #[derive(Debug, Serialize)]
 struct SamplingPoint {
@@ -58,12 +132,42 @@ struct SweepPointTiming {
 }
 
 #[derive(Debug, Serialize)]
+struct MemoryPoint {
+    points: usize,
+    users_per_point_max: usize,
+    sessions_per_user: u32,
+    /// Peak allocation above baseline over the whole sweep, FullLog mode.
+    fulllog_peak_bytes: usize,
+    /// Peak allocation above baseline over the whole sweep, Summary mode.
+    summary_peak_bytes: usize,
+    /// Bytes the FullLog mode retains for its largest point (the
+    /// materialized op + session records).
+    fulllog_retained_bytes_per_point: usize,
+    /// Bytes the Summary mode retains per point (the streaming sink —
+    /// constant regardless of users × sessions × ops).
+    summary_retained_bytes_per_point: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct PoolPoint {
+    /// Worker count requested via `Parallelism::Threads`.
+    workers_requested: usize,
+    /// Workers actually scheduled (requests are capped at the host's core
+    /// count — oversubscribing a CPU-bound sweep only adds switches).
+    workers_effective: usize,
+    sweep_ms: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct Baseline {
     schema: u32,
     sampling: Vec<SamplingPoint>,
     des: DesPoint,
     scheduler: Vec<SchedulerPoint>,
     sweep: SweepPointTiming,
+    memory: MemoryPoint,
+    pool: Vec<PoolPoint>,
 }
 
 /// Times `f` over enough iterations to fill ~200 ms; returns ns/iter.
@@ -166,34 +270,117 @@ fn measure_scheduler() -> Vec<SchedulerPoint> {
         .collect()
 }
 
-fn measure_sweep() -> SweepPointTiming {
+const SWEEP_USERS: [usize; 4] = [1, 2, 3, 4];
+
+fn run_sweep(
+    spec: &WorkloadSpec,
+    parallelism: Parallelism,
+) -> Vec<uswg_core::experiment::SweepPoint> {
+    user_sweep_with(
+        spec,
+        &ModelConfig::default_nfs(),
+        SWEEP_USERS,
+        parallelism,
+        SweepMode::Summary,
+    )
+    .expect("runs")
+}
+
+/// Measures sweep parallelism (Auto vs serial) and pool scaling at 1/2/4
+/// workers in one pass, sharing the warm run and the serial baseline so
+/// the timed serial sweep happens exactly once per snapshot.
+fn measure_sweep_and_pool() -> (SweepPointTiming, Vec<PoolPoint>) {
     let spec = bench_spec(1, 6);
-    let model = ModelConfig::default_nfs();
-    let users = [1usize, 2, 3, 4];
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(users.len());
 
-    // One untimed pass warms allocators and the page cache.
-    let warm = user_sweep_with(&spec, &model, users, Parallelism::Serial).expect("runs");
-
-    let start = Instant::now();
-    let serial = user_sweep_with(&spec, &model, users, Parallelism::Serial).expect("runs");
-    let serial_ms = start.elapsed().as_secs_f64() * 1e3;
-
-    let start = Instant::now();
-    let parallel = user_sweep_with(&spec, &model, users, Parallelism::Auto).expect("runs");
-    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
-
-    assert_eq!(serial, parallel, "parallel sweep must reproduce serial");
-    assert_eq!(serial, warm, "sweeps must be deterministic");
-    SweepPointTiming {
-        points: users.len(),
+    // One untimed pass warms allocators and the page cache; the assertions
+    // pin the determinism contract the parallel schedules must keep.
+    let warm = run_sweep(&spec, Parallelism::Serial);
+    let serial_ms = best_ms(|| {
+        let got = run_sweep(&spec, Parallelism::Serial);
+        assert_eq!(got, warm, "sweeps must be deterministic");
+    });
+    let parallel_ms = best_ms(|| {
+        let got = run_sweep(&spec, Parallelism::Auto);
+        assert_eq!(got, warm, "parallel sweep must reproduce serial");
+    });
+    let sweep = SweepPointTiming {
+        points: SWEEP_USERS.len(),
         serial_ms,
         parallel_ms,
         speedup: serial_ms / parallel_ms,
-        workers,
+        workers: Parallelism::Auto.effective_workers(SWEEP_USERS.len()),
+    };
+    let pool = [1usize, 2, 4]
+        .into_iter()
+        .map(|workers| {
+            let sweep_ms = best_ms(|| {
+                let got = run_sweep(&spec, Parallelism::Threads(workers));
+                assert_eq!(got, warm, "stolen schedule must reproduce serial");
+            });
+            PoolPoint {
+                workers_requested: workers,
+                workers_effective: Parallelism::Threads(workers)
+                    .effective_workers(SWEEP_USERS.len()),
+                sweep_ms,
+                speedup_vs_serial: serial_ms / sweep_ms,
+            }
+        })
+        .collect();
+    (sweep, pool)
+}
+
+fn measure_memory() -> MemoryPoint {
+    let spec = bench_spec(1, 6);
+    let model = ModelConfig::default_nfs();
+    // Warm both paths so one-time lazy allocations don't count as peaks.
+    let _ = user_sweep_with(
+        &spec,
+        &model,
+        SWEEP_USERS,
+        Parallelism::Serial,
+        SweepMode::FullLog,
+    )
+    .expect("runs");
+    let fulllog_peak_bytes = peak_alloc_during(|| {
+        black_box(
+            user_sweep_with(
+                &spec,
+                &model,
+                SWEEP_USERS,
+                Parallelism::Serial,
+                SweepMode::FullLog,
+            )
+            .expect("runs"),
+        );
+    });
+    let summary_peak_bytes = peak_alloc_during(|| {
+        black_box(
+            user_sweep_with(
+                &spec,
+                &model,
+                SWEEP_USERS,
+                Parallelism::Serial,
+                SweepMode::Summary,
+            )
+            .expect("runs"),
+        );
+    });
+    // What each mode *retains* per point: FullLog keeps every record of
+    // the largest point's materialized log; Summary keeps one fixed-size
+    // sink no matter how large the point is.
+    let mut biggest = spec.clone();
+    biggest.run.n_users = *SWEEP_USERS.iter().max().expect("non-empty");
+    let report = biggest.run_des(&model).expect("runs");
+    let fulllog_retained =
+        std::mem::size_of_val(report.log.ops()) + std::mem::size_of_val(report.log.sessions());
+    MemoryPoint {
+        points: SWEEP_USERS.len(),
+        users_per_point_max: biggest.run.n_users,
+        sessions_per_user: spec.run.sessions_per_user,
+        fulllog_peak_bytes,
+        summary_peak_bytes,
+        fulllog_retained_bytes_per_point: fulllog_retained,
+        summary_retained_bytes_per_point: std::mem::size_of::<SummarySink>(),
     }
 }
 
@@ -208,15 +395,19 @@ fn main() {
     let des = measure_des();
     eprintln!("measuring scheduler backends...");
     let scheduler = measure_scheduler();
-    eprintln!("measuring sweep parallelism...");
-    let sweep = measure_sweep();
+    eprintln!("measuring sweep parallelism + pool scaling...");
+    let (sweep, pool) = measure_sweep_and_pool();
+    eprintln!("measuring sweep memory...");
+    let memory = measure_memory();
 
     let baseline = Baseline {
-        schema: 2,
+        schema: 3,
         sampling,
         des,
         scheduler,
         sweep,
+        memory,
+        pool,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializes");
     std::fs::write(&out_path, &json).expect("snapshot written");

@@ -17,6 +17,11 @@
 //! | `ablation_cdf_resolution` | CDF-table resolution vs accuracy/memory |
 //! | `ablation_servers` | distributed-NFS server count vs saturation |
 //!
+//! Beyond the paper artifacts, `bench_baseline` writes the committed
+//! `BENCH_baseline.json` perf snapshot (schema 3: sampling, DES
+//! throughput, scheduler backends, sweep parallelism, sweep memory under
+//! a counting allocator, and work-stealing pool scaling).
+//!
 //! Scale can be reduced for smoke runs with `USWG_SESSIONS` (sessions per
 //! user, default 50 — the paper's per-point count) and `USWG_SEED`.
 

@@ -11,15 +11,23 @@
 //! * `uswg fit <data.txt> --family exp|phase:K|gamma:K` — fit a
 //!   distribution family to one-number-per-line data and report fit
 //!   quality (the GDS fitting step);
+//! * `uswg sweep <spec.json> --model M --users 1,2,4…` — run a Chapter 5
+//!   sweep (users, mix or access size) across cores, memory-flat by
+//!   default;
+//! * `uswg replicate <spec.json> --model M --seeds …` — rerun the same
+//!   workload under independent seeds and report the 95% CI;
 //! * `uswg tables` — print the built-in Table 5.1/5.2/5.4 presets.
 
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
-use uswg_core::experiment::ModelConfig;
+use uswg_core::experiment::{
+    access_size_sweep_with, mix_sweep_with, run_des_replicated, user_sweep_with, ModelConfig,
+    Parallelism, SweepMode, SweepPoint,
+};
 use uswg_core::{
     fit, gof, metrics, plot, presets, CoreError, DistrError, Distribution, NfsParams,
-    SchedulerBackend, Table, UsageLog, WorkloadSpec,
+    SchedulerBackend, SpillSink, SummarySink, Table, UsageLog, WorkloadSpec,
 };
 
 /// A parsed command line.
@@ -41,6 +49,39 @@ pub enum Command {
         /// Event-queue backend override (None = the spec's choice, which
         /// itself defaults to `USWG_SCHEDULER` or the heap).
         scheduler: Option<SchedulerBackend>,
+        /// Optional path to stream the binary columnar log to during the
+        /// run (full fidelity, O(1) resident memory; requires a model).
+        spill: Option<String>,
+    },
+    /// `sweep <path>`: run one of the Chapter 5 sweeps.
+    Sweep {
+        /// Path of the JSON spec.
+        path: String,
+        /// Timing model to measure.
+        model: ModelConfig,
+        /// The swept axis and its points.
+        axis: SweepAxis,
+        /// Per-point retention (summary = O(1) memory, the default).
+        mode: SweepMode,
+        /// Worker threads (None = one per core).
+        jobs: Option<usize>,
+        /// Event-queue backend override.
+        scheduler: Option<SchedulerBackend>,
+    },
+    /// `replicate <path>`: rerun one workload under several seeds.
+    Replicate {
+        /// Path of the JSON spec.
+        path: String,
+        /// Timing model to measure.
+        model: ModelConfig,
+        /// The seeds to run.
+        seeds: SeedSpec,
+        /// Per-point retention (summary = O(1) memory, the default).
+        mode: SweepMode,
+        /// Worker threads (None = one per core).
+        jobs: Option<usize>,
+        /// Event-queue backend override.
+        scheduler: Option<SchedulerBackend>,
     },
     /// `fit <path> --family F`: fit a family to a data file.
     Fit {
@@ -53,6 +94,37 @@ pub enum Command {
     Tables,
     /// `help`: print usage.
     Help,
+}
+
+/// How a `replicate` command names its seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeedSpec {
+    /// An explicit `--seeds` list, run verbatim.
+    List(Vec<u64>),
+    /// `--replicates N`: N consecutive seeds counting up from the spec's
+    /// base seed (resolved when the spec is loaded).
+    Count(u64),
+}
+
+impl SeedSpec {
+    /// The concrete seed list for a spec whose base seed is `base`.
+    fn resolve(&self, base: u64) -> Vec<u64> {
+        match self {
+            SeedSpec::List(seeds) => seeds.clone(),
+            SeedSpec::Count(n) => (0..*n).map(|k| base.wrapping_add(k)).collect(),
+        }
+    }
+}
+
+/// The swept axis of a `sweep` command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepAxis {
+    /// Concurrent users (Table 5.3, Figures 5.6–5.11).
+    Users(Vec<usize>),
+    /// Heavy-user fraction of the population (Figures 5.7–5.11 panels).
+    Mix(Vec<f64>),
+    /// Mean access size in bytes (Figure 5.12).
+    Sizes(Vec<f64>),
 }
 
 /// A distribution family selector for `fit`.
@@ -118,9 +190,23 @@ USAGE:
       --model <M>      timing model: nfs | nfs-cached | local | whole-file |
                        distributed:<servers>   (default: direct driver, no model)
       --out <log.json> write the usage log as JSON
+      --spill <p.bin>  stream the log to a binary columnar file during the
+                       run (full fidelity, O(1) resident memory; model runs
+                       only — read it back with uswg_core::read_spill_path)
       --scheduler <S>  event-queue backend: heap | calendar (default: the
                        spec's choice; both give byte-identical results,
                        calendar is faster beyond ~100k concurrent users)
+  uswg sweep <spec.json> --model <M> <AXIS> [OPTIONS]
+                                        run a Chapter 5 sweep across cores
+      <AXIS> = --users 1,2,4,8 | --mix 0,0.5,1 | --sizes 128,512,2048
+      --mode <R>       summary (O(1) memory per point, default) | full-log
+      --jobs <N>       worker threads (default: one per core)
+      --scheduler <S>  event-queue backend override
+  uswg replicate <spec.json> --model <M> [OPTIONS]
+                                        rerun under independent seeds, report 95% CI
+      --seeds 1,2,3    explicit seed list
+      --replicates <N> N seeds counting up from the spec's seed (default 5)
+      --mode/--jobs/--scheduler  as for sweep
   uswg fit <data.txt> --family <F>      fit a family to one-number-per-line data
       <F> = exp | phase:<K> | gamma:<K>
   uswg tables                           print the Table 5.1/5.2/5.4 presets
@@ -150,6 +236,124 @@ pub fn parse_model(name: &str) -> Result<ModelConfig, CliError> {
         other => Err(CliError::Usage(format!(
             "unknown model `{other}` (expected nfs, nfs-cached, local, whole-file, distributed:<n>)"
         ))),
+    }
+}
+
+/// Parses a scheduler-backend name.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown backends.
+pub fn parse_scheduler(name: &str) -> Result<SchedulerBackend, CliError> {
+    SchedulerBackend::parse(name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown scheduler `{name}` (expected heap, calendar)"
+        ))
+    })
+}
+
+/// Parses a retention mode name.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown modes.
+pub fn parse_mode(name: &str) -> Result<SweepMode, CliError> {
+    match name {
+        "summary" => Ok(SweepMode::Summary),
+        "full-log" | "fulllog" | "full" => Ok(SweepMode::FullLog),
+        other => Err(CliError::Usage(format!(
+            "unknown mode `{other}` (expected summary, full-log)"
+        ))),
+    }
+}
+
+/// Parses a comma-separated list of values.
+fn parse_list<T: std::str::FromStr>(what: &str, raw: &str) -> Result<Vec<T>, CliError> {
+    let values: Result<Vec<T>, _> = raw.split(',').map(|v| v.trim().parse::<T>()).collect();
+    match values {
+        Ok(v) if !v.is_empty() => Ok(v),
+        _ => Err(CliError::Usage(format!("bad {what} list `{raw}`"))),
+    }
+}
+
+/// The `Parallelism` a `--jobs` flag selects.
+fn parallelism_from_jobs(jobs: Option<usize>) -> Result<Parallelism, CliError> {
+    match jobs {
+        None => Ok(Parallelism::Auto),
+        Some(0) => Err(CliError::Usage("--jobs must be at least 1".into())),
+        Some(1) => Ok(Parallelism::Serial),
+        Some(n) => Ok(Parallelism::Threads(n)),
+    }
+}
+
+/// Largest accepted `--replicates` value: every seed becomes one full
+/// simulation, so anything past this is a typo, and the bound keeps
+/// `SeedSpec::resolve` from materializing an absurd seed vector.
+const MAX_REPLICATES: u64 = 1_000_000;
+
+/// Iterates an argument tail as `--flag value` pairs. Every flag of the
+/// experiment subcommands takes exactly one value, so a trailing flag
+/// yields an error for its missing value.
+struct FlagPairs<'a> {
+    args: &'a [String],
+    i: usize,
+}
+
+impl<'a> FlagPairs<'a> {
+    fn over(args: &'a [String]) -> Self {
+        Self { args, i: 0 }
+    }
+}
+
+impl<'a> Iterator for FlagPairs<'a> {
+    type Item = (&'a str, Result<&'a str, CliError>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let flag = self.args.get(self.i)?;
+        let value = self
+            .args
+            .get(self.i + 1)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")));
+        self.i += 2;
+        Some((flag.as_str(), value))
+    }
+}
+
+/// The flags `sweep` and `replicate` share, parsed once so the two
+/// subcommands cannot drift apart in syntax or error wording.
+#[derive(Debug, Default)]
+struct ExperimentFlags {
+    model: Option<ModelConfig>,
+    mode: SweepMode,
+    jobs: Option<usize>,
+    scheduler: Option<SchedulerBackend>,
+}
+
+impl ExperimentFlags {
+    /// Consumes a shared flag; returns `Ok(false)` for flags the caller
+    /// owns (axes, seeds).
+    fn try_consume(&mut self, flag: &str, value: &str) -> Result<bool, CliError> {
+        match flag {
+            "--model" => self.model = Some(parse_model(value)?),
+            "--mode" => self.mode = parse_mode(value)?,
+            "--jobs" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad job count `{value}`")))?;
+                parallelism_from_jobs(Some(n))?; // reject 0 at parse time
+                self.jobs = Some(n);
+            }
+            "--scheduler" => self.scheduler = Some(parse_scheduler(value)?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn require_model(&self, command: &str) -> Result<ModelConfig, CliError> {
+        self.model
+            .clone()
+            .ok_or_else(|| CliError::Usage(format!("{command} requires --model")))
     }
 }
 
@@ -232,6 +436,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut model = None;
             let mut out = None;
             let mut scheduler = None;
+            let mut spill = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -253,15 +458,18 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         out = Some(v.clone());
                         i += 2;
                     }
+                    "--spill" => {
+                        let v = args
+                            .get(i + 1)
+                            .ok_or_else(|| CliError::Usage("--spill needs a path".into()))?;
+                        spill = Some(v.clone());
+                        i += 2;
+                    }
                     "--scheduler" => {
                         let v = args
                             .get(i + 1)
                             .ok_or_else(|| CliError::Usage("--scheduler needs a value".into()))?;
-                        scheduler = Some(SchedulerBackend::parse(v).ok_or_else(|| {
-                            CliError::Usage(format!(
-                                "unknown scheduler `{v}` (expected heap, calendar)"
-                            ))
-                        })?);
+                        scheduler = Some(parse_scheduler(v)?);
                         i += 2;
                     }
                     other => {
@@ -269,11 +477,114 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     }
                 }
             }
+            if spill.is_some() && model.is_none() {
+                return Err(CliError::Usage(
+                    "--spill needs a timing model (the direct driver does not stream)".into(),
+                ));
+            }
             Ok(Command::Run {
                 path,
                 model,
                 out,
                 scheduler,
+                spill,
+            })
+        }
+        "sweep" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("sweep needs a spec file".into()))?
+                .clone();
+            let mut common = ExperimentFlags::default();
+            let mut axis = None;
+            let set_axis = |a: SweepAxis, axis: &mut Option<SweepAxis>| {
+                if axis.is_some() {
+                    return Err(CliError::Usage(
+                        "sweep takes exactly one of --users, --mix, --sizes".into(),
+                    ));
+                }
+                *axis = Some(a);
+                Ok(())
+            };
+            for (flag, value) in FlagPairs::over(&args[2..]) {
+                let (flag, value) = (flag, value?);
+                if common.try_consume(flag, value)? {
+                    continue;
+                }
+                match flag {
+                    "--users" => {
+                        set_axis(SweepAxis::Users(parse_list("user", value)?), &mut axis)?;
+                    }
+                    "--mix" => set_axis(SweepAxis::Mix(parse_list("mix", value)?), &mut axis)?,
+                    "--sizes" => {
+                        set_axis(SweepAxis::Sizes(parse_list("size", value)?), &mut axis)?;
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            let model = common.require_model("sweep")?;
+            let axis = axis.ok_or_else(|| {
+                CliError::Usage("sweep needs an axis: --users, --mix or --sizes".into())
+            })?;
+            Ok(Command::Sweep {
+                path,
+                model,
+                axis,
+                mode: common.mode,
+                jobs: common.jobs,
+                scheduler: common.scheduler,
+            })
+        }
+        "replicate" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("replicate needs a spec file".into()))?
+                .clone();
+            let mut common = ExperimentFlags::default();
+            let mut seeds: Option<Vec<u64>> = None;
+            let mut replicates: Option<u64> = None;
+            for (flag, value) in FlagPairs::over(&args[2..]) {
+                let (flag, value) = (flag, value?);
+                if common.try_consume(flag, value)? {
+                    continue;
+                }
+                match flag {
+                    "--seeds" => seeds = Some(parse_list("seed", value)?),
+                    "--replicates" => {
+                        let n: u64 = value.parse().map_err(|_| {
+                            CliError::Usage(format!("bad replicate count `{value}`"))
+                        })?;
+                        if n == 0 {
+                            return Err(CliError::Usage("--replicates must be at least 1".into()));
+                        }
+                        if n > MAX_REPLICATES {
+                            return Err(CliError::Usage(format!(
+                                "--replicates is capped at {MAX_REPLICATES}"
+                            )));
+                        }
+                        replicates = Some(n);
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            let model = common.require_model("replicate")?;
+            if seeds.is_some() && replicates.is_some() {
+                return Err(CliError::Usage(
+                    "pass --seeds or --replicates, not both".into(),
+                ));
+            }
+            let seeds = match (seeds, replicates) {
+                (Some(list), _) => SeedSpec::List(list),
+                (None, Some(n)) => SeedSpec::Count(n),
+                (None, None) => SeedSpec::Count(5),
+            };
+            Ok(Command::Replicate {
+                path,
+                model,
+                seeds,
+                mode: common.mode,
+                jobs: common.jobs,
+                scheduler: common.scheduler,
             })
         }
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -302,10 +613,45 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             model,
             out,
             scheduler,
+            spill,
         } => {
             let mut spec = WorkloadSpec::from_json(&std::fs::read_to_string(&path)?)?;
             if let Some(backend) = scheduler {
                 spec.run.scheduler = Some(backend);
+            }
+            if let Some(spill_path) = spill {
+                // Memory-flat full-fidelity run: records stream to disk
+                // through the spill sink while a summary sink keeps the
+                // headline numbers for the console.
+                // parse_args enforces this too, but Command is a public
+                // type — keep execute total over hand-built values.
+                let m = model.as_ref().ok_or_else(|| {
+                    CliError::Usage(
+                        "--spill needs a timing model (the direct driver does not stream)".into(),
+                    )
+                })?;
+                let sink = (SummarySink::new(), SpillSink::create(&spill_path)?);
+                let ((summary, spill_sink), stats) = spec.run_des_with_sink(m, sink)?;
+                spill_sink.finish()?;
+                let mut text = format!(
+                    "model {} | {} events | {} simulated\n",
+                    stats.model, stats.events, stats.duration
+                );
+                text.push_str(&render_summary_sink(&summary));
+                let _ = writeln!(
+                    text,
+                    "binary log spilled to {spill_path} ({} ops, {} sessions)",
+                    summary.ops, summary.sessions
+                );
+                if let Some(out_path) = out {
+                    // The JSON form is reconstructed from the spill file, so
+                    // even this path never holds the log *and* the run in
+                    // memory at once.
+                    let log = uswg_core::read_spill_path(&spill_path)?;
+                    std::fs::write(&out_path, log.to_json().map_err(CoreError::from)?)?;
+                    let _ = writeln!(text, "usage log written to {out_path}");
+                }
+                return Ok(text);
             }
             let (log, header) = match &model {
                 Some(m) => {
@@ -329,11 +675,154 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             }
             Ok(text)
         }
+        Command::Sweep {
+            path,
+            model,
+            axis,
+            mode,
+            jobs,
+            scheduler,
+        } => {
+            let mut spec = WorkloadSpec::from_json(&std::fs::read_to_string(&path)?)?;
+            if let Some(backend) = scheduler {
+                spec.run.scheduler = Some(backend);
+            }
+            let parallelism = parallelism_from_jobs(jobs)?;
+            let (x_label, points) = match &axis {
+                SweepAxis::Users(users) => (
+                    "users",
+                    user_sweep_with(&spec, &model, users.iter().copied(), parallelism, mode)?,
+                ),
+                SweepAxis::Mix(fractions) => (
+                    "heavy frac",
+                    mix_sweep_with(&spec, &model, fractions.iter().copied(), parallelism, mode)?,
+                ),
+                SweepAxis::Sizes(sizes) => (
+                    "mean size",
+                    access_size_sweep_with(
+                        &spec,
+                        &model,
+                        sizes.iter().copied(),
+                        parallelism,
+                        mode,
+                    )?,
+                ),
+            };
+            Ok(render_sweep(&model, x_label, &points, mode))
+        }
+        Command::Replicate {
+            path,
+            model,
+            seeds,
+            mode,
+            jobs,
+            scheduler,
+        } => {
+            let mut spec = WorkloadSpec::from_json(&std::fs::read_to_string(&path)?)?;
+            if let Some(backend) = scheduler {
+                spec.run.scheduler = Some(backend);
+            }
+            let parallelism = parallelism_from_jobs(jobs)?;
+            let seeds = seeds.resolve(spec.run.seed);
+            let study = run_des_replicated(&spec, &model, seeds, parallelism, mode)?;
+            Ok(render_replication(&model, &study))
+        }
         Command::Fit { path, family } => {
             let data = read_data(&path)?;
             fit_report(&data, family)
         }
     }
+}
+
+fn render_sweep(
+    model: &ModelConfig,
+    x_label: &str,
+    points: &[SweepPoint],
+    mode: SweepMode,
+) -> String {
+    let mut table = Table::new(vec![
+        x_label,
+        "resp/byte (µs/B)",
+        "access size (B)",
+        "response (µs)",
+        "sessions",
+    ])
+    .with_title(format!("Sweep — model {}", model.name()));
+    for p in points {
+        table.row(vec![
+            format!("{}", p.x),
+            format!("{:.3}", p.response_per_byte),
+            p.access_size.mean_std(),
+            p.response.mean_std(),
+            p.sessions.to_string(),
+        ]);
+    }
+    let mut text = table.render();
+    let _ = writeln!(
+        text,
+        "mode: {} ({})",
+        match mode {
+            SweepMode::Summary => "summary",
+            SweepMode::FullLog => "full-log",
+        },
+        match mode {
+            SweepMode::Summary => "O(1) memory per point",
+            SweepMode::FullLog => "full usage log materialized per point",
+        }
+    );
+    text
+}
+
+fn render_summary_sink(sink: &SummarySink) -> String {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "data ops: {} | access size {:.1} ± {:.1} B | response {:.1} ± {:.1} µs",
+        sink.data_ops,
+        sink.mean_access_size(),
+        sink.std_dev_access_size(),
+        sink.mean_response(),
+        sink.std_dev_response(),
+    );
+    let _ = writeln!(
+        text,
+        "response time per byte: {:.3} µs/B | sessions: {}",
+        sink.response_per_byte(),
+        sink.sessions
+    );
+    text
+}
+
+fn render_replication(
+    model: &ModelConfig,
+    study: &uswg_core::experiment::ReplicationStudy,
+) -> String {
+    let mut table = Table::new(vec!["seed", "resp/byte (µs/B)", "data ops", "sessions"])
+        .with_title(format!("Replication study — model {}", model.name()));
+    for r in &study.replicates {
+        table.row(vec![
+            r.seed.to_string(),
+            format!("{:.3}", r.point.response_per_byte),
+            r.point.response.n.to_string(),
+            r.point.sessions.to_string(),
+        ]);
+    }
+    let mut text = table.render();
+    let _ = writeln!(
+        text,
+        "mean response/byte: {:.3} ± {:.3} µs/B (95% CI half-width {:.3}, {} seeds)",
+        study.mean_response_per_byte,
+        study.std_dev_response_per_byte,
+        study.ci95_half_width,
+        study.replicates.len(),
+    );
+    let _ = writeln!(
+        text,
+        "pooled over all seeds: access size {} B | response {} µs",
+        study.pooled_access_size.mean_std(),
+        study.pooled_response.mean_std(),
+    );
+    text
 }
 
 fn read_data(path: &str) -> Result<Vec<f64>, CliError> {
@@ -481,12 +970,19 @@ mod tests {
                 model,
                 out,
                 scheduler,
+                spill,
             } => {
                 assert_eq!(path, "spec.json");
                 assert_eq!(model.unwrap().name(), "nfs");
                 assert_eq!(out.as_deref(), Some("log.json"));
                 assert_eq!(scheduler, None);
+                assert_eq!(spill, None);
             }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(argv("run spec.json --model nfs --spill log.bin")).unwrap();
+        match cmd {
+            Command::Run { spill, .. } => assert_eq!(spill.as_deref(), Some("log.bin")),
             other => panic!("{other:?}"),
         }
         let cmd = parse_args(argv("run spec.json --direct")).unwrap();
@@ -518,6 +1014,86 @@ mod tests {
         assert!(parse_family("phase:0").is_err());
         assert!(parse_family("phase:99").is_err());
         assert!(parse_family("cauchy").is_err());
+        // The spill path needs a timing model to stream from.
+        assert!(parse_args(argv("run spec.json --spill log.bin")).is_err());
+        assert!(parse_args(argv("run spec.json --direct --spill log.bin")).is_err());
+        // Sweep needs a model and exactly one axis.
+        assert!(parse_args(argv("sweep spec.json --users 1,2")).is_err());
+        assert!(parse_args(argv("sweep spec.json --model nfs")).is_err());
+        assert!(parse_args(argv("sweep spec.json --model nfs --users 1 --mix 0.5")).is_err());
+        assert!(parse_args(argv("sweep spec.json --model nfs --users banana")).is_err());
+        assert!(parse_args(argv("sweep spec.json --model nfs --users 1,2 --mode lossy")).is_err());
+        assert!(parse_args(argv("sweep spec.json --model nfs --users 1,2 --jobs 0")).is_err());
+        // Replicate seed plumbing.
+        assert!(parse_args(argv("replicate spec.json")).is_err());
+        assert!(parse_args(argv("replicate spec.json --model nfs --replicates 0")).is_err());
+        // Absurd counts are rejected at parse time, before SeedSpec would
+        // materialize the seed vector.
+        assert!(parse_args(argv(
+            "replicate spec.json --model nfs --replicates 18446744073709551615"
+        ))
+        .is_err());
+        assert!(parse_args(argv(
+            "replicate spec.json --model nfs --seeds 1 --replicates 2"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_sweep_and_replicate() {
+        let cmd = parse_args(argv(
+            "sweep spec.json --model nfs --users 1,2,4 --mode full-log --jobs 2 --scheduler calendar",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Sweep {
+                path,
+                model,
+                axis,
+                mode,
+                jobs,
+                scheduler,
+            } => {
+                assert_eq!(path, "spec.json");
+                assert_eq!(model.name(), "nfs");
+                assert_eq!(axis, SweepAxis::Users(vec![1, 2, 4]));
+                assert_eq!(mode, SweepMode::FullLog);
+                assert_eq!(jobs, Some(2));
+                assert_eq!(scheduler, Some(SchedulerBackend::Calendar));
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(argv("sweep spec.json --model local --mix 0,0.5,1")).unwrap();
+        match cmd {
+            Command::Sweep { axis, mode, .. } => {
+                assert_eq!(axis, SweepAxis::Mix(vec![0.0, 0.5, 1.0]));
+                assert_eq!(mode, SweepMode::Summary);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(argv("sweep spec.json --model local --sizes 128,2048")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Sweep {
+                axis: SweepAxis::Sizes(_),
+                ..
+            }
+        ));
+        let cmd = parse_args(argv("replicate spec.json --model nfs --seeds 7,8,9")).unwrap();
+        match cmd {
+            Command::Replicate { seeds, .. } => {
+                assert_eq!(seeds, SeedSpec::List(vec![7, 8, 9]));
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(argv("replicate spec.json --model nfs --replicates 3")).unwrap();
+        match cmd {
+            Command::Replicate { seeds, .. } => {
+                assert_eq!(seeds, SeedSpec::Count(3));
+                assert_eq!(seeds.resolve(100), vec![100, 101, 102]);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -569,6 +1145,7 @@ mod tests {
             model: None,
             out: Some(log_path.to_string_lossy().into()),
             scheduler: None,
+            spill: None,
         })
         .unwrap();
         assert!(out.contains("Per-system-call summary"));
@@ -584,6 +1161,7 @@ mod tests {
                 model: Some(ModelConfig::default_local()),
                 out: None,
                 scheduler,
+                spill: None,
             })
             .unwrap()
         };
@@ -606,6 +1184,77 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("KS D ="));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_replicate_and_spill_smoke() {
+        let dir = std::env::temp_dir().join(format!("uswg-cli-exp-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        let spill_path = dir.join("log.bin");
+
+        let mut spec = WorkloadSpec::paper_default().unwrap();
+        spec.run.sessions_per_user = 2;
+        spec.fsc = spec
+            .fsc
+            .with_files_per_user(8)
+            .unwrap()
+            .with_shared_files(10)
+            .unwrap();
+        std::fs::write(&spec_path, spec.to_json().unwrap()).unwrap();
+        let spec_arg: String = spec_path.to_string_lossy().into();
+
+        // sweep: summary and full-log modes print the same table layout.
+        let out = execute(
+            parse_args(argv(&format!(
+                "sweep {spec_arg} --model nfs --users 1,2 --jobs 1"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("Sweep — model nfs"), "{out}");
+        assert!(out.contains("mode: summary"), "{out}");
+        let out = execute(
+            parse_args(argv(&format!(
+                "sweep {spec_arg} --model local --mix 0,1 --mode full-log"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("mode: full-log"), "{out}");
+
+        // replicate: per-seed rows plus the CI and pooled lines.
+        let out = execute(
+            parse_args(argv(&format!(
+                "replicate {spec_arg} --model local --seeds 5,6 --jobs 1"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("Replication study — model local"), "{out}");
+        assert!(out.contains("95% CI"), "{out}");
+        assert!(out.contains("pooled over all seeds"), "{out}");
+
+        // run --spill: streams the log to disk; reading it back gives the
+        // exact log an in-memory run would have produced.
+        let out = execute(
+            parse_args(argv(&format!(
+                "run {spec_arg} --model local --spill {}",
+                spill_path.to_string_lossy()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("binary log spilled"), "{out}");
+        let spilled = uswg_core::read_spill_path(&spill_path).unwrap();
+        let report = spec.run_des(&ModelConfig::default_local()).unwrap();
+        assert_eq!(
+            spilled.to_json().unwrap(),
+            report.log.to_json().unwrap(),
+            "spilled log must be byte-identical to the in-memory log"
+        );
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -9,14 +9,14 @@
 
 use crate::{presets, CoreError, WorkloadSpec};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use uswg_analyze::{metrics, Summary};
 use uswg_netfs::{
     DistributedNfsModel, DistributedNfsParams, LocalDiskModel, LocalDiskParams, NfsModel,
     NfsParams, ServiceModel, WholeFileCacheModel, WholeFileCacheParams,
 };
 use uswg_sim::ResourcePool;
-use uswg_usim::{DesReport, PopulationSpec};
+use uswg_usim::{DesReport, LogSink, PopulationSpec, SummarySink};
 
 /// Which file-system timing model to measure (the candidates of the Section
 /// 5.3 comparison study).
@@ -102,6 +102,109 @@ fn measure(x: f64, report: &DesReport) -> SweepPoint {
     }
 }
 
+/// The [`measure`] counterpart for a streamed run: every statistic comes
+/// from the sink's running aggregates. Means, counts, extrema and the
+/// per-byte metric are bit-identical to post-hoc aggregation of the same
+/// record stream; the standard deviations use a one-pass Welford
+/// accumulator (numerically stable at any scale) and agree with the
+/// two-pass form to well within 1e-9 relative (property-tested).
+fn measure_streamed(x: f64, sink: &SummarySink) -> SweepPoint {
+    let n = sink.data_ops as usize;
+    SweepPoint {
+        x,
+        response_per_byte: sink.response_per_byte(),
+        access_size: Summary {
+            n,
+            mean: sink.mean_access_size(),
+            std_dev: sink.std_dev_access_size(),
+            min: sink.min_access_size(),
+            max: sink.max_access_size(),
+        },
+        response: Summary {
+            n,
+            mean: sink.mean_response(),
+            std_dev: sink.std_dev_response(),
+            min: sink.min_response(),
+            max: sink.max_response(),
+        },
+        sessions: sink.sessions as usize,
+    }
+}
+
+/// What each point of a sweep materializes while it runs.
+///
+/// Both modes execute the identical simulation (same seed, same record
+/// stream); they differ only in what is *retained*. `Summary` keeps O(1)
+/// bytes per point — the mode that reaches the ROADMAP's million-user
+/// populations — and reproduces `FullLog`'s Table 5.3 statistics to 1e-9
+/// (means, counts and extrema exactly; standard deviations come from a
+/// Welford accumulator, stable at any scale, differing from the two-pass
+/// form only in rounding order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SweepMode {
+    /// Materialize the full [`uswg_usim::UsageLog`] per point and
+    /// aggregate post hoc: memory grows with users × sessions × ops. Use
+    /// when the per-op records themselves are needed downstream.
+    FullLog,
+    /// Stream records into a [`SummarySink`] as they happen; no log is
+    /// ever allocated.
+    #[default]
+    Summary,
+}
+
+/// Runs one sweep point in the requested mode and measures it. This is
+/// the plain-sweep path: in `FullLog` mode the statistics come straight
+/// from the materialized log, with no post-hoc sink rebuild.
+fn run_point(
+    spec: &WorkloadSpec,
+    model: &ModelConfig,
+    x: f64,
+    mode: SweepMode,
+) -> Result<SweepPoint, CoreError> {
+    match mode {
+        SweepMode::Summary => {
+            let (sink, _stats) = spec.run_des_summary(model)?;
+            Ok(measure_streamed(x, &sink))
+        }
+        SweepMode::FullLog => {
+            let report = spec.run_des(model)?;
+            Ok(measure(x, &report))
+        }
+    }
+}
+
+/// [`run_point`] for callers that also pool statistics across points
+/// (replication studies merge the sinks). In `FullLog` mode the sink is
+/// rebuilt post hoc from the materialized log — an extra pass plain
+/// sweeps never pay — so both modes hand back sinks over the identical
+/// record stream.
+fn run_point_with_sink(
+    spec: &WorkloadSpec,
+    model: &ModelConfig,
+    x: f64,
+    mode: SweepMode,
+) -> Result<(SweepPoint, SummarySink), CoreError> {
+    match mode {
+        SweepMode::Summary => {
+            let (sink, _stats) = spec.run_des_summary(model)?;
+            Ok((measure_streamed(x, &sink), sink))
+        }
+        SweepMode::FullLog => {
+            let report = spec.run_des(model)?;
+            let point = measure(x, &report);
+            let mut sink = SummarySink::new();
+            for op in report.log.ops() {
+                sink.record_op(op);
+            }
+            for session in report.log.sessions() {
+                sink.record_session(session);
+            }
+            Ok((point, sink))
+        }
+    }
+}
+
 /// How a sweep distributes its points over OS threads.
 ///
 /// Every point of a sweep is an independent simulation seeded from
@@ -114,26 +217,50 @@ pub enum Parallelism {
     Serial,
     /// One worker per available core (capped at the point count).
     Auto,
-    /// Exactly this many workers (capped at the point count; `0` and `1`
-    /// both mean serial).
+    /// This many workers — capped at the point count *and* at the host's
+    /// core count: sweep points are CPU-bound simulations, so
+    /// oversubscribing cores only adds context-switch overhead (measured
+    /// ~4% on a 1-core host before the cap). `0` and `1` both mean serial.
     Threads(usize),
 }
 
 impl Parallelism {
+    /// Cores the host offers this process.
+    fn cores() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
     fn workers(self, points: usize) -> usize {
         let want = match self {
             Parallelism::Serial => 1,
-            Parallelism::Auto => std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
-            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => Self::cores(),
+            Parallelism::Threads(n) => n.max(1).min(Self::cores()),
         };
+        // On a single-core host every variant resolves to 1, and fan_out's
+        // `workers <= 1` guard short-circuits straight to the plain serial
+        // loop: no threads, no deques, no atomics — a parallel request is
+        // then the same code path as serial and can never regress below
+        // serial wall-clock.
         want.min(points.max(1))
+    }
+
+    /// The worker count this policy actually schedules for `points` sweep
+    /// points on this host — after the core cap and the point-count cap.
+    /// Exposed so measurement tools (`bench_baseline`) report the same
+    /// number the harness uses rather than re-deriving the policy.
+    pub fn effective_workers(self, points: usize) -> usize {
+        self.workers(points)
     }
 }
 
-/// Runs `f` over every input, fanning out across a scoped thread pool, and
-/// returns outputs in input order (identical to the serial order).
+/// Runs `f` over every input, fanning out across a work-stealing pool of
+/// scoped threads ([`stealpool`]: per-worker Chase–Lev deques), and returns
+/// outputs in input order (identical to the serial order). Stealing keeps
+/// all cores busy even when point costs are wildly uneven — the norm for
+/// user sweeps, where the largest population dominates — and when sweeps
+/// nest replication grids beneath them.
 ///
 /// On failure the remaining undispatched points are cancelled (each point
 /// can be a full simulation — finishing a doomed sweep would waste minutes),
@@ -146,50 +273,37 @@ where
     O: Send,
     F: Fn(&T) -> Result<O, CoreError> + Sync,
 {
+    let workers = parallelism.workers(inputs.len());
+    fan_out_workers(inputs, workers, f)
+}
+
+/// [`fan_out`] with the worker count already resolved. Split out so unit
+/// tests can force a multi-worker pool even on single-core hosts — the
+/// [`Parallelism`] core cap would otherwise short-circuit every test
+/// schedule to the serial loop there and leave the pool-backed slot /
+/// error / cancellation plumbing unexercised.
+fn fan_out_workers<T, O, F>(inputs: Vec<T>, workers: usize, f: F) -> Result<Vec<O>, CoreError>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> Result<O, CoreError> + Sync,
+{
     let n = inputs.len();
-    let workers = parallelism.workers(n);
     if workers <= 1 || n <= 1 {
         return inputs.iter().map(&f).collect();
     }
-    let next = AtomicUsize::new(0);
-    let failed = AtomicBool::new(false);
-    let mut slots: Vec<Option<Result<O, CoreError>>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let collected: Vec<(usize, Result<O, CoreError>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        if failed.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let result = f(&inputs[i]);
-                        if result.is_err() {
-                            failed.store(true, Ordering::Relaxed);
-                        }
-                        local.push((i, result));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+    let slots: Vec<Mutex<Option<Result<O, CoreError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    stealpool::run_indexed(workers, n, |i| {
+        let result = f(&inputs[i]);
+        let ok = result.is_ok();
+        *slots[i].lock().expect("slot lock") = Some(result);
+        ok // a failed point cancels the rest of the pool
     });
-    for (i, result) in collected {
-        slots[i] = Some(result);
-    }
     let mut out = Vec::with_capacity(n);
     let mut first_err: Option<CoreError> = None;
     for slot in slots {
-        match slot {
+        match slot.into_inner().expect("slot lock") {
             Some(Ok(v)) => out.push(v),
             Some(Err(e)) => {
                 first_err.get_or_insert(e);
@@ -210,7 +324,8 @@ where
 /// Sweeps the number of concurrent users (Table 5.3, Figures 5.6–5.11):
 /// for each `n`, rebuilds the file system for `n` users and runs the
 /// workload's population against `model`. Points fan out across all cores
-/// ([`Parallelism::Auto`]); use [`user_sweep_with`] to control scheduling.
+/// ([`Parallelism::Auto`]) in the memory-flat [`SweepMode::Summary`]; use
+/// [`user_sweep_with`] to control scheduling and retention.
 ///
 /// # Errors
 ///
@@ -220,10 +335,10 @@ pub fn user_sweep(
     model: &ModelConfig,
     users: impl IntoIterator<Item = usize>,
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    user_sweep_with(base, model, users, Parallelism::Auto)
+    user_sweep_with(base, model, users, Parallelism::Auto, SweepMode::Summary)
 }
 
-/// [`user_sweep`] with explicit scheduling.
+/// [`user_sweep`] with explicit scheduling and retention mode.
 ///
 /// # Errors
 ///
@@ -233,13 +348,13 @@ pub fn user_sweep_with(
     model: &ModelConfig,
     users: impl IntoIterator<Item = usize>,
     parallelism: Parallelism,
+    mode: SweepMode,
 ) -> Result<Vec<SweepPoint>, CoreError> {
     let points: Vec<usize> = users.into_iter().collect();
     fan_out(points, parallelism, |&n| {
         let mut spec = base.clone();
         spec.run.n_users = n;
-        let report = spec.run_des(model)?;
-        Ok(measure(n as f64, &report))
+        run_point(&spec, model, n as f64, mode)
     })
 }
 
@@ -255,10 +370,16 @@ pub fn mix_sweep(
     model: &ModelConfig,
     heavy_fractions: impl IntoIterator<Item = f64>,
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    mix_sweep_with(base, model, heavy_fractions, Parallelism::Auto)
+    mix_sweep_with(
+        base,
+        model,
+        heavy_fractions,
+        Parallelism::Auto,
+        SweepMode::Summary,
+    )
 }
 
-/// [`mix_sweep`] with explicit scheduling.
+/// [`mix_sweep`] with explicit scheduling and retention mode.
 ///
 /// # Errors
 ///
@@ -268,14 +389,14 @@ pub fn mix_sweep_with(
     model: &ModelConfig,
     heavy_fractions: impl IntoIterator<Item = f64>,
     parallelism: Parallelism,
+    mode: SweepMode,
 ) -> Result<Vec<SweepPoint>, CoreError> {
     let points: Vec<f64> = heavy_fractions.into_iter().collect();
     fan_out(points, parallelism, |&frac| {
         let spec = base
             .clone()
             .with_population(presets::heavy_light_population(frac)?);
-        let report = spec.run_des(model)?;
-        Ok(measure(frac, &report))
+        run_point(&spec, model, frac, mode)
     })
 }
 
@@ -292,10 +413,16 @@ pub fn access_size_sweep(
     model: &ModelConfig,
     mean_sizes: impl IntoIterator<Item = f64>,
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    access_size_sweep_with(base, model, mean_sizes, Parallelism::Auto)
+    access_size_sweep_with(
+        base,
+        model,
+        mean_sizes,
+        Parallelism::Auto,
+        SweepMode::Summary,
+    )
 }
 
-/// [`access_size_sweep`] with explicit scheduling.
+/// [`access_size_sweep`] with explicit scheduling and retention mode.
 ///
 /// # Errors
 ///
@@ -305,13 +432,13 @@ pub fn access_size_sweep_with(
     model: &ModelConfig,
     mean_sizes: impl IntoIterator<Item = f64>,
     parallelism: Parallelism,
+    mode: SweepMode,
 ) -> Result<Vec<SweepPoint>, CoreError> {
     let points: Vec<f64> = mean_sizes.into_iter().collect();
     fan_out(points, parallelism, |&mean| {
         let user = presets::user_type_with("extremely heavy I/O", 0.0, mean);
         let spec = base.clone().with_population(PopulationSpec::single(user)?);
-        let report = spec.run_des(model)?;
-        Ok(measure(mean, &report))
+        run_point(&spec, model, mean, mode)
     })
 }
 
@@ -327,10 +454,10 @@ pub fn compare_models(
     base: &WorkloadSpec,
     models: &[ModelConfig],
 ) -> Result<Vec<(String, SweepPoint)>, CoreError> {
-    compare_models_with(base, models, Parallelism::Auto)
+    compare_models_with(base, models, Parallelism::Auto, SweepMode::Summary)
 }
 
-/// [`compare_models`] with explicit scheduling.
+/// [`compare_models`] with explicit scheduling and retention mode.
 ///
 /// # Errors
 ///
@@ -339,10 +466,11 @@ pub fn compare_models_with(
     base: &WorkloadSpec,
     models: &[ModelConfig],
     parallelism: Parallelism,
+    mode: SweepMode,
 ) -> Result<Vec<(String, SweepPoint)>, CoreError> {
     fan_out(models.to_vec(), parallelism, |model| {
-        let report = base.run_des(model)?;
-        Ok((model.name().to_string(), measure(0.0, &report)))
+        let point = run_point(base, model, 0.0, mode)?;
+        Ok((model.name().to_string(), point))
     })
 }
 
@@ -366,6 +494,14 @@ pub struct ReplicationStudy {
     pub std_dev_response_per_byte: f64,
     /// Half-width of the 95% confidence interval on the mean (Student's t).
     pub ci95_half_width: f64,
+    /// Access-size statistics pooled over every replicate's data ops: the
+    /// parallel reduction of the per-replicate streaming sinks
+    /// ([`SummarySink::merge`] in seed order), as if all seeds had fed one
+    /// sink.
+    pub pooled_access_size: Summary,
+    /// Response-time statistics pooled over every replicate's data ops
+    /// (same reduction).
+    pub pooled_response: Summary,
 }
 
 /// Two-sided 95% t quantiles for small degrees of freedom; the normal
@@ -395,10 +531,12 @@ fn t_quantile_95(df: usize) -> f64 {
     }
 }
 
-/// Runs the same workload under each seed (in parallel) and reports the
-/// spread: the statistical backing for any response-time claim. Each
-/// replicate is completely determined by its seed, so the study is
-/// reproducible point for point.
+/// Runs the same workload under each seed (work-stolen across cores) and
+/// reports the spread: the statistical backing for any response-time
+/// claim. Each replicate is completely determined by its seed, so the
+/// study is reproducible point for point; the pooled statistics merge the
+/// per-seed streaming sinks in seed order, so they too are independent of
+/// the parallel schedule.
 ///
 /// # Errors
 ///
@@ -409,6 +547,7 @@ pub fn run_des_replicated(
     model: &ModelConfig,
     seeds: impl IntoIterator<Item = u64>,
     parallelism: Parallelism,
+    mode: SweepMode,
 ) -> Result<ReplicationStudy, CoreError> {
     let seeds: Vec<u64> = seeds.into_iter().collect();
     if seeds.is_empty() {
@@ -416,15 +555,20 @@ pub fn run_des_replicated(
             "replication needs at least one seed".into(),
         ));
     }
-    let replicates = fan_out(seeds, parallelism, |&seed| {
+    let measured = fan_out(seeds, parallelism, |&seed| {
         let mut spec = base.clone();
         spec.run.seed = seed;
-        let report = spec.run_des(model)?;
-        Ok(Replicate {
-            seed,
-            point: measure(seed as f64, &report),
-        })
+        let (point, sink) = run_point_with_sink(&spec, model, seed as f64, mode)?;
+        Ok((Replicate { seed, point }, sink))
     })?;
+    // Parallel reduction: fold the per-seed sinks in input (seed) order, so
+    // the pooled aggregates never depend on which worker finished first.
+    let mut pooled = SummarySink::new();
+    for (_, sink) in &measured {
+        pooled.merge(sink);
+    }
+    let pooled_point = measure_streamed(0.0, &pooled);
+    let replicates: Vec<Replicate> = measured.into_iter().map(|(r, _)| r).collect();
     let values: Vec<f64> = replicates
         .iter()
         .map(|r| r.point.response_per_byte)
@@ -440,6 +584,8 @@ pub fn run_des_replicated(
         mean_response_per_byte: summary.mean,
         std_dev_response_per_byte: summary.std_dev,
         ci95_half_width,
+        pooled_access_size: pooled_point.access_size,
+        pooled_response: pooled_point.response,
     })
 }
 
@@ -533,24 +679,41 @@ mod tests {
 
     #[test]
     fn parallelism_worker_counts() {
+        let cores = Parallelism::cores();
         assert_eq!(Parallelism::Serial.workers(10), 1);
-        assert_eq!(Parallelism::Threads(4).workers(10), 4);
-        assert_eq!(Parallelism::Threads(4).workers(2), 2);
+        // Explicit thread requests are capped at the host's core count
+        // (oversubscription never helps a CPU-bound point) and at the
+        // point count.
+        assert_eq!(Parallelism::Threads(4).workers(10), 4.min(cores));
+        assert_eq!(Parallelism::Threads(4).workers(2), 2.min(cores));
         assert_eq!(Parallelism::Threads(0).workers(10), 1);
-        assert!(Parallelism::Auto.workers(64) >= 1);
+        assert_eq!(Parallelism::Threads(usize::MAX).workers(usize::MAX), cores);
+        // Auto is exactly the core count (capped at points): on a 1-core
+        // host this is the serial short-circuit the bench snapshot relies
+        // on.
+        assert_eq!(Parallelism::Auto.workers(64.max(cores)), cores);
+        assert_eq!(Parallelism::Auto.workers(1), 1);
     }
 
     #[test]
     fn fan_out_preserves_input_order() {
+        // `fan_out_workers` directly, with the worker count forced past
+        // the Parallelism core cap: on a 1-core CI host the public entry
+        // points all short-circuit to the serial loop, and this test is
+        // what keeps the pool-backed slot plumbing itself covered.
         let inputs: Vec<usize> = (0..32).collect();
         let serial = fan_out(inputs.clone(), Parallelism::Serial, |&i| Ok(i * 3)).unwrap();
-        let parallel = fan_out(inputs, Parallelism::Threads(8), |&i| Ok(i * 3)).unwrap();
-        assert_eq!(serial, parallel);
+        for workers in [2usize, 4, 8] {
+            let pooled = fan_out_workers(inputs.clone(), workers, |&i| Ok(i * 3)).unwrap();
+            assert_eq!(serial, pooled, "workers = {workers}");
+        }
         assert_eq!(serial[5], 15);
     }
 
     #[test]
     fn fan_out_surfaces_errors() {
+        // Through the public entry point (may resolve to the serial loop
+        // on small hosts)...
         let result = fan_out(vec![1usize, 2, 3], Parallelism::Threads(3), |&i| {
             if i == 2 {
                 Err(CoreError::Spec("boom".into()))
@@ -559,6 +722,54 @@ mod tests {
             }
         });
         assert!(matches!(result, Err(CoreError::Spec(_))));
+        // ...and through a forced multi-worker pool, where the failure has
+        // to cancel the undispatched tail and still surface (which of the
+        // failing points runs first depends on the stolen schedule; the
+        // input-order rule applies among those that ran).
+        let inputs: Vec<usize> = (0..64).collect();
+        let result = fan_out_workers(inputs, 4, |&i| {
+            if i % 7 == 3 {
+                Err(CoreError::Spec(format!("boom {i}")))
+            } else {
+                Ok(i)
+            }
+        });
+        match result {
+            Err(CoreError::Spec(msg)) => assert!(msg.starts_with("boom "), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn forced_pool_sweep_matches_serial() {
+        // A real simulation through the pool with workers forced past the
+        // core cap: stolen schedules must reproduce the serial points byte
+        // for byte even when the host would normally short-circuit.
+        let spec = quick_spec();
+        let users: Vec<usize> = vec![1, 2, 3];
+        let serial = fan_out_workers(users.clone(), 1, |&n| {
+            let mut s = spec.clone();
+            s.run.n_users = n;
+            run_point(
+                &s,
+                &ModelConfig::default_local(),
+                n as f64,
+                SweepMode::Summary,
+            )
+        })
+        .unwrap();
+        let pooled = fan_out_workers(users, 3, |&n| {
+            let mut s = spec.clone();
+            s.run.n_users = n;
+            run_point(
+                &s,
+                &ModelConfig::default_local(),
+                n as f64,
+                SweepMode::Summary,
+            )
+        })
+        .unwrap();
+        assert_eq!(serial, pooled);
     }
 
     #[test]
@@ -570,6 +781,7 @@ mod tests {
             &ModelConfig::default_local(),
             [1u64, 2, 3],
             Parallelism::Threads(3),
+            SweepMode::Summary,
         )
         .unwrap();
         assert_eq!(study.replicates.len(), 3);
@@ -578,12 +790,23 @@ mod tests {
         // Replicates are keyed and ordered by seed.
         let seeds: Vec<u64> = study.replicates.iter().map(|r| r.seed).collect();
         assert_eq!(seeds, vec![1, 2, 3]);
+        // The pooled statistics merge every replicate's data ops.
+        let total_data_ops: usize = study.replicates.iter().map(|r| r.point.access_size.n).sum();
+        assert_eq!(study.pooled_access_size.n, total_data_ops);
+        assert_eq!(study.pooled_response.n, total_data_ops);
+        assert!(study.pooled_response.mean > 0.0);
+        // Pooled extrema bound every replicate's extrema.
+        for r in &study.replicates {
+            assert!(study.pooled_response.min <= r.point.response.min);
+            assert!(study.pooled_response.max >= r.point.response.max);
+        }
         // Empty seed list is rejected.
         assert!(run_des_replicated(
             &spec,
             &ModelConfig::default_local(),
             [],
-            Parallelism::Serial
+            Parallelism::Serial,
+            SweepMode::Summary,
         )
         .is_err());
     }
@@ -600,6 +823,7 @@ mod tests {
             &ModelConfig::default_nfs(),
             [1, 2],
             Parallelism::Serial,
+            SweepMode::Summary,
         )
         .unwrap();
         spec.run.scheduler = Some(SchedulerBackend::Calendar);
@@ -608,6 +832,7 @@ mod tests {
             &ModelConfig::default_nfs(),
             [1, 2],
             Parallelism::Serial,
+            SweepMode::Summary,
         )
         .unwrap();
         assert_eq!(heap, calendar);
@@ -621,6 +846,7 @@ mod tests {
             &ModelConfig::default_local(),
             [7u64, 8],
             Parallelism::Serial,
+            SweepMode::Summary,
         )
         .unwrap();
         let b = run_des_replicated(
@@ -628,9 +854,65 @@ mod tests {
             &ModelConfig::default_local(),
             [7u64, 8],
             Parallelism::Threads(2),
+            SweepMode::Summary,
         )
         .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summary_mode_matches_full_log_mode() {
+        // The two retention modes execute the identical simulation; every
+        // SweepPoint statistic must agree — means, counts, extrema and the
+        // per-byte metric exactly, standard deviations to 1e-9 relative
+        // (different accumulation order).
+        let spec = quick_spec();
+        let model = ModelConfig::default_nfs();
+        let full = user_sweep_with(
+            &spec,
+            &model,
+            [1, 2],
+            Parallelism::Serial,
+            SweepMode::FullLog,
+        )
+        .unwrap();
+        let summary = user_sweep_with(
+            &spec,
+            &model,
+            [1, 2],
+            Parallelism::Serial,
+            SweepMode::Summary,
+        )
+        .unwrap();
+        assert_eq!(full.len(), summary.len());
+        for (f, s) in full.iter().zip(&summary) {
+            assert_eq!(f.x, s.x);
+            assert_eq!(f.sessions, s.sessions);
+            assert_eq!(f.response_per_byte, s.response_per_byte);
+            assert_eq!(f.access_size.n, s.access_size.n);
+            assert_eq!(f.access_size.mean, s.access_size.mean);
+            assert_eq!(f.access_size.min, s.access_size.min);
+            assert_eq!(f.access_size.max, s.access_size.max);
+            assert_eq!(f.response.min, s.response.min);
+            assert_eq!(f.response.max, s.response.max);
+            let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1.0);
+            assert!(rel(f.access_size.std_dev, s.access_size.std_dev) < 1e-9);
+            assert!(rel(f.response.std_dev, s.response.std_dev) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_mode_serde_round_trip() {
+        for mode in [SweepMode::FullLog, SweepMode::Summary] {
+            let json = serde_json::to_string(&mode).unwrap();
+            let back: SweepMode = serde_json::from_str(&json).unwrap();
+            assert_eq!(mode, back);
+        }
+        assert_eq!(SweepMode::default(), SweepMode::Summary);
+        assert_eq!(
+            serde_json::to_string(&SweepMode::Summary).unwrap(),
+            "\"summary\""
+        );
     }
 
     #[test]

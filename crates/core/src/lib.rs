@@ -69,8 +69,9 @@ pub use uswg_sim::{
     Resource, ResourcePool, ResourceStats, Scheduler, SchedulerBackend, SimTime, Simulation, World,
 };
 pub use uswg_usim::{
-    AccessPattern, BehaviorState, CategoryUsage, CompiledPopulation, DesDriver, DesReport,
-    DesRunStats, DirectDriver, DiurnalProfile, LogSink, OpRecord, PhaseModel, PhaseState,
-    PopulationSpec, RunConfig, SessionRecord, SummarySink, UsageLog, UserTypeSpec, UsimError,
+    read_spill, read_spill_path, AccessPattern, BehaviorState, CategoryUsage, CompiledPopulation,
+    DesDriver, DesReport, DesRunStats, DirectDriver, DiurnalProfile, LogSink, OpRecord, PhaseModel,
+    PhaseState, PopulationSpec, RunConfig, SessionRecord, SpillSink, SummarySink, UsageLog,
+    UserTypeSpec, UsimError,
 };
 pub use uswg_vfs::{Fd, FsError, Metadata, OpenFlags, SeekFrom, Vfs, VfsConfig};

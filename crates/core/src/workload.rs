@@ -8,7 +8,8 @@ use serde::{Deserialize, Serialize};
 use uswg_fsc::{FileCatalog, FileSystemCreator, FscSpec};
 use uswg_sim::ResourcePool;
 use uswg_usim::{
-    CompiledPopulation, DesDriver, DesReport, DirectDriver, PopulationSpec, RunConfig, UsageLog,
+    CompiledPopulation, DesDriver, DesReport, DesRunStats, DirectDriver, LogSink, PopulationSpec,
+    RunConfig, SummarySink, UsageLog,
 };
 use uswg_vfs::{Vfs, VfsConfig};
 
@@ -128,6 +129,49 @@ impl WorkloadSpec {
         let mut pool = ResourcePool::new();
         let model = model.build(&mut pool);
         Ok(DesDriver::new().run(vfs, catalog, &population, model, pool, &self.run)?)
+    }
+
+    /// Runs the workload in simulated time, streaming every record into
+    /// `sink` instead of materializing a [`UsageLog`]: the memory-flat
+    /// counterpart of [`WorkloadSpec::run_des`]. The record stream is
+    /// identical between the two paths for the same seed, so any
+    /// [`LogSink`] observes exactly what the collected log would contain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation, compilation and simulation errors.
+    pub fn run_des_with_sink<S: LogSink>(
+        &self,
+        model: &ModelConfig,
+        sink: S,
+    ) -> Result<(S, DesRunStats), CoreError> {
+        let (vfs, catalog) = self.generate_fs()?;
+        let population = self.compile()?;
+        let mut pool = ResourcePool::new();
+        let model = model.build(&mut pool);
+        Ok(DesDriver::new().run_with_sink(
+            vfs,
+            catalog,
+            &population,
+            model,
+            pool,
+            &self.run,
+            sink,
+        )?)
+    }
+
+    /// Runs the workload in simulated time with a streaming
+    /// [`SummarySink`]: O(1) memory regardless of users × sessions × ops,
+    /// retaining exactly the aggregates the Chapter 5 sweeps report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation, compilation and simulation errors.
+    pub fn run_des_summary(
+        &self,
+        model: &ModelConfig,
+    ) -> Result<(SummarySink, DesRunStats), CoreError> {
+        self.run_des_with_sink(model, SummarySink::new())
     }
 }
 

@@ -36,6 +36,7 @@ mod log;
 mod session;
 mod sink;
 mod spec;
+mod spill;
 mod temporal;
 
 pub use compile::{BehaviorState, CompiledPopulation, CompiledUserType};
@@ -46,5 +47,6 @@ pub use log::{OpRecord, SessionRecord, UsageLog};
 pub use session::MAX_ACCESS_BYTES;
 pub use sink::{LogSink, SummarySink};
 pub use spec::{AccessPattern, CategoryUsage, PopulationSpec, RunConfig, UserTypeSpec};
+pub use spill::{read_spill, read_spill_path, SpillSink, FRAME_CAP};
 pub use temporal::{DiurnalProfile, PhaseModel, PhaseState};
 pub use uswg_sim::SchedulerBackend;

@@ -32,9 +32,97 @@ impl LogSink for UsageLog {
     }
 }
 
+/// A tee: every record goes to both sinks, left first. Lets one run feed a
+/// streaming summary *and* a spill file (the `uswg run --spill` path) with
+/// no extra driver machinery.
+impl<A: LogSink, B: LogSink> LogSink for (A, B) {
+    fn record_op(&mut self, op: &OpRecord) {
+        self.0.record_op(op);
+        self.1.record_op(op);
+    }
+
+    fn record_session(&mut self, session: &SessionRecord) {
+        self.0.record_session(session);
+        self.1.record_session(session);
+    }
+}
+
+/// One metric's running moments: the raw sum (so the reported mean is
+/// bit-identical to post-hoc `sum / n` aggregation), a Welford running
+/// mean + M2 (so the variance never suffers the catastrophic cancellation
+/// of the naive `sumsq − sum²/n` form — at a billion low-variance samples
+/// that form loses every significant digit, precisely the scale this sink
+/// exists for), and the extrema.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Moments {
+    /// Exact running sum of the samples.
+    sum: f64,
+    /// Welford running mean.
+    mean: f64,
+    /// Welford sum of squared deviations from the running mean.
+    m2: f64,
+    /// Smallest sample (+∞ while empty).
+    min: f64,
+    /// Largest sample (−∞ while empty).
+    max: f64,
+}
+
+impl Default for Moments {
+    fn default() -> Self {
+        Self {
+            sum: 0.0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Moments {
+    /// Folds in one sample; `n` is the sample count *including* `x`.
+    fn record(&mut self, x: f64, n: u64) {
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Chan's parallel update: folds `other` (holding `nb` samples) into
+    /// `self` (holding `na`), exactly as stable as sequential Welford.
+    fn merge(&mut self, other: &Self, na: u64, nb: u64) {
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if nb == 0 {
+            return;
+        }
+        if na == 0 {
+            self.mean = other.mean;
+            self.m2 = other.m2;
+            return;
+        }
+        let n = (na + nb) as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * nb as f64 / n;
+        self.m2 += other.m2 + delta * delta * (na as f64) * (nb as f64) / n;
+    }
+
+    /// Sample standard deviation over `n` samples.
+    fn std_dev(&self, n: u64) -> f64 {
+        if n < 2 {
+            0.0
+        } else {
+            (self.m2.max(0.0) / (n - 1) as f64).sqrt()
+        }
+    }
+}
+
 /// Streaming-aggregate sink: folds the op stream into the figures' headline
 /// metrics without materializing any records.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SummarySink {
     /// Operations observed.
     pub ops: u64,
@@ -44,14 +132,10 @@ pub struct SummarySink {
     pub data_bytes: u64,
     /// Total response time over all operations, µs.
     pub total_response: u64,
-    /// Sum of data-op access sizes (for the mean).
-    access_size_sum: f64,
-    /// Sum of squared data-op access sizes (for the std dev).
-    access_size_sumsq: f64,
-    /// Sum of data-op response times.
-    response_sum: f64,
-    /// Sum of squared data-op response times.
-    response_sumsq: f64,
+    /// Moments of data-op access sizes.
+    access_size: Moments,
+    /// Moments of data-op response times.
+    response: Moments,
     /// Sessions observed.
     pub sessions: u64,
     /// Total bytes accessed across sessions.
@@ -62,6 +146,27 @@ impl SummarySink {
     /// A fresh, empty sink.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Folds `other` into `self`, as if every record `other` saw had been
+    /// recorded here too. This is the reduction step for sharded or
+    /// replicated runs: fan the population out over independent sinks, then
+    /// merge them pairwise — counts, sums and extrema combine exactly, and
+    /// the variance accumulators combine via Chan's parallel formula, so a
+    /// merged sink differs from a single-sink run of the concatenated
+    /// stream only by floating-point rounding order (≤ 1e-9 relative,
+    /// property-tested).
+    pub fn merge(&mut self, other: &SummarySink) {
+        self.access_size
+            .merge(&other.access_size, self.data_ops, other.data_ops);
+        self.response
+            .merge(&other.response, self.data_ops, other.data_ops);
+        self.ops += other.ops;
+        self.data_ops += other.data_ops;
+        self.data_bytes += other.data_bytes;
+        self.total_response += other.total_response;
+        self.sessions += other.sessions;
+        self.session_bytes_accessed += other.session_bytes_accessed;
     }
 
     /// Mean response time per data byte, µs — the Figures 5.6–5.12 metric,
@@ -80,13 +185,13 @@ impl SummarySink {
         if self.data_ops == 0 {
             0.0
         } else {
-            self.access_size_sum / self.data_ops as f64
+            self.access_size.sum / self.data_ops as f64
         }
     }
 
     /// Sample standard deviation of data-op access sizes, bytes.
     pub fn std_dev_access_size(&self) -> f64 {
-        sample_std_dev(self.access_size_sum, self.access_size_sumsq, self.data_ops)
+        self.access_size.std_dev(self.data_ops)
     }
 
     /// Mean response time over data operations, µs.
@@ -94,23 +199,51 @@ impl SummarySink {
         if self.data_ops == 0 {
             0.0
         } else {
-            self.response_sum / self.data_ops as f64
+            self.response.sum / self.data_ops as f64
         }
     }
 
     /// Sample standard deviation of data-op response times, µs.
     pub fn std_dev_response(&self) -> f64 {
-        sample_std_dev(self.response_sum, self.response_sumsq, self.data_ops)
+        self.response.std_dev(self.data_ops)
     }
-}
 
-fn sample_std_dev(sum: f64, sumsq: f64, n: u64) -> f64 {
-    if n < 2 {
-        return 0.0;
+    /// Smallest data-op access size, bytes (0 while empty, matching the
+    /// zero summary `Summary::of(&[])` reports).
+    pub fn min_access_size(&self) -> f64 {
+        if self.data_ops == 0 {
+            0.0
+        } else {
+            self.access_size.min
+        }
     }
-    let n = n as f64;
-    let var = (sumsq - sum * sum / n) / (n - 1.0);
-    var.max(0.0).sqrt()
+
+    /// Largest data-op access size, bytes (0 while empty).
+    pub fn max_access_size(&self) -> f64 {
+        if self.data_ops == 0 {
+            0.0
+        } else {
+            self.access_size.max
+        }
+    }
+
+    /// Smallest data-op response time, µs (0 while empty).
+    pub fn min_response(&self) -> f64 {
+        if self.data_ops == 0 {
+            0.0
+        } else {
+            self.response.min
+        }
+    }
+
+    /// Largest data-op response time, µs (0 while empty).
+    pub fn max_response(&self) -> f64 {
+        if self.data_ops == 0 {
+            0.0
+        } else {
+            self.response.max
+        }
+    }
 }
 
 impl LogSink for SummarySink {
@@ -120,12 +253,8 @@ impl LogSink for SummarySink {
         if op.op.is_data() && op.bytes > 0 {
             self.data_ops += 1;
             self.data_bytes += op.bytes;
-            let bytes = op.bytes as f64;
-            let resp = op.response as f64;
-            self.access_size_sum += bytes;
-            self.access_size_sumsq += bytes * bytes;
-            self.response_sum += resp;
-            self.response_sumsq += resp * resp;
+            self.access_size.record(op.bytes as f64, self.data_ops);
+            self.response.record(op.response as f64, self.data_ops);
         }
     }
 
@@ -191,5 +320,122 @@ mod tests {
         let mut log = UsageLog::new();
         LogSink::record_op(&mut log, &op(OpKind::Read, 8, 1));
         assert_eq!(log.ops().len(), 1);
+    }
+
+    #[test]
+    fn extrema_track_data_ops_only() {
+        let mut sink = SummarySink::new();
+        assert_eq!(sink.min_access_size(), 0.0);
+        assert_eq!(sink.max_response(), 0.0);
+        sink.record_op(&op(OpKind::Open, 0, 9_999)); // metadata: no extrema
+        sink.record_op(&op(OpKind::Read, 100, 10));
+        sink.record_op(&op(OpKind::Write, 300, 30));
+        assert_eq!(sink.min_access_size(), 100.0);
+        assert_eq!(sink.max_access_size(), 300.0);
+        assert_eq!(sink.min_response(), 10.0);
+        assert_eq!(sink.max_response(), 30.0);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let records = [
+            op(OpKind::Read, 100, 10),
+            op(OpKind::Open, 0, 5),
+            op(OpKind::Write, 300, 30),
+            op(OpKind::Read, 50, 7),
+        ];
+        let mut whole = SummarySink::new();
+        for r in &records {
+            whole.record_op(r);
+        }
+        whole.record_session(&SessionRecord {
+            user: 0,
+            user_type: 0,
+            session: 0,
+            start: 0,
+            end: 1,
+            ops: 4,
+            files_referenced: 2,
+            file_bytes_referenced: 100,
+            bytes_accessed: 450,
+            bytes_read: 150,
+            bytes_written: 300,
+            total_response: 52,
+        });
+        let mut left = SummarySink::new();
+        let mut right = SummarySink::new();
+        for r in &records[..2] {
+            left.record_op(r);
+        }
+        for r in &records[2..] {
+            right.record_op(r);
+        }
+        right.record_session(&SessionRecord {
+            user: 0,
+            user_type: 0,
+            session: 0,
+            start: 0,
+            end: 1,
+            ops: 4,
+            files_referenced: 2,
+            file_bytes_referenced: 100,
+            bytes_accessed: 450,
+            bytes_read: 150,
+            bytes_written: 300,
+            total_response: 52,
+        });
+        let mut merged = left;
+        merged.merge(&right);
+        // Integer tallies and extrema combine exactly; the float sums here
+        // are small integers, so even those are exact.
+        assert_eq!(merged, whole);
+        // Merging an empty sink is the identity.
+        merged.merge(&SummarySink::new());
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn std_dev_survives_large_mean_small_variance() {
+        // The regime that kills the naive `sumsq − sum²/n` form: a million
+        // samples near 2^26 whose true spread is ~1 — the squared sums
+        // agree to ~16 digits, so the naive difference is pure rounding
+        // noise, while Welford keeps full precision. This is exactly the
+        // large-population profile the summary mode exists for.
+        let base = 1u64 << 26;
+        let n = 1_000_000u64;
+        let mut whole = SummarySink::new();
+        let mut shards: Vec<SummarySink> = (0..10).map(|_| SummarySink::new()).collect();
+        for i in 0..n {
+            let record = op(OpKind::Read, base + i % 3, base + i % 3);
+            whole.record_op(&record);
+            shards[(i % 10) as usize].record_op(&record);
+        }
+        // Values cycle {base, base+1, base+2}: sample variance → 2/3.
+        let expected = (2.0f64 / 3.0).sqrt();
+        let got = whole.std_dev_access_size();
+        assert!(
+            (got - expected).abs() < 1e-6,
+            "sequential std {got} vs {expected}"
+        );
+        // Chan's merge keeps the same stability across shard reductions.
+        let mut merged = SummarySink::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        let got = merged.std_dev_access_size();
+        assert!(
+            (got - expected).abs() < 1e-6,
+            "merged std {got} vs {expected}"
+        );
+        assert_eq!(merged.data_ops, whole.data_ops);
+        assert_eq!(merged.mean_access_size(), whole.mean_access_size());
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let mut tee = (SummarySink::new(), UsageLog::new());
+        tee.record_op(&op(OpKind::Read, 64, 3));
+        assert_eq!(tee.0.data_ops, 1);
+        assert_eq!(tee.1.ops().len(), 1);
     }
 }

@@ -1,0 +1,640 @@
+//! Spill-to-disk log sink: full-fidelity op streams that survive beyond
+//! RAM.
+//!
+//! At the ROADMAP's millions-of-users scale a materialized [`UsageLog`] is
+//! the memory ceiling (~80 bytes per op record). [`SpillSink`] keeps full
+//! fidelity without the ceiling: records stream into fixed-width
+//! little-endian **columnar frames** on disk, buffered at most
+//! [`FRAME_CAP`] records at a time, so resident memory is O(1) in run
+//! length. [`read_spill`] reconstructs the exact `UsageLog` the run would
+//! have produced in memory — losslessly, byte-for-byte (guarded by a
+//! JSON-identity round-trip property test).
+//!
+//! # File format (`USWGSPL1`)
+//!
+//! ```text
+//! magic: 8 bytes  b"USWGSPL1"
+//! frame*:
+//!   tag:   1 byte   0 = op frame, 1 = session frame
+//!   count: u32 LE   records in this frame (1..=FRAME_CAP)
+//!   columns, each `count` fixed-width LE values, in declaration order:
+//!     ops:      at u64 | user u64 | session u32 | op u8 | ino u64 |
+//!               bytes u64 | file_size u64 | response u64 | category u8
+//!     sessions: user u64 | user_type u64 | session u32 | start u64 |
+//!               end u64 | ops u64 | files_referenced u64 |
+//!               file_bytes_referenced u64 | bytes_accessed u64 |
+//!               bytes_read u64 | bytes_written u64 | total_response u64
+//! end marker (written by `finish` only):
+//!   tag:   1 byte   2
+//!   totals: u64 LE ops, u64 LE sessions — must match the frames read
+//! ```
+//!
+//! Columnar-within-frame keeps each column a single contiguous fixed-width
+//! run — trivially seekable, compressible, and decodable without any
+//! per-record branching — while the frame granularity preserves the
+//! stream's op/session interleaving order within each record kind.
+
+use crate::log::{OpRecord, SessionRecord, UsageLog};
+use crate::sink::LogSink;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use uswg_fsc::{FileCategory, FileType, Owner, UsageClass};
+use uswg_netfs::OpKind;
+
+/// File magic: format name + version.
+const MAGIC: &[u8; 8] = b"USWGSPL1";
+/// Frame tag for op-record frames.
+const TAG_OPS: u8 = 0;
+/// Frame tag for session-record frames.
+const TAG_SESSIONS: u8 = 1;
+/// End-of-stream marker, written only by [`SpillSink::finish`]: tag byte
+/// followed by the total op and session counts (u64 LE each). Its absence
+/// tells the reader the writer died mid-run — without it, a file truncated
+/// exactly at a frame boundary (a killed process, a full disk under a
+/// `BufWriter` drop) would read back as a clean but silently incomplete
+/// log.
+const TAG_END: u8 = 2;
+
+/// Records buffered per frame: the sink's entire resident footprint is two
+/// buffers of at most this many records (~320 KiB of ops), independent of
+/// how long the run is.
+pub const FRAME_CAP: usize = 4096;
+
+/// Encodes an [`OpKind`] as its index in [`OpKind::ALL`].
+fn encode_op(kind: OpKind) -> u8 {
+    OpKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every OpKind is in ALL") as u8
+}
+
+fn decode_op(code: u8) -> io::Result<OpKind> {
+    OpKind::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| bad_data(format!("unknown op code {code}")))
+}
+
+/// Packs a [`FileCategory`] into one byte: `type * 8 + owner * 4 + usage`.
+fn encode_category(cat: FileCategory) -> u8 {
+    let t = match cat.file_type {
+        FileType::Dir => 0u8,
+        FileType::Reg => 1,
+        FileType::Notes => 2,
+    };
+    let o = match cat.owner {
+        Owner::User => 0u8,
+        Owner::Other => 1,
+    };
+    let u = match cat.usage {
+        UsageClass::ReadOnly => 0u8,
+        UsageClass::New => 1,
+        UsageClass::ReadWrite => 2,
+        UsageClass::Temp => 3,
+    };
+    t * 8 + o * 4 + u
+}
+
+fn decode_category(code: u8) -> io::Result<FileCategory> {
+    let file_type = match code / 8 {
+        0 => FileType::Dir,
+        1 => FileType::Reg,
+        2 => FileType::Notes,
+        _ => return Err(bad_data(format!("unknown category code {code}"))),
+    };
+    let owner = match (code / 4) % 2 {
+        0 => Owner::User,
+        _ => Owner::Other,
+    };
+    let usage = match code % 4 {
+        0 => UsageClass::ReadOnly,
+        1 => UsageClass::New,
+        2 => UsageClass::ReadWrite,
+        _ => UsageClass::Temp,
+    };
+    Ok(FileCategory {
+        file_type,
+        owner,
+        usage,
+    })
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// A [`LogSink`] that streams records to a binary columnar file instead of
+/// holding them in memory. See the module documentation for the format.
+///
+/// I/O failures are deferred: the `LogSink` methods are infallible by
+/// signature, so the first error is stored and surfaced by
+/// [`SpillSink::finish`] (recording becomes a no-op in between).
+#[derive(Debug)]
+pub struct SpillSink<W: Write> {
+    out: W,
+    ops: Vec<OpRecord>,
+    sessions: Vec<SessionRecord>,
+    /// Ops recorded over the sink's whole life (buffered + flushed), for
+    /// the end-of-stream marker.
+    ops_total: u64,
+    /// Sessions recorded over the sink's whole life.
+    sessions_total: u64,
+    error: Option<io::Error>,
+}
+
+impl SpillSink<BufWriter<File>> {
+    /// Creates (truncating) `path` and returns a sink spilling into it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created or
+    /// the header written.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Self::new(BufWriter::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> SpillSink<W> {
+    /// Wraps a writer, emitting the format header immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the header write fails.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(MAGIC)?;
+        Ok(Self {
+            out,
+            ops: Vec::with_capacity(FRAME_CAP),
+            sessions: Vec::with_capacity(FRAME_CAP),
+            ops_total: 0,
+            sessions_total: 0,
+            error: None,
+        })
+    }
+
+    /// Flushes buffered frames, seals the stream with the end-of-stream
+    /// marker and flushes the writer, returning it. A spill file without
+    /// the marker (the sink was dropped instead — a crashed run) is
+    /// rejected by [`read_spill`] as truncated.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered at any point of the sink's
+    /// life (including deferred mid-run failures).
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush_ops();
+        self.flush_sessions();
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.write_all(&[TAG_END])?;
+        self.out.write_all(&self.ops_total.to_le_bytes())?;
+        self.out.write_all(&self.sessions_total.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn flush_ops(&mut self) {
+        if self.ops.is_empty() || self.error.is_some() {
+            self.ops.clear();
+            return;
+        }
+        let result = write_op_frame(&mut self.out, &self.ops);
+        if let Err(e) = result {
+            self.error = Some(e);
+        }
+        self.ops.clear();
+    }
+
+    fn flush_sessions(&mut self) {
+        if self.sessions.is_empty() || self.error.is_some() {
+            self.sessions.clear();
+            return;
+        }
+        let result = write_session_frame(&mut self.out, &self.sessions);
+        if let Err(e) = result {
+            self.error = Some(e);
+        }
+        self.sessions.clear();
+    }
+}
+
+impl<W: Write> LogSink for SpillSink<W> {
+    fn record_op(&mut self, op: &OpRecord) {
+        self.ops_total += 1;
+        self.ops.push(*op);
+        if self.ops.len() >= FRAME_CAP {
+            self.flush_ops();
+        }
+    }
+
+    fn record_session(&mut self, session: &SessionRecord) {
+        self.sessions_total += 1;
+        self.sessions.push(*session);
+        if self.sessions.len() >= FRAME_CAP {
+            self.flush_sessions();
+        }
+    }
+}
+
+/// Writes one column of `u64` values.
+fn write_u64s<W: Write>(out: &mut W, values: impl Iterator<Item = u64>) -> io::Result<()> {
+    for v in values {
+        out.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes one column of `u32` values.
+fn write_u32s<W: Write>(out: &mut W, values: impl Iterator<Item = u32>) -> io::Result<()> {
+    for v in values {
+        out.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes one column of `u8` values.
+fn write_u8s<W: Write>(out: &mut W, values: impl Iterator<Item = u8>) -> io::Result<()> {
+    for v in values {
+        out.write_all(&[v])?;
+    }
+    Ok(())
+}
+
+fn write_frame_header<W: Write>(out: &mut W, tag: u8, count: usize) -> io::Result<()> {
+    let count = u32::try_from(count).map_err(|_| bad_data("frame too large".into()))?;
+    out.write_all(&[tag])?;
+    out.write_all(&count.to_le_bytes())
+}
+
+fn write_op_frame<W: Write>(out: &mut W, ops: &[OpRecord]) -> io::Result<()> {
+    write_frame_header(out, TAG_OPS, ops.len())?;
+    write_u64s(out, ops.iter().map(|o| o.at))?;
+    write_u64s(out, ops.iter().map(|o| o.user as u64))?;
+    write_u32s(out, ops.iter().map(|o| o.session))?;
+    write_u8s(out, ops.iter().map(|o| encode_op(o.op)))?;
+    write_u64s(out, ops.iter().map(|o| o.ino))?;
+    write_u64s(out, ops.iter().map(|o| o.bytes))?;
+    write_u64s(out, ops.iter().map(|o| o.file_size))?;
+    write_u64s(out, ops.iter().map(|o| o.response))?;
+    write_u8s(out, ops.iter().map(|o| encode_category(o.category)))
+}
+
+fn write_session_frame<W: Write>(out: &mut W, sessions: &[SessionRecord]) -> io::Result<()> {
+    write_frame_header(out, TAG_SESSIONS, sessions.len())?;
+    write_u64s(out, sessions.iter().map(|s| s.user as u64))?;
+    write_u64s(out, sessions.iter().map(|s| s.user_type as u64))?;
+    write_u32s(out, sessions.iter().map(|s| s.session))?;
+    write_u64s(out, sessions.iter().map(|s| s.start))?;
+    write_u64s(out, sessions.iter().map(|s| s.end))?;
+    write_u64s(out, sessions.iter().map(|s| s.ops))?;
+    write_u64s(out, sessions.iter().map(|s| s.files_referenced))?;
+    write_u64s(out, sessions.iter().map(|s| s.file_bytes_referenced))?;
+    write_u64s(out, sessions.iter().map(|s| s.bytes_accessed))?;
+    write_u64s(out, sessions.iter().map(|s| s.bytes_read))?;
+    write_u64s(out, sessions.iter().map(|s| s.bytes_written))?;
+    write_u64s(out, sessions.iter().map(|s| s.total_response))
+}
+
+/// One decoded column of `u64` values.
+fn read_u64s<R: Read>(r: &mut R, count: usize) -> io::Result<Vec<u64>> {
+    let mut raw = vec![0u8; count * 8];
+    r.read_exact(&mut raw)?;
+    Ok(raw
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect())
+}
+
+fn read_u32s<R: Read>(r: &mut R, count: usize) -> io::Result<Vec<u32>> {
+    let mut raw = vec![0u8; count * 4];
+    r.read_exact(&mut raw)?;
+    Ok(raw
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect())
+}
+
+fn read_u8s<R: Read>(r: &mut R, count: usize) -> io::Result<Vec<u8>> {
+    let mut raw = vec![0u8; count];
+    r.read_exact(&mut raw)?;
+    Ok(raw)
+}
+
+fn read_op_frame<R: Read>(r: &mut R, count: usize, log: &mut UsageLog) -> io::Result<()> {
+    let at = read_u64s(r, count)?;
+    let user = read_u64s(r, count)?;
+    let session = read_u32s(r, count)?;
+    let op = read_u8s(r, count)?;
+    let ino = read_u64s(r, count)?;
+    let bytes = read_u64s(r, count)?;
+    let file_size = read_u64s(r, count)?;
+    let response = read_u64s(r, count)?;
+    let category = read_u8s(r, count)?;
+    for i in 0..count {
+        log.push_op(OpRecord {
+            at: at[i],
+            user: user[i] as usize,
+            session: session[i],
+            op: decode_op(op[i])?,
+            ino: ino[i],
+            bytes: bytes[i],
+            file_size: file_size[i],
+            response: response[i],
+            category: decode_category(category[i])?,
+        });
+    }
+    Ok(())
+}
+
+fn read_session_frame<R: Read>(r: &mut R, count: usize, log: &mut UsageLog) -> io::Result<()> {
+    let user = read_u64s(r, count)?;
+    let user_type = read_u64s(r, count)?;
+    let session = read_u32s(r, count)?;
+    let start = read_u64s(r, count)?;
+    let end = read_u64s(r, count)?;
+    let ops = read_u64s(r, count)?;
+    let files_referenced = read_u64s(r, count)?;
+    let file_bytes_referenced = read_u64s(r, count)?;
+    let bytes_accessed = read_u64s(r, count)?;
+    let bytes_read = read_u64s(r, count)?;
+    let bytes_written = read_u64s(r, count)?;
+    let total_response = read_u64s(r, count)?;
+    for i in 0..count {
+        log.push_session(SessionRecord {
+            user: user[i] as usize,
+            user_type: user_type[i] as usize,
+            session: session[i],
+            start: start[i],
+            end: end[i],
+            ops: ops[i],
+            files_referenced: files_referenced[i],
+            file_bytes_referenced: file_bytes_referenced[i],
+            bytes_accessed: bytes_accessed[i],
+            bytes_read: bytes_read[i],
+            bytes_written: bytes_written[i],
+            total_response: total_response[i],
+        });
+    }
+    Ok(())
+}
+
+/// Reads a spill stream back into the [`UsageLog`] the run would have
+/// materialized in memory: op and session records reappear in their
+/// original recording order.
+///
+/// # Errors
+///
+/// Returns I/O errors from the reader, or `InvalidData` for a bad magic,
+/// an unknown frame tag, an unknown op/category code, a missing
+/// end-of-stream marker (the writer died before [`SpillSink::finish`] —
+/// the log would be silently incomplete), or marker counts that disagree
+/// with the frames actually read.
+pub fn read_spill<R: Read>(mut r: R) -> io::Result<UsageLog> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad_data(format!("bad spill magic {magic:02x?}")));
+    }
+    let mut log = UsageLog::new();
+    let mut sealed = false;
+    loop {
+        let mut tag = [0u8; 1];
+        match r.read_exact(&mut tag) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        if tag[0] == TAG_END {
+            let mut totals = [0u8; 16];
+            r.read_exact(&mut totals)?;
+            let ops_total = u64::from_le_bytes(totals[..8].try_into().expect("8 bytes"));
+            let sessions_total = u64::from_le_bytes(totals[8..].try_into().expect("8 bytes"));
+            if ops_total != log.ops().len() as u64 || sessions_total != log.sessions().len() as u64
+            {
+                return Err(bad_data(format!(
+                    "end marker promises {ops_total} ops / {sessions_total} sessions, \
+                     stream held {} / {}",
+                    log.ops().len(),
+                    log.sessions().len()
+                )));
+            }
+            sealed = true;
+            break;
+        }
+        let mut count_raw = [0u8; 4];
+        r.read_exact(&mut count_raw)?;
+        let count = u32::from_le_bytes(count_raw) as usize;
+        // The writer never emits more than FRAME_CAP records per frame, so
+        // a larger count is corruption — reject it before the per-column
+        // `vec![0; count * 8]` allocations turn a flipped bit into an OOM.
+        if count > FRAME_CAP {
+            return Err(bad_data(format!(
+                "frame count {count} exceeds the format maximum {FRAME_CAP}"
+            )));
+        }
+        match tag[0] {
+            TAG_OPS => read_op_frame(&mut r, count, &mut log)?,
+            TAG_SESSIONS => read_session_frame(&mut r, count, &mut log)?,
+            other => return Err(bad_data(format!("unknown frame tag {other}"))),
+        }
+    }
+    if !sealed {
+        return Err(bad_data(
+            "spill stream ends without its end-of-stream marker: \
+             the writing run did not finish, so the log is incomplete"
+                .into(),
+        ));
+    }
+    Ok(log)
+}
+
+/// [`read_spill`] over a buffered file.
+///
+/// # Errors
+///
+/// Propagates [`read_spill`] errors and file-open failures.
+pub fn read_spill_path<P: AsRef<Path>>(path: P) -> io::Result<UsageLog> {
+    read_spill(BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_op(i: u64) -> OpRecord {
+        OpRecord {
+            at: i * 17,
+            user: (i % 5) as usize,
+            session: (i % 3) as u32,
+            op: OpKind::ALL[(i % 8) as usize],
+            ino: i,
+            bytes: i * 100,
+            file_size: i * 1000,
+            response: i + 7,
+            category: FileCategory::REG_USER_RDONLY,
+        }
+    }
+
+    fn sample_session(i: u64) -> SessionRecord {
+        SessionRecord {
+            user: (i % 5) as usize,
+            user_type: (i % 2) as usize,
+            session: i as u32,
+            start: i,
+            end: i + 100,
+            ops: i * 3,
+            files_referenced: i,
+            file_bytes_referenced: i * 512,
+            bytes_accessed: i * 128,
+            bytes_read: i * 96,
+            bytes_written: i * 32,
+            total_response: i * 11,
+        }
+    }
+
+    #[test]
+    fn category_codes_round_trip() {
+        for t in [FileType::Dir, FileType::Reg, FileType::Notes] {
+            for o in [Owner::User, Owner::Other] {
+                for u in [
+                    UsageClass::ReadOnly,
+                    UsageClass::New,
+                    UsageClass::ReadWrite,
+                    UsageClass::Temp,
+                ] {
+                    let cat = FileCategory {
+                        file_type: t,
+                        owner: o,
+                        usage: u,
+                    };
+                    assert_eq!(decode_category(encode_category(cat)).unwrap(), cat);
+                }
+            }
+        }
+        assert!(decode_category(24).is_err());
+    }
+
+    #[test]
+    fn op_codes_round_trip() {
+        for kind in OpKind::ALL {
+            assert_eq!(decode_op(encode_op(kind)).unwrap(), kind);
+        }
+        assert!(decode_op(8).is_err());
+    }
+
+    #[test]
+    fn round_trips_multiple_frames() {
+        // 3 × FRAME_CAP ops forces mid-run frame flushes; interleaved
+        // session records verify per-kind order is preserved.
+        let mut sink = SpillSink::new(Vec::new()).unwrap();
+        let mut expected = UsageLog::new();
+        for i in 0..(3 * FRAME_CAP as u64 + 100) {
+            let op = sample_op(i);
+            sink.record_op(&op);
+            expected.push_op(op);
+            if i % 997 == 0 {
+                let s = sample_session(i);
+                sink.record_session(&s);
+                expected.push_session(s);
+            }
+        }
+        let bytes = sink.finish().unwrap();
+        let back = read_spill(bytes.as_slice()).unwrap();
+        assert_eq!(back.ops().len(), expected.ops().len());
+        assert_eq!(back.sessions().len(), expected.sessions().len());
+        // Byte-identical serialized form: the reconstruction is lossless.
+        assert_eq!(back.to_json().unwrap(), expected.to_json().unwrap());
+    }
+
+    #[test]
+    fn empty_run_round_trips() {
+        let sink = SpillSink::new(Vec::new()).unwrap();
+        let bytes = sink.finish().unwrap();
+        // Header plus the sealed end marker (tag + two u64 totals).
+        assert_eq!(bytes.len(), MAGIC.len() + 1 + 16);
+        assert_eq!(&bytes[..8], MAGIC);
+        let back = read_spill(bytes.as_slice()).unwrap();
+        assert!(back.ops().is_empty());
+        assert!(back.sessions().is_empty());
+    }
+
+    #[test]
+    fn unsealed_stream_is_rejected_as_truncated() {
+        // A writer that dies before finish() leaves frames but no end
+        // marker — that must not read back as a clean (but partial) log.
+        let mut sink = SpillSink::new(Vec::new()).unwrap();
+        for i in 0..10 {
+            sink.record_op(&sample_op(i));
+        }
+        let bytes = sink.finish().unwrap();
+        let unsealed = &bytes[..bytes.len() - 17]; // strip the end marker
+        let err = read_spill(unsealed).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("end-of-stream"), "{err}");
+        // A marker whose counts disagree with the frames is also rejected.
+        let mut lying = unsealed.to_vec();
+        lying.push(TAG_END);
+        lying.extend_from_slice(&99u64.to_le_bytes());
+        lying.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_spill(lying.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("promises"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_tag() {
+        assert!(read_spill(&b"NOTSPILL"[..]).is_err());
+        let mut raw = MAGIC.to_vec();
+        raw.extend_from_slice(&[9, 0, 0, 0, 0]); // unknown tag 9, count 0
+        assert!(read_spill(raw.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_frame_count() {
+        // A corrupt count must fail as InvalidData *before* the reader
+        // tries to allocate column buffers for it.
+        let mut raw = MAGIC.to_vec();
+        raw.push(TAG_OPS);
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_spill(raw.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("frame count"), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut sink = SpillSink::new(Vec::new()).unwrap();
+        sink.record_op(&sample_op(1));
+        let bytes = sink.finish().unwrap();
+        // Drop the last byte: the final column comes up short.
+        assert!(read_spill(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    /// A writer that fails after `n` bytes, to exercise deferred errors.
+    struct FailAfter {
+        left: usize,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if buf.len() > self.left {
+                return Err(io::Error::other("disk full"));
+            }
+            self.left -= buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_errors_surface_at_finish() {
+        let mut sink = SpillSink::new(FailAfter { left: 64 }).unwrap();
+        for i in 0..(FRAME_CAP as u64 + 1) {
+            sink.record_op(&sample_op(i)); // mid-run flush hits the fault
+        }
+        assert!(sink.finish().is_err());
+    }
+}

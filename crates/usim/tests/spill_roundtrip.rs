@@ -1,0 +1,139 @@
+//! Property suite for the spill-to-disk sink: any op/session stream —
+//! arbitrary field values, arbitrary interleaving, any length relative to
+//! the frame size — must survive the disk round trip byte-identically
+//! (compared through the serialized JSON form, the on-disk "usage log
+//! file" of the paper).
+
+use proptest::prelude::*;
+use uswg_fsc::{FileCategory, FileType, Owner, UsageClass};
+use uswg_netfs::OpKind;
+use uswg_usim::{read_spill, LogSink, OpRecord, SessionRecord, SpillSink, UsageLog, FRAME_CAP};
+
+fn arb_category() -> impl Strategy<Value = FileCategory> {
+    (0usize..3, 0usize..2, 0usize..4).prop_map(|(t, o, u)| FileCategory {
+        file_type: [FileType::Dir, FileType::Reg, FileType::Notes][t],
+        owner: [Owner::User, Owner::Other][o],
+        usage: [
+            UsageClass::ReadOnly,
+            UsageClass::New,
+            UsageClass::ReadWrite,
+            UsageClass::Temp,
+        ][u],
+    })
+}
+
+fn arb_op() -> impl Strategy<Value = OpRecord> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        0usize..8,
+        any::<u64>(),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        arb_category(),
+        0usize..10_000,
+    )
+        .prop_map(
+            |(at, session, op, ino, (bytes, file_size, response), category, user)| OpRecord {
+                at,
+                user,
+                session,
+                op: OpKind::ALL[op],
+                ino,
+                bytes,
+                file_size,
+                response,
+                category,
+            },
+        )
+}
+
+fn arb_session() -> impl Strategy<Value = SessionRecord> {
+    (
+        0usize..10_000,
+        0usize..8,
+        any::<u32>(),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(user, user_type, session, (start, end, ops, files_referenced), tail)| {
+                let (file_bytes_referenced, bytes_read, bytes_written, total_response) = tail;
+                SessionRecord {
+                    user,
+                    user_type,
+                    session,
+                    start,
+                    end,
+                    ops,
+                    files_referenced,
+                    file_bytes_referenced,
+                    bytes_accessed: bytes_read.wrapping_add(bytes_written),
+                    bytes_read,
+                    bytes_written,
+                    total_response,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Satellite oracle: SpillSink → disk bytes → read_spill reproduces the
+    /// UsageLog byte-identically, for arbitrary record interleavings.
+    #[test]
+    fn spill_round_trips_any_stream(
+        records in prop::collection::vec(
+            prop_oneof![arb_op().prop_map(Ok), arb_session().prop_map(Err)],
+            0..300,
+        ),
+    ) {
+        let mut sink = SpillSink::new(Vec::new()).unwrap();
+        let mut expected = UsageLog::new();
+        for record in &records {
+            match record {
+                Ok(op) => {
+                    sink.record_op(op);
+                    expected.push_op(*op);
+                }
+                Err(session) => {
+                    sink.record_session(session);
+                    expected.push_session(*session);
+                }
+            }
+        }
+        let bytes = sink.finish().unwrap();
+        let back = read_spill(bytes.as_slice()).unwrap();
+        prop_assert_eq!(back.to_json().unwrap(), expected.to_json().unwrap());
+    }
+}
+
+/// Streams longer than one frame flush mid-run; the frame boundaries must
+/// be invisible to the reader. (Deterministic, because it is about sizes,
+/// not values.)
+#[test]
+fn frame_boundaries_are_invisible() {
+    for count in [FRAME_CAP - 1, FRAME_CAP, FRAME_CAP + 1, 2 * FRAME_CAP + 37] {
+        let mut sink = SpillSink::new(Vec::new()).unwrap();
+        let mut expected = UsageLog::new();
+        for i in 0..count as u64 {
+            let op = OpRecord {
+                at: i,
+                user: (i % 7) as usize,
+                session: (i % 3) as u32,
+                op: OpKind::ALL[(i % 8) as usize],
+                ino: i,
+                bytes: i * 3,
+                file_size: i * 5,
+                response: i * 7,
+                category: FileCategory::REG_USER_RDONLY,
+            };
+            sink.record_op(&op);
+            expected.push_op(op);
+        }
+        let bytes = sink.finish().unwrap();
+        let back = read_spill(bytes.as_slice()).unwrap();
+        assert_eq!(back.ops().len(), count);
+        assert_eq!(back.to_json().unwrap(), expected.to_json().unwrap());
+    }
+}

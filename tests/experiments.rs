@@ -293,6 +293,7 @@ fn local_disk_always_beats_remote_models() {
 fn parallel_sweeps_match_serial() {
     use uswg_core::experiment::{
         access_size_sweep_with, compare_models_with, mix_sweep_with, user_sweep_with, Parallelism,
+        SweepMode,
     };
 
     let spec = base_spec()
@@ -305,6 +306,7 @@ fn parallel_sweeps_match_serial() {
         &ModelConfig::default_nfs(),
         [1, 2, 3, 4],
         Parallelism::Serial,
+        SweepMode::Summary,
     )
     .unwrap();
     let parallel = user_sweep_with(
@@ -312,6 +314,7 @@ fn parallel_sweeps_match_serial() {
         &ModelConfig::default_nfs(),
         [1, 2, 3, 4],
         Parallelism::Threads(4),
+        SweepMode::Summary,
     )
     .unwrap();
     assert_eq!(serial, parallel);
@@ -321,6 +324,7 @@ fn parallel_sweeps_match_serial() {
         &ModelConfig::default_nfs(),
         [128.0, 512.0, 2048.0],
         Parallelism::Serial,
+        SweepMode::Summary,
     )
     .unwrap();
     let parallel = access_size_sweep_with(
@@ -328,6 +332,7 @@ fn parallel_sweeps_match_serial() {
         &ModelConfig::default_nfs(),
         [128.0, 512.0, 2048.0],
         Parallelism::Threads(3),
+        SweepMode::Summary,
     )
     .unwrap();
     assert_eq!(serial, parallel);
@@ -337,6 +342,7 @@ fn parallel_sweeps_match_serial() {
         &ModelConfig::default_nfs(),
         [0.0, 0.5, 1.0],
         Parallelism::Serial,
+        SweepMode::Summary,
     )
     .unwrap();
     let parallel = mix_sweep_with(
@@ -344,19 +350,22 @@ fn parallel_sweeps_match_serial() {
         &ModelConfig::default_nfs(),
         [0.0, 0.5, 1.0],
         Parallelism::Threads(3),
+        SweepMode::Summary,
     )
     .unwrap();
     assert_eq!(serial, parallel);
 
     let models = [ModelConfig::default_local(), ModelConfig::default_nfs()];
-    let serial = compare_models_with(&spec, &models, Parallelism::Serial).unwrap();
-    let parallel = compare_models_with(&spec, &models, Parallelism::Threads(2)).unwrap();
+    let serial =
+        compare_models_with(&spec, &models, Parallelism::Serial, SweepMode::Summary).unwrap();
+    let parallel =
+        compare_models_with(&spec, &models, Parallelism::Threads(2), SweepMode::Summary).unwrap();
     assert_eq!(serial, parallel);
 }
 
 #[test]
 fn replicated_runs_quantify_seed_spread() {
-    use uswg_core::experiment::{run_des_replicated, Parallelism};
+    use uswg_core::experiment::{run_des_replicated, Parallelism, SweepMode};
 
     let spec = base_spec()
         .with_population(PopulationSpec::single(presets::extremely_heavy_user()).unwrap());
@@ -365,6 +374,7 @@ fn replicated_runs_quantify_seed_spread() {
         &ModelConfig::default_nfs(),
         [101u64, 202, 303, 404],
         Parallelism::Auto,
+        SweepMode::Summary,
     )
     .unwrap();
     assert_eq!(study.replicates.len(), 4);

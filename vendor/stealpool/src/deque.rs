@@ -1,0 +1,241 @@
+//! A fixed-capacity Chase–Lev work-stealing deque specialized to `usize`
+//! payloads.
+//!
+//! The owner pushes and pops at the *bottom* (LIFO, cache-warm); thieves
+//! steal from the *top* (FIFO, oldest first), so contention only arises on
+//! the last remaining element. The algorithm is the C11 formulation of
+//! Lê, Pop, Cohen & Zappa Nardelli, "Correct and Efficient Work-Stealing
+//! for Weak Memory Models" (PPoPP 2013), with two deliberate
+//! simplifications that make it expressible in entirely safe Rust:
+//!
+//! * **Payloads are `usize`** (task indices), stored in `AtomicUsize`
+//!   cells. The racy buffer reads of the original are plain atomic loads
+//!   here, so there is no undefined behavior to reason about — the memory
+//!   model arguments of the paper carry over verbatim.
+//! * **Capacity is fixed** at construction (rounded up to a power of two).
+//!   The pool sizes each deque to the total task count, which the deque can
+//!   never exceed, so the growth path of the original is unreachable and
+//!   omitted. `push` reports overflow instead of resizing.
+//!
+//! Single-owner discipline: `push`/`pop` must only be called by one thread
+//! at a time (the owner). The API cannot enforce that statically without
+//! splitting handles; violating it cannot corrupt memory (every cell is an
+//! atomic), but it can lose or duplicate elements. [`crate::run_indexed`]
+//! upholds the discipline by construction.
+
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Stole this element.
+    Stolen(usize),
+}
+
+/// A fixed-capacity Chase–Lev deque of `usize` elements.
+#[derive(Debug)]
+pub struct Deque {
+    /// Next slot the owner will push into (grows without bound; slot =
+    /// `bottom & mask`).
+    bottom: AtomicIsize,
+    /// Oldest live element (thieves advance this).
+    top: AtomicIsize,
+    buf: Box<[AtomicUsize]>,
+    mask: usize,
+}
+
+impl Deque {
+    /// A deque holding at most `capacity` elements (rounded up to a power
+    /// of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let mut buf = Vec::with_capacity(cap);
+        buf.resize_with(cap, || AtomicUsize::new(0));
+        Self {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buf: buf.into_boxed_slice(),
+            mask: cap - 1,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, index: isize) -> &AtomicUsize {
+        &self.buf[index as usize & self.mask]
+    }
+
+    /// Number of elements currently held (a racy snapshot).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque currently looks empty (a racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner-only: pushes `value` at the bottom. Returns `Err(value)` if
+    /// the deque is at capacity (the pool never triggers this: capacity is
+    /// the total task count).
+    pub fn push(&self, value: usize) -> Result<(), usize> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if (b - t) as usize > self.mask {
+            return Err(value);
+        }
+        self.slot(b).store(value, Ordering::Relaxed);
+        // Publish the element before publishing the new bottom, so a thief
+        // that observes the incremented bottom also observes the value.
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pops the most recently pushed element, or `None` when
+    /// empty.
+    pub fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // The reservation of slot `b` must be globally ordered against any
+        // concurrent thief's claim on `top` (the store-load pair below is
+        // exactly the SC fence of the PPoPP'13 algorithm).
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Already empty: undo the reservation.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let value = self.slot(b).load(Ordering::Relaxed);
+        if t < b {
+            return Some(value); // more than one element: no race possible
+        }
+        // Exactly one element: race any thief for it via `top`.
+        let won = self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        self.bottom.store(b + 1, Ordering::Relaxed);
+        won.then_some(value)
+    }
+
+    /// Any thread: tries to steal the oldest element.
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let value = self.slot(t).load(Ordering::Relaxed);
+        // Claim the element; failure means the owner popped it or another
+        // thief beat us to it.
+        match self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+        {
+            Ok(_) => Steal::Stolen(value),
+            Err(_) => Steal::Retry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn owner_sees_lifo_order() {
+        let d = Deque::with_capacity(8);
+        for v in 0..5 {
+            d.push(v).unwrap();
+        }
+        assert_eq!(d.len(), 5);
+        for v in (0..5).rev() {
+            assert_eq!(d.pop(), Some(v));
+        }
+        assert_eq!(d.pop(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn thief_sees_fifo_order() {
+        let d = Deque::with_capacity(8);
+        for v in 0..5 {
+            d.push(v).unwrap();
+        }
+        for v in 0..5 {
+            assert_eq!(d.steal(), Steal::Stolen(v));
+        }
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn push_reports_overflow_and_recovers() {
+        let d = Deque::with_capacity(2);
+        d.push(1).unwrap();
+        d.push(2).unwrap();
+        assert_eq!(d.push(3), Err(3));
+        assert_eq!(d.pop(), Some(2));
+        d.push(3).unwrap();
+        assert_eq!(d.steal(), Steal::Stolen(1));
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let d = Deque::with_capacity(4);
+        for round in 0..10 {
+            for v in 0..3 {
+                d.push(round * 3 + v).unwrap();
+            }
+            for v in (0..3).rev() {
+                assert_eq!(d.pop(), Some(round * 3 + v));
+            }
+        }
+    }
+
+    /// Owner pops while several thieves steal: every element is delivered
+    /// exactly once (checksum of a permutation) and none is duplicated.
+    #[test]
+    fn concurrent_steals_deliver_each_element_once() {
+        const N: usize = 20_000;
+        const THIEVES: usize = 4;
+        let d = Deque::with_capacity(N);
+        let stolen_sum = AtomicU64::new(0);
+        let stolen_count = AtomicUsize::new(0);
+        for v in 0..N {
+            d.push(v).unwrap();
+        }
+        let (owner_sum, owner_count) = std::thread::scope(|scope| {
+            for _ in 0..THIEVES {
+                scope.spawn(|| loop {
+                    match d.steal() {
+                        Steal::Stolen(v) => {
+                            stolen_sum.fetch_add(v as u64, Ordering::Relaxed);
+                            stolen_count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => break,
+                    }
+                });
+            }
+            let mut sum = 0u64;
+            let mut count = 0usize;
+            while let Some(v) = d.pop() {
+                sum += v as u64;
+                count += 1;
+            }
+            (sum, count)
+        });
+        let total = owner_sum + stolen_sum.load(Ordering::Relaxed);
+        let n = owner_count + stolen_count.load(Ordering::Relaxed);
+        assert_eq!(n, N, "every element delivered exactly once");
+        assert_eq!(total, (N as u64 - 1) * N as u64 / 2);
+    }
+}

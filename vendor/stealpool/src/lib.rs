@@ -1,0 +1,208 @@
+//! A vendored work-stealing thread pool for index-shaped task sets.
+//!
+//! This is the offline stand-in for what `rayon` would provide if the
+//! environment had registry access: a pool of scoped workers, each owning a
+//! [`Deque`], executing a fixed set of tasks identified by index
+//! (`0..tasks`). Workers drain their own deque LIFO and steal FIFO from
+//! the others when empty, so uneven task costs — the norm for simulation
+//! sweeps, where a 16-user point costs an order of magnitude more than a
+//! 1-user point, and for nested sweep × replication grids — rebalance
+//! automatically instead of serializing behind the unlucky worker.
+//!
+//! The pool is deliberately minimal:
+//!
+//! * tasks are `usize` indices — callers capture their real inputs in the
+//!   closure, which keeps the deque free of generic payloads (and thereby
+//!   free of `unsafe`);
+//! * execution is one-shot over `std::thread::scope` — no global pool,
+//!   no detached threads, nothing outliving the call;
+//! * the task closure returns `bool`: `false` requests cancellation, and
+//!   the pool stops dispatching (in-flight tasks finish; queued tasks are
+//!   abandoned).
+//!
+//! Order independence is the caller's contract: tasks must not care when
+//! or where they run. Under that contract, results are a pure function of
+//! the inputs, so a work-stolen schedule is indistinguishable from the
+//! serial one.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod deque;
+
+pub use deque::{Deque, Steal};
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Runs `task(i)` for every `i` in `0..tasks` across `workers` OS threads
+/// (the calling thread is worker 0), work-stealing between them. Returns
+/// the number of tasks that actually executed.
+///
+/// With `workers <= 1` or `tasks <= 1` the tasks run inline on the calling
+/// thread — single-core hosts short-circuit to a plain serial loop with no
+/// threads, no atomics and no deques.
+///
+/// `task` returns `true` to continue and `false` to cancel: after a
+/// cancellation no *new* task starts (tasks already running on other
+/// workers complete). Tasks execute exactly once each, in an unspecified
+/// order and with no barrier other than the final join.
+pub fn run_indexed<F>(workers: usize, tasks: usize, task: F) -> usize
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    if workers <= 1 || tasks <= 1 {
+        let mut ran = 0;
+        for i in 0..tasks {
+            ran += 1;
+            if !task(i) {
+                break;
+            }
+        }
+        return ran;
+    }
+    let workers = workers.min(tasks);
+    // One deque per worker, each big enough to hold every task: stealing
+    // can concentrate the whole set on one deque in the worst case, and a
+    // full-size buffer makes `push` infallible in practice.
+    let deques: Vec<Deque> = (0..workers).map(|_| Deque::with_capacity(tasks)).collect();
+    // Block distribution: worker w starts with tasks [w*chunk, ...), pushed
+    // in reverse so the owner pops them in ascending input order. Blocks
+    // (rather than round-robin) keep neighbouring points on one worker,
+    // which matters when adjacent sweep points share page-cache footprints.
+    let chunk = tasks.div_ceil(workers);
+    for (w, deque) in deques.iter().enumerate() {
+        let lo = w * chunk;
+        let hi = ((w + 1) * chunk).min(tasks);
+        for i in (lo..hi).rev() {
+            deque.push(i).expect("deque sized to the full task set");
+        }
+    }
+    let executed = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let run_one = |i: usize| -> bool {
+        executed.fetch_add(1, Ordering::Relaxed);
+        if !task(i) {
+            cancelled.store(true, Ordering::Release);
+            return false;
+        }
+        true
+    };
+    let worker_loop = |me: usize| {
+        'outer: while !cancelled.load(Ordering::Acquire) {
+            // Drain our own deque first (newest-first: cache-warm).
+            if let Some(i) = deques[me].pop() {
+                run_one(i);
+                continue;
+            }
+            // Empty: scan the other deques for work, oldest-first.
+            let mut saw_retry = false;
+            for off in 1..deques.len() {
+                let victim = &deques[(me + off) % deques.len()];
+                loop {
+                    match victim.steal() {
+                        Steal::Stolen(i) => {
+                            run_one(i);
+                            continue 'outer;
+                        }
+                        Steal::Retry => {
+                            saw_retry = true;
+                            std::hint::spin_loop();
+                        }
+                        Steal::Empty => break,
+                    }
+                }
+            }
+            if saw_retry {
+                // Someone is mid-claim; try the whole scan again shortly.
+                std::thread::yield_now();
+                continue;
+            }
+            break; // every deque empty: all tasks taken
+        }
+    };
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..workers)
+            .map(|w| scope.spawn(move || worker_loop(w)))
+            .collect();
+        worker_loop(0);
+        for h in handles {
+            h.join().expect("stealpool worker panicked");
+        }
+    });
+    executed.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU8;
+
+    #[test]
+    fn executes_every_task_exactly_once() {
+        const N: usize = 500;
+        let counts: Vec<AtomicU8> = (0..N).map(|_| AtomicU8::new(0)).collect();
+        let ran = run_indexed(4, N, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        assert_eq!(ran, N);
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i} ran once");
+        }
+    }
+
+    #[test]
+    fn serial_fallback_runs_in_order() {
+        let order = std::sync::Mutex::new(Vec::new());
+        run_indexed(1, 5, |i| {
+            order.lock().unwrap().push(i);
+            true
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        assert_eq!(run_indexed(4, 0, |_| panic!("no task to run")), 0);
+    }
+
+    #[test]
+    fn cancellation_stops_dispatch() {
+        const N: usize = 10_000;
+        let ran = run_indexed(4, N, |i| i < 3);
+        // At least the cancelling task ran; the bulk of the queue did not.
+        assert!(ran >= 1, "cancelling task ran");
+        assert!(ran < N, "cancellation pruned the queue: ran {ran}");
+    }
+
+    #[test]
+    fn uneven_tasks_rebalance() {
+        // One task is 100× the others; with stealing, total wall clock must
+        // be well under the serial sum. (Smoke-level: on a single-core CI
+        // host this still passes because the assertion is on completion,
+        // not timing.)
+        const N: usize = 64;
+        let done: Vec<AtomicU8> = (0..N).map(|_| AtomicU8::new(0)).collect();
+        run_indexed(4, N, |i| {
+            let spins = if i == 0 { 100_000 } else { 1_000 };
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+            done[i].fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        assert!(done.iter().all(|d| d.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn workers_capped_at_task_count() {
+        // More workers than tasks must not deadlock or double-run.
+        let counts: Vec<AtomicU8> = (0..3).map(|_| AtomicU8::new(0)).collect();
+        let ran = run_indexed(16, 3, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        assert_eq!(ran, 3);
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}
