@@ -1,5 +1,5 @@
 //! Perf-baseline snapshot: measures the hot paths this repo's performance
-//! work targets and writes a machine-readable `BENCH_*.json` (schema 3).
+//! work targets and writes a machine-readable `BENCH_*.json` (schema 4).
 //!
 //! Measurements:
 //!
@@ -18,7 +18,12 @@
 //!    O(1) streaming sink;
 //! 6. **Pool scaling** — the work-stealing pool at 1/2/4 workers against
 //!    the serial loop (best-of-[`TRIALS`]; 1 worker short-circuits to the
-//!    identical serial code path, so regressions there are pure noise).
+//!    identical serial code path, so regressions there are pure noise);
+//! 7. **Single-run shard scaling** (schema 4) — one multi-user run split
+//!    across 1/2/4 shards via `ShardedDesDriver`, against the unsharded
+//!    single-instance baseline. One shard replays the exact simulation
+//!    (its overhead column is the sharding machinery itself); more shards
+//!    scale with cores on multi-core CI (a 1-core container shows ~1×).
 //!
 //! Usage: `cargo run --release -p uswg-bench --bin bench_baseline [out.json]`
 //! (default output `BENCH_baseline.json` in the current directory). CI runs
@@ -160,6 +165,27 @@ struct PoolPoint {
 }
 
 #[derive(Debug, Serialize)]
+struct ShardPoint {
+    /// Shard count K requested via `RunConfig::shards`.
+    shards: usize,
+    /// Shards that actually held users (`min(K, users)`).
+    active_shards: usize,
+    /// Workers the driver scheduled (one per core, capped at active).
+    workers: usize,
+    run_ms: f64,
+    speedup_vs_unsharded: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ShardScaling {
+    users: usize,
+    sessions_per_user: u32,
+    /// The exact single-instance baseline (summary mode, best-of-TRIALS).
+    unsharded_ms: f64,
+    points: Vec<ShardPoint>,
+}
+
+#[derive(Debug, Serialize)]
 struct Baseline {
     schema: u32,
     sampling: Vec<SamplingPoint>,
@@ -168,6 +194,7 @@ struct Baseline {
     sweep: SweepPointTiming,
     memory: MemoryPoint,
     pool: Vec<PoolPoint>,
+    shard: ShardScaling,
 }
 
 /// Times `f` over enough iterations to fill ~200 ms; returns ns/iter.
@@ -384,6 +411,79 @@ fn measure_memory() -> MemoryPoint {
     }
 }
 
+/// Measures one multi-user run (the "one giant point" regime sweeps cannot
+/// parallelize) sharded 1/2/4 ways against the unsharded exact path. The
+/// K = 1 assertion pins the byte-identity contract while it measures the
+/// sharding machinery's overhead; K > 1 sanity-checks only op-stream
+/// tallies, since per-shard resource models change response times by
+/// design.
+fn measure_shards() -> ShardScaling {
+    use std::num::NonZeroUsize;
+    let spec = bench_spec(8, 3);
+    let model = ModelConfig::default_nfs();
+    // The exact single-instance baseline goes through the raw driver —
+    // never `spec.run_des_summary` — so it stays unsharded even when the
+    // process runs inside a `USWG_SHARDS` matrix entry (the same dodge
+    // tests/shard_equivalence.rs uses for its oracle).
+    let exact_run = || {
+        let (vfs, catalog) = spec.generate_fs().expect("fs builds");
+        let population = spec.compile().expect("compiles");
+        let mut pool = uswg_core::ResourcePool::new();
+        let built = model.build(&mut pool);
+        uswg_core::DesDriver::new()
+            .run_with_sink(
+                vfs,
+                catalog,
+                &population,
+                built,
+                pool,
+                &spec.run,
+                SummarySink::new(),
+            )
+            .expect("runs")
+            .0
+    };
+    let warm = exact_run();
+    let unsharded_ms = best_ms(|| {
+        assert_eq!(exact_run(), warm, "summary runs must be deterministic");
+    });
+    let points = [1usize, 2, 4]
+        .into_iter()
+        .map(|k| {
+            let mut sharded = spec.clone();
+            sharded.run.shards = Some(NonZeroUsize::new(k).expect("positive"));
+            let plan = uswg_core::ShardPlan::new(spec.run.n_users, sharded.run.shards.unwrap());
+            let run_ms = best_ms(|| {
+                let (sink, _) = sharded.run_des_summary(&model).expect("runs");
+                if k == 1 {
+                    assert_eq!(sink, warm, "one shard must replay the exact path");
+                } else {
+                    // The paper workload has shared read-write files, so op
+                    // streams may couple across users; sessions stay exact.
+                    assert_eq!(sink.sessions, warm.sessions);
+                    assert!(sink.ops > 0);
+                }
+            });
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            ShardPoint {
+                shards: k,
+                active_shards: plan.active_shards(),
+                workers: cores.min(plan.active_shards()),
+                run_ms,
+                speedup_vs_unsharded: unsharded_ms / run_ms,
+            }
+        })
+        .collect();
+    ShardScaling {
+        users: spec.run.n_users,
+        sessions_per_user: spec.run.sessions_per_user,
+        unsharded_ms,
+        points,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -399,15 +499,18 @@ fn main() {
     let (sweep, pool) = measure_sweep_and_pool();
     eprintln!("measuring sweep memory...");
     let memory = measure_memory();
+    eprintln!("measuring single-run shard scaling...");
+    let shard = measure_shards();
 
     let baseline = Baseline {
-        schema: 3,
+        schema: 4,
         sampling,
         des,
         scheduler,
         sweep,
         memory,
         pool,
+        shard,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializes");
     std::fs::write(&out_path, &json).expect("snapshot written");

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::num::NonZeroUsize;
 use uswg_core::experiment::{
     access_size_sweep_with, mix_sweep_with, run_des_replicated, user_sweep_with, ModelConfig,
     Parallelism, SweepMode, SweepPoint,
@@ -52,6 +53,10 @@ pub enum Command {
         /// Optional path to stream the binary columnar log to during the
         /// run (full fidelity, O(1) resident memory; requires a model).
         spill: Option<String>,
+        /// Shard the single run across this many independent DES
+        /// instances (None = the spec's choice, which itself defaults to
+        /// `USWG_SHARDS` or the exact unsharded path).
+        shards: Option<NonZeroUsize>,
     },
     /// `sweep <path>`: run one of the Chapter 5 sweeps.
     Sweep {
@@ -67,6 +72,8 @@ pub enum Command {
         jobs: Option<usize>,
         /// Event-queue backend override.
         scheduler: Option<SchedulerBackend>,
+        /// Per-point shard-count override (see `run`'s `shards`).
+        shards: Option<NonZeroUsize>,
     },
     /// `replicate <path>`: rerun one workload under several seeds.
     Replicate {
@@ -82,6 +89,8 @@ pub enum Command {
         jobs: Option<usize>,
         /// Event-queue backend override.
         scheduler: Option<SchedulerBackend>,
+        /// Per-replicate shard-count override (see `run`'s `shards`).
+        shards: Option<NonZeroUsize>,
     },
     /// `fit <path> --family F`: fit a family to a data file.
     Fit {
@@ -196,17 +205,24 @@ USAGE:
       --scheduler <S>  event-queue backend: heap | calendar (default: the
                        spec's choice; both give byte-identical results,
                        calendar is faster beyond ~100k concurrent users)
+      --shards <K>     split this one run into K independent DES instances
+                       across cores and merge deterministically (model runs
+                       only; K=1 replays the exact path byte for byte, K>1
+                       approximates resource contention per shard; combined
+                       with --spill the per-shard logs are materialized to
+                       merge them, so the spill path is no longer O(1) memory)
   uswg sweep <spec.json> --model <M> <AXIS> [OPTIONS]
                                         run a Chapter 5 sweep across cores
       <AXIS> = --users 1,2,4,8 | --mix 0,0.5,1 | --sizes 128,512,2048
       --mode <R>       summary (O(1) memory per point, default) | full-log
       --jobs <N>       worker threads (default: one per core)
       --scheduler <S>  event-queue backend override
+      --shards <K>     shard every point's run K ways (as for run)
   uswg replicate <spec.json> --model <M> [OPTIONS]
                                         rerun under independent seeds, report 95% CI
       --seeds 1,2,3    explicit seed list
       --replicates <N> N seeds counting up from the spec's seed (default 5)
-      --mode/--jobs/--scheduler  as for sweep
+      --mode/--jobs/--scheduler/--shards  as for sweep
   uswg fit <data.txt> --family <F>      fit a family to one-number-per-line data
       <F> = exp | phase:<K> | gamma:<K>
   uswg tables                           print the Table 5.1/5.2/5.4 presets
@@ -250,6 +266,17 @@ pub fn parse_scheduler(name: &str) -> Result<SchedulerBackend, CliError> {
             "unknown scheduler `{name}` (expected heap, calendar)"
         ))
     })
+}
+
+/// Parses a shard count (a positive integer).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for zero or non-numeric counts.
+pub fn parse_shards(value: &str) -> Result<NonZeroUsize, CliError> {
+    value
+        .parse::<NonZeroUsize>()
+        .map_err(|_| CliError::Usage(format!("bad shard count `{value}` (expected 1, 2, ...)")))
 }
 
 /// Parses a retention mode name.
@@ -328,6 +355,7 @@ struct ExperimentFlags {
     mode: SweepMode,
     jobs: Option<usize>,
     scheduler: Option<SchedulerBackend>,
+    shards: Option<NonZeroUsize>,
 }
 
 impl ExperimentFlags {
@@ -345,6 +373,7 @@ impl ExperimentFlags {
                 self.jobs = Some(n);
             }
             "--scheduler" => self.scheduler = Some(parse_scheduler(value)?),
+            "--shards" => self.shards = Some(parse_shards(value)?),
             _ => return Ok(false),
         }
         Ok(true)
@@ -437,6 +466,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut out = None;
             let mut scheduler = None;
             let mut spill = None;
+            let mut shards = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -472,6 +502,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         scheduler = Some(parse_scheduler(v)?);
                         i += 2;
                     }
+                    "--shards" => {
+                        let v = args
+                            .get(i + 1)
+                            .ok_or_else(|| CliError::Usage("--shards needs a value".into()))?;
+                        shards = Some(parse_shards(v)?);
+                        i += 2;
+                    }
                     other => {
                         return Err(CliError::Usage(format!("unknown flag `{other}`")));
                     }
@@ -482,12 +519,18 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     "--spill needs a timing model (the direct driver does not stream)".into(),
                 ));
             }
+            if shards.is_some() && model.is_none() {
+                return Err(CliError::Usage(
+                    "--shards needs a timing model (the direct driver is single-instance)".into(),
+                ));
+            }
             Ok(Command::Run {
                 path,
                 model,
                 out,
                 scheduler,
                 spill,
+                shards,
             })
         }
         "sweep" => {
@@ -533,6 +576,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 mode: common.mode,
                 jobs: common.jobs,
                 scheduler: common.scheduler,
+                shards: common.shards,
             })
         }
         "replicate" => {
@@ -585,6 +629,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 mode: common.mode,
                 jobs: common.jobs,
                 scheduler: common.scheduler,
+                shards: common.shards,
             })
         }
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -614,10 +659,14 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             out,
             scheduler,
             spill,
+            shards,
         } => {
             let mut spec = WorkloadSpec::from_json(&std::fs::read_to_string(&path)?)?;
             if let Some(backend) = scheduler {
                 spec.run.scheduler = Some(backend);
+            }
+            if let Some(k) = shards {
+                spec.run.shards = Some(k);
             }
             if let Some(spill_path) = spill {
                 // Memory-flat full-fidelity run: records stream to disk
@@ -637,6 +686,19 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                     "model {} | {} events | {} simulated\n",
                     stats.model, stats.events, stats.duration
                 );
+                if let Some(k) = spec.run.effective_shards() {
+                    // The O(1)-resident-memory promise of --spill holds for
+                    // the streaming unsharded path only: a sharded run
+                    // materializes its per-shard logs to merge them before
+                    // replaying into the spill sink. Say so rather than
+                    // letting USWG_SHARDS silently change the contract.
+                    let _ = writeln!(
+                        text,
+                        "note: sharded run ({k} shard(s)) materializes per-shard logs before \
+                         spilling — not O(1) memory; drop --shards/USWG_SHARDS for streaming \
+                         capture"
+                    );
+                }
                 text.push_str(&render_summary_sink(&summary));
                 let _ = writeln!(
                     text,
@@ -682,10 +744,14 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             mode,
             jobs,
             scheduler,
+            shards,
         } => {
             let mut spec = WorkloadSpec::from_json(&std::fs::read_to_string(&path)?)?;
             if let Some(backend) = scheduler {
                 spec.run.scheduler = Some(backend);
+            }
+            if let Some(k) = shards {
+                spec.run.shards = Some(k);
             }
             let parallelism = parallelism_from_jobs(jobs)?;
             let (x_label, points) = match &axis {
@@ -717,10 +783,14 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             mode,
             jobs,
             scheduler,
+            shards,
         } => {
             let mut spec = WorkloadSpec::from_json(&std::fs::read_to_string(&path)?)?;
             if let Some(backend) = scheduler {
                 spec.run.scheduler = Some(backend);
+            }
+            if let Some(k) = shards {
+                spec.run.shards = Some(k);
             }
             let parallelism = parallelism_from_jobs(jobs)?;
             let seeds = seeds.resolve(spec.run.seed);
@@ -971,12 +1041,21 @@ mod tests {
                 out,
                 scheduler,
                 spill,
+                shards,
             } => {
                 assert_eq!(path, "spec.json");
                 assert_eq!(model.unwrap().name(), "nfs");
                 assert_eq!(out.as_deref(), Some("log.json"));
                 assert_eq!(scheduler, None);
                 assert_eq!(spill, None);
+                assert_eq!(shards, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(argv("run spec.json --model nfs --shards 4")).unwrap();
+        match cmd {
+            Command::Run { shards, .. } => {
+                assert_eq!(shards, Some(NonZeroUsize::new(4).unwrap()));
             }
             other => panic!("{other:?}"),
         }
@@ -1017,6 +1096,12 @@ mod tests {
         // The spill path needs a timing model to stream from.
         assert!(parse_args(argv("run spec.json --spill log.bin")).is_err());
         assert!(parse_args(argv("run spec.json --direct --spill log.bin")).is_err());
+        // Sharding is a DES-driver feature: no model, no shards; and the
+        // count must be a positive integer.
+        assert!(parse_args(argv("run spec.json --shards 2")).is_err());
+        assert!(parse_args(argv("run spec.json --model nfs --shards 0")).is_err());
+        assert!(parse_args(argv("run spec.json --model nfs --shards lots")).is_err());
+        assert!(parse_args(argv("sweep spec.json --model nfs --users 1 --shards 0")).is_err());
         // Sweep needs a model and exactly one axis.
         assert!(parse_args(argv("sweep spec.json --users 1,2")).is_err());
         assert!(parse_args(argv("sweep spec.json --model nfs")).is_err());
@@ -1042,7 +1127,7 @@ mod tests {
     #[test]
     fn parses_sweep_and_replicate() {
         let cmd = parse_args(argv(
-            "sweep spec.json --model nfs --users 1,2,4 --mode full-log --jobs 2 --scheduler calendar",
+            "sweep spec.json --model nfs --users 1,2,4 --mode full-log --jobs 2 --scheduler calendar --shards 2",
         ))
         .unwrap();
         match cmd {
@@ -1053,6 +1138,7 @@ mod tests {
                 mode,
                 jobs,
                 scheduler,
+                shards,
             } => {
                 assert_eq!(path, "spec.json");
                 assert_eq!(model.name(), "nfs");
@@ -1060,6 +1146,7 @@ mod tests {
                 assert_eq!(mode, SweepMode::FullLog);
                 assert_eq!(jobs, Some(2));
                 assert_eq!(scheduler, Some(SchedulerBackend::Calendar));
+                assert_eq!(shards, Some(NonZeroUsize::new(2).unwrap()));
             }
             other => panic!("{other:?}"),
         }
@@ -1146,6 +1233,7 @@ mod tests {
             out: Some(log_path.to_string_lossy().into()),
             scheduler: None,
             spill: None,
+            shards: None,
         })
         .unwrap();
         assert!(out.contains("Per-system-call summary"));
@@ -1162,6 +1250,7 @@ mod tests {
                 out: None,
                 scheduler,
                 spill: None,
+                shards: None,
             })
             .unwrap()
         };
@@ -1255,6 +1344,18 @@ mod tests {
             report.log.to_json().unwrap(),
             "spilled log must be byte-identical to the in-memory log"
         );
+
+        // run --shards 1 routes through the sharded driver but replays the
+        // exact path: the rendered summary is identical text. A larger K
+        // still runs (this spec has one user, so 4 shards collapse to 1
+        // active shard and the output stays identical too).
+        let run_sharded = |flags: &str| {
+            execute(parse_args(argv(&format!("run {spec_arg} --model local{flags}"))).unwrap())
+                .unwrap()
+        };
+        let unsharded = run_sharded("");
+        assert_eq!(unsharded, run_sharded(" --shards 1"));
+        assert_eq!(unsharded, run_sharded(" --shards 4"));
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -69,9 +69,10 @@ pub use uswg_sim::{
     Resource, ResourcePool, ResourceStats, Scheduler, SchedulerBackend, SimTime, Simulation, World,
 };
 pub use uswg_usim::{
-    read_spill, read_spill_path, AccessPattern, BehaviorState, CategoryUsage, CompiledPopulation,
-    DesDriver, DesReport, DesRunStats, DirectDriver, DiurnalProfile, LogSink, OpRecord, PhaseModel,
-    PhaseState, PopulationSpec, RunConfig, SessionRecord, SpillSink, SummarySink, UsageLog,
+    merge_shard_logs, read_spill, read_spill_path, shard_model_seed, AccessPattern, BehaviorState,
+    CategoryUsage, CompiledPopulation, DesDriver, DesReport, DesRunStats, DirectDriver,
+    DiurnalProfile, LogSink, OpRecord, PhaseModel, PhaseState, PopulationSpec, RunConfig,
+    SessionRecord, ShardEnv, ShardPlan, ShardedDesDriver, SpillSink, SummarySink, UsageLog,
     UserTypeSpec, UsimError,
 };
 pub use uswg_vfs::{Fd, FsError, Metadata, OpenFlags, SeekFrom, Vfs, VfsConfig};

@@ -5,11 +5,12 @@ use crate::{presets, CoreError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::num::NonZeroUsize;
 use uswg_fsc::{FileCatalog, FileSystemCreator, FscSpec};
 use uswg_sim::ResourcePool;
 use uswg_usim::{
     CompiledPopulation, DesDriver, DesReport, DesRunStats, DirectDriver, LogSink, PopulationSpec,
-    RunConfig, SummarySink, UsageLog,
+    RunConfig, ShardEnv, ShardPlan, ShardedDesDriver, SummarySink, UsageLog,
 };
 use uswg_vfs::{Vfs, VfsConfig};
 
@@ -116,19 +117,104 @@ impl WorkloadSpec {
         Ok(DirectDriver::new().run(&mut vfs, &catalog, &population, &self.run)?)
     }
 
+    /// One [`ShardEnv`] per active shard: each is a fresh build of the
+    /// same seeded file system plus a fresh instance of the timing model,
+    /// so every shard starts from the identical initial state. The
+    /// per-shard model copies are the documented sharding approximation —
+    /// users queue only behind their own shard's resources.
+    ///
+    /// Environments build in parallel on the same work-stealing pool the
+    /// shards will run on: K full file-system builds would otherwise sit
+    /// on the single-threaded critical path and grow linearly with K while
+    /// the simulation itself shrinks with K. Each build is a pure function
+    /// of the spec and seed, so the parallel schedule cannot change a
+    /// byte of any environment.
+    fn shard_envs(&self, model: &ModelConfig, active: usize) -> Result<Vec<ShardEnv>, CoreError> {
+        let slots: Vec<std::sync::Mutex<Option<Result<ShardEnv, CoreError>>>> =
+            (0..active).map(|_| std::sync::Mutex::new(None)).collect();
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(active);
+        stealpool::run_indexed(workers, active, |i| {
+            let env = self.generate_fs().map(|(vfs, catalog)| {
+                let mut pool = ResourcePool::new();
+                let model = model.build(&mut pool);
+                ShardEnv {
+                    vfs,
+                    catalog,
+                    model,
+                    pool,
+                }
+            });
+            let ok = env.is_ok();
+            *slots[i].lock().expect("env slot lock") = Some(env);
+            ok // a failed build cancels the remaining ones
+        });
+        let mut envs = Vec::with_capacity(active);
+        let mut first_err: Option<CoreError> = None;
+        for slot in slots {
+            match slot.into_inner().expect("env slot lock") {
+                Some(Ok(env)) => envs.push(env),
+                Some(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                // Cancelled after a failure elsewhere; that error reports.
+                None => {}
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => {
+                debug_assert_eq!(envs.len(), active, "no error, so every env was built");
+                Ok(envs)
+            }
+        }
+    }
+
     /// Runs the workload in simulated time against a timing model: the
     /// response-time measurement mode behind Table 5.3 and Figures
     /// 5.6–5.12.
+    ///
+    /// With `run.shards` set (or `USWG_SHARDS` in the environment) the
+    /// population is split across that many independent DES instances and
+    /// the per-shard logs are k-way merged deterministically; see
+    /// [`WorkloadSpec::run_des_sharded`].
     ///
     /// # Errors
     ///
     /// Propagates generation, compilation and simulation errors.
     pub fn run_des(&self, model: &ModelConfig) -> Result<DesReport, CoreError> {
+        if let Some(shards) = self.run.effective_shards() {
+            return self.run_des_sharded(model, shards);
+        }
         let (vfs, catalog) = self.generate_fs()?;
         let population = self.compile()?;
         let mut pool = ResourcePool::new();
         let model = model.build(&mut pool);
         Ok(DesDriver::new().run(vfs, catalog, &population, model, pool, &self.run)?)
+    }
+
+    /// Runs the workload as `shards` independent DES instances over a
+    /// partition of the population, executed across cores, with the
+    /// per-shard logs merged into one deterministic [`UsageLog`] and the
+    /// per-shard resource statistics aggregated. One shard replays the
+    /// unsharded run byte for byte; more shards trade contention fidelity
+    /// (each shard owns a private copy of the timing model) for wall-clock
+    /// — see the `uswg_usim::shard` module docs for the exact contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation, compilation and simulation errors.
+    pub fn run_des_sharded(
+        &self,
+        model: &ModelConfig,
+        shards: NonZeroUsize,
+    ) -> Result<DesReport, CoreError> {
+        let population = self.compile()?;
+        let plan = ShardPlan::new(self.run.n_users, shards);
+        let envs = self.shard_envs(model, plan.active_shards())?;
+        Ok(ShardedDesDriver::new().run(&population, &self.run, shards, envs)?)
     }
 
     /// Runs the workload in simulated time, streaming every record into
@@ -137,14 +223,40 @@ impl WorkloadSpec {
     /// identical between the two paths for the same seed, so any
     /// [`LogSink`] observes exactly what the collected log would contain.
     ///
+    /// A sharded run (`run.shards` / `USWG_SHARDS`) first produces the
+    /// deterministic merged log and then replays it into `sink` — all
+    /// operation records in merged order, then all session records — so
+    /// the sink observes exactly the merged log's contents. Note this path
+    /// materializes the per-shard logs before replaying; for O(1)-memory
+    /// sharded aggregation use [`WorkloadSpec::run_des_summary`], which
+    /// merges per-shard sinks instead.
+    ///
     /// # Errors
     ///
     /// Propagates generation, compilation and simulation errors.
     pub fn run_des_with_sink<S: LogSink>(
         &self,
         model: &ModelConfig,
-        sink: S,
+        mut sink: S,
     ) -> Result<(S, DesRunStats), CoreError> {
+        if let Some(shards) = self.run.effective_shards() {
+            let report = self.run_des_sharded(model, shards)?;
+            for op in report.log.ops() {
+                sink.record_op(op);
+            }
+            for session in report.log.sessions() {
+                sink.record_session(session);
+            }
+            return Ok((
+                sink,
+                DesRunStats {
+                    resources: report.resources,
+                    duration: report.duration,
+                    model: report.model,
+                    events: report.events,
+                },
+            ));
+        }
         let (vfs, catalog) = self.generate_fs()?;
         let population = self.compile()?;
         let mut pool = ResourcePool::new();
@@ -162,7 +274,10 @@ impl WorkloadSpec {
 
     /// Runs the workload in simulated time with a streaming
     /// [`SummarySink`]: O(1) memory regardless of users × sessions × ops,
-    /// retaining exactly the aggregates the Chapter 5 sweeps report.
+    /// retaining exactly the aggregates the Chapter 5 sweeps report. A
+    /// sharded run stays memory-flat: every shard streams into its own
+    /// sink and the sinks are folded with [`SummarySink::merge`] in shard
+    /// order — no log is ever materialized.
     ///
     /// # Errors
     ///
@@ -171,6 +286,17 @@ impl WorkloadSpec {
         &self,
         model: &ModelConfig,
     ) -> Result<(SummarySink, DesRunStats), CoreError> {
+        if let Some(shards) = self.run.effective_shards() {
+            let population = self.compile()?;
+            let plan = ShardPlan::new(self.run.n_users, shards);
+            let envs = self.shard_envs(model, plan.active_shards())?;
+            return Ok(ShardedDesDriver::new().run_summary(
+                &population,
+                &self.run,
+                shards,
+                envs,
+            )?);
+        }
         self.run_des_with_sink(model, SummarySink::new())
     }
 }

@@ -21,6 +21,53 @@ pub struct CatalogFile {
     pub owner_user: Option<usize>,
 }
 
+/// How [`FileCatalog::pick`] weights the candidates within one candidate
+/// list (the ROADMAP's weighted-popularity follow-up to the alias tables:
+/// the Walker/Vose sampler was always general, this exposes it).
+///
+/// Weighted popularity changes which files a seeded workload touches, so it
+/// is an explicit opt-in via [`FileCatalog::seal_with`]; the plain
+/// [`FileCatalog::seal`] stays uniform and bit-identical to the historical
+/// modulo pick.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FilePopularity {
+    /// Every candidate equally likely (the paper's model; bit-identical to
+    /// an unsealed modulo pick).
+    #[default]
+    Uniform,
+    /// Candidates weighted by their file size in bytes (zero-size files
+    /// keep weight 1 so they stay reachable): big files attract
+    /// proportionally more of the traffic, the \[DI86\]-style
+    /// bytes-follow-bytes assumption.
+    SizeWeighted,
+    /// Zipf-like popularity by list position: the candidate at position
+    /// `r` (0-based) has weight `1 / (r + 1)^exponent`. With exponent
+    /// around 1 this is the classic hot-set skew observed in file-system
+    /// traces.
+    Zipf {
+        /// The skew exponent (larger = more skewed; 0 = uniform).
+        exponent: f64,
+    },
+}
+
+impl FilePopularity {
+    /// The weight vector this policy assigns to `candidates` (catalog
+    /// indices, in list order). The analytic ground truth the chi-square
+    /// goodness-of-fit tests compare empirical pick frequencies against.
+    pub fn weights(self, files: &[CatalogFile], candidates: &[usize]) -> Vec<f64> {
+        match self {
+            FilePopularity::Uniform => vec![1.0; candidates.len()],
+            FilePopularity::SizeWeighted => candidates
+                .iter()
+                .map(|&idx| files[idx].size.max(1) as f64)
+                .collect(),
+            FilePopularity::Zipf { exponent } => (0..candidates.len())
+                .map(|r| ((r + 1) as f64).powf(-exponent))
+                .collect(),
+        }
+    }
+}
+
 /// An index of the synthetic file population by `(user, category)`.
 ///
 /// The User Simulator asks the catalog for candidate files: a user accessing
@@ -97,17 +144,33 @@ impl FileCatalog {
     /// `tests/alias_equivalence.rs`). Mutating the catalog afterwards
     /// invalidates the touched list; re-seal to restore it.
     pub fn seal(&mut self) {
+        self.seal_with(FilePopularity::Uniform);
+    }
+
+    /// [`FileCatalog::seal`] with an explicit popularity policy: every
+    /// candidate list gets an [`AliasTable`] over the policy's weights, so
+    /// weighted picks stay O(1) — one `next_u64` per draw, like the
+    /// uniform path. [`FilePopularity::Uniform`] reproduces `seal` exactly
+    /// (and thereby the unsealed modulo pick, bit for bit); the weighted
+    /// policies deliberately change which files seeded workloads touch.
+    pub fn seal_with(&mut self, popularity: FilePopularity) {
+        let table = |files: &[CatalogFile], list: &[usize]| match popularity {
+            // The uniform constructor skips floating point entirely,
+            // keeping the draw bit-identical to `u % n`.
+            FilePopularity::Uniform => AliasTable::uniform(list.len()).expect("non-empty"),
+            _ => AliasTable::new(&popularity.weights(files, list)).expect("positive weights"),
+        };
         self.shared_alias = self
             .shared
             .iter()
             .filter(|(_, list)| !list.is_empty())
-            .map(|(&cat, list)| (cat, AliasTable::uniform(list.len()).expect("non-empty")))
+            .map(|(&cat, list)| (cat, table(&self.files, list)))
             .collect();
         self.per_user_alias = self
             .per_user
             .iter()
             .filter(|(_, list)| !list.is_empty())
-            .map(|(&key, list)| (key, AliasTable::uniform(list.len()).expect("non-empty")))
+            .map(|(&key, list)| (key, table(&self.files, list)))
             .collect();
     }
 

@@ -31,6 +31,13 @@ enum Ev {
 
 /// Per-user simulation state.
 struct UserState {
+    /// The user's global id: equal to the local slot index in an unsharded
+    /// run, and the population-wide index in a shard of a
+    /// [`ShardedDesDriver`](crate::ShardedDesDriver) run. Seeds the user's
+    /// PRNG stream and labels every record, so a user's behaviour is a
+    /// function of the global id alone — independent of how the population
+    /// is partitioned.
+    gid: usize,
     proc: Process,
     rng: StdRng,
     type_idx: usize,
@@ -69,7 +76,7 @@ impl<S: LogSink> UsimWorld<S> {
         if let Some(session) = state.session.take() {
             let m = session.metrics;
             self.sink.record_session(&SessionRecord {
-                user,
+                user: state.gid,
                 user_type: session.user_type,
                 session: session.ordinal,
                 start: state.session_start.micros(),
@@ -107,7 +114,7 @@ impl<S: LogSink> World for UsimWorld<S> {
                     let ordinal = state.sessions_done;
                     let utype = &self.population.types()[state.type_idx];
                     let session = Session::plan(
-                        user,
+                        state.gid,
                         state.type_idx,
                         ordinal,
                         utype,
@@ -170,7 +177,7 @@ impl<S: LogSink> World for UsimWorld<S> {
                         if self.config.record_ops {
                             self.sink.record_op(&OpRecord {
                                 at: issued.micros(),
-                                user,
+                                user: state.gid,
                                 session: session.ordinal,
                                 op: exec.request.kind,
                                 ino: exec.request.file.0,
@@ -209,8 +216,9 @@ impl DesReport {
     /// Assembles a report from a collected log and the run's statistics —
     /// the single place the two shapes are stitched together, so adding a
     /// run-level statistic means touching [`DesRunStats`] and this
-    /// constructor only.
-    fn from_parts(log: UsageLog, stats: DesRunStats) -> Self {
+    /// constructor only. Also the seam the sharded driver re-enters with a
+    /// merged log and merged statistics.
+    pub(crate) fn from_parts(log: UsageLog, stats: DesRunStats) -> Self {
         Self {
             log,
             resources: stats.resources,
@@ -234,6 +242,16 @@ pub struct DesRunStats {
     /// Total events processed by the kernel.
     pub events: u64,
 }
+
+/// XOR mask deriving the model-randomness stream (disk jitter) from the
+/// run seed. Shard 0 of a sharded run uses exactly this stream, so a
+/// one-shard run replays the unsharded simulation byte for byte.
+pub(crate) const MODEL_SEED_XOR: u64 = 0x4D4F_4445_4C00_0001;
+
+/// Multiplier deriving each user's PRNG stream from the run seed and the
+/// user's *global* id, so a user's operation stream is independent of how
+/// the population is partitioned across shards.
+pub(crate) const USER_SEED_MUL: u64 = 0x9E37_79B9;
 
 /// Runs a population against a timing model in simulated time. See the
 /// module documentation.
@@ -286,8 +304,17 @@ impl DesDriver {
             0
         };
         let log = UsageLog::with_capacity(est_ops, sessions);
+        let users: Vec<(usize, usize)> = assignment.into_iter().enumerate().collect();
         let (log, stats) = self.run_inner(
-            vfs, catalog, population, model, pool, config, assignment, log,
+            vfs,
+            catalog,
+            population,
+            model,
+            pool,
+            config,
+            users,
+            config.seed ^ MODEL_SEED_XOR,
+            log,
         )?;
         Ok(DesReport::from_parts(log, stats))
     }
@@ -315,16 +342,29 @@ impl DesDriver {
     ) -> Result<(S, DesRunStats), UsimError> {
         config.validate()?;
         let assignment = population.assign(config.n_users);
+        let users: Vec<(usize, usize)> = assignment.into_iter().enumerate().collect();
         self.run_inner(
-            vfs, catalog, population, model, pool, config, assignment, sink,
+            vfs,
+            catalog,
+            population,
+            model,
+            pool,
+            config,
+            users,
+            config.seed ^ MODEL_SEED_XOR,
+            sink,
         )
     }
 
-    /// Shared body of [`Self::run`] and [`Self::run_with_sink`]: both entry
-    /// points compute the user-to-type assignment exactly once (`run` also
-    /// needs it for log pre-sizing) and hand it down here.
+    /// Shared body of [`Self::run`], [`Self::run_with_sink`] and the
+    /// sharded driver's per-shard runs: simulates the given `(global id,
+    /// type index)` users — the full population for the unsharded entry
+    /// points, one shard's members otherwise. Per-user PRNG streams are
+    /// derived from the *global* ids, so each user's operation stream is
+    /// the same under every partitioning; `model_seed` seeds the timing
+    /// model's jitter stream (per shard in sharded runs).
     #[allow(clippy::too_many_arguments)]
-    fn run_inner<S: LogSink>(
+    pub(crate) fn run_inner<S: LogSink>(
         &self,
         vfs: Vfs,
         mut catalog: FileCatalog,
@@ -332,19 +372,28 @@ impl DesDriver {
         model: Box<dyn ServiceModel>,
         pool: ResourcePool,
         config: &RunConfig,
-        assignment: Vec<usize>,
+        users: Vec<(usize, usize)>,
+        model_seed: u64,
         sink: S,
     ) -> Result<(S, DesRunStats), UsimError> {
         // Precompute the O(1) alias samplers for session planning's
         // file-selection picks. Draw-for-draw identical to the unsealed
-        // modulo path, so seeded replay is unaffected.
-        catalog.seal();
-        let users = (0..config.n_users)
-            .map(|u| UserState {
+        // modulo path, so seeded replay is unaffected. A catalog the
+        // caller already sealed — possibly with a *weighted* popularity
+        // policy via `FileCatalog::seal_with` — is left alone: re-sealing
+        // here would silently reset those weights to uniform.
+        if !catalog.is_sealed() {
+            catalog.seal();
+        }
+        let n_local = users.len();
+        let users = users
+            .into_iter()
+            .map(|(gid, type_idx)| UserState {
+                gid,
                 proc: vfs.new_process(),
-                rng: StdRng::seed_from_u64(config.seed ^ (u as u64).wrapping_mul(0x9E37_79B9)),
-                type_idx: assignment[u],
-                behavior: population.types()[assignment[u]].new_behavior(),
+                rng: StdRng::seed_from_u64(config.seed ^ (gid as u64).wrapping_mul(USER_SEED_MUL)),
+                type_idx,
+                behavior: population.types()[type_idx].new_behavior(),
                 session: None,
                 session_start: SimTime::ZERO,
                 sessions_done: 0,
@@ -358,7 +407,7 @@ impl DesDriver {
             catalog,
             pool,
             model,
-            model_rng: StdRng::seed_from_u64(config.seed ^ 0x4D4F_4445_4C00_0001),
+            model_rng: StdRng::seed_from_u64(model_seed),
             population: population.clone(),
             config: *config,
             users,
@@ -370,9 +419,8 @@ impl DesDriver {
         // step); ×2 leaves slack for logout/login turnover. The backend
         // choice never changes the drain order (both drain in (time, seq)
         // order), so it is free to vary per run without breaking replay.
-        let mut sim =
-            Simulation::with_backend(world, config.scheduler_backend(), config.n_users * 2 + 1);
-        for u in 0..config.n_users {
+        let mut sim = Simulation::with_backend(world, config.scheduler_backend(), n_local * 2 + 1);
+        for u in 0..n_local {
             sim.schedule(0, Ev::Wake(u));
         }
         let events = sim.run();

@@ -30,6 +30,14 @@ pub enum UsimError {
         /// Name of the parameter.
         name: &'static str,
     },
+    /// The sharded driver was handed the wrong number of shard
+    /// environments for the plan's active shard count.
+    ShardEnvMismatch {
+        /// Environments the plan requires (one per active shard).
+        expected: usize,
+        /// Environments actually supplied.
+        got: usize,
+    },
     /// A distribution could not be instantiated or tabulated.
     Distribution(DistrError),
     /// The file system rejected an operation the simulator cannot skip.
@@ -50,6 +58,10 @@ impl fmt::Display for UsimError {
                 write!(f, "probability `{name}` outside [0, 1] (got {value})")
             }
             UsimError::BadCount { name } => write!(f, "count `{name}` must be positive"),
+            UsimError::ShardEnvMismatch { expected, got } => write!(
+                f,
+                "sharded run needs one environment per active shard (expected {expected}, got {got})"
+            ),
             UsimError::Distribution(e) => write!(f, "distribution: {e}"),
             UsimError::FileSystem(e) => write!(f, "file system: {e}"),
         }

@@ -34,6 +34,7 @@ mod direct;
 mod error;
 mod log;
 mod session;
+mod shard;
 mod sink;
 mod spec;
 mod spill;
@@ -45,6 +46,7 @@ pub use direct::DirectDriver;
 pub use error::UsimError;
 pub use log::{OpRecord, SessionRecord, UsageLog};
 pub use session::MAX_ACCESS_BYTES;
+pub use shard::{merge_shard_logs, shard_model_seed, ShardEnv, ShardPlan, ShardedDesDriver};
 pub use sink::{LogSink, SummarySink};
 pub use spec::{AccessPattern, CategoryUsage, PopulationSpec, RunConfig, UserTypeSpec};
 pub use spill::{read_spill, read_spill_path, SpillSink, FRAME_CAP};

@@ -1,0 +1,477 @@
+//! Sharded single-run DES: one giant population split across cores.
+//!
+//! Sweeps and replication studies already fan whole simulations out across
+//! a work-stealing pool, but one *point* — one run, millions of users — was
+//! still a single thread. The paper's workload model draws every user's
+//! sessions independently (Section 3.1.4's independence assumption), so the
+//! population is embarrassingly partitionable: [`ShardedDesDriver`] splits
+//! the users round-robin into K shards ([`ShardPlan`]), runs each shard as
+//! an independent DES instance with its own [`Scheduler`](uswg_sim::Scheduler),
+//! file system and timing model, and merges the results deterministically.
+//!
+//! # What sharding preserves, exactly and statistically
+//!
+//! Each user's PRNG stream is derived from the *global* user id and each
+//! shard's model-jitter stream from the root seed and the *shard index*
+//! ([`shard_model_seed`]), so behaviour never depends on K's thread
+//! schedule, and a one-shard run replays the unsharded simulation byte for
+//! byte. What changes with K > 1 is *contention*: every shard owns a full
+//! copy of the timing model's resources, so users queue only behind their
+//! own shard — the per-shard resource model is an **approximation** of one
+//! globally contended model (resource statistics are aggregated at merge
+//! time). Everything derived from the operation streams alone — operation
+//! counts, access sizes, bytes moved, session counts — is preserved
+//! exactly for workloads whose cross-user coupling is read-only (shared
+//! files are not resized and the device never fills); response times are
+//! preserved only statistically. `RunConfig { shards: None }` remains the
+//! exact, fully contended path. The equivalence suite
+//! (`tests/shard_equivalence.rs`) pins both halves of this contract.
+//!
+//! # Determinism of the merge
+//!
+//! Shards execute in parallel, but every shard's result lands in a slot
+//! indexed by its shard number, and merging walks those slots in shard
+//! order: summary mode folds the per-shard [`SummarySink`]s with
+//! [`SummarySink::merge`], and full-log mode k-way-merges the per-shard
+//! logs by completion time (ties broken by shard index, within-shard order
+//! preserved) — a global re-sequencing that makes the merged [`UsageLog`]
+//! a pure function of (spec, seed, K), independent of worker count and
+//! scheduler backend.
+
+use crate::compile::CompiledPopulation;
+use crate::des::{DesDriver, DesReport, DesRunStats, MODEL_SEED_XOR};
+use crate::log::UsageLog;
+use crate::sink::{LogSink, SummarySink};
+use crate::{RunConfig, UsimError};
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+use uswg_fsc::FileCatalog;
+use uswg_netfs::ServiceModel;
+use uswg_sim::{ResourcePool, ResourceStats};
+use uswg_vfs::Vfs;
+
+/// Multiplier deriving each shard's model-jitter stream from the shard
+/// index: odd, so the map `shard ↦ shard × MUL` is injective modulo 2⁶⁴ and
+/// per-shard seeds are guaranteed distinct.
+const SHARD_SEED_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The model-randomness seed of one shard: shard 0 uses exactly the
+/// unsharded driver's stream (so K = 1 replays the unsharded run byte for
+/// byte), and every other shard gets a distinct stream that depends only on
+/// the root seed and the shard index — never on K or the thread schedule.
+pub fn shard_model_seed(seed: u64, shard: usize) -> u64 {
+    seed ^ MODEL_SEED_XOR ^ (shard as u64).wrapping_mul(SHARD_SEED_MUL)
+}
+
+/// The partitioning of a population across K shards: user `u` belongs to
+/// shard `u mod K` (round-robin). Round-robin — rather than contiguous
+/// blocks — interleaves the deterministic type assignment
+/// ([`CompiledPopulation::assign`] hands out types in population order), so
+/// every shard sees approximately the population's type mix instead of one
+/// shard getting all the heavy users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    n_users: usize,
+    shards: usize,
+}
+
+impl ShardPlan {
+    /// Plans `n_users` across `shards` shards.
+    pub fn new(n_users: usize, shards: NonZeroUsize) -> Self {
+        Self {
+            n_users,
+            shards: shards.get(),
+        }
+    }
+
+    /// The requested shard count K.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Shards that actually hold users: `min(K, n_users)`. With round-robin
+    /// assignment the populated shards are exactly `0..active_shards()`,
+    /// so empty shards never spin up a simulation.
+    pub fn active_shards(&self) -> usize {
+        self.shards.min(self.n_users)
+    }
+
+    /// The shard user `user` belongs to. A pure function of the user id and
+    /// K — stable across runs, worker counts and schedules.
+    pub fn shard_of(&self, user: usize) -> usize {
+        user % self.shards
+    }
+
+    /// Global ids of the users in `shard`, in ascending order.
+    pub fn members(&self, shard: usize) -> impl Iterator<Item = usize> + '_ {
+        (shard..self.n_users).step_by(self.shards)
+    }
+
+    /// Number of users in `shard`.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        if shard >= self.shards || shard >= self.n_users {
+            0
+        } else {
+            (self.n_users - shard).div_ceil(self.shards)
+        }
+    }
+}
+
+/// Everything one shard needs that the driver cannot clone for itself: the
+/// synthetic file system, its catalog, and a freshly built timing model
+/// with the resource pool it registered into. Callers build one per active
+/// shard from the same spec and seed, so all shards start from identical
+/// initial file-system states.
+#[derive(Debug)]
+pub struct ShardEnv {
+    /// The shard's private copy of the synthetic file system.
+    pub vfs: Vfs,
+    /// The shard's file catalog (matching `vfs`).
+    pub catalog: FileCatalog,
+    /// The shard's timing model, registered into `pool`.
+    pub model: Box<dyn ServiceModel>,
+    /// The resource pool `model` registered its resources in.
+    pub pool: ResourcePool,
+}
+
+/// One shard's outcome, parked in a slot indexed by shard number so the
+/// merge can walk results in shard order no matter which worker ran what.
+type ShardSlot<S> = Mutex<Option<Result<(S, DesRunStats), UsimError>>>;
+
+/// Runs one population as K independent DES instances on a work-stealing
+/// pool and merges the results deterministically. See the module
+/// documentation for the exact-vs-statistical contract.
+#[derive(Debug, Default)]
+pub struct ShardedDesDriver {
+    workers: usize,
+}
+
+impl ShardedDesDriver {
+    /// A driver that uses one worker per available core (capped at the
+    /// number of active shards).
+    pub fn new() -> Self {
+        Self { workers: 0 }
+    }
+
+    /// A driver with an explicit worker count (`0` = one per core). The
+    /// worker count never changes results — only wall-clock.
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers }
+    }
+
+    fn resolve_workers(&self, active: usize) -> usize {
+        let want = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        };
+        want.min(active)
+    }
+
+    /// Runs every active shard through [`DesDriver::run_inner`] with its
+    /// own sink, returning `(sink, stats)` per shard **in shard order** —
+    /// the property every merge below relies on. Shards execute on a
+    /// work-stealing pool; a shard failure cancels undispatched shards and
+    /// the lowest-indexed error among the shards that ran is returned.
+    fn run_shards<S, F>(
+        &self,
+        population: &CompiledPopulation,
+        config: &RunConfig,
+        plan: ShardPlan,
+        envs: Vec<ShardEnv>,
+        make_sink: F,
+    ) -> Result<Vec<(S, DesRunStats)>, UsimError>
+    where
+        S: LogSink + Send,
+        F: Fn() -> S + Sync,
+    {
+        config.validate()?;
+        let active = plan.active_shards();
+        if envs.len() != active {
+            return Err(UsimError::ShardEnvMismatch {
+                expected: active,
+                got: envs.len(),
+            });
+        }
+        let assignment = population.assign(config.n_users);
+        let driver = DesDriver::new();
+        let cells: Vec<Mutex<Option<ShardEnv>>> =
+            envs.into_iter().map(|e| Mutex::new(Some(e))).collect();
+        let slots: Vec<ShardSlot<S>> = (0..active).map(|_| Mutex::new(None)).collect();
+        stealpool::run_indexed(self.resolve_workers(active), active, |s| {
+            let env = cells[s]
+                .lock()
+                .expect("env lock")
+                .take()
+                .expect("each shard env is taken exactly once");
+            let users: Vec<(usize, usize)> =
+                plan.members(s).map(|gid| (gid, assignment[gid])).collect();
+            let result = driver.run_inner(
+                env.vfs,
+                env.catalog,
+                population,
+                env.model,
+                env.pool,
+                config,
+                users,
+                shard_model_seed(config.seed, s),
+                make_sink(),
+            );
+            let ok = result.is_ok();
+            *slots[s].lock().expect("slot lock") = Some(result);
+            ok // a failed shard cancels the rest of the pool
+        });
+        let mut out = Vec::with_capacity(active);
+        let mut first_err: Option<UsimError> = None;
+        for slot in slots {
+            match slot.into_inner().expect("slot lock") {
+                Some(Ok(v)) => out.push(v),
+                Some(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                // Cancelled after a failure elsewhere.
+                None => {}
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => {
+                debug_assert_eq!(out.len(), active, "no error, so every shard ran");
+                Ok(out)
+            }
+        }
+    }
+
+    /// Executes the run in full-log mode: K independent shard simulations,
+    /// then a deterministic k-way merge of the per-shard logs (see
+    /// [`merge_shard_logs`]) and an aggregation of the per-shard resource
+    /// statistics.
+    ///
+    /// `envs` must hold exactly one [`ShardEnv`] per *active* shard
+    /// (`ShardPlan::new(config.n_users, shards).active_shards()`), each
+    /// built from the same spec and seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors, a shard-environment
+    /// count mismatch, and any file-system error raised inside a shard.
+    pub fn run(
+        &self,
+        population: &CompiledPopulation,
+        config: &RunConfig,
+        shards: NonZeroUsize,
+        envs: Vec<ShardEnv>,
+    ) -> Result<DesReport, UsimError> {
+        let plan = ShardPlan::new(config.n_users, shards);
+        let results = self.run_shards(population, config, plan, envs, UsageLog::new)?;
+        let (logs, stats): (Vec<UsageLog>, Vec<DesRunStats>) = results.into_iter().unzip();
+        Ok(DesReport::from_parts(
+            merge_shard_logs(logs),
+            merge_stats(stats),
+        ))
+    }
+
+    /// Executes the run in summary mode: every shard streams into its own
+    /// [`SummarySink`]; the sinks are folded with [`SummarySink::merge`] in
+    /// shard-index order. O(1) retained memory per shard, no log ever
+    /// materialized — the mode that scales a single run to the ROADMAP's
+    /// millions of users.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedDesDriver::run`].
+    pub fn run_summary(
+        &self,
+        population: &CompiledPopulation,
+        config: &RunConfig,
+        shards: NonZeroUsize,
+        envs: Vec<ShardEnv>,
+    ) -> Result<(SummarySink, DesRunStats), UsimError> {
+        let plan = ShardPlan::new(config.n_users, shards);
+        let results = self.run_shards(population, config, plan, envs, SummarySink::new)?;
+        let mut merged = SummarySink::new();
+        let mut stats = Vec::with_capacity(results.len());
+        for (sink, st) in results {
+            merged.merge(&sink);
+            stats.push(st);
+        }
+        Ok((merged, merge_stats(stats)))
+    }
+}
+
+/// Folds per-shard run statistics (given in shard order) into one:
+/// event counts sum, the duration is the longest shard's, and resource
+/// statistics aggregate positionally by name — every shard built its model
+/// from the same config, so the pools register the same resources in the
+/// same order.
+fn merge_stats(stats: Vec<DesRunStats>) -> DesRunStats {
+    let mut iter = stats.into_iter();
+    let mut merged = iter.next().expect("at least one active shard");
+    for st in iter {
+        merged.events += st.events;
+        merged.duration = merged.duration.max(st.duration);
+        for (i, (name, rs)) in st.resources.into_iter().enumerate() {
+            match merged.resources.get_mut(i) {
+                Some((have, acc)) if *have == name => add_stats(acc, &rs),
+                // Defensive: heterogeneous shard models should not happen,
+                // but a mismatch must not silently mis-aggregate.
+                _ => merged.resources.push((name, rs)),
+            }
+        }
+    }
+    merged
+}
+
+/// Adds `b`'s tallies into `a` (sums and the max single wait).
+fn add_stats(a: &mut ResourceStats, b: &ResourceStats) {
+    a.jobs += b.jobs;
+    a.total_service += b.total_service;
+    a.total_wait += b.total_wait;
+    a.max_wait = a.max_wait.max(b.max_wait);
+}
+
+/// Deterministic k-way merge of per-shard usage logs, the full-log half of
+/// the shard merge.
+///
+/// Within a shard, the DES emits operation records in nondecreasing
+/// *completion* time (`at + response`) and session records in nondecreasing
+/// logout time — both are sorted streams. The merge therefore re-sequences
+/// globally by `(completion time, shard index)` for ops and `(end, shard
+/// index)` for sessions, preserving within-shard order, which makes the
+/// merged log a pure function of the shard logs: independent of worker
+/// count, finish order and scheduler backend. With a single shard this is
+/// the identity, so a K = 1 merged log is byte-identical to the unsharded
+/// driver's.
+pub fn merge_shard_logs(logs: Vec<UsageLog>) -> UsageLog {
+    let total_ops: usize = logs.iter().map(|l| l.ops().len()).sum();
+    let total_sessions: usize = logs.iter().map(|l| l.sessions().len()).sum();
+    let mut out = UsageLog::with_capacity(total_ops, total_sessions);
+    let op_streams: Vec<_> = logs.iter().map(|l| l.ops()).collect();
+    kway_merge_by(
+        &op_streams,
+        |op| op.at.saturating_add(op.response),
+        |op| {
+            out.push_op(op);
+        },
+    );
+    let session_streams: Vec<_> = logs.iter().map(|l| l.sessions()).collect();
+    kway_merge_by(&session_streams, |s| s.end, |s| out.push_session(s));
+    out
+}
+
+/// Stable k-way merge of sorted streams: repeatedly emits the head with the
+/// smallest `(key, stream index)`. Streams are expected nondecreasing in
+/// `key` (debug-asserted); a linear scan over stream heads is plenty — K is
+/// a core count, not a collection size.
+fn kway_merge_by<T: Copy>(streams: &[&[T]], key: impl Fn(&T) -> u64, mut emit: impl FnMut(T)) {
+    #[cfg(debug_assertions)]
+    for stream in streams {
+        debug_assert!(
+            stream.windows(2).all(|w| key(&w[0]) <= key(&w[1])),
+            "shard streams must be sorted by merge key"
+        );
+    }
+    let mut heads = vec![0usize; streams.len()];
+    loop {
+        let mut best: Option<(u64, usize)> = None;
+        for (s, stream) in streams.iter().enumerate() {
+            if let Some(item) = stream.get(heads[s]) {
+                let k = key(item);
+                if best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, s));
+                }
+            }
+        }
+        let Some((_, s)) = best else {
+            return;
+        };
+        emit(streams[s][heads[s]]);
+        heads[s] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_partitions_every_user_exactly_once() {
+        for (n, k) in [(1usize, 1usize), (5, 2), (7, 3), (3, 7), (10, 4)] {
+            let plan = ShardPlan::new(n, NonZeroUsize::new(k).unwrap());
+            let mut seen = vec![0u32; n];
+            for s in 0..plan.shards() {
+                assert_eq!(plan.members(s).count(), plan.shard_len(s), "n={n} k={k}");
+                for u in plan.members(s) {
+                    assert_eq!(plan.shard_of(u), s);
+                    seen[u] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "n={n} k={k}: {seen:?}");
+            assert_eq!(plan.active_shards(), n.min(k));
+            // Empty shards report zero members.
+            for s in plan.active_shards()..plan.shards() {
+                assert_eq!(plan.shard_len(s), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_zero_replays_the_unsharded_model_stream() {
+        assert_eq!(shard_model_seed(0x5EED, 0), 0x5EED ^ MODEL_SEED_XOR);
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_and_k_independent() {
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..512 {
+            assert!(seen.insert(shard_model_seed(42, s)), "collision at {s}");
+        }
+        // The seed formula never mentions K: trivially stable under K by
+        // construction; pin it anyway so a refactor cannot sneak K in.
+        let plan2 = ShardPlan::new(10, NonZeroUsize::new(2).unwrap());
+        let plan5 = ShardPlan::new(10, NonZeroUsize::new(5).unwrap());
+        assert_eq!(plan2.shard_of(7) % 2, 1);
+        assert_eq!(plan5.shard_of(7), 2);
+        assert_eq!(shard_model_seed(9, 1), shard_model_seed(9, 1));
+    }
+
+    #[test]
+    fn kway_merge_is_stable_and_ordered() {
+        let a = [1u64, 3, 3, 9];
+        let b = [2u64, 3, 8];
+        let c: [u64; 0] = [];
+        let mut out = Vec::new();
+        kway_merge_by(&[&a, &b, &c], |&x| x, |x| out.push(x));
+        assert_eq!(out, vec![1, 2, 3, 3, 3, 8, 9]);
+        // Ties: stream 0's 3s both precede stream 1's 3 (shard order).
+        let mut tagged = Vec::new();
+        let ta = [(3u64, 'a'), (3, 'A')];
+        let tb = [(3u64, 'b')];
+        kway_merge_by(&[&ta, &tb], |&(k, _)| k, |x| tagged.push(x.1));
+        assert_eq!(tagged, vec!['a', 'A', 'b']);
+    }
+
+    #[test]
+    fn single_stream_merge_is_identity() {
+        let mut log = UsageLog::new();
+        log.push_session(crate::log::SessionRecord {
+            user: 3,
+            user_type: 0,
+            session: 0,
+            start: 0,
+            end: 10,
+            ops: 1,
+            files_referenced: 1,
+            file_bytes_referenced: 5,
+            bytes_accessed: 5,
+            bytes_read: 5,
+            bytes_written: 0,
+            total_response: 2,
+        });
+        let before = log.to_json().unwrap();
+        let merged = merge_shard_logs(vec![log]);
+        assert_eq!(merged.to_json().unwrap(), before);
+    }
+}

@@ -294,6 +294,40 @@ fn log_round_trips_through_json() {
 }
 
 #[test]
+fn des_driver_honours_a_pre_sealed_weighted_catalog() {
+    // A caller who sealed the catalog with a weighted popularity policy
+    // must see those weights in the simulated run: the driver seals only
+    // *unsealed* catalogs (uniform), it never re-seals over the caller's
+    // policy. A heavily skewed Zipf pick stream touches a measurably
+    // different set of shared files than the uniform stream.
+    let run = |weighted: bool| {
+        let (vfs, mut catalog) = build_fs(1, 7);
+        if weighted {
+            catalog.seal_with(uswg_fsc::FilePopularity::Zipf { exponent: 3.0 });
+        }
+        let pop = CompiledPopulation::compile(&population(0.0), 256).unwrap();
+        let mut pool = ResourcePool::new();
+        let model = Box::new(LocalDiskModel::new(&mut pool, LocalDiskParams::default()));
+        let config = RunConfig::default()
+            .with_users(1)
+            .with_sessions(6)
+            .with_seed(9);
+        let report = DesDriver::new()
+            .run(vfs, catalog, &pop, model, pool, &config)
+            .unwrap();
+        report.log.ops().iter().map(|o| o.ino).collect::<Vec<u64>>()
+    };
+    let uniform = run(false);
+    let zipf = run(true);
+    assert_ne!(
+        uniform, zipf,
+        "a Zipf-sealed catalog must change which files the run touches"
+    );
+    // And the weighted run is still deterministic.
+    assert_eq!(run(true), run(true));
+}
+
+#[test]
 fn deterministic_given_seed() {
     let run = |seed| {
         let (mut vfs, catalog) = build_fs(2, 42);

@@ -3,8 +3,8 @@
 
 use uswg_core::experiment::ModelConfig;
 use uswg_core::{
-    metrics, presets, DesDriver, FillPattern, OpKind, PopulationSpec, ResourcePool,
-    SchedulerBackend, Summary, SummarySink, WorkloadSpec,
+    metrics, presets, FillPattern, OpKind, PopulationSpec, SchedulerBackend, Summary, SummarySink,
+    WorkloadSpec,
 };
 
 fn small_spec() -> WorkloadSpec {
@@ -227,21 +227,9 @@ fn summary_sink_matches_post_hoc_aggregation() {
     let (access_size, response) = metrics::data_op_summary(&report.log);
 
     // Streaming path: identical pipeline, SummarySink instead of a log.
-    let (vfs, catalog) = spec.generate_fs().unwrap();
-    let population = spec.compile().unwrap();
-    let mut pool = ResourcePool::new();
-    let built = model.build(&mut pool);
-    let (sink, stats) = DesDriver::new()
-        .run_with_sink(
-            vfs,
-            catalog,
-            &population,
-            built,
-            pool,
-            &spec.run,
-            SummarySink::new(),
-        )
-        .unwrap();
+    // Through the spec (not the raw driver), so both paths run the same
+    // simulation even when a USWG_SHARDS matrix entry shards them.
+    let (sink, stats) = spec.run_des_with_sink(&model, SummarySink::new()).unwrap();
 
     assert_eq!(stats.events, report.events);
     assert_eq!(sink.data_ops as usize, access_size.n);

@@ -11,6 +11,14 @@ fn base_spec() -> WorkloadSpec {
     // (growth ratios, model orderings) hold with real margin rather than
     // riding the small-sample noise of a particular RNG stream.
     spec.run.sessions_per_user = 8;
+    // These tests assert the paper's *contended* queueing shapes (response
+    // grows with users because everyone queues behind one server), so they
+    // pin the single-shard path: K = 1 replays the exact fully contended
+    // simulation even under a USWG_SHARDS matrix entry, whereas K > 1
+    // deliberately severs cross-shard contention and would flatten every
+    // curve measured here. The sharded regime has its own suite
+    // (tests/shard_equivalence.rs).
+    spec.run.shards = Some(std::num::NonZeroUsize::new(1).unwrap());
     spec.fsc = spec
         .fsc
         .with_files_per_user(15)

@@ -148,6 +148,19 @@ macro_rules! impl_unsigned {
 }
 impl_unsigned!(u8, u16, u32, u64, usize);
 
+impl Serialize for std::num::NonZeroUsize {
+    fn to_value(&self) -> Value {
+        Value::U64(self.get() as u64)
+    }
+}
+
+impl Deserialize for std::num::NonZeroUsize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let n = usize::from_value(v)?;
+        Self::new(n).ok_or_else(|| DeError::custom("expected a non-zero integer, got 0"))
+    }
+}
+
 macro_rules! impl_signed {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
