@@ -21,5 +21,5 @@ mod stats;
 mod table;
 
 pub use histogram::Histogram;
-pub use stats::Summary;
+pub use stats::{StreamingSummary, Summary};
 pub use table::{Align, Table};

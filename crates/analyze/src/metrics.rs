@@ -1,11 +1,17 @@
 //! Metrics extracted from usage logs: the data behind Tables 5.2–5.3 and
 //! Figures 5.3–5.12.
+//!
+//! Two shapes of input: the batch functions take a materialized
+//! [`UsageLog`]; [`StreamLogStats`] is a [`LogSink`] that folds the same
+//! statistics out of a record *stream* (a live run, or a spill file read
+//! through `SpillReader`) in O(1) memory — the engine behind
+//! `uswg analyze`.
 
-use crate::Summary;
+use crate::{StreamingSummary, Summary};
 use std::collections::BTreeMap;
 use uswg_fsc::FileCategory;
 use uswg_netfs::OpKind;
-use uswg_usim::{SessionRecord, UsageLog};
+use uswg_usim::{LogSink, OpRecord, SessionRecord, UsageLog};
 
 /// Which per-session usage measure to extract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +121,142 @@ pub fn response_time_per_byte(log: &UsageLog) -> f64 {
         0.0
     } else {
         micros as f64 / bytes as f64
+    }
+}
+
+/// One per-op-kind accumulator of [`StreamLogStats`].
+#[derive(Debug, Clone, Copy, Default)]
+struct KindAcc {
+    count: u64,
+    access_size: StreamingSummary,
+    response: StreamingSummary,
+}
+
+/// Per-user-type aggregates folded from the session records of a stream:
+/// the breakdown `uswg analyze --by-type` reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UserTypeStream {
+    /// Sessions completed by users of this type.
+    pub sessions: u64,
+    /// System calls those sessions issued.
+    pub ops: u64,
+    /// Bytes moved by those sessions' reads and writes.
+    pub bytes_accessed: u64,
+    /// Total response time of those sessions' calls, µs.
+    pub total_response_us: u64,
+}
+
+impl UserTypeStream {
+    /// Mean response time per accessed byte, µs (0 while no bytes moved).
+    pub fn response_per_byte(&self) -> f64 {
+        if self.bytes_accessed == 0 {
+            0.0
+        } else {
+            self.total_response_us as f64 / self.bytes_accessed as f64
+        }
+    }
+}
+
+/// Streaming usage-log statistics: a [`LogSink`] that folds every record
+/// into the aggregates the batch functions above compute from a
+/// materialized log — per-kind counts and access-size/response summaries
+/// ([`op_kind_summaries`]), the data-op aggregate ([`data_op_summary`]),
+/// the response-per-byte metric ([`response_time_per_byte`]) and a
+/// per-user-type session breakdown — in O(1) memory regardless of stream
+/// length. Means and extrema match the batch path exactly; standard
+/// deviations agree to floating-point accumulation order (≤ 1e-9
+/// relative, test-pinned).
+#[derive(Debug, Clone, Default)]
+pub struct StreamLogStats {
+    /// Operations observed.
+    pub ops: u64,
+    /// Sessions observed.
+    pub sessions: u64,
+    /// Total response time over all operations, µs.
+    pub total_response_us: u64,
+    /// Bytes moved by data operations.
+    pub data_bytes: u64,
+    /// Per-kind accumulators, indexed by position in [`OpKind::ALL`].
+    per_kind: [KindAcc; OpKind::ALL.len()],
+    data_access_size: StreamingSummary,
+    data_response: StreamingSummary,
+    by_user_type: BTreeMap<usize, UserTypeStream>,
+}
+
+impl StreamLogStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-system-call summaries in [`OpKind::ALL`] order, skipping kinds
+    /// that never occurred — the streaming [`op_kind_summaries`].
+    pub fn op_kind_summaries(&self) -> Vec<OpKindSummary> {
+        OpKind::ALL
+            .iter()
+            .zip(&self.per_kind)
+            .filter(|(_, acc)| acc.count > 0)
+            .map(|(&kind, acc)| OpKindSummary {
+                kind,
+                count: acc.count as usize,
+                access_size: acc.access_size.summary(),
+                response: acc.response.summary(),
+            })
+            .collect()
+    }
+
+    /// Access-size and response-time summary over data calls only — the
+    /// streaming [`data_op_summary`].
+    pub fn data_op_summary(&self) -> (Summary, Summary) {
+        (
+            self.data_access_size.summary(),
+            self.data_response.summary(),
+        )
+    }
+
+    /// Mean response time of all calls per data byte moved — the streaming
+    /// [`response_time_per_byte`].
+    pub fn response_per_byte(&self) -> f64 {
+        if self.data_bytes == 0 {
+            0.0
+        } else {
+            self.total_response_us as f64 / self.data_bytes as f64
+        }
+    }
+
+    /// Per-user-type session aggregates, keyed by the population's type
+    /// index (ascending).
+    pub fn user_types(&self) -> &BTreeMap<usize, UserTypeStream> {
+        &self.by_user_type
+    }
+}
+
+impl LogSink for StreamLogStats {
+    fn record_op(&mut self, op: &OpRecord) {
+        self.ops += 1;
+        self.total_response_us += op.response;
+        let pos = OpKind::ALL
+            .iter()
+            .position(|&k| k == op.op)
+            .expect("every OpKind is in ALL");
+        let acc = &mut self.per_kind[pos];
+        acc.count += 1;
+        acc.access_size.push(op.bytes as f64);
+        acc.response.push(op.response as f64);
+        if op.op.is_data() && op.bytes > 0 {
+            self.data_bytes += op.bytes;
+            self.data_access_size.push(op.bytes as f64);
+            self.data_response.push(op.response as f64);
+        }
+    }
+
+    fn record_session(&mut self, session: &SessionRecord) {
+        self.sessions += 1;
+        let entry = self.by_user_type.entry(session.user_type).or_default();
+        entry.sessions += 1;
+        entry.ops += session.ops;
+        entry.bytes_accessed += session.bytes_accessed;
+        entry.total_response_us += session.total_response;
     }
 }
 
@@ -312,6 +454,64 @@ mod tests {
         );
         // (400 + 100) µs over 400 data bytes.
         assert!((response_time_per_byte(&log) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_stats_match_batch_metrics() {
+        // A stream with every wrinkle: metadata calls, zero-byte data
+        // calls excluded from the data aggregate, several kinds, and
+        // sessions of two user types.
+        let mut log = log_with(
+            vec![
+                op(OpKind::Open, 0, 400),
+                op(OpKind::Read, 100, 10),
+                op(OpKind::Read, 300, 20),
+                op(OpKind::Write, 200, 15),
+                op(OpKind::Close, 0, 5),
+            ],
+            vec![],
+        );
+        log.push_session(session(400, 100, 2, 50));
+        let mut other_type = session(600, 300, 3, 70);
+        other_type.user_type = 1;
+        log.push_session(other_type);
+
+        let mut stream = StreamLogStats::new();
+        for o in log.ops() {
+            stream.record_op(o);
+        }
+        for s in log.sessions() {
+            stream.record_session(s);
+        }
+
+        assert_eq!(stream.ops, log.ops().len() as u64);
+        assert_eq!(stream.sessions, log.sessions().len() as u64);
+        let batch_kinds = op_kind_summaries(&log);
+        let stream_kinds = stream.op_kind_summaries();
+        assert_eq!(batch_kinds.len(), stream_kinds.len());
+        for (b, s) in batch_kinds.iter().zip(&stream_kinds) {
+            assert_eq!(b.kind, s.kind);
+            assert_eq!(b.count, s.count);
+            assert!((b.access_size.mean - s.access_size.mean).abs() < 1e-9);
+            assert!((b.access_size.std_dev - s.access_size.std_dev).abs() < 1e-9);
+            assert!((b.response.mean - s.response.mean).abs() < 1e-9);
+            assert_eq!(b.access_size.min, s.access_size.min);
+            assert_eq!(b.response.max, s.response.max);
+        }
+        let (batch_sizes, batch_resp) = data_op_summary(&log);
+        let (stream_sizes, stream_resp) = stream.data_op_summary();
+        assert_eq!(batch_sizes.n, stream_sizes.n);
+        assert!((batch_sizes.mean - stream_sizes.mean).abs() < 1e-9);
+        assert!((batch_resp.std_dev - stream_resp.std_dev).abs() < 1e-9);
+        assert!((response_time_per_byte(&log) - stream.response_per_byte()).abs() < 1e-12);
+        // Per-user-type breakdown.
+        let types = stream.user_types();
+        assert_eq!(types.len(), 2);
+        assert_eq!(types[&0].sessions, 1);
+        assert_eq!(types[&0].bytes_accessed, 400);
+        assert_eq!(types[&1].sessions, 1);
+        assert!((types[&1].response_per_byte() - 70.0 / 600.0).abs() < 1e-12);
+        assert_eq!(UserTypeStream::default().response_per_byte(), 0.0);
     }
 
     #[test]

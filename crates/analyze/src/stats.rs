@@ -84,6 +84,78 @@ impl Summary {
     }
 }
 
+/// A [`Summary`] built one sample at a time: the streaming counterpart of
+/// [`Summary::of`] for inputs too large to collect (spill files, merged
+/// shard streams). Means come from an exact running sum (so they match the
+/// post-hoc `sum / n` to the last bit); the spread uses Welford's running
+/// M2, which stays numerically stable where the naive `Σx² − (Σx)²/n` form
+/// loses every digit at large n with small variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingSummary {
+    n: u64,
+    sum: f64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StreamingSummary {
+    fn default() -> Self {
+        Self {
+            n: 0,
+            sum: 0.0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl StreamingSummary {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds in one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Samples folded in so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The finished [`Summary`] (the zero summary while empty, matching
+    /// `Summary::of(&[])`).
+    pub fn summary(&self) -> Summary {
+        if self.n == 0 {
+            return Summary::of(&[]);
+        }
+        let var = if self.n > 1 {
+            (self.m2 / (self.n - 1) as f64).max(0.0)
+        } else {
+            0.0
+        };
+        Summary {
+            n: self.n as usize,
+            mean: self.sum / self.n as f64,
+            std_dev: var.sqrt(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +206,34 @@ mod tests {
     fn mean_std_format() {
         let s = Summary::of(&[1.0, 3.0]);
         assert_eq!(s.mean_std(), "2.00(1.41)");
+    }
+
+    #[test]
+    fn streaming_summary_matches_batch() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = StreamingSummary::new();
+        for &v in &values {
+            acc.push(v);
+        }
+        let streamed = acc.summary();
+        let batch = Summary::of(&values);
+        assert_eq!(streamed.n, batch.n);
+        assert_eq!(acc.count(), values.len() as u64);
+        assert!((streamed.mean - batch.mean).abs() < 1e-12);
+        assert!((streamed.std_dev - batch.std_dev).abs() < 1e-12);
+        assert_eq!(streamed.min, batch.min);
+        assert_eq!(streamed.max, batch.max);
+    }
+
+    #[test]
+    fn streaming_summary_empty_and_single() {
+        assert_eq!(StreamingSummary::new().summary(), Summary::of(&[]));
+        let mut acc = StreamingSummary::new();
+        acc.push(42.0);
+        let s = acc.summary();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
     }
 }

@@ -1,5 +1,5 @@
 //! Perf-baseline snapshot: measures the hot paths this repo's performance
-//! work targets and writes a machine-readable `BENCH_*.json` (schema 4).
+//! work targets and writes a machine-readable `BENCH_*.json` (schema 5).
 //!
 //! Measurements:
 //!
@@ -23,7 +23,16 @@
 //!    across 1/2/4 shards via `ShardedDesDriver`, against the unsharded
 //!    single-instance baseline. One shard replays the exact simulation
 //!    (its overhead column is the sharding machinery itself); more shards
-//!    scale with cores on multi-core CI (a 1-core container shows ~1×).
+//!    scale with cores on multi-core CI (a 1-core container shows ~1×);
+//! 8. **Spill codec** (schema 5) — the same record stream written raw (v1)
+//!    vs compressed (v2): bytes on disk, the committed size ratio, and
+//!    write/read wall-clock (both decodes are asserted lossless against
+//!    the source log);
+//! 9. **Sharded spill memory** (schema 5) — peak resident allocation of a
+//!    full-fidelity `--spill`-style run at 1/2/4 shards through the
+//!    streamed k-way merge: the acceptance bar is a *flat* profile in K
+//!    (no per-shard logs materialized), with the K = 1 output asserted
+//!    record-identical to the unsharded spill.
 //!
 //! Usage: `cargo run --release -p uswg-bench --bin bench_baseline [out.json]`
 //! (default output `BENCH_baseline.json` in the current directory). CI runs
@@ -38,7 +47,8 @@ use std::time::Instant;
 use uswg_bench::{hold_simulation, HOLD_BATCH};
 use uswg_core::experiment::{user_sweep_with, ModelConfig, Parallelism, SweepMode};
 use uswg_core::{
-    CdfTable, FillPattern, MultiStageGamma, SchedulerBackend, SummarySink, WorkloadSpec,
+    read_spill, read_spill_path, CdfTable, FillPattern, LogSink, MultiStageGamma, SchedulerBackend,
+    SpillCodec, SpillSink, SummarySink, UsageLog, WorkloadSpec,
 };
 
 /// A [`System`]-backed global allocator that tracks live and peak bytes, so
@@ -186,6 +196,48 @@ struct ShardScaling {
 }
 
 #[derive(Debug, Serialize)]
+struct SpillCodecBench {
+    /// Op records in the measured stream.
+    ops: usize,
+    /// Session records in the measured stream.
+    sessions: usize,
+    /// Bytes of the v1 (fixed-width raw) encoding.
+    raw_bytes: usize,
+    /// Bytes of the v2 (delta+varint/RLE, CRC-framed) encoding.
+    compressed_bytes: usize,
+    /// `compressed_bytes / raw_bytes` — the committed size ratio the
+    /// acceptance criteria track (< 1 means the codec earns its keep).
+    compressed_to_raw_ratio: f64,
+    raw_write_ms: f64,
+    compressed_write_ms: f64,
+    raw_read_ms: f64,
+    compressed_read_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ShardSpillPoint {
+    /// Shard count K of the streamed full-log run.
+    shards: usize,
+    /// Peak bytes allocated above baseline over the whole run + merge.
+    peak_bytes: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct ShardSpillMemory {
+    users: usize,
+    sessions_per_user: u32,
+    /// Op records the run spills (identical at every K).
+    ops: usize,
+    /// Peak allocation of the *unsharded* streaming spill run, the
+    /// reference water line.
+    unsharded_peak_bytes: usize,
+    /// Peaks at K = 1/2/4 — the acceptance bar is a flat profile: the
+    /// streamed merge never materializes per-shard logs, so the peak is
+    /// O(shards × frame), not O(run length).
+    points: Vec<ShardSpillPoint>,
+}
+
+#[derive(Debug, Serialize)]
 struct Baseline {
     schema: u32,
     sampling: Vec<SamplingPoint>,
@@ -195,6 +247,8 @@ struct Baseline {
     memory: MemoryPoint,
     pool: Vec<PoolPoint>,
     shard: ShardScaling,
+    spill: SpillCodecBench,
+    shard_spill: ShardSpillMemory,
 }
 
 /// Times `f` over enough iterations to fill ~200 ms; returns ns/iter.
@@ -484,6 +538,137 @@ fn measure_shards() -> ShardScaling {
     }
 }
 
+/// Replays `log` into a spill sink under `codec`, returning the file
+/// bytes.
+fn spill_encode(log: &UsageLog, codec: SpillCodec) -> Vec<u8> {
+    let mut sink = SpillSink::with_codec(Vec::new(), codec).expect("in-memory sink");
+    for op in log.ops() {
+        sink.record_op(op);
+    }
+    for s in log.sessions() {
+        sink.record_session(s);
+    }
+    sink.finish().expect("in-memory finish")
+}
+
+/// Measures the spill codecs over a real run's record stream: size on
+/// disk, encode and decode wall-clock. Both decodes are asserted lossless
+/// so the committed ratio can never come from a codec that drops data.
+fn measure_spill_codec() -> SpillCodecBench {
+    let spec = bench_spec(6, 6);
+    let log = spec.run_des(&ModelConfig::default_nfs()).expect("runs").log;
+    let raw = spill_encode(&log, SpillCodec::Raw);
+    let compressed = spill_encode(&log, SpillCodec::Compressed);
+    let source_json = log.to_json().expect("serializes");
+    for bytes in [&raw, &compressed] {
+        let back = read_spill(bytes.as_slice()).expect("decodes");
+        assert_eq!(
+            back.to_json().expect("serializes"),
+            source_json,
+            "spill decode must be lossless"
+        );
+    }
+    let raw_write_ms = best_ms(|| {
+        black_box(spill_encode(&log, SpillCodec::Raw));
+    });
+    let compressed_write_ms = best_ms(|| {
+        black_box(spill_encode(&log, SpillCodec::Compressed));
+    });
+    let raw_read_ms = best_ms(|| {
+        black_box(read_spill(raw.as_slice()).expect("decodes"));
+    });
+    let compressed_read_ms = best_ms(|| {
+        black_box(read_spill(compressed.as_slice()).expect("decodes"));
+    });
+    SpillCodecBench {
+        ops: log.ops().len(),
+        sessions: log.sessions().len(),
+        raw_bytes: raw.len(),
+        compressed_bytes: compressed.len(),
+        compressed_to_raw_ratio: compressed.len() as f64 / raw.len() as f64,
+        raw_write_ms,
+        compressed_write_ms,
+        raw_read_ms,
+        compressed_read_ms,
+    }
+}
+
+/// Measures resident memory of the full-fidelity spill path as the shard
+/// count grows: the streamed k-way merge must keep the peak flat in K
+/// (schema-5 acceptance), because no per-shard `UsageLog` is ever
+/// materialized. K = 1 is additionally asserted record-identical to the
+/// unsharded streaming run.
+fn measure_shard_spill_memory() -> ShardSpillMemory {
+    use std::num::NonZeroUsize;
+    let spec = bench_spec(8, 3);
+    let model = ModelConfig::default_nfs();
+    let dir = std::env::temp_dir().join(format!("uswg-bench-spill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    // The unsharded reference: the raw streaming path (dodging any
+    // USWG_SHARDS matrix entry), measured through the same file-backed
+    // sink the sharded points use.
+    let unsharded_path = dir.join("unsharded.spill");
+    let exact_spill = || {
+        let (vfs, catalog) = spec.generate_fs().expect("fs builds");
+        let population = spec.compile().expect("compiles");
+        let mut pool = uswg_core::ResourcePool::new();
+        let built = model.build(&mut pool);
+        let (sink, _) = uswg_core::DesDriver::new()
+            .run_with_sink(
+                vfs,
+                catalog,
+                &population,
+                built,
+                pool,
+                &spec.run,
+                SpillSink::create(&unsharded_path).expect("spill file"),
+            )
+            .expect("runs");
+        sink.finish().expect("seals");
+    };
+    exact_spill(); // warm
+    let unsharded_peak_bytes = peak_alloc_during(exact_spill);
+    let reference = read_spill_path(&unsharded_path).expect("reads back");
+    let points = [1usize, 2, 4]
+        .into_iter()
+        .map(|k| {
+            let mut sharded = spec.clone();
+            sharded.run.shards = Some(NonZeroUsize::new(k).expect("positive"));
+            let path = dir.join(format!("k{k}.spill"));
+            let run = || {
+                let (sink, _) = sharded
+                    .run_des_with_sink(&model, SpillSink::create(&path).expect("spill file"))
+                    .expect("runs");
+                sink.finish().expect("seals");
+            };
+            run(); // warm
+            let peak_bytes = peak_alloc_during(run);
+            if k == 1 {
+                assert_eq!(
+                    read_spill_path(&path)
+                        .expect("reads back")
+                        .to_json()
+                        .expect("serializes"),
+                    reference.to_json().expect("serializes"),
+                    "one streamed shard must replay the unsharded capture"
+                );
+            }
+            ShardSpillPoint {
+                shards: k,
+                peak_bytes,
+            }
+        })
+        .collect();
+    std::fs::remove_dir_all(&dir).ok();
+    ShardSpillMemory {
+        users: spec.run.n_users,
+        sessions_per_user: spec.run.sessions_per_user,
+        ops: reference.ops().len(),
+        unsharded_peak_bytes,
+        points,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -501,9 +686,13 @@ fn main() {
     let memory = measure_memory();
     eprintln!("measuring single-run shard scaling...");
     let shard = measure_shards();
+    eprintln!("measuring spill codecs...");
+    let spill = measure_spill_codec();
+    eprintln!("measuring sharded spill memory...");
+    let shard_spill = measure_shard_spill_memory();
 
     let baseline = Baseline {
-        schema: 4,
+        schema: 5,
         sampling,
         des,
         scheduler,
@@ -511,6 +700,8 @@ fn main() {
         memory,
         pool,
         shard,
+        spill,
+        shard_spill,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializes");
     std::fs::write(&out_path, &json).expect("snapshot written");

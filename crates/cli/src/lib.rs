@@ -11,6 +11,10 @@
 //! * `uswg fit <data.txt> --family exp|phase:K|gamma:K` — fit a
 //!   distribution family to one-number-per-line data and report fit
 //!   quality (the GDS fitting step);
+//! * `uswg analyze <run.bin>` — the Usage Analyzer over a spill file:
+//!   stream the binary log through the `uswg_analyze` machinery (op mix,
+//!   access-size/response summaries, per-user-type breakdown) without ever
+//!   reconstructing a `UsageLog` in memory;
 //! * `uswg sweep <spec.json> --model M --users 1,2,4…` — run a Chapter 5
 //!   sweep (users, mix or access size) across cores, memory-flat by
 //!   default;
@@ -20,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+use serde::Serialize;
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
 use uswg_core::experiment::{
@@ -27,8 +32,9 @@ use uswg_core::experiment::{
     Parallelism, SweepMode, SweepPoint,
 };
 use uswg_core::{
-    fit, gof, metrics, plot, presets, CoreError, DistrError, Distribution, NfsParams,
-    SchedulerBackend, SpillSink, SummarySink, Table, UsageLog, WorkloadSpec,
+    fit, gof, metrics, plot, presets, CoreError, DistrError, Distribution, LogSink, NfsParams,
+    SchedulerBackend, SpillCodec, SpillReader, SpillRecord, SpillSink, Summary, SummarySink, Table,
+    UsageLog, WorkloadSpec,
 };
 
 /// A parsed command line.
@@ -98,6 +104,15 @@ pub enum Command {
         path: String,
         /// Family spec: `exp`, `phase:K` or `gamma:K`.
         family: Family,
+    },
+    /// `analyze <path>`: stream a spill file through the Usage Analyzer.
+    Analyze {
+        /// Path of the binary spill file (v1 or v2).
+        path: String,
+        /// Emit a machine-readable JSON report instead of tables.
+        json: bool,
+        /// Include the per-user-type session breakdown.
+        by_type: bool,
     },
     /// `tables`: print the paper presets.
     Tables,
@@ -199,18 +214,18 @@ USAGE:
       --model <M>      timing model: nfs | nfs-cached | local | whole-file |
                        distributed:<servers>   (default: direct driver, no model)
       --out <log.json> write the usage log as JSON
-      --spill <p.bin>  stream the log to a binary columnar file during the
-                       run (full fidelity, O(1) resident memory; model runs
-                       only — read it back with uswg_core::read_spill_path)
+      --spill <p.bin>  stream the log to a compressed binary columnar file
+                       during the run (full fidelity, O(1) resident memory;
+                       model runs only — inspect it with uswg analyze)
       --scheduler <S>  event-queue backend: heap | calendar (default: the
                        spec's choice; both give byte-identical results,
                        calendar is faster beyond ~100k concurrent users)
       --shards <K>     split this one run into K independent DES instances
                        across cores and merge deterministically (model runs
                        only; K=1 replays the exact path byte for byte, K>1
-                       approximates resource contention per shard; combined
-                       with --spill the per-shard logs are materialized to
-                       merge them, so the spill path is no longer O(1) memory)
+                       approximates resource contention per shard; with
+                       --spill the per-shard streams spill to disk and k-way
+                       merge frame-by-frame — memory stays flat in K)
   uswg sweep <spec.json> --model <M> <AXIS> [OPTIONS]
                                         run a Chapter 5 sweep across cores
       <AXIS> = --users 1,2,4,8 | --mix 0,0.5,1 | --sizes 128,512,2048
@@ -225,6 +240,12 @@ USAGE:
       --mode/--jobs/--scheduler/--shards  as for sweep
   uswg fit <data.txt> --family <F>      fit a family to one-number-per-line data
       <F> = exp | phase:<K> | gamma:<K>
+  uswg analyze <run.bin> [OPTIONS]      analyze a spill file (written by
+                                        run --spill) without loading it into
+                                        memory: op mix, access-size and
+                                        response summaries
+      --json           machine-readable JSON report instead of tables
+      --by-type        add the per-user-type session breakdown
   uswg tables                           print the Table 5.1/5.2/5.4 presets
   uswg help                             this message
 ";
@@ -457,6 +478,28 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let family = family.ok_or_else(|| CliError::Usage("fit requires --family".into()))?;
             Ok(Command::Fit { path, family })
         }
+        "analyze" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("analyze needs a spill file".into()))?
+                .clone();
+            let mut json = false;
+            let mut by_type = false;
+            for flag in &args[2..] {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    "--by-type" => by_type = true,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown flag `{other}`")));
+                    }
+                }
+            }
+            Ok(Command::Analyze {
+                path,
+                json,
+                by_type,
+            })
+        }
         "run" => {
             let path = args
                 .get(1)
@@ -687,16 +730,13 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                     stats.model, stats.events, stats.duration
                 );
                 if let Some(k) = spec.run.effective_shards() {
-                    // The O(1)-resident-memory promise of --spill holds for
-                    // the streaming unsharded path only: a sharded run
-                    // materializes its per-shard logs to merge them before
-                    // replaying into the spill sink. Say so rather than
-                    // letting USWG_SHARDS silently change the contract.
+                    // Sharded capture stays memory-flat: each shard spills
+                    // to its own temporary stream and the streams k-way
+                    // merge frame-by-frame into the output file.
                     let _ = writeln!(
                         text,
-                        "note: sharded run ({k} shard(s)) materializes per-shard logs before \
-                         spilling — not O(1) memory; drop --shards/USWG_SHARDS for streaming \
-                         capture"
+                        "sharded run ({k} shard(s)): per-shard spill streams merged \
+                         frame-by-frame, O(1) resident memory"
                     );
                 }
                 text.push_str(&render_summary_sink(&summary));
@@ -801,7 +841,181 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             let data = read_data(&path)?;
             fit_report(&data, family)
         }
+        Command::Analyze {
+            path,
+            json,
+            by_type,
+        } => {
+            // The Usage Analyzer over a spill file: every record streams
+            // through the aggregator frame-by-frame — no UsageLog, no
+            // O(run length) memory, any file the format can hold.
+            let reader = SpillReader::open(&path)?;
+            let codec = reader.codec();
+            let mut stats = metrics::StreamLogStats::new();
+            for record in reader {
+                match record? {
+                    SpillRecord::Op(op) => stats.record_op(&op),
+                    SpillRecord::Session(s) => stats.record_session(&s),
+                }
+            }
+            if json {
+                render_analyze_json(&stats, codec, by_type)
+            } else {
+                Ok(render_analyze_text(&path, &stats, codec, by_type))
+            }
+        }
     }
+}
+
+/// The human-readable name of a spill codec.
+fn codec_name(codec: SpillCodec) -> &'static str {
+    match codec {
+        SpillCodec::Raw => "v1 raw",
+        SpillCodec::Compressed => "v2 compressed",
+    }
+}
+
+fn render_analyze_text(
+    path: &str,
+    stats: &metrics::StreamLogStats,
+    codec: SpillCodec,
+    by_type: bool,
+) -> String {
+    let mut text = format!(
+        "spill file {path} ({}): {} ops, {} sessions\n",
+        codec_name(codec),
+        stats.ops,
+        stats.sessions
+    );
+    let mut table = Table::new(vec![
+        "system call",
+        "count",
+        "access size (B)",
+        "response (µs)",
+    ])
+    .with_title("Per-system-call summary");
+    for row in stats.op_kind_summaries() {
+        table.row(vec![
+            row.kind.to_string(),
+            row.count.to_string(),
+            row.access_size.mean_std(),
+            row.response.mean_std(),
+        ]);
+    }
+    text.push_str(&table.render());
+    let (sizes, responses) = stats.data_op_summary();
+    let _ = writeln!(
+        text,
+        "data ops: {} | access size {} B | response {} µs",
+        sizes.n,
+        sizes.mean_std(),
+        responses.mean_std()
+    );
+    let _ = writeln!(
+        text,
+        "response time per byte: {:.3} µs/B | sessions: {}",
+        stats.response_per_byte(),
+        stats.sessions
+    );
+    if by_type {
+        let mut table = Table::new(vec![
+            "user type",
+            "sessions",
+            "ops",
+            "bytes accessed",
+            "resp/byte (µs/B)",
+        ])
+        .with_title("Per-user-type summary");
+        for (type_idx, t) in stats.user_types() {
+            table.row(vec![
+                type_idx.to_string(),
+                t.sessions.to_string(),
+                t.ops.to_string(),
+                t.bytes_accessed.to_string(),
+                format!("{:.3}", t.response_per_byte()),
+            ]);
+        }
+        text.push_str(&table.render());
+    }
+    text
+}
+
+/// The JSON shape of one `analyze` report row per op kind.
+#[derive(Debug, Serialize)]
+struct OpMixRow {
+    op: String,
+    count: usize,
+    access_size: Summary,
+    response: Summary,
+}
+
+/// The JSON shape of one per-user-type row.
+#[derive(Debug, Serialize)]
+struct UserTypeRow {
+    user_type: usize,
+    sessions: u64,
+    ops: u64,
+    bytes_accessed: u64,
+    total_response_us: u64,
+    response_per_byte: f64,
+}
+
+/// The machine-readable `analyze --json` report.
+#[derive(Debug, Serialize)]
+struct AnalyzeReport {
+    format: String,
+    ops: u64,
+    sessions: u64,
+    response_per_byte: f64,
+    data_access_size: Summary,
+    data_response: Summary,
+    op_mix: Vec<OpMixRow>,
+    /// `null` unless `--by-type` was passed (the vendored serde derive has
+    /// no `skip_serializing_if`).
+    user_types: Option<Vec<UserTypeRow>>,
+}
+
+fn render_analyze_json(
+    stats: &metrics::StreamLogStats,
+    codec: SpillCodec,
+    by_type: bool,
+) -> Result<String, CliError> {
+    let (data_access_size, data_response) = stats.data_op_summary();
+    let report = AnalyzeReport {
+        format: codec_name(codec).to_string(),
+        ops: stats.ops,
+        sessions: stats.sessions,
+        response_per_byte: stats.response_per_byte(),
+        data_access_size,
+        data_response,
+        op_mix: stats
+            .op_kind_summaries()
+            .into_iter()
+            .map(|row| OpMixRow {
+                op: row.kind.to_string(),
+                count: row.count,
+                access_size: row.access_size,
+                response: row.response,
+            })
+            .collect(),
+        user_types: by_type.then(|| {
+            stats
+                .user_types()
+                .iter()
+                .map(|(&user_type, t)| UserTypeRow {
+                    user_type,
+                    sessions: t.sessions,
+                    ops: t.ops,
+                    bytes_accessed: t.bytes_accessed,
+                    total_response_us: t.total_response_us,
+                    response_per_byte: t.response_per_byte(),
+                })
+                .collect()
+        }),
+    };
+    let mut text = serde_json::to_string_pretty(&report).map_err(CoreError::from)?;
+    text.push('\n');
+    Ok(text)
 }
 
 fn render_sweep(
@@ -1089,6 +1303,9 @@ mod tests {
         assert!(parse_args(argv("run spec.json --bogus")).is_err());
         assert!(parse_args(argv("frobnicate")).is_err());
         assert!(parse_args(argv("fit data.txt")).is_err());
+        // Analyze needs a path and takes only its two flags.
+        assert!(parse_args(argv("analyze")).is_err());
+        assert!(parse_args(argv("analyze run.bin --frobnicate")).is_err());
         assert!(parse_model("distributed:0").is_err());
         assert!(parse_family("phase:0").is_err());
         assert!(parse_family("phase:99").is_err());
@@ -1181,6 +1398,26 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_analyze() {
+        assert_eq!(
+            parse_args(argv("analyze run.bin")).unwrap(),
+            Command::Analyze {
+                path: "run.bin".into(),
+                json: false,
+                by_type: false,
+            }
+        );
+        assert_eq!(
+            parse_args(argv("analyze run.bin --json --by-type")).unwrap(),
+            Command::Analyze {
+                path: "run.bin".into(),
+                json: true,
+                by_type: true,
+            }
+        );
     }
 
     #[test]
@@ -1344,6 +1581,47 @@ mod tests {
             report.log.to_json().unwrap(),
             "spilled log must be byte-identical to the in-memory log"
         );
+
+        // analyze: the run → spill → analyze pipeline, text shape.
+        let spill_arg: String = spill_path.to_string_lossy().into();
+        let out = execute(parse_args(argv(&format!("analyze {spill_arg}"))).unwrap()).unwrap();
+        assert!(out.contains("Per-system-call summary"), "{out}");
+        assert!(out.contains("v2 compressed"), "{out}");
+        assert!(out.contains("response time per byte"), "{out}");
+        assert!(!out.contains("Per-user-type"), "breakdown is opt-in: {out}");
+        // --by-type adds the breakdown table.
+        let out =
+            execute(parse_args(argv(&format!("analyze {spill_arg} --by-type"))).unwrap()).unwrap();
+        assert!(out.contains("Per-user-type summary"), "{out}");
+        // --json emits a parseable report whose counts match the log.
+        let out =
+            execute(parse_args(argv(&format!("analyze {spill_arg} --json"))).unwrap()).unwrap();
+        let parsed = serde_json::parse_value(&out).unwrap();
+        assert_eq!(
+            parsed.get("ops"),
+            Some(&serde::Value::U64(report.log.ops().len() as u64))
+        );
+        assert_eq!(parsed.get("sessions"), Some(&serde::Value::U64(2)));
+        assert!(parsed
+            .get("op_mix")
+            .and_then(serde::Value::as_seq)
+            .is_some());
+        assert_eq!(parsed.get("user_types"), Some(&serde::Value::Null));
+
+        // Corrupt input surfaces as an error (a nonzero exit in main).
+        let corrupt_path = dir.join("corrupt.bin");
+        std::fs::write(&corrupt_path, b"NOTSPILLNOTDATA").unwrap();
+        let err = execute(
+            parse_args(argv(&format!("analyze {}", corrupt_path.to_string_lossy()))).unwrap(),
+        );
+        assert!(err.is_err(), "corrupt spill input must fail");
+        // A truncated (unsealed) file fails too — no partial silent output.
+        let bytes = std::fs::read(&spill_path).unwrap();
+        std::fs::write(&corrupt_path, &bytes[..bytes.len() - 9]).unwrap();
+        let err = execute(
+            parse_args(argv(&format!("analyze {}", corrupt_path.to_string_lossy()))).unwrap(),
+        );
+        assert!(err.is_err(), "truncated spill input must fail");
 
         // run --shards 1 routes through the sharded driver but replays the
         // exact path: the rendered summary is identical text. A larger K

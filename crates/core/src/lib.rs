@@ -51,14 +51,14 @@ pub use error::CoreError;
 pub use workload::WorkloadSpec;
 
 // Re-export the workspace surface so downstream users need one dependency.
-pub use uswg_analyze::{metrics, Align, Histogram, Summary, Table};
+pub use uswg_analyze::{metrics, Align, Histogram, StreamingSummary, Summary, Table};
 pub use uswg_distr::{
     fit, gof, plot, spec::DistributionSpec, CdfTable, DistrError, Distribution, EmpiricalCdf,
     Exponential, MultiStageGamma, PdfTable, PhaseTypeExp,
 };
 pub use uswg_fsc::{
-    CatalogFile, CategorySpec, FileCatalog, FileCategory, FileSystemCreator, FileType, FillPattern,
-    FscError, FscSpec, Owner, UsageClass,
+    CatalogFile, CategorySpec, FileCatalog, FileCategory, FilePopularity, FileSystemCreator,
+    FileType, FillPattern, FscError, FscSpec, Owner, UsageClass,
 };
 pub use uswg_netfs::{
     isolated_response, DistributedNfsModel, DistributedNfsParams, FileId, LocalDiskModel,
@@ -69,10 +69,10 @@ pub use uswg_sim::{
     Resource, ResourcePool, ResourceStats, Scheduler, SchedulerBackend, SimTime, Simulation, World,
 };
 pub use uswg_usim::{
-    merge_shard_logs, read_spill, read_spill_path, shard_model_seed, AccessPattern, BehaviorState,
-    CategoryUsage, CompiledPopulation, DesDriver, DesReport, DesRunStats, DirectDriver,
-    DiurnalProfile, LogSink, OpRecord, PhaseModel, PhaseState, PopulationSpec, RunConfig,
-    SessionRecord, ShardEnv, ShardPlan, ShardedDesDriver, SpillSink, SummarySink, UsageLog,
-    UserTypeSpec, UsimError,
+    merge_shard_logs, merge_spill_shards, read_spill, read_spill_path, shard_model_seed,
+    AccessPattern, BehaviorState, CategoryUsage, CompiledPopulation, DesDriver, DesReport,
+    DesRunStats, DirectDriver, DiurnalProfile, LogSink, OpRecord, PhaseModel, PhaseState,
+    PopulationSpec, RunConfig, SessionRecord, ShardEnv, ShardPlan, ShardedDesDriver, SpillCodec,
+    SpillReader, SpillRecord, SpillSink, SummarySink, UsageLog, UserTypeSpec, UsimError,
 };
 pub use uswg_vfs::{Fd, FsError, Metadata, OpenFlags, SeekFrom, Vfs, VfsConfig};

@@ -223,39 +223,35 @@ impl WorkloadSpec {
     /// identical between the two paths for the same seed, so any
     /// [`LogSink`] observes exactly what the collected log would contain.
     ///
-    /// A sharded run (`run.shards` / `USWG_SHARDS`) first produces the
-    /// deterministic merged log and then replays it into `sink` — all
-    /// operation records in merged order, then all session records — so
-    /// the sink observes exactly the merged log's contents. Note this path
-    /// materializes the per-shard logs before replaying; for O(1)-memory
-    /// sharded aggregation use [`WorkloadSpec::run_des_summary`], which
-    /// merges per-shard sinks instead.
+    /// A sharded run (`run.shards` / `USWG_SHARDS`) stays memory-flat too:
+    /// each shard spills its records to a private temporary file as it
+    /// runs, and the per-shard streams are k-way merged frame-by-frame
+    /// into `sink` — all operation records in deterministic merged order,
+    /// then all session records, exactly the sequence the materialized
+    /// merge would replay (byte-identity property-tested in
+    /// `tests/spill_pipeline.rs`) — so the sink observes the merged log's
+    /// contents while resident memory stays O(shards × frame).
     ///
     /// # Errors
     ///
-    /// Propagates generation, compilation and simulation errors.
+    /// Propagates generation, compilation and simulation errors, plus
+    /// spill-file I/O errors from the streamed sharded path.
     pub fn run_des_with_sink<S: LogSink>(
         &self,
         model: &ModelConfig,
-        mut sink: S,
+        sink: S,
     ) -> Result<(S, DesRunStats), CoreError> {
         if let Some(shards) = self.run.effective_shards() {
-            let report = self.run_des_sharded(model, shards)?;
-            for op in report.log.ops() {
-                sink.record_op(op);
-            }
-            for session in report.log.sessions() {
-                sink.record_session(session);
-            }
-            return Ok((
+            let population = self.compile()?;
+            let plan = ShardPlan::new(self.run.n_users, shards);
+            let envs = self.shard_envs(model, plan.active_shards())?;
+            return Ok(ShardedDesDriver::new().run_spill_streamed(
+                &population,
+                &self.run,
+                shards,
+                envs,
                 sink,
-                DesRunStats {
-                    resources: report.resources,
-                    duration: report.duration,
-                    model: report.model,
-                    events: report.events,
-                },
-            ));
+            )?);
         }
         let (vfs, catalog) = self.generate_fs()?;
         let population = self.compile()?;
@@ -356,6 +352,38 @@ mod tests {
             .with_run(RunConfig::default().with_users(2).with_sessions(1));
         assert_eq!(spec.run.n_users, 2);
         assert_eq!(spec.population.types()[0].0.name, "light I/O");
+    }
+
+    #[test]
+    fn popularity_threads_through_the_spec() {
+        // The PR 4 follow-up: a spec opts into weighted file popularity
+        // declaratively. A heavy Zipf skew must change which files the
+        // seeded workload touches; the default (and an explicit uniform)
+        // must reproduce the historical pick stream byte for byte.
+        let base = quick_spec();
+        let mut uniform = base.clone();
+        uniform.fsc = uniform
+            .fsc
+            .with_popularity(uswg_fsc::FilePopularity::Uniform);
+        let mut zipf = base.clone();
+        zipf.fsc = zipf
+            .fsc
+            .with_popularity(uswg_fsc::FilePopularity::Zipf { exponent: 3.0 });
+        let model = ModelConfig::default_local();
+        let base_log = base.run_des(&model).unwrap().log.to_json().unwrap();
+        let uniform_log = uniform.run_des(&model).unwrap().log.to_json().unwrap();
+        let zipf_log = zipf.run_des(&model).unwrap().log.to_json().unwrap();
+        assert_eq!(
+            base_log, uniform_log,
+            "explicit uniform must equal the default"
+        );
+        assert_ne!(zipf_log, base_log, "a heavy skew must change the picks");
+        // And the policy survives the JSON round trip specs live as.
+        let back = WorkloadSpec::from_json(&zipf.to_json().unwrap()).unwrap();
+        assert_eq!(
+            back.fsc.popularity,
+            uswg_fsc::FilePopularity::Zipf { exponent: 3.0 }
+        );
     }
 
     #[test]

@@ -26,10 +26,13 @@ pub struct CatalogFile {
 /// the Walker/Vose sampler was always general, this exposes it).
 ///
 /// Weighted popularity changes which files a seeded workload touches, so it
-/// is an explicit opt-in via [`FileCatalog::seal_with`]; the plain
-/// [`FileCatalog::seal`] stays uniform and bit-identical to the historical
-/// modulo pick.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// is an explicit opt-in via [`FileCatalog::seal_with`] — or declaratively
+/// via `FscSpec::popularity`, the serialized form workload specs carry
+/// (`{"policy": "uniform" | "size_weighted" | "zipf", ...}`; a spec
+/// without the field stays uniform). The plain [`FileCatalog::seal`] stays
+/// uniform and bit-identical to the historical modulo pick.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[serde(tag = "policy", rename_all = "snake_case")]
 pub enum FilePopularity {
     /// Every candidate equally likely (the paper's model; bit-identical to
     /// an unsealed modulo pick).
@@ -50,7 +53,42 @@ pub enum FilePopularity {
     },
 }
 
+/// Largest accepted Zipf exponent magnitude: `(r + 1)^16` stays finite
+/// (and its reciprocal stays positive) for candidate lists far beyond any
+/// realistic catalog, while anything past this is a typo — the weights
+/// would overflow to infinity (or underflow to zero) and the alias-table
+/// construction would panic on a value that arrived from an untrusted
+/// spec file.
+pub const MAX_ZIPF_EXPONENT: f64 = 16.0;
+
 impl FilePopularity {
+    /// Validates the policy's parameters. Spec-file deserialization feeds
+    /// this (via `FscSpec::validate`), so a hand-edited JSON spec with an
+    /// absurd exponent is a clean error at load time instead of a panic
+    /// inside [`FileCatalog::seal_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::FscError::BadPopularity`] for a non-finite Zipf
+    /// exponent or one whose magnitude exceeds [`MAX_ZIPF_EXPONENT`].
+    pub fn validate(self) -> Result<(), crate::FscError> {
+        if let FilePopularity::Zipf { exponent } = self {
+            if !exponent.is_finite() {
+                return Err(crate::FscError::BadPopularity {
+                    reason: "zipf exponent must be finite",
+                    value: exponent,
+                });
+            }
+            if exponent.abs() > MAX_ZIPF_EXPONENT {
+                return Err(crate::FscError::BadPopularity {
+                    reason: "zipf exponent magnitude is capped at 16",
+                    value: exponent,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// The weight vector this policy assigns to `candidates` (catalog
     /// indices, in list order). The analytic ground truth the chi-square
     /// goodness-of-fit tests compare empirical pick frequencies against.

@@ -1,6 +1,6 @@
 //! The creator proper: specification validation and file-system population.
 
-use crate::{CatalogFile, FileCatalog, FileCategory, FileType, FscError, Owner};
+use crate::{CatalogFile, FileCatalog, FileCategory, FilePopularity, FileType, FscError, Owner};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use uswg_distr::DistributionSpec;
@@ -56,6 +56,14 @@ pub struct FscSpec {
     pub shared_files: u64,
     /// Data fill strategy.
     pub fill: FillPattern,
+    /// How the User Simulator's per-reference file picks weight the
+    /// candidates: the catalog is sealed with this policy at build time,
+    /// so specs opt into `size_weighted` or `zipf` hot sets without any
+    /// code. Defaults to uniform — the paper's model, bit-identical to the
+    /// historical modulo pick — and a serialized spec without the field
+    /// deserializes to uniform, so existing spec files are unchanged.
+    #[serde(default)]
+    pub popularity: FilePopularity,
 }
 
 impl FscSpec {
@@ -73,6 +81,7 @@ impl FscSpec {
             files_per_user: 50,
             shared_files: 120,
             fill: FillPattern::default(),
+            popularity: FilePopularity::default(),
         };
         spec.validate()?;
         Ok(spec)
@@ -116,6 +125,12 @@ impl FscSpec {
         self
     }
 
+    /// Builder-style override of the file-popularity policy.
+    pub fn with_popularity(mut self, popularity: FilePopularity) -> Self {
+        self.popularity = popularity;
+        self
+    }
+
     fn validate(&self) -> Result<(), FscError> {
         if self.categories.is_empty() {
             return Err(FscError::EmptySpec);
@@ -124,7 +139,11 @@ impl FscSpec {
         if (sum - 1.0).abs() > FRACTION_TOL || self.categories.iter().any(|c| c.fraction < 0.0) {
             return Err(FscError::BadFractions { sum });
         }
-        Ok(())
+        // The popularity policy arrives from untrusted spec files and is
+        // fed straight into the alias-table construction at build time —
+        // reject unusable parameters here, where they are an error, not a
+        // panic.
+        self.popularity.validate()
     }
 }
 
@@ -226,6 +245,12 @@ impl FileSystemCreator {
                 Some(user),
             )?;
         }
+        // Seal with the spec's popularity policy so the pick weighting is
+        // part of the declarative workload description. Uniform sealing is
+        // bit-identical to the historical unsealed modulo pick
+        // (property-tested in tests/alias_equivalence.rs), so default
+        // specs reproduce every earlier run byte for byte.
+        catalog.seal_with(self.spec.popularity);
         Ok(catalog)
     }
 
@@ -519,5 +544,79 @@ mod tests {
         let json = serde_json::to_string(&spec).unwrap();
         let back: FscSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn serde_popularity_round_trips_every_policy() {
+        for policy in [
+            FilePopularity::Uniform,
+            FilePopularity::SizeWeighted,
+            FilePopularity::Zipf { exponent: 1.25 },
+        ] {
+            let spec = two_category_spec().with_popularity(policy);
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: FscSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.popularity, policy, "{json}");
+        }
+    }
+
+    #[test]
+    fn missing_popularity_field_defaults_to_uniform() {
+        // Spec files written before the field existed must keep parsing —
+        // and keep meaning the paper's uniform model. Serialize, strip the
+        // field (it is declared last, so it is the trailing entry), parse.
+        let spec = two_category_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let legacy = json.replace(",\"popularity\":{\"policy\":\"uniform\"}", "");
+        assert_ne!(legacy, json, "the field must have been present");
+        let back: FscSpec = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.popularity, FilePopularity::Uniform);
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn absurd_zipf_exponents_are_errors_not_panics() {
+        // The policy arrives from hand-editable JSON: an exponent whose
+        // weights overflow must be rejected at validation time, never
+        // reach the alias table's panic.
+        for exponent in [-2000.0, 2000.0, f64::NAN, f64::INFINITY] {
+            let spec = two_category_spec()
+                .with_popularity(FilePopularity::Zipf { exponent })
+                .with_fill(FillPattern::Sparse);
+            let creator = FileSystemCreator::new(spec);
+            let mut vfs = Vfs::new(VfsConfig::default());
+            let mut rng = StdRng::seed_from_u64(8);
+            assert!(
+                matches!(
+                    creator.build(&mut vfs, 1, &mut rng),
+                    Err(FscError::BadPopularity { .. })
+                ),
+                "exponent {exponent} must be rejected"
+            );
+        }
+        // The boundary itself is usable.
+        let spec = two_category_spec()
+            .with_popularity(FilePopularity::Zipf {
+                exponent: crate::MAX_ZIPF_EXPONENT,
+            })
+            .with_fill(FillPattern::Sparse);
+        let mut vfs = Vfs::new(VfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(FileSystemCreator::new(spec)
+            .build(&mut vfs, 1, &mut rng)
+            .is_ok());
+    }
+
+    #[test]
+    fn build_seals_with_the_spec_popularity() {
+        let creator = FileSystemCreator::new(
+            two_category_spec()
+                .with_fill(FillPattern::Sparse)
+                .with_popularity(FilePopularity::SizeWeighted),
+        );
+        let mut vfs = Vfs::new(VfsConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let catalog = creator.build(&mut vfs, 1, &mut rng).unwrap();
+        assert!(catalog.is_sealed(), "build seals the catalog");
     }
 }

@@ -25,6 +25,14 @@ pub enum FscError {
         /// Why the weights were rejected.
         reason: &'static str,
     },
+    /// A file-popularity policy has an unusable parameter (e.g. a Zipf
+    /// exponent whose weights would overflow).
+    BadPopularity {
+        /// Why the policy was rejected.
+        reason: &'static str,
+        /// The offending value.
+        value: f64,
+    },
     /// A size distribution could not be instantiated.
     Distribution(DistrError),
     /// The underlying file system rejected an operation (usually `ENOSPC`).
@@ -42,6 +50,9 @@ impl fmt::Display for FscError {
                 write!(f, "count parameter `{name}` out of range (got {value})")
             }
             FscError::BadWeights { reason } => write!(f, "alias table weights: {reason}"),
+            FscError::BadPopularity { reason, value } => {
+                write!(f, "file-popularity policy: {reason} (got {value})")
+            }
             FscError::Distribution(e) => write!(f, "size distribution: {e}"),
             FscError::FileSystem(e) => write!(f, "file system: {e}"),
         }

@@ -44,7 +44,7 @@ mod creator;
 mod error;
 
 pub use alias::{linear_scan_draw, AliasTable};
-pub use catalog::{CatalogFile, FileCatalog, FilePopularity};
+pub use catalog::{CatalogFile, FileCatalog, FilePopularity, MAX_ZIPF_EXPONENT};
 pub use category::{FileCategory, FileType, Owner, UsageClass};
 pub use creator::{CategorySpec, FileSystemCreator, FillPattern, FscSpec};
 pub use error::FscError;

@@ -42,6 +42,14 @@ pub enum UsimError {
     Distribution(DistrError),
     /// The file system rejected an operation the simulator cannot skip.
     FileSystem(FsError),
+    /// A spill-file operation failed (writing, sealing or merging the
+    /// per-shard streams of a streamed full-log run). Holds the rendered
+    /// I/O error: `std::io::Error` is neither `Clone` nor `PartialEq`, and
+    /// callers only ever report this.
+    Spill {
+        /// The rendered underlying I/O error.
+        message: String,
+    },
 }
 
 impl fmt::Display for UsimError {
@@ -64,6 +72,7 @@ impl fmt::Display for UsimError {
             ),
             UsimError::Distribution(e) => write!(f, "distribution: {e}"),
             UsimError::FileSystem(e) => write!(f, "file system: {e}"),
+            UsimError::Spill { message } => write!(f, "spill: {message}"),
         }
     }
 }
@@ -87,6 +96,14 @@ impl From<DistrError> for UsimError {
 impl From<FsError> for UsimError {
     fn from(e: FsError) -> Self {
         UsimError::FileSystem(e)
+    }
+}
+
+impl From<std::io::Error> for UsimError {
+    fn from(e: std::io::Error) -> Self {
+        UsimError::Spill {
+            message: e.to_string(),
+        }
     }
 }
 

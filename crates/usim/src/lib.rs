@@ -46,9 +46,13 @@ pub use direct::DirectDriver;
 pub use error::UsimError;
 pub use log::{OpRecord, SessionRecord, UsageLog};
 pub use session::MAX_ACCESS_BYTES;
-pub use shard::{merge_shard_logs, shard_model_seed, ShardEnv, ShardPlan, ShardedDesDriver};
+pub use shard::{
+    merge_shard_logs, merge_spill_shards, shard_model_seed, ShardEnv, ShardPlan, ShardedDesDriver,
+};
 pub use sink::{LogSink, SummarySink};
 pub use spec::{AccessPattern, CategoryUsage, PopulationSpec, RunConfig, UserTypeSpec};
-pub use spill::{read_spill, read_spill_path, SpillSink, FRAME_CAP};
+pub use spill::{
+    read_spill, read_spill_path, SpillCodec, SpillReader, SpillRecord, SpillSink, FRAME_CAP,
+};
 pub use temporal::{DiurnalProfile, PhaseModel, PhaseState};
 pub use uswg_sim::SchedulerBackend;

@@ -40,10 +40,14 @@
 
 use crate::compile::CompiledPopulation;
 use crate::des::{DesDriver, DesReport, DesRunStats, MODEL_SEED_XOR};
-use crate::log::UsageLog;
+use crate::log::{OpRecord, SessionRecord, UsageLog};
 use crate::sink::{LogSink, SummarySink};
+use crate::spill::{SpillReader, SpillRecord, SpillSink};
 use crate::{RunConfig, UsimError};
+use std::io;
 use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use uswg_fsc::FileCatalog;
 use uswg_netfs::ServiceModel;
@@ -172,9 +176,11 @@ impl ShardedDesDriver {
 
     /// Runs every active shard through [`DesDriver::run_inner`] with its
     /// own sink, returning `(sink, stats)` per shard **in shard order** —
-    /// the property every merge below relies on. Shards execute on a
-    /// work-stealing pool; a shard failure cancels undispatched shards and
-    /// the lowest-indexed error among the shards that ran is returned.
+    /// the property every merge below relies on. `make_sink` builds the
+    /// shard's sink from its shard index (and may fail — spill sinks open
+    /// files). Shards execute on a work-stealing pool; a shard failure
+    /// cancels undispatched shards and the lowest-indexed error among the
+    /// shards that ran is returned.
     fn run_shards<S, F>(
         &self,
         population: &CompiledPopulation,
@@ -185,7 +191,7 @@ impl ShardedDesDriver {
     ) -> Result<Vec<(S, DesRunStats)>, UsimError>
     where
         S: LogSink + Send,
-        F: Fn() -> S + Sync,
+        F: Fn(usize) -> Result<S, UsimError> + Sync,
     {
         config.validate()?;
         let active = plan.active_shards();
@@ -208,17 +214,19 @@ impl ShardedDesDriver {
                 .expect("each shard env is taken exactly once");
             let users: Vec<(usize, usize)> =
                 plan.members(s).map(|gid| (gid, assignment[gid])).collect();
-            let result = driver.run_inner(
-                env.vfs,
-                env.catalog,
-                population,
-                env.model,
-                env.pool,
-                config,
-                users,
-                shard_model_seed(config.seed, s),
-                make_sink(),
-            );
+            let result = make_sink(s).and_then(|sink| {
+                driver.run_inner(
+                    env.vfs,
+                    env.catalog,
+                    population,
+                    env.model,
+                    env.pool,
+                    config,
+                    users,
+                    shard_model_seed(config.seed, s),
+                    sink,
+                )
+            });
             let ok = result.is_ok();
             *slots[s].lock().expect("slot lock") = Some(result);
             ok // a failed shard cancels the rest of the pool
@@ -265,7 +273,7 @@ impl ShardedDesDriver {
         envs: Vec<ShardEnv>,
     ) -> Result<DesReport, UsimError> {
         let plan = ShardPlan::new(config.n_users, shards);
-        let results = self.run_shards(population, config, plan, envs, UsageLog::new)?;
+        let results = self.run_shards(population, config, plan, envs, |_| Ok(UsageLog::new()))?;
         let (logs, stats): (Vec<UsageLog>, Vec<DesRunStats>) = results.into_iter().unzip();
         Ok(DesReport::from_parts(
             merge_shard_logs(logs),
@@ -290,7 +298,8 @@ impl ShardedDesDriver {
         envs: Vec<ShardEnv>,
     ) -> Result<(SummarySink, DesRunStats), UsimError> {
         let plan = ShardPlan::new(config.n_users, shards);
-        let results = self.run_shards(population, config, plan, envs, SummarySink::new)?;
+        let results =
+            self.run_shards(population, config, plan, envs, |_| Ok(SummarySink::new()))?;
         let mut merged = SummarySink::new();
         let mut stats = Vec::with_capacity(results.len());
         for (sink, st) in results {
@@ -298,6 +307,87 @@ impl ShardedDesDriver {
             stats.push(st);
         }
         Ok((merged, merge_stats(stats)))
+    }
+
+    /// Executes the run in **streamed** full-log mode: every shard spills
+    /// its records to a private temporary spill file as it runs, and the
+    /// per-shard files are k-way merged *frame by frame* into `sink` in
+    /// exactly [`merge_shard_logs`]' deterministic order (`(completion
+    /// time, shard index)` for ops, `(end, shard index)` for sessions; all
+    /// merged ops first, then all merged sessions — the order
+    /// `WorkloadSpec::run_des_with_sink` has always replayed). No
+    /// [`UsageLog`] is ever materialized, so resident memory is
+    /// O(K × frame) regardless of run length — the path that lets
+    /// `uswg run --spill --shards K` capture full-fidelity logs of runs
+    /// that would never fit in RAM. The streamed record sequence is
+    /// byte-identical to merging materialized per-shard logs
+    /// (property-tested in `tests/spill_pipeline.rs`).
+    ///
+    /// Temporary files live in a fresh directory under
+    /// [`std::env::temp_dir`] and are removed before returning (including
+    /// on error).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedDesDriver::run`], plus [`UsimError::Spill`] for any
+    /// failure creating, writing, sealing or reading the temporary spill
+    /// streams.
+    pub fn run_spill_streamed<S: LogSink>(
+        &self,
+        population: &CompiledPopulation,
+        config: &RunConfig,
+        shards: NonZeroUsize,
+        envs: Vec<ShardEnv>,
+        mut sink: S,
+    ) -> Result<(S, DesRunStats), UsimError> {
+        let plan = ShardPlan::new(config.n_users, shards);
+        let dir = ShardSpillDir::create()?;
+        let paths: Vec<PathBuf> = (0..plan.active_shards())
+            .map(|s| dir.path().join(format!("shard{s:04}.spill")))
+            .collect();
+        let results = self.run_shards(population, config, plan, envs, |s| {
+            Ok(SpillSink::create(&paths[s])?)
+        })?;
+        let mut stats = Vec::with_capacity(results.len());
+        for (spill, st) in results {
+            // Seal each stream: an unsealed spill file is indistinguishable
+            // from a crashed run and the merge would reject it.
+            spill.finish()?;
+            stats.push(st);
+        }
+        merge_spill_shards(&paths, &mut sink)?;
+        Ok((sink, merge_stats(stats)))
+    }
+}
+
+/// Monotonic counter distinguishing concurrent streamed runs in one
+/// process (tests run many in parallel).
+static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh per-run temporary directory for per-shard spill streams,
+/// removed (best-effort) when dropped — also on the error paths.
+#[derive(Debug)]
+struct ShardSpillDir(PathBuf);
+
+impl ShardSpillDir {
+    fn create() -> io::Result<Self> {
+        let path = std::env::temp_dir().join(format!(
+            "uswg-shard-spill-{}-{}",
+            std::process::id(),
+            SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(Self(path))
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ShardSpillDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
     }
 }
 
@@ -359,6 +449,96 @@ pub fn merge_shard_logs(logs: Vec<UsageLog>) -> UsageLog {
     let session_streams: Vec<_> = logs.iter().map(|l| l.sessions()).collect();
     kway_merge_by(&session_streams, |s| s.end, |s| out.push_session(s));
     out
+}
+
+/// The streaming counterpart of [`merge_shard_logs`]: k-way merges sealed
+/// per-shard spill files (one per shard, **in shard order**) directly from
+/// their frame iterators into `sink`, emitting every merged op record and
+/// then every merged session record — the same `(key, shard index)` order
+/// and the same replay shape, without materializing any log. Each file is
+/// streamed twice (an op pass, then a session pass); each pass decodes
+/// only its own record kind and hops over the other kind's frames
+/// structurally, so resident memory is one decoded frame per shard and no
+/// frame is decoded more than once across the two passes.
+///
+/// # Errors
+///
+/// Propagates open/decode errors from the spill files, including the
+/// truncation and corruption rejections of
+/// [`SpillReader`](crate::SpillReader); nothing is emitted past the first
+/// error.
+pub fn merge_spill_shards<S: LogSink>(paths: &[PathBuf], sink: &mut S) -> io::Result<()> {
+    let op_streams: Vec<_> = paths
+        .iter()
+        .map(|p| {
+            // `ops_only` hops over session frames structurally, so each
+            // pass decodes only the record kind it merges.
+            SpillReader::open(p).map(|r| {
+                r.ops_only().filter_map(|record| match record {
+                    Ok(SpillRecord::Op(op)) => Some(Ok(op)),
+                    Ok(SpillRecord::Session(_)) => None,
+                    Err(e) => Some(Err(e)),
+                })
+            })
+        })
+        .collect::<io::Result<_>>()?;
+    kway_merge_streams(
+        op_streams,
+        |op: &OpRecord| op.at.saturating_add(op.response),
+        |op| sink.record_op(&op),
+    )?;
+    let session_streams: Vec<_> = paths
+        .iter()
+        .map(|p| {
+            SpillReader::open(p).map(|r| {
+                r.sessions_only().filter_map(|record| match record {
+                    Ok(SpillRecord::Session(s)) => Some(Ok(s)),
+                    Ok(SpillRecord::Op(_)) => None,
+                    Err(e) => Some(Err(e)),
+                })
+            })
+        })
+        .collect::<io::Result<_>>()?;
+    kway_merge_streams(
+        session_streams,
+        |s: &SessionRecord| s.end,
+        |s| sink.record_session(&s),
+    )
+}
+
+/// Stable k-way merge over fallible streams: repeatedly emits the head with
+/// the smallest `(key, stream index)`, holding one head per stream. The
+/// streaming twin of [`kway_merge_by`]; the first stream error aborts the
+/// merge.
+fn kway_merge_streams<T, I>(
+    mut streams: Vec<I>,
+    key: impl Fn(&T) -> u64,
+    mut emit: impl FnMut(T),
+) -> io::Result<()>
+where
+    I: Iterator<Item = io::Result<T>>,
+{
+    let mut heads: Vec<Option<T>> = streams
+        .iter_mut()
+        .map(|s| s.next().transpose())
+        .collect::<io::Result<_>>()?;
+    loop {
+        let mut best: Option<(u64, usize)> = None;
+        for (s, head) in heads.iter().enumerate() {
+            if let Some(item) = head {
+                let k = key(item);
+                if best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, s));
+                }
+            }
+        }
+        let Some((_, s)) = best else {
+            return Ok(());
+        };
+        let item = heads[s].take().expect("best head exists");
+        heads[s] = streams[s].next().transpose()?;
+        emit(item);
+    }
 }
 
 /// Stable k-way merge of sorted streams: repeatedly emits the head with the
@@ -451,6 +631,97 @@ mod tests {
         let tb = [(3u64, 'b')];
         kway_merge_by(&[&ta, &tb], |&(k, _)| k, |x| tagged.push(x.1));
         assert_eq!(tagged, vec!['a', 'A', 'b']);
+    }
+
+    #[test]
+    fn streaming_kway_merge_matches_slice_merge() {
+        let a = [1u64, 3, 3, 9];
+        let b = [2u64, 3, 8];
+        let c: [u64; 0] = [];
+        let mut slice_out = Vec::new();
+        kway_merge_by(&[&a, &b, &c], |&x| x, |x| slice_out.push(x));
+        let streams: Vec<_> = [&a[..], &b[..], &c[..]]
+            .into_iter()
+            .map(|s| s.iter().copied().map(io::Result::Ok))
+            .collect();
+        let mut stream_out = Vec::new();
+        kway_merge_streams(streams, |&x| x, |x| stream_out.push(x)).unwrap();
+        assert_eq!(stream_out, slice_out);
+        // An error in any stream aborts the merge.
+        let bad: Vec<io::Result<u64>> = vec![Ok(1), Err(io::Error::other("boom"))];
+        let good: Vec<io::Result<u64>> = vec![Ok(2), Ok(3)];
+        let mut out = Vec::new();
+        let err = kway_merge_streams(
+            vec![bad.into_iter(), good.into_iter()],
+            |&x| x,
+            |x| out.push(x),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn merge_spill_shards_matches_merge_shard_logs() {
+        // Two hand-built shard logs, spilled to files, streamed back
+        // through the k-way merge — record-for-record what the in-memory
+        // oracle produces.
+        let dir = std::env::temp_dir().join(format!(
+            "uswg-shard-merge-test-{}-{}",
+            std::process::id(),
+            SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk_op = |at: u64, response: u64, user: usize| OpRecord {
+            at,
+            user,
+            session: 0,
+            op: uswg_netfs::OpKind::Read,
+            ino: 1,
+            bytes: 64,
+            file_size: 640,
+            response,
+            category: uswg_fsc::FileCategory::REG_USER_RDONLY,
+        };
+        let mk_session = |end: u64, user: usize| SessionRecord {
+            user,
+            user_type: 0,
+            session: 0,
+            start: 0,
+            end,
+            ops: 2,
+            files_referenced: 1,
+            file_bytes_referenced: 640,
+            bytes_accessed: 128,
+            bytes_read: 128,
+            bytes_written: 0,
+            total_response: 9,
+        };
+        let mut shard0 = UsageLog::new();
+        shard0.push_op(mk_op(1, 4, 0)); // completes at 5
+        shard0.push_op(mk_op(7, 0, 0)); // completes at 7 (tie with shard 1)
+        shard0.push_session(mk_session(10, 0));
+        let mut shard1 = UsageLog::new();
+        shard1.push_op(mk_op(2, 1, 1)); // completes at 3
+        shard1.push_op(mk_op(6, 1, 1)); // completes at 7 (loses the tie)
+        shard1.push_session(mk_session(9, 1));
+        let paths: Vec<PathBuf> = (0..2).map(|s| dir.join(format!("s{s}.spill"))).collect();
+        for (path, log) in paths.iter().zip([&shard0, &shard1]) {
+            let mut sink = SpillSink::create(path).unwrap();
+            for op in log.ops() {
+                crate::LogSink::record_op(&mut sink, op);
+            }
+            for s in log.sessions() {
+                crate::LogSink::record_session(&mut sink, s);
+            }
+            sink.finish().unwrap();
+        }
+        let mut streamed = UsageLog::new();
+        merge_spill_shards(&paths, &mut streamed).unwrap();
+        let oracle = merge_shard_logs(vec![shard0, shard1]);
+        assert_eq!(streamed.to_json().unwrap(), oracle.to_json().unwrap());
+        // The tie at completion time 7 resolves in shard order.
+        assert_eq!(streamed.ops()[2].user, 0);
+        assert_eq!(streamed.ops()[3].user, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -3,21 +3,43 @@
 //!
 //! At the ROADMAP's millions-of-users scale a materialized [`UsageLog`] is
 //! the memory ceiling (~80 bytes per op record). [`SpillSink`] keeps full
-//! fidelity without the ceiling: records stream into fixed-width
-//! little-endian **columnar frames** on disk, buffered at most
-//! [`FRAME_CAP`] records at a time, so resident memory is O(1) in run
-//! length. [`read_spill`] reconstructs the exact `UsageLog` the run would
-//! have produced in memory — losslessly, byte-for-byte (guarded by a
-//! JSON-identity round-trip property test).
+//! fidelity without the ceiling: records stream into **columnar frames** on
+//! disk, buffered at most [`FRAME_CAP`] records at a time, so resident
+//! memory is O(1) in run length. Reading back has two shapes:
+//! [`read_spill`] reconstructs the exact `UsageLog` the run would have
+//! produced in memory (losslessly, byte-for-byte through JSON — guarded by
+//! round-trip property tests), and [`SpillReader`] iterates the records
+//! frame-by-frame without ever materializing a log — the substrate of the
+//! streamed sharded merge and of `uswg analyze`.
 //!
-//! # File format (`USWGSPL1`)
+//! # Formats
+//!
+//! Two on-disk formats share the frame structure; the reader sniffs the
+//! magic, so both read back through the same API (codec negotiation is the
+//! first 8 bytes of the file):
+//!
+//! * **v1 raw** (`USWGSPL1`, [`SpillCodec::Raw`]) — fixed-width
+//!   little-endian columns, exactly the format earlier releases wrote.
+//!   Still written on request and always readable.
+//! * **v2 compressed** (`USWGSPL2`, [`SpillCodec::Compressed`], the
+//!   default) — the same columns per frame, but each column is
+//!   independently compressed: integer columns as zigzag **delta +
+//!   LEB128 varint** (the op stream is sorted by completion time and most
+//!   magnitudes are small, so deltas collapse), byte columns as **RLE**
+//!   when that wins over the raw bytes. Every v2 frame carries a CRC32 of
+//!   its header and payload, so a flipped bit is a clean
+//!   [`io::ErrorKind::InvalidData`] instead of silently different records.
 //!
 //! ```text
-//! magic: 8 bytes  b"USWGSPL1"
+//! magic: 8 bytes  b"USWGSPL1" | b"USWGSPL2"
 //! frame*:
 //!   tag:   1 byte   0 = op frame, 1 = session frame
 //!   count: u32 LE   records in this frame (1..=FRAME_CAP)
-//!   columns, each `count` fixed-width LE values, in declaration order:
+//!   v2 only — crc: u32 LE  CRC32 (IEEE) over tag, count and every column
+//!                          (length prefixes included)
+//!   columns, in declaration order:
+//!     v1: `count` fixed-width LE values per column
+//!     v2: u32 LE encoded length, then the encoded column
 //!     ops:      at u64 | user u64 | session u32 | op u8 | ino u64 |
 //!               bytes u64 | file_size u64 | response u64 | category u8
 //!     sessions: user u64 | user_type u64 | session u32 | start u64 |
@@ -29,10 +51,16 @@
 //!   totals: u64 LE ops, u64 LE sessions — must match the frames read
 //! ```
 //!
-//! Columnar-within-frame keeps each column a single contiguous fixed-width
-//! run — trivially seekable, compressible, and decodable without any
-//! per-record branching — while the frame granularity preserves the
-//! stream's op/session interleaving order within each record kind.
+//! v2 integer columns (u32 widened to u64): per value the zigzag-encoded
+//! wrapping delta from the previous value, as an LEB128 varint. v2 byte
+//! columns: a flag byte — `0` = the `count` bytes verbatim, `1` = RLE
+//! `(value u8, run length varint)` pairs; the writer picks whichever is
+//! smaller.
+//!
+//! Columnar-within-frame keeps each column a single contiguous run —
+//! trivially compressible and decodable without per-record branching —
+//! while the frame granularity preserves the stream's op/session
+//! interleaving order within each record kind.
 
 use crate::log::{OpRecord, SessionRecord, UsageLog};
 use crate::sink::LogSink;
@@ -42,8 +70,10 @@ use std::path::Path;
 use uswg_fsc::{FileCategory, FileType, Owner, UsageClass};
 use uswg_netfs::OpKind;
 
-/// File magic: format name + version.
-const MAGIC: &[u8; 8] = b"USWGSPL1";
+/// v1 file magic: format name + version (fixed-width raw columns).
+const MAGIC_V1: &[u8; 8] = b"USWGSPL1";
+/// v2 file magic (per-frame compressed columns + CRC).
+const MAGIC_V2: &[u8; 8] = b"USWGSPL2";
 /// Frame tag for op-record frames.
 const TAG_OPS: u8 = 0;
 /// Frame tag for session-record frames.
@@ -58,8 +88,23 @@ const TAG_END: u8 = 2;
 
 /// Records buffered per frame: the sink's entire resident footprint is two
 /// buffers of at most this many records (~320 KiB of ops), independent of
-/// how long the run is.
+/// how long the run is. Also the hard ceiling the reader enforces on frame
+/// counts, for both formats.
 pub const FRAME_CAP: usize = 4096;
+
+/// How a [`SpillSink`] encodes its frames on disk. Both codecs hold the
+/// identical record stream; the reader sniffs the file magic, so the choice
+/// only trades bytes on disk against encode/decode work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpillCodec {
+    /// The v1 format: fixed-width little-endian columns, byte-for-byte what
+    /// earlier releases wrote. No checksums.
+    Raw,
+    /// The v2 format (the default): delta+varint integer columns, RLE byte
+    /// columns, CRC32 per frame.
+    #[default]
+    Compressed,
+}
 
 /// Encodes an [`OpKind`] as its index in [`OpKind::ALL`].
 fn encode_op(kind: OpKind) -> u8 {
@@ -124,8 +169,198 @@ fn bad_data(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+// ---------------------------------------------------------------------------
+// v2 primitives: varint, zigzag, RLE, CRC32
+// ---------------------------------------------------------------------------
+
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Running CRC32 over a frame's header and columns: the v2 integrity check
+/// that turns a flipped bit anywhere in a frame into a clean decode error
+/// (CRC32 detects every single-bit error by construction).
+#[derive(Debug, Clone, Copy)]
+struct Crc32(u32);
+
+impl Crc32 {
+    fn new() -> Self {
+        Self(0xFFFF_FFFF)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+/// Zigzag: maps small-magnitude signed deltas to small unsigned varints.
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Reads one varint from `buf` at `*pos`, rejecting truncated or
+/// overflowing encodings.
+fn take_varint(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf
+            .get(*pos)
+            .ok_or_else(|| bad_data("varint runs past its column".into()))?;
+        *pos += 1;
+        let payload = (b & 0x7F) as u64;
+        if shift >= 64 || (shift == 63 && payload > 1) {
+            return Err(bad_data("varint overflows u64".into()));
+        }
+        v |= payload << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Appends one v2 integer column: length prefix + zigzag-delta varints.
+fn push_delta_col(body: &mut Vec<u8>, values: impl Iterator<Item = u64>) {
+    let len_at = body.len();
+    body.extend_from_slice(&[0u8; 4]);
+    let data_at = body.len();
+    let mut prev = 0u64;
+    for v in values {
+        put_varint(body, zigzag(v.wrapping_sub(prev) as i64));
+        prev = v;
+    }
+    let len = (body.len() - data_at) as u32;
+    body[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Decodes a v2 integer column back to its `count` values, requiring the
+/// encoding to consume the column exactly.
+fn decode_delta_col(buf: &[u8], count: usize) -> io::Result<Vec<u64>> {
+    let mut out = Vec::with_capacity(count);
+    let mut pos = 0usize;
+    let mut prev = 0u64;
+    for _ in 0..count {
+        let z = take_varint(buf, &mut pos)?;
+        prev = prev.wrapping_add(unzigzag(z) as u64);
+        out.push(prev);
+    }
+    if pos != buf.len() {
+        return Err(bad_data("trailing bytes in integer column".into()));
+    }
+    Ok(out)
+}
+
+/// Appends one v2 byte column: length prefix, then a flag byte (`0` raw /
+/// `1` RLE) and the payload — whichever encoding is smaller.
+fn push_u8_col(body: &mut Vec<u8>, values: &[u8]) {
+    let mut rle = Vec::new();
+    let mut i = 0usize;
+    while i < values.len() {
+        let v = values[i];
+        let mut run = 1u64;
+        while i + (run as usize) < values.len() && values[i + run as usize] == v {
+            run += 1;
+        }
+        rle.push(v);
+        put_varint(&mut rle, run);
+        i += run as usize;
+    }
+    let (flag, payload): (u8, &[u8]) = if rle.len() < values.len() {
+        (1, &rle)
+    } else {
+        (0, values)
+    };
+    let len = (1 + payload.len()) as u32;
+    body.extend_from_slice(&len.to_le_bytes());
+    body.push(flag);
+    body.extend_from_slice(payload);
+}
+
+/// Decodes a v2 byte column back to its `count` bytes.
+fn decode_u8_col(buf: &[u8], count: usize) -> io::Result<Vec<u8>> {
+    let (&flag, payload) = buf
+        .split_first()
+        .ok_or_else(|| bad_data("byte column missing its encoding flag".into()))?;
+    match flag {
+        0 => {
+            if payload.len() != count {
+                return Err(bad_data(format!(
+                    "raw byte column holds {} bytes, frame promises {count}",
+                    payload.len()
+                )));
+            }
+            Ok(payload.to_vec())
+        }
+        1 => {
+            let mut out = Vec::with_capacity(count);
+            let mut pos = 0usize;
+            while out.len() < count {
+                let v = *payload
+                    .get(pos)
+                    .ok_or_else(|| bad_data("RLE column runs out of pairs".into()))?;
+                pos += 1;
+                let run = take_varint(payload, &mut pos)?;
+                if run == 0 || run > (count - out.len()) as u64 {
+                    return Err(bad_data(format!("RLE run length {run} out of range")));
+                }
+                out.resize(out.len() + run as usize, v);
+            }
+            if pos != payload.len() {
+                return Err(bad_data("trailing bytes in RLE column".into()));
+            }
+            Ok(out)
+        }
+        other => Err(bad_data(format!("unknown byte-column encoding {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
 /// A [`LogSink`] that streams records to a binary columnar file instead of
-/// holding them in memory. See the module documentation for the format.
+/// holding them in memory. See the module documentation for the formats.
 ///
 /// I/O failures are deferred: the `LogSink` methods are infallible by
 /// signature, so the first error is stored and surfaced by
@@ -133,6 +368,8 @@ fn bad_data(msg: String) -> io::Error {
 #[derive(Debug)]
 pub struct SpillSink<W: Write> {
     out: W,
+    codec: SpillCodec,
+    frame_cap: usize,
     ops: Vec<OpRecord>,
     sessions: Vec<SessionRecord>,
     /// Ops recorded over the sink's whole life (buffered + flushed), for
@@ -144,33 +381,76 @@ pub struct SpillSink<W: Write> {
 }
 
 impl SpillSink<BufWriter<File>> {
-    /// Creates (truncating) `path` and returns a sink spilling into it.
+    /// Creates (truncating) `path` and returns a sink spilling into it with
+    /// the default (compressed, v2) codec.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the file cannot be created or
     /// the header written.
     pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
-        Self::new(BufWriter::new(File::create(path)?))
+        Self::create_with(path, SpillCodec::default())
+    }
+
+    /// [`SpillSink::create`] with an explicit codec.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SpillSink::create`].
+    pub fn create_with<P: AsRef<Path>>(path: P, codec: SpillCodec) -> io::Result<Self> {
+        Self::with_codec(BufWriter::new(File::create(path)?), codec)
     }
 }
 
 impl<W: Write> SpillSink<W> {
-    /// Wraps a writer, emitting the format header immediately.
+    /// Wraps a writer with the default (compressed, v2) codec, emitting the
+    /// format header immediately.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the header write fails.
-    pub fn new(mut out: W) -> io::Result<Self> {
-        out.write_all(MAGIC)?;
+    pub fn new(out: W) -> io::Result<Self> {
+        Self::with_codec(out, SpillCodec::default())
+    }
+
+    /// Wraps a writer with an explicit codec.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SpillSink::new`].
+    pub fn with_codec(out: W, codec: SpillCodec) -> io::Result<Self> {
+        Self::with_options(out, codec, FRAME_CAP)
+    }
+
+    /// Wraps a writer with an explicit codec and frame capacity (clamped to
+    /// `1..=FRAME_CAP`). Smaller frames trade compression ratio for less
+    /// buffered memory; tests use tiny frames to cross many boundaries
+    /// cheaply.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SpillSink::new`].
+    pub fn with_options(mut out: W, codec: SpillCodec, frame_cap: usize) -> io::Result<Self> {
+        out.write_all(match codec {
+            SpillCodec::Raw => MAGIC_V1,
+            SpillCodec::Compressed => MAGIC_V2,
+        })?;
+        let frame_cap = frame_cap.clamp(1, FRAME_CAP);
         Ok(Self {
             out,
-            ops: Vec::with_capacity(FRAME_CAP),
-            sessions: Vec::with_capacity(FRAME_CAP),
+            codec,
+            frame_cap,
+            ops: Vec::with_capacity(frame_cap),
+            sessions: Vec::with_capacity(frame_cap),
             ops_total: 0,
             sessions_total: 0,
             error: None,
         })
+    }
+
+    /// The codec this sink writes.
+    pub fn codec(&self) -> SpillCodec {
+        self.codec
     }
 
     /// Flushes buffered frames, seals the stream with the end-of-stream
@@ -200,7 +480,10 @@ impl<W: Write> SpillSink<W> {
             self.ops.clear();
             return;
         }
-        let result = write_op_frame(&mut self.out, &self.ops);
+        let result = match self.codec {
+            SpillCodec::Raw => write_op_frame_v1(&mut self.out, &self.ops),
+            SpillCodec::Compressed => write_op_frame_v2(&mut self.out, &self.ops),
+        };
         if let Err(e) = result {
             self.error = Some(e);
         }
@@ -212,7 +495,10 @@ impl<W: Write> SpillSink<W> {
             self.sessions.clear();
             return;
         }
-        let result = write_session_frame(&mut self.out, &self.sessions);
+        let result = match self.codec {
+            SpillCodec::Raw => write_session_frame_v1(&mut self.out, &self.sessions),
+            SpillCodec::Compressed => write_session_frame_v2(&mut self.out, &self.sessions),
+        };
         if let Err(e) = result {
             self.error = Some(e);
         }
@@ -224,7 +510,7 @@ impl<W: Write> LogSink for SpillSink<W> {
     fn record_op(&mut self, op: &OpRecord) {
         self.ops_total += 1;
         self.ops.push(*op);
-        if self.ops.len() >= FRAME_CAP {
+        if self.ops.len() >= self.frame_cap {
             self.flush_ops();
         }
     }
@@ -232,13 +518,13 @@ impl<W: Write> LogSink for SpillSink<W> {
     fn record_session(&mut self, session: &SessionRecord) {
         self.sessions_total += 1;
         self.sessions.push(*session);
-        if self.sessions.len() >= FRAME_CAP {
+        if self.sessions.len() >= self.frame_cap {
             self.flush_sessions();
         }
     }
 }
 
-/// Writes one column of `u64` values.
+/// Writes one column of `u64` values (v1).
 fn write_u64s<W: Write>(out: &mut W, values: impl Iterator<Item = u64>) -> io::Result<()> {
     for v in values {
         out.write_all(&v.to_le_bytes())?;
@@ -246,7 +532,7 @@ fn write_u64s<W: Write>(out: &mut W, values: impl Iterator<Item = u64>) -> io::R
     Ok(())
 }
 
-/// Writes one column of `u32` values.
+/// Writes one column of `u32` values (v1).
 fn write_u32s<W: Write>(out: &mut W, values: impl Iterator<Item = u32>) -> io::Result<()> {
     for v in values {
         out.write_all(&v.to_le_bytes())?;
@@ -254,7 +540,7 @@ fn write_u32s<W: Write>(out: &mut W, values: impl Iterator<Item = u32>) -> io::R
     Ok(())
 }
 
-/// Writes one column of `u8` values.
+/// Writes one column of `u8` values (v1).
 fn write_u8s<W: Write>(out: &mut W, values: impl Iterator<Item = u8>) -> io::Result<()> {
     for v in values {
         out.write_all(&[v])?;
@@ -268,7 +554,7 @@ fn write_frame_header<W: Write>(out: &mut W, tag: u8, count: usize) -> io::Resul
     out.write_all(&count.to_le_bytes())
 }
 
-fn write_op_frame<W: Write>(out: &mut W, ops: &[OpRecord]) -> io::Result<()> {
+fn write_op_frame_v1<W: Write>(out: &mut W, ops: &[OpRecord]) -> io::Result<()> {
     write_frame_header(out, TAG_OPS, ops.len())?;
     write_u64s(out, ops.iter().map(|o| o.at))?;
     write_u64s(out, ops.iter().map(|o| o.user as u64))?;
@@ -281,7 +567,7 @@ fn write_op_frame<W: Write>(out: &mut W, ops: &[OpRecord]) -> io::Result<()> {
     write_u8s(out, ops.iter().map(|o| encode_category(o.category)))
 }
 
-fn write_session_frame<W: Write>(out: &mut W, sessions: &[SessionRecord]) -> io::Result<()> {
+fn write_session_frame_v1<W: Write>(out: &mut W, sessions: &[SessionRecord]) -> io::Result<()> {
     write_frame_header(out, TAG_SESSIONS, sessions.len())?;
     write_u64s(out, sessions.iter().map(|s| s.user as u64))?;
     write_u64s(out, sessions.iter().map(|s| s.user_type as u64))?;
@@ -297,7 +583,57 @@ fn write_session_frame<W: Write>(out: &mut W, sessions: &[SessionRecord]) -> io:
     write_u64s(out, sessions.iter().map(|s| s.total_response))
 }
 
-/// One decoded column of `u64` values.
+/// Writes a whole v2 frame: header, CRC over header + body, body.
+fn write_frame_v2<W: Write>(out: &mut W, tag: u8, count: usize, body: &[u8]) -> io::Result<()> {
+    let count = u32::try_from(count).map_err(|_| bad_data("frame too large".into()))?;
+    let mut crc = Crc32::new();
+    crc.update(&[tag]);
+    crc.update(&count.to_le_bytes());
+    crc.update(body);
+    out.write_all(&[tag])?;
+    out.write_all(&count.to_le_bytes())?;
+    out.write_all(&crc.finish().to_le_bytes())?;
+    out.write_all(body)
+}
+
+fn write_op_frame_v2<W: Write>(out: &mut W, ops: &[OpRecord]) -> io::Result<()> {
+    let mut body = Vec::new();
+    push_delta_col(&mut body, ops.iter().map(|o| o.at));
+    push_delta_col(&mut body, ops.iter().map(|o| o.user as u64));
+    push_delta_col(&mut body, ops.iter().map(|o| o.session as u64));
+    let op_codes: Vec<u8> = ops.iter().map(|o| encode_op(o.op)).collect();
+    push_u8_col(&mut body, &op_codes);
+    push_delta_col(&mut body, ops.iter().map(|o| o.ino));
+    push_delta_col(&mut body, ops.iter().map(|o| o.bytes));
+    push_delta_col(&mut body, ops.iter().map(|o| o.file_size));
+    push_delta_col(&mut body, ops.iter().map(|o| o.response));
+    let cat_codes: Vec<u8> = ops.iter().map(|o| encode_category(o.category)).collect();
+    push_u8_col(&mut body, &cat_codes);
+    write_frame_v2(out, TAG_OPS, ops.len(), &body)
+}
+
+fn write_session_frame_v2<W: Write>(out: &mut W, sessions: &[SessionRecord]) -> io::Result<()> {
+    let mut body = Vec::new();
+    push_delta_col(&mut body, sessions.iter().map(|s| s.user as u64));
+    push_delta_col(&mut body, sessions.iter().map(|s| s.user_type as u64));
+    push_delta_col(&mut body, sessions.iter().map(|s| s.session as u64));
+    push_delta_col(&mut body, sessions.iter().map(|s| s.start));
+    push_delta_col(&mut body, sessions.iter().map(|s| s.end));
+    push_delta_col(&mut body, sessions.iter().map(|s| s.ops));
+    push_delta_col(&mut body, sessions.iter().map(|s| s.files_referenced));
+    push_delta_col(&mut body, sessions.iter().map(|s| s.file_bytes_referenced));
+    push_delta_col(&mut body, sessions.iter().map(|s| s.bytes_accessed));
+    push_delta_col(&mut body, sessions.iter().map(|s| s.bytes_read));
+    push_delta_col(&mut body, sessions.iter().map(|s| s.bytes_written));
+    push_delta_col(&mut body, sessions.iter().map(|s| s.total_response));
+    write_frame_v2(out, TAG_SESSIONS, sessions.len(), &body)
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// One decoded column of `u64` values (v1).
 fn read_u64s<R: Read>(r: &mut R, count: usize) -> io::Result<Vec<u64>> {
     let mut raw = vec![0u8; count * 8];
     r.read_exact(&mut raw)?;
@@ -322,7 +658,12 @@ fn read_u8s<R: Read>(r: &mut R, count: usize) -> io::Result<Vec<u8>> {
     Ok(raw)
 }
 
-fn read_op_frame<R: Read>(r: &mut R, count: usize, log: &mut UsageLog) -> io::Result<()> {
+/// Narrows a decoded u64 column value back to u32 (the session column).
+fn narrow_u32(v: u64) -> io::Result<u32> {
+    u32::try_from(v).map_err(|_| bad_data(format!("session ordinal {v} exceeds u32")))
+}
+
+fn read_op_frame_v1<R: Read>(r: &mut R, count: usize) -> io::Result<Vec<OpRecord>> {
     let at = read_u64s(r, count)?;
     let user = read_u64s(r, count)?;
     let session = read_u32s(r, count)?;
@@ -332,23 +673,24 @@ fn read_op_frame<R: Read>(r: &mut R, count: usize, log: &mut UsageLog) -> io::Re
     let file_size = read_u64s(r, count)?;
     let response = read_u64s(r, count)?;
     let category = read_u8s(r, count)?;
-    for i in 0..count {
-        log.push_op(OpRecord {
-            at: at[i],
-            user: user[i] as usize,
-            session: session[i],
-            op: decode_op(op[i])?,
-            ino: ino[i],
-            bytes: bytes[i],
-            file_size: file_size[i],
-            response: response[i],
-            category: decode_category(category[i])?,
-        });
-    }
-    Ok(())
+    (0..count)
+        .map(|i| {
+            Ok(OpRecord {
+                at: at[i],
+                user: user[i] as usize,
+                session: session[i],
+                op: decode_op(op[i])?,
+                ino: ino[i],
+                bytes: bytes[i],
+                file_size: file_size[i],
+                response: response[i],
+                category: decode_category(category[i])?,
+            })
+        })
+        .collect()
 }
 
-fn read_session_frame<R: Read>(r: &mut R, count: usize, log: &mut UsageLog) -> io::Result<()> {
+fn read_session_frame_v1<R: Read>(r: &mut R, count: usize) -> io::Result<Vec<SessionRecord>> {
     let user = read_u64s(r, count)?;
     let user_type = read_u64s(r, count)?;
     let session = read_u32s(r, count)?;
@@ -361,8 +703,8 @@ fn read_session_frame<R: Read>(r: &mut R, count: usize, log: &mut UsageLog) -> i
     let bytes_read = read_u64s(r, count)?;
     let bytes_written = read_u64s(r, count)?;
     let total_response = read_u64s(r, count)?;
-    for i in 0..count {
-        log.push_session(SessionRecord {
+    Ok((0..count)
+        .map(|i| SessionRecord {
             user: user[i] as usize,
             user_type: user_type[i] as usize,
             session: session[i],
@@ -375,77 +717,410 @@ fn read_session_frame<R: Read>(r: &mut R, count: usize, log: &mut UsageLog) -> i
             bytes_read: bytes_read[i],
             bytes_written: bytes_written[i],
             total_response: total_response[i],
-        });
+        })
+        .collect())
+}
+
+/// Reads the length-prefixed encoded bytes of one v2 column, feeding the
+/// prefix and payload into the running CRC. `max_len` bounds the
+/// allocation: a corrupt length fails cleanly before any oversized buffer.
+fn read_v2_col<R: Read>(r: &mut R, crc: &mut Crc32, max_len: usize) -> io::Result<Vec<u8>> {
+    let mut len_raw = [0u8; 4];
+    r.read_exact(&mut len_raw)?;
+    crc.update(&len_raw);
+    let len = u32::from_le_bytes(len_raw) as usize;
+    if len > max_len {
+        return Err(bad_data(format!(
+            "column length {len} exceeds the bound {max_len}"
+        )));
     }
-    Ok(())
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    crc.update(&buf);
+    Ok(buf)
+}
+
+/// Varint of a u64 is at most 10 bytes; the per-value bound on an integer
+/// column's encoded length.
+const MAX_VARINT: usize = 10;
+
+/// Reads a whole v2 frame's columns and verifies the CRC *before* any
+/// decoding: `n_int` integer columns and `n_u8` byte columns arrive
+/// interleaved per `layout` (false = integer, true = byte column).
+fn read_v2_columns<R: Read>(
+    r: &mut R,
+    tag: u8,
+    count: usize,
+    layout: &[bool],
+) -> io::Result<Vec<Vec<u8>>> {
+    let mut stored = [0u8; 4];
+    r.read_exact(&mut stored)?;
+    let stored = u32::from_le_bytes(stored);
+    let mut crc = Crc32::new();
+    crc.update(&[tag]);
+    crc.update(&(count as u32).to_le_bytes());
+    let mut cols = Vec::with_capacity(layout.len());
+    for &is_u8 in layout {
+        let max_len = if is_u8 {
+            // flag + worst-case RLE (value byte + varint run each); the
+            // writer never exceeds 1 + count, but stay permissive within
+            // the same O(count) bound.
+            1 + count * (1 + MAX_VARINT)
+        } else {
+            count * MAX_VARINT
+        };
+        cols.push(read_v2_col(r, &mut crc, max_len)?);
+    }
+    if crc.finish() != stored {
+        return Err(bad_data(
+            "frame checksum mismatch: the spill file is corrupt".into(),
+        ));
+    }
+    Ok(cols)
+}
+
+/// Column layout of a v2 op frame (false = delta-varint, true = bytes).
+const OP_LAYOUT: [bool; 9] = [false, false, false, true, false, false, false, false, true];
+/// Column layout of a v2 session frame.
+const SESSION_LAYOUT: [bool; 12] = [false; 12];
+
+fn read_op_frame_v2<R: Read>(r: &mut R, count: usize) -> io::Result<Vec<OpRecord>> {
+    let cols = read_v2_columns(r, TAG_OPS, count, &OP_LAYOUT)?;
+    let at = decode_delta_col(&cols[0], count)?;
+    let user = decode_delta_col(&cols[1], count)?;
+    let session = decode_delta_col(&cols[2], count)?;
+    let op = decode_u8_col(&cols[3], count)?;
+    let ino = decode_delta_col(&cols[4], count)?;
+    let bytes = decode_delta_col(&cols[5], count)?;
+    let file_size = decode_delta_col(&cols[6], count)?;
+    let response = decode_delta_col(&cols[7], count)?;
+    let category = decode_u8_col(&cols[8], count)?;
+    (0..count)
+        .map(|i| {
+            Ok(OpRecord {
+                at: at[i],
+                user: user[i] as usize,
+                session: narrow_u32(session[i])?,
+                op: decode_op(op[i])?,
+                ino: ino[i],
+                bytes: bytes[i],
+                file_size: file_size[i],
+                response: response[i],
+                category: decode_category(category[i])?,
+            })
+        })
+        .collect()
+}
+
+fn read_session_frame_v2<R: Read>(r: &mut R, count: usize) -> io::Result<Vec<SessionRecord>> {
+    let cols = read_v2_columns(r, TAG_SESSIONS, count, &SESSION_LAYOUT)?;
+    let decoded: Vec<Vec<u64>> = cols
+        .iter()
+        .map(|c| decode_delta_col(c, count))
+        .collect::<io::Result<_>>()?;
+    (0..count)
+        .map(|i| {
+            Ok(SessionRecord {
+                user: decoded[0][i] as usize,
+                user_type: decoded[1][i] as usize,
+                session: narrow_u32(decoded[2][i])?,
+                start: decoded[3][i],
+                end: decoded[4][i],
+                ops: decoded[5][i],
+                files_referenced: decoded[6][i],
+                file_bytes_referenced: decoded[7][i],
+                bytes_accessed: decoded[8][i],
+                bytes_read: decoded[9][i],
+                bytes_written: decoded[10][i],
+                total_response: decoded[11][i],
+            })
+        })
+        .collect()
+}
+
+/// One record yielded by a [`SpillReader`]: the stream interleaves the two
+/// kinds at frame granularity, preserving each kind's recording order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpillRecord {
+    /// An executed operation.
+    Op(OpRecord),
+    /// A completed session.
+    Session(SessionRecord),
+}
+
+/// Where a [`SpillReader`] is in its stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReaderState {
+    /// More frames (or the end marker) expected.
+    Streaming,
+    /// The end marker validated; the stream is complete.
+    Finished,
+    /// An error was yielded; the iterator is fused.
+    Failed,
+}
+
+/// Streaming spill-file reader: yields every record frame-by-frame without
+/// ever materializing a [`UsageLog`] — resident memory is one frame.
+///
+/// Iteration yields `io::Result<SpillRecord>`; the first error fuses the
+/// iterator. A stream that ends without its end-of-stream marker, or whose
+/// marker totals disagree with the frames read, yields that error as its
+/// final item — callers that must not act on partial data (everything
+/// except progress displays) should treat any `Err` as invalidating every
+/// record already seen, exactly as [`read_spill`] does by returning `Err`
+/// for the whole file.
+#[derive(Debug)]
+pub struct SpillReader<R: Read> {
+    r: R,
+    codec: SpillCodec,
+    /// When set, only frames with this tag are decoded; the other kind is
+    /// skipped structurally (headers parsed, bodies never decoded).
+    keep: Option<u8>,
+    ops_seen: u64,
+    sessions_seen: u64,
+    pending: std::vec::IntoIter<SpillRecord>,
+    state: ReaderState,
+}
+
+impl SpillReader<BufReader<File>> {
+    /// Opens a spill file for streaming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open failures and header validation errors.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> SpillReader<R> {
+    /// Wraps a reader, validating the format magic immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for an unknown magic, or the underlying read
+    /// error.
+    pub fn new(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        let codec = if &magic == MAGIC_V1 {
+            SpillCodec::Raw
+        } else if &magic == MAGIC_V2 {
+            SpillCodec::Compressed
+        } else {
+            return Err(bad_data(format!("bad spill magic {magic:02x?}")));
+        };
+        Ok(Self {
+            r,
+            codec,
+            keep: None,
+            ops_seen: 0,
+            sessions_seen: 0,
+            pending: Vec::new().into_iter(),
+            state: ReaderState::Streaming,
+        })
+    }
+
+    /// The codec the file was written with (sniffed from the magic).
+    pub fn codec(&self) -> SpillCodec {
+        self.codec
+    }
+
+    /// Restricts iteration to op records. Session frames are *skipped
+    /// structurally* — their headers are parsed (so frame counts still
+    /// reconcile against the end-of-stream marker) but their bodies are
+    /// never decoded or allocated, which halves the work of passes that
+    /// only want one record kind (the sharded k-way merge reads every
+    /// file once per kind). Skipped frames' checksums are not verified;
+    /// a pass that consumes the other kind (or [`read_spill`]) still
+    /// verifies them.
+    pub fn ops_only(mut self) -> Self {
+        self.keep = Some(TAG_OPS);
+        self
+    }
+
+    /// Restricts iteration to session records; op frames are skipped
+    /// structurally (see [`SpillReader::ops_only`]).
+    pub fn sessions_only(mut self) -> Self {
+        self.keep = Some(TAG_SESSIONS);
+        self
+    }
+
+    /// Consumes exactly `n` bytes of the underlying reader without
+    /// decoding them, erroring on a short stream.
+    fn skip_exact(&mut self, n: u64) -> io::Result<()> {
+        let copied = io::copy(&mut self.r.by_ref().take(n), &mut io::sink())?;
+        if copied != n {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "spill stream truncated inside a skipped frame",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Skips one frame body (everything after tag + count) without
+    /// decoding it: fixed-width arithmetic for v1, length-prefix hops for
+    /// v2.
+    fn skip_frame(&mut self, tag: u8, count: usize) -> io::Result<()> {
+        match self.codec {
+            SpillCodec::Raw => {
+                // Bytes per record = the sum of the fixed v1 column widths.
+                let row: u64 = if tag == TAG_OPS {
+                    6 * 8 + 4 + 2 // six u64s, one u32, two u8s
+                } else {
+                    11 * 8 + 4 // eleven u64s, one u32
+                };
+                self.skip_exact(row * count as u64)
+            }
+            SpillCodec::Compressed => {
+                self.skip_exact(4)?; // the frame CRC
+                let columns = if tag == TAG_OPS {
+                    OP_LAYOUT.len()
+                } else {
+                    SESSION_LAYOUT.len()
+                };
+                for _ in 0..columns {
+                    let mut len_raw = [0u8; 4];
+                    self.r.read_exact(&mut len_raw)?;
+                    let len = u32::from_le_bytes(len_raw) as u64;
+                    // Same bound as the decoding path: a corrupt length
+                    // must not skip an unbounded distance into the stream.
+                    if len > (count * (1 + MAX_VARINT)) as u64 + 1 {
+                        return Err(bad_data(format!(
+                            "column length {len} exceeds the bound while skipping"
+                        )));
+                    }
+                    self.skip_exact(len)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Decodes frames until a record is available, the validated end of the
+    /// stream, or an error.
+    fn next_record(&mut self) -> io::Result<Option<SpillRecord>> {
+        loop {
+            if let Some(record) = self.pending.next() {
+                return Ok(Some(record));
+            }
+            if self.state == ReaderState::Finished {
+                return Ok(None);
+            }
+            let mut tag = [0u8; 1];
+            match self.r.read_exact(&mut tag) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                    return Err(bad_data(
+                        "spill stream ends without its end-of-stream marker: \
+                         the writing run did not finish, so the log is incomplete"
+                            .into(),
+                    ));
+                }
+                Err(e) => return Err(e),
+            }
+            if tag[0] == TAG_END {
+                let mut totals = [0u8; 16];
+                self.r.read_exact(&mut totals)?;
+                let ops_total = u64::from_le_bytes(totals[..8].try_into().expect("8 bytes"));
+                let sessions_total = u64::from_le_bytes(totals[8..].try_into().expect("8 bytes"));
+                if ops_total != self.ops_seen || sessions_total != self.sessions_seen {
+                    return Err(bad_data(format!(
+                        "end marker promises {ops_total} ops / {sessions_total} sessions, \
+                         stream held {} / {}",
+                        self.ops_seen, self.sessions_seen
+                    )));
+                }
+                self.state = ReaderState::Finished;
+                return Ok(None);
+            }
+            let mut count_raw = [0u8; 4];
+            self.r.read_exact(&mut count_raw)?;
+            let count = u32::from_le_bytes(count_raw) as usize;
+            // The writer never emits more than FRAME_CAP records per frame,
+            // so a larger count is corruption — reject it before the
+            // per-column allocations turn a flipped bit into an OOM.
+            if count > FRAME_CAP {
+                return Err(bad_data(format!(
+                    "frame count {count} exceeds the format maximum {FRAME_CAP}"
+                )));
+            }
+            let tag = match tag[0] {
+                TAG_OPS | TAG_SESSIONS => tag[0],
+                other => return Err(bad_data(format!("unknown frame tag {other}"))),
+            };
+            // Record the frame's count whether decoded or skipped, so the
+            // end-of-stream totals always reconcile.
+            if tag == TAG_OPS {
+                self.ops_seen += count as u64;
+            } else {
+                self.sessions_seen += count as u64;
+            }
+            if self.keep.is_some_and(|k| k != tag) {
+                self.skip_frame(tag, count)?;
+                continue;
+            }
+            let records: Vec<SpillRecord> = match (tag, self.codec) {
+                (TAG_OPS, SpillCodec::Raw) => read_op_frame_v1(&mut self.r, count)?
+                    .into_iter()
+                    .map(SpillRecord::Op)
+                    .collect(),
+                (TAG_OPS, SpillCodec::Compressed) => read_op_frame_v2(&mut self.r, count)?
+                    .into_iter()
+                    .map(SpillRecord::Op)
+                    .collect(),
+                (_, SpillCodec::Raw) => read_session_frame_v1(&mut self.r, count)?
+                    .into_iter()
+                    .map(SpillRecord::Session)
+                    .collect(),
+                (_, SpillCodec::Compressed) => read_session_frame_v2(&mut self.r, count)?
+                    .into_iter()
+                    .map(SpillRecord::Session)
+                    .collect(),
+            };
+            self.pending = records.into_iter();
+        }
+    }
+}
+
+impl<R: Read> Iterator for SpillReader<R> {
+    type Item = io::Result<SpillRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.state == ReaderState::Failed {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => None,
+            Err(e) => {
+                self.state = ReaderState::Failed;
+                Some(Err(e))
+            }
+        }
+    }
 }
 
 /// Reads a spill stream back into the [`UsageLog`] the run would have
 /// materialized in memory: op and session records reappear in their
-/// original recording order.
+/// original recording order. Both formats (v1 raw and v2 compressed) are
+/// accepted; the magic selects the decoder.
 ///
 /// # Errors
 ///
 /// Returns I/O errors from the reader, or `InvalidData` for a bad magic,
-/// an unknown frame tag, an unknown op/category code, a missing
-/// end-of-stream marker (the writer died before [`SpillSink::finish`] —
-/// the log would be silently incomplete), or marker counts that disagree
-/// with the frames actually read.
-pub fn read_spill<R: Read>(mut r: R) -> io::Result<UsageLog> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(bad_data(format!("bad spill magic {magic:02x?}")));
-    }
+/// an unknown frame tag, an unknown op/category code, a frame checksum
+/// mismatch (v2), a missing end-of-stream marker (the writer died before
+/// [`SpillSink::finish`] — the log would be silently incomplete), or
+/// marker counts that disagree with the frames actually read.
+pub fn read_spill<R: Read>(r: R) -> io::Result<UsageLog> {
     let mut log = UsageLog::new();
-    let mut sealed = false;
-    loop {
-        let mut tag = [0u8; 1];
-        match r.read_exact(&mut tag) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(e),
+    for record in SpillReader::new(r)? {
+        match record? {
+            SpillRecord::Op(op) => log.push_op(op),
+            SpillRecord::Session(s) => log.push_session(s),
         }
-        if tag[0] == TAG_END {
-            let mut totals = [0u8; 16];
-            r.read_exact(&mut totals)?;
-            let ops_total = u64::from_le_bytes(totals[..8].try_into().expect("8 bytes"));
-            let sessions_total = u64::from_le_bytes(totals[8..].try_into().expect("8 bytes"));
-            if ops_total != log.ops().len() as u64 || sessions_total != log.sessions().len() as u64
-            {
-                return Err(bad_data(format!(
-                    "end marker promises {ops_total} ops / {sessions_total} sessions, \
-                     stream held {} / {}",
-                    log.ops().len(),
-                    log.sessions().len()
-                )));
-            }
-            sealed = true;
-            break;
-        }
-        let mut count_raw = [0u8; 4];
-        r.read_exact(&mut count_raw)?;
-        let count = u32::from_le_bytes(count_raw) as usize;
-        // The writer never emits more than FRAME_CAP records per frame, so
-        // a larger count is corruption — reject it before the per-column
-        // `vec![0; count * 8]` allocations turn a flipped bit into an OOM.
-        if count > FRAME_CAP {
-            return Err(bad_data(format!(
-                "frame count {count} exceeds the format maximum {FRAME_CAP}"
-            )));
-        }
-        match tag[0] {
-            TAG_OPS => read_op_frame(&mut r, count, &mut log)?,
-            TAG_SESSIONS => read_session_frame(&mut r, count, &mut log)?,
-            other => return Err(bad_data(format!("unknown frame tag {other}"))),
-        }
-    }
-    if !sealed {
-        return Err(bad_data(
-            "spill stream ends without its end-of-stream marker: \
-             the writing run did not finish, so the log is incomplete"
-                .into(),
-        ));
     }
     Ok(log)
 }
@@ -525,12 +1200,76 @@ mod tests {
     }
 
     #[test]
-    fn round_trips_multiple_frames() {
-        // 3 × FRAME_CAP ops forces mid-run frame flushes; interleaved
-        // session records verify per-kind order is preserved.
-        let mut sink = SpillSink::new(Vec::new()).unwrap();
+    fn varint_and_zigzag_round_trip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(take_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        for d in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+        // A truncated varint errors instead of panicking.
+        assert!(take_varint(&[0x80], &mut 0).is_err());
+        // An 11-byte encoding overflows u64.
+        let over = [0xFFu8; 10];
+        assert!(take_varint(&over, &mut 0).is_err());
+    }
+
+    #[test]
+    fn delta_column_round_trips_extremes() {
+        let values = [0u64, u64::MAX, 1, u64::MAX / 2, 0, 3, 3, 3];
+        let mut body = Vec::new();
+        push_delta_col(&mut body, values.iter().copied());
+        let len = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, body.len() - 4);
+        assert_eq!(
+            decode_delta_col(&body[4..], values.len()).unwrap(),
+            values.to_vec()
+        );
+        // Trailing garbage in a column is rejected.
+        let mut padded = body[4..].to_vec();
+        padded.push(0);
+        assert!(decode_delta_col(&padded, values.len()).is_err());
+    }
+
+    #[test]
+    fn u8_column_picks_the_smaller_encoding() {
+        // A long run compresses via RLE…
+        let run = vec![7u8; 100];
+        let mut body = Vec::new();
+        push_u8_col(&mut body, &run);
+        let len = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+        assert!(len < run.len(), "run of 100 should RLE to a few bytes");
+        assert_eq!(decode_u8_col(&body[4..], run.len()).unwrap(), run);
+        // …while an alternating column falls back to the raw bytes.
+        let alt: Vec<u8> = (0..100u8).map(|i| i % 2).collect();
+        let mut body = Vec::new();
+        push_u8_col(&mut body, &alt);
+        let len = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, 1 + alt.len(), "alternating bytes stay raw");
+        assert_eq!(decode_u8_col(&body[4..], alt.len()).unwrap(), alt);
+        // Corrupt RLE runs are rejected: zero-length and overlong.
+        assert!(decode_u8_col(&[1, 7, 0], 3).is_err());
+        assert!(decode_u8_col(&[1, 7, 9], 3).is_err());
+        assert!(decode_u8_col(&[2, 0, 0], 2).is_err());
+    }
+
+    fn write_all(codec: SpillCodec, n_ops: u64) -> (Vec<u8>, UsageLog) {
+        let mut sink = SpillSink::with_codec(Vec::new(), codec).unwrap();
         let mut expected = UsageLog::new();
-        for i in 0..(3 * FRAME_CAP as u64 + 100) {
+        for i in 0..n_ops {
             let op = sample_op(i);
             sink.record_op(&op);
             expected.push_op(op);
@@ -540,12 +1279,108 @@ mod tests {
                 expected.push_session(s);
             }
         }
+        (sink.finish().unwrap(), expected)
+    }
+
+    #[test]
+    fn round_trips_multiple_frames_both_codecs() {
+        // 3 × FRAME_CAP ops forces mid-run frame flushes; interleaved
+        // session records verify per-kind order is preserved.
+        for codec in [SpillCodec::Raw, SpillCodec::Compressed] {
+            let (bytes, expected) = write_all(codec, 3 * FRAME_CAP as u64 + 100);
+            let back = read_spill(bytes.as_slice()).unwrap();
+            assert_eq!(back.ops().len(), expected.ops().len());
+            assert_eq!(back.sessions().len(), expected.sessions().len());
+            // Byte-identical serialized form: the reconstruction is
+            // lossless under either codec.
+            assert_eq!(back.to_json().unwrap(), expected.to_json().unwrap());
+        }
+    }
+
+    #[test]
+    fn compressed_files_are_measurably_smaller() {
+        let (raw, _) = write_all(SpillCodec::Raw, 2 * FRAME_CAP as u64);
+        let (compressed, _) = write_all(SpillCodec::Compressed, 2 * FRAME_CAP as u64);
+        assert!(
+            (compressed.len() as f64) < 0.7 * raw.len() as f64,
+            "compressed {} vs raw {}",
+            compressed.len(),
+            raw.len()
+        );
+    }
+
+    #[test]
+    fn v1_format_is_frozen_byte_for_byte() {
+        // The raw codec must keep writing exactly the historical v1 layout,
+        // so files from earlier releases and files from `SpillCodec::Raw`
+        // are the same format. Reconstruct the expected bytes from the
+        // documented layout by hand and compare.
+        let ops = [sample_op(1), sample_op(2)];
+        let session = sample_session(5);
+        let mut sink = SpillSink::with_codec(Vec::new(), SpillCodec::Raw).unwrap();
+        for op in &ops {
+            sink.record_op(op);
+        }
+        sink.record_session(&session);
         let bytes = sink.finish().unwrap();
+
+        let mut expected = MAGIC_V1.to_vec();
+        expected.push(TAG_OPS);
+        expected.extend_from_slice(&2u32.to_le_bytes());
+        for o in &ops {
+            expected.extend_from_slice(&o.at.to_le_bytes());
+        }
+        for o in &ops {
+            expected.extend_from_slice(&(o.user as u64).to_le_bytes());
+        }
+        for o in &ops {
+            expected.extend_from_slice(&o.session.to_le_bytes());
+        }
+        for o in &ops {
+            expected.push(encode_op(o.op));
+        }
+        for o in &ops {
+            expected.extend_from_slice(&o.ino.to_le_bytes());
+        }
+        for o in &ops {
+            expected.extend_from_slice(&o.bytes.to_le_bytes());
+        }
+        for o in &ops {
+            expected.extend_from_slice(&o.file_size.to_le_bytes());
+        }
+        for o in &ops {
+            expected.extend_from_slice(&o.response.to_le_bytes());
+        }
+        for o in &ops {
+            expected.push(encode_category(o.category));
+        }
+        expected.push(TAG_SESSIONS);
+        expected.extend_from_slice(&1u32.to_le_bytes());
+        for v in [session.user as u64, session.user_type as u64] {
+            expected.extend_from_slice(&v.to_le_bytes());
+        }
+        expected.extend_from_slice(&session.session.to_le_bytes());
+        for v in [
+            session.start,
+            session.end,
+            session.ops,
+            session.files_referenced,
+            session.file_bytes_referenced,
+            session.bytes_accessed,
+            session.bytes_read,
+            session.bytes_written,
+            session.total_response,
+        ] {
+            expected.extend_from_slice(&v.to_le_bytes());
+        }
+        expected.push(TAG_END);
+        expected.extend_from_slice(&2u64.to_le_bytes());
+        expected.extend_from_slice(&1u64.to_le_bytes());
+        assert_eq!(bytes, expected, "v1 byte layout must stay frozen");
+        // And it reads back losslessly.
         let back = read_spill(bytes.as_slice()).unwrap();
-        assert_eq!(back.ops().len(), expected.ops().len());
-        assert_eq!(back.sessions().len(), expected.sessions().len());
-        // Byte-identical serialized form: the reconstruction is lossless.
-        assert_eq!(back.to_json().unwrap(), expected.to_json().unwrap());
+        assert_eq!(back.ops().len(), 2);
+        assert_eq!(back.sessions().len(), 1);
     }
 
     #[test]
@@ -553,8 +1388,8 @@ mod tests {
         let sink = SpillSink::new(Vec::new()).unwrap();
         let bytes = sink.finish().unwrap();
         // Header plus the sealed end marker (tag + two u64 totals).
-        assert_eq!(bytes.len(), MAGIC.len() + 1 + 16);
-        assert_eq!(&bytes[..8], MAGIC);
+        assert_eq!(bytes.len(), MAGIC_V2.len() + 1 + 16);
+        assert_eq!(&bytes[..8], MAGIC_V2);
         let back = read_spill(bytes.as_slice()).unwrap();
         assert!(back.ops().is_empty());
         assert!(back.sessions().is_empty());
@@ -585,30 +1420,149 @@ mod tests {
     #[test]
     fn rejects_bad_magic_and_tag() {
         assert!(read_spill(&b"NOTSPILL"[..]).is_err());
-        let mut raw = MAGIC.to_vec();
-        raw.extend_from_slice(&[9, 0, 0, 0, 0]); // unknown tag 9, count 0
-        assert!(read_spill(raw.as_slice()).is_err());
+        for magic in [MAGIC_V1, MAGIC_V2] {
+            let mut raw = magic.to_vec();
+            raw.extend_from_slice(&[9, 0, 0, 0, 0]); // unknown tag 9, count 0
+            assert!(read_spill(raw.as_slice()).is_err());
+        }
     }
 
     #[test]
     fn rejects_oversized_frame_count() {
         // A corrupt count must fail as InvalidData *before* the reader
         // tries to allocate column buffers for it.
-        let mut raw = MAGIC.to_vec();
-        raw.push(TAG_OPS);
-        raw.extend_from_slice(&u32::MAX.to_le_bytes());
-        let err = read_spill(raw.as_slice()).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-        assert!(err.to_string().contains("frame count"), "{err}");
+        for magic in [MAGIC_V1, MAGIC_V2] {
+            let mut raw = magic.to_vec();
+            raw.push(TAG_OPS);
+            raw.extend_from_slice(&u32::MAX.to_le_bytes());
+            let err = read_spill(raw.as_slice()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            assert!(err.to_string().contains("frame count"), "{err}");
+        }
     }
 
     #[test]
     fn truncated_stream_errors() {
-        let mut sink = SpillSink::new(Vec::new()).unwrap();
-        sink.record_op(&sample_op(1));
-        let bytes = sink.finish().unwrap();
-        // Drop the last byte: the final column comes up short.
-        assert!(read_spill(&bytes[..bytes.len() - 1]).is_err());
+        for codec in [SpillCodec::Raw, SpillCodec::Compressed] {
+            let mut sink = SpillSink::with_codec(Vec::new(), codec).unwrap();
+            sink.record_op(&sample_op(1));
+            let bytes = sink.finish().unwrap();
+            // Drop the last byte: the final marker comes up short.
+            assert!(read_spill(&bytes[..bytes.len() - 1]).is_err());
+        }
+    }
+
+    #[test]
+    fn v2_detects_every_single_bit_flip() {
+        // CRC32 over tag + count + columns, plus the end-marker totals and
+        // the magic check, cover every byte of a v2 file: any single-bit
+        // corruption must surface as a clean error, never as a silently
+        // different log (and never as a panic).
+        let (bytes, _) = write_all(SpillCodec::Compressed, 64);
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                let err = read_spill(flipped.as_slice());
+                assert!(
+                    err.is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reader_streams_the_same_records_read_spill_collects() {
+        for codec in [SpillCodec::Raw, SpillCodec::Compressed] {
+            let (bytes, expected) = write_all(codec, 300);
+            let mut streamed = UsageLog::new();
+            let mut reader = SpillReader::new(bytes.as_slice()).unwrap();
+            assert_eq!(reader.codec(), codec);
+            for record in &mut reader {
+                match record.unwrap() {
+                    SpillRecord::Op(op) => streamed.push_op(op),
+                    SpillRecord::Session(s) => streamed.push_session(s),
+                }
+            }
+            assert_eq!(streamed.to_json().unwrap(), expected.to_json().unwrap());
+            // Exhausted readers stay exhausted.
+            assert!(reader.next().is_none());
+        }
+    }
+
+    #[test]
+    fn filtered_readers_skip_without_decoding() {
+        for codec in [SpillCodec::Raw, SpillCodec::Compressed] {
+            // Tiny frames force many skips of each kind, interleaved.
+            let mut sink = SpillSink::with_options(Vec::new(), codec, 3).unwrap();
+            let mut expected = UsageLog::new();
+            for i in 0..25 {
+                let op = sample_op(i);
+                sink.record_op(&op);
+                expected.push_op(op);
+                let s = sample_session(i);
+                sink.record_session(&s);
+                expected.push_session(s);
+            }
+            let bytes = sink.finish().unwrap();
+            let ops: Vec<OpRecord> = SpillReader::new(bytes.as_slice())
+                .unwrap()
+                .ops_only()
+                .map(|r| match r.unwrap() {
+                    SpillRecord::Op(op) => op,
+                    SpillRecord::Session(_) => panic!("sessions were filtered out"),
+                })
+                .collect();
+            assert_eq!(ops, expected.ops(), "{codec:?}");
+            let sessions: Vec<SessionRecord> = SpillReader::new(bytes.as_slice())
+                .unwrap()
+                .sessions_only()
+                .map(|r| match r.unwrap() {
+                    SpillRecord::Session(s) => s,
+                    SpillRecord::Op(_) => panic!("ops were filtered out"),
+                })
+                .collect();
+            assert_eq!(sessions, expected.sessions(), "{codec:?}");
+            // Truncation inside a *skipped* frame still errors cleanly.
+            let cut = &bytes[..bytes.len() / 2];
+            let results: Vec<_> = SpillReader::new(cut).unwrap().ops_only().collect();
+            assert!(results.last().is_some_and(Result::is_err));
+        }
+    }
+
+    #[test]
+    fn reader_fuses_after_an_error() {
+        let (bytes, _) = write_all(SpillCodec::Compressed, 10);
+        let truncated = &bytes[..bytes.len() - 5];
+        let mut reader = SpillReader::new(truncated).unwrap();
+        let mut errors = 0;
+        for record in &mut reader {
+            if record.is_err() {
+                errors += 1;
+            }
+        }
+        assert_eq!(errors, 1, "exactly one terminal error");
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn tiny_frame_caps_cross_many_boundaries() {
+        for codec in [SpillCodec::Raw, SpillCodec::Compressed] {
+            let mut sink = SpillSink::with_options(Vec::new(), codec, 3).unwrap();
+            let mut expected = UsageLog::new();
+            for i in 0..20 {
+                let op = sample_op(i);
+                sink.record_op(&op);
+                expected.push_op(op);
+                let s = sample_session(i);
+                sink.record_session(&s);
+                expected.push_session(s);
+            }
+            let bytes = sink.finish().unwrap();
+            let back = read_spill(bytes.as_slice()).unwrap();
+            assert_eq!(back.to_json().unwrap(), expected.to_json().unwrap());
+        }
     }
 
     /// A writer that fails after `n` bytes, to exercise deferred errors.
@@ -631,10 +1585,12 @@ mod tests {
 
     #[test]
     fn write_errors_surface_at_finish() {
-        let mut sink = SpillSink::new(FailAfter { left: 64 }).unwrap();
-        for i in 0..(FRAME_CAP as u64 + 1) {
-            sink.record_op(&sample_op(i)); // mid-run flush hits the fault
+        for codec in [SpillCodec::Raw, SpillCodec::Compressed] {
+            let mut sink = SpillSink::with_codec(FailAfter { left: 64 }, codec).unwrap();
+            for i in 0..(FRAME_CAP as u64 + 1) {
+                sink.record_op(&sample_op(i)); // mid-run flush hits the fault
+            }
+            assert!(sink.finish().is_err());
         }
-        assert!(sink.finish().is_err());
     }
 }
