@@ -176,6 +176,13 @@ pub struct StreamLogStats {
     pub total_response_us: u64,
     /// Bytes moved by data operations.
     pub data_bytes: u64,
+    /// Retried attempts summed over all operations (fault injection;
+    /// 0 for fault-free logs, including every pre-fault spill file).
+    pub retries: u64,
+    /// Operations that exhausted their retry budget and were aborted.
+    pub aborted_ops: u64,
+    /// Bytes moved by aborted data operations.
+    pub aborted_bytes: u64,
     /// Per-kind accumulators, indexed by position in [`OpKind::ALL`].
     per_kind: [KindAcc; OpKind::ALL.len()],
     data_access_size: StreamingSummary,
@@ -229,12 +236,34 @@ impl StreamLogStats {
     pub fn user_types(&self) -> &BTreeMap<usize, UserTypeStream> {
         &self.by_user_type
     }
+
+    /// Fraction of operations that aborted (0 for fault-free logs).
+    pub fn abort_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.aborted_ops as f64 / self.ops as f64
+        }
+    }
+
+    /// Bytes moved by data operations that completed without aborting:
+    /// goodput, against `data_bytes` as offered load.
+    pub fn goodput_bytes(&self) -> u64 {
+        self.data_bytes - self.aborted_bytes
+    }
 }
 
 impl LogSink for StreamLogStats {
     fn record_op(&mut self, op: &OpRecord) {
         self.ops += 1;
         self.total_response_us += op.response;
+        self.retries += u64::from(op.retries);
+        if op.aborted {
+            self.aborted_ops += 1;
+            if op.op.is_data() && op.bytes > 0 {
+                self.aborted_bytes += op.bytes;
+            }
+        }
         let pos = OpKind::ALL
             .iter()
             .position(|&k| k == op.op)
@@ -363,6 +392,8 @@ mod tests {
             file_size: 1000,
             response,
             category: FileCategory::REG_USER_RDONLY,
+            retries: 0,
+            aborted: false,
         }
     }
 
@@ -512,6 +543,34 @@ mod tests {
         assert_eq!(types[&1].sessions, 1);
         assert!((types[&1].response_per_byte() - 70.0 / 600.0).abs() < 1e-12);
         assert_eq!(UserTypeStream::default().response_per_byte(), 0.0);
+    }
+
+    #[test]
+    fn stream_stats_fold_fault_outcomes() {
+        let mut stream = StreamLogStats::new();
+        stream.record_op(&op(OpKind::Read, 100, 10)); // clean
+        stream.record_op(&OpRecord {
+            retries: 2,
+            ..op(OpKind::Read, 200, 50)
+        });
+        stream.record_op(&OpRecord {
+            retries: 3,
+            aborted: true,
+            ..op(OpKind::Write, 400, 90)
+        });
+        stream.record_op(&OpRecord {
+            aborted: true,
+            ..op(OpKind::Open, 0, 5) // aborted metadata call moves no bytes
+        });
+        assert_eq!(stream.retries, 5);
+        assert_eq!(stream.aborted_ops, 2);
+        assert_eq!(stream.aborted_bytes, 400);
+        assert!((stream.abort_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stream.goodput_bytes(), 300);
+        // A fault-free stream reports zeros.
+        let clean = StreamLogStats::new();
+        assert_eq!(clean.abort_rate(), 0.0);
+        assert_eq!(clean.goodput_bytes(), 0);
     }
 
     #[test]

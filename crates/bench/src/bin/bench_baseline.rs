@@ -1,5 +1,5 @@
 //! Perf-baseline snapshot: measures the hot paths this repo's performance
-//! work targets and writes a machine-readable `BENCH_*.json` (schema 5).
+//! work targets and writes a machine-readable `BENCH_*.json` (schema 6).
 //!
 //! Measurements:
 //!
@@ -32,7 +32,13 @@
 //!    full-fidelity `--spill`-style run at 1/2/4 shards through the
 //!    streamed k-way merge: the acceptance bar is a *flat* profile in K
 //!    (no per-shard logs materialized), with the K = 1 output asserted
-//!    record-identical to the unsharded spill.
+//!    record-identical to the unsharded spill;
+//! 10. **Fault injection** (schema 6) — the same NFS run clean vs under a
+//!     heavy `FaultSpec` (transient faults + latency spikes + retries):
+//!     wall-clock overhead of the fault path, plus the retry/abort tallies
+//!     and the goodput fraction the faulted run reports. The clean run is
+//!     additionally asserted to carry zero fault outcomes, pinning the
+//!     "default spec is fault-free" contract into the committed snapshot.
 //!
 //! Usage: `cargo run --release -p uswg-bench --bin bench_baseline [out.json]`
 //! (default output `BENCH_baseline.json` in the current directory). CI runs
@@ -238,6 +244,35 @@ struct ShardSpillMemory {
 }
 
 #[derive(Debug, Serialize)]
+struct FaultBench {
+    users: usize,
+    sessions_per_user: u32,
+    /// Per-attempt transient-fault probability of the faulted run, ppm.
+    fault_ppm: u32,
+    /// Per-op latency-spike probability of the faulted run, ppm.
+    spike_ppm: u32,
+    /// Attempt budget per op (first try + retries).
+    max_attempts: u32,
+    /// Wall-clock of the run with the default (disabled) `FaultSpec`.
+    clean_ms: f64,
+    /// Wall-clock of the same run under the fault spec above.
+    faulted_ms: f64,
+    /// `faulted_ms / clean_ms` — what the fault machinery costs when it
+    /// actually fires (the disabled path is the byte-identity contract,
+    /// so its overhead is pinned at zero by test, not measured here).
+    overhead: f64,
+    /// Retries the faulted run performed.
+    retries: u64,
+    /// Ops that exhausted their attempt budget.
+    aborted_ops: u64,
+    abort_rate: f64,
+    /// Data bytes successfully moved (aborted ops excluded).
+    goodput_bytes: u64,
+    /// Data bytes the op stream asked for.
+    data_bytes: u64,
+}
+
+#[derive(Debug, Serialize)]
 struct Baseline {
     schema: u32,
     sampling: Vec<SamplingPoint>,
@@ -249,6 +284,7 @@ struct Baseline {
     shard: ShardScaling,
     spill: SpillCodecBench,
     shard_spill: ShardSpillMemory,
+    faults: FaultBench,
 }
 
 /// Times `f` over enough iterations to fill ~200 ms; returns ns/iter.
@@ -669,6 +705,65 @@ fn measure_shard_spill_memory() -> ShardSpillMemory {
     }
 }
 
+/// Measures the fault-injection path on the NFS preset: the same spec run
+/// clean (default `FaultSpec`, asserted to produce zero fault outcomes)
+/// and under a heavy fault spec (asserted to produce nonzero retries), so
+/// the snapshot records both what faults cost and that the disabled path
+/// stays fault-free.
+fn measure_faults() -> FaultBench {
+    use uswg_core::{FaultSpec, RetryPolicy};
+    let spec = bench_spec(6, 4);
+    let model = ModelConfig::default_nfs();
+    let fault_spec = FaultSpec {
+        fault_ppm: 100_000,
+        spike_ppm: 50_000,
+        spike_micros: 2_000,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff_micros: 200,
+            max_backoff_micros: 3_200,
+        },
+    };
+    let mut faulted = spec.clone();
+    faulted.run = faulted.run.with_faults(fault_spec);
+
+    let clean_warm = spec.run_des_summary(&model).expect("runs").0;
+    assert_eq!(
+        (clean_warm.retries, clean_warm.aborted_ops),
+        (0, 0),
+        "the default FaultSpec must produce zero fault outcomes"
+    );
+    let faulted_warm = faulted.run_des_summary(&model).expect("runs").0;
+    assert!(
+        faulted_warm.retries > 0,
+        "a 10% per-attempt fault rate must retry"
+    );
+
+    let clean_ms = best_ms(|| {
+        let (sink, _) = spec.run_des_summary(&model).expect("runs");
+        assert_eq!(sink, clean_warm, "clean runs must be deterministic");
+    });
+    let faulted_ms = best_ms(|| {
+        let (sink, _) = faulted.run_des_summary(&model).expect("runs");
+        assert_eq!(sink, faulted_warm, "faulted runs must be deterministic");
+    });
+    FaultBench {
+        users: spec.run.n_users,
+        sessions_per_user: spec.run.sessions_per_user,
+        fault_ppm: fault_spec.fault_ppm,
+        spike_ppm: fault_spec.spike_ppm,
+        max_attempts: fault_spec.retry.max_attempts,
+        clean_ms,
+        faulted_ms,
+        overhead: faulted_ms / clean_ms,
+        retries: faulted_warm.retries,
+        aborted_ops: faulted_warm.aborted_ops,
+        abort_rate: faulted_warm.abort_rate(),
+        goodput_bytes: faulted_warm.goodput_bytes(),
+        data_bytes: faulted_warm.data_bytes,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -690,9 +785,11 @@ fn main() {
     let spill = measure_spill_codec();
     eprintln!("measuring sharded spill memory...");
     let shard_spill = measure_shard_spill_memory();
+    eprintln!("measuring fault-injection overhead...");
+    let faults = measure_faults();
 
     let baseline = Baseline {
-        schema: 5,
+        schema: 6,
         sampling,
         des,
         scheduler,
@@ -702,6 +799,7 @@ fn main() {
         shard,
         spill,
         shard_spill,
+        faults,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializes");
     std::fs::write(&out_path, &json).expect("snapshot written");

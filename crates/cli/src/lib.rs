@@ -20,6 +20,9 @@
 //!   default;
 //! * `uswg replicate <spec.json> --model M --seeds …` — rerun the same
 //!   workload under independent seeds and report the 95% CI;
+//! * `uswg drive <spec.json> --model M` — generate the workload, then
+//!   replay it open-loop against a live in-process target in scaled wall
+//!   time (bounded queue, shed-oldest, deadlines, retries);
 //! * `uswg tables` — print the built-in Table 5.1/5.2/5.4 presets.
 
 #![warn(missing_docs)]
@@ -27,6 +30,7 @@
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 use uswg_core::experiment::{
     access_size_sweep_with, mix_sweep_with, run_des_replicated, user_sweep_with, ModelConfig,
     Parallelism, SweepMode, SweepPoint,
@@ -113,6 +117,30 @@ pub enum Command {
         json: bool,
         /// Include the per-user-type session breakdown.
         by_type: bool,
+        /// Accept a *truncated* file and report over the intact prefix
+        /// (with a warning and exit status 3). Corrupt frames still fail
+        /// closed — salvage trusts checksummed frames only.
+        salvage: bool,
+    },
+    /// `drive <path>`: generate the workload, then replay it open-loop
+    /// against the in-process loopback target in scaled wall time.
+    Drive {
+        /// Path of the JSON spec.
+        path: String,
+        /// Timing model that generates the replayed log.
+        model: ModelConfig,
+        /// Wall-time compression factor (simulated µs per wall µs).
+        speedup: f64,
+        /// Maximum concurrently executing operations.
+        max_in_flight: usize,
+        /// Bounded pacer→worker queue capacity (shed-oldest when full).
+        queue_cap: usize,
+        /// Per-op deadline in wall µs from scheduled arrival (0 = none).
+        deadline_micros: u64,
+        /// Loopback target service time per op, µs (the capacity knob).
+        service_micros: u64,
+        /// Loopback transient-failure rate, parts per million.
+        fail_ppm: u32,
     },
     /// `tables`: print the paper presets.
     Tables,
@@ -173,6 +201,8 @@ pub enum CliError {
     Core(CoreError),
     /// Distribution-engine error.
     Distr(DistrError),
+    /// Live-driver error.
+    Drive(uswg_drive::DriveError),
 }
 
 impl std::fmt::Display for CliError {
@@ -182,6 +212,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Core(e) => write!(f, "{e}"),
             CliError::Distr(e) => write!(f, "{e}"),
+            CliError::Drive(e) => write!(f, "{e}"),
         }
     }
 }
@@ -201,6 +232,11 @@ impl From<CoreError> for CliError {
 impl From<DistrError> for CliError {
     fn from(e: DistrError) -> Self {
         CliError::Distr(e)
+    }
+}
+impl From<uswg_drive::DriveError> for CliError {
+    fn from(e: uswg_drive::DriveError) -> Self {
+        CliError::Drive(e)
     }
 }
 
@@ -238,6 +274,20 @@ USAGE:
       --seeds 1,2,3    explicit seed list
       --replicates <N> N seeds counting up from the spec's seed (default 5)
       --mode/--jobs/--scheduler/--shards  as for sweep
+  uswg drive <spec.json> --model <M> [OPTIONS]
+                                        generate the workload, then replay it
+                                        open-loop against the in-process
+                                        loopback target in scaled wall time
+      --speedup <X>    wall-time compression (simulated µs per wall µs,
+                       default 1: real time)
+      --max-in-flight <N>  concurrent-operation cap / worker count (default 4)
+      --queue-cap <N>  bounded arrival queue; oldest waiting op is shed when
+                       full, so memory never grows with the backlog
+                       (default 1024)
+      --deadline-us <D>  per-op deadline from scheduled arrival (0 = none)
+      --service-us <S> loopback service time per op — the capacity knob
+      --fail-ppm <P>   loopback transient-failure rate (per million); failed
+                       attempts retry under the spec's fault retry policy
   uswg fit <data.txt> --family <F>      fit a family to one-number-per-line data
       <F> = exp | phase:<K> | gamma:<K>
   uswg analyze <run.bin> [OPTIONS]      analyze a spill file (written by
@@ -246,6 +296,9 @@ USAGE:
                                         response summaries
       --json           machine-readable JSON report instead of tables
       --by-type        add the per-user-type session breakdown
+      --salvage        accept a truncated file: report over the intact
+                       prefix with a warning, exit status 3 (corrupt
+                       frames still fail closed, exit status 2)
   uswg tables                           print the Table 5.1/5.2/5.4 presets
   uswg help                             this message
 ";
@@ -485,10 +538,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 .clone();
             let mut json = false;
             let mut by_type = false;
+            let mut salvage = false;
             for flag in &args[2..] {
                 match flag.as_str() {
                     "--json" => json = true,
                     "--by-type" => by_type = true,
+                    "--salvage" => salvage = true,
                     other => {
                         return Err(CliError::Usage(format!("unknown flag `{other}`")));
                     }
@@ -498,6 +553,75 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 path,
                 json,
                 by_type,
+                salvage,
+            })
+        }
+        "drive" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("drive needs a spec file".into()))?
+                .clone();
+            let mut model = None;
+            let mut speedup = 1.0f64;
+            let mut max_in_flight = 4usize;
+            let mut queue_cap = 1024usize;
+            let mut deadline_micros = 0u64;
+            let mut service_micros = 0u64;
+            let mut fail_ppm = 0u32;
+            fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
+                value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad {flag} value `{value}`")))
+            }
+            for (flag, value) in FlagPairs::over(&args[2..]) {
+                let value = value?;
+                match flag {
+                    "--model" => model = Some(parse_model(value)?),
+                    "--speedup" => {
+                        speedup = parse_num(flag, value)?;
+                        if !(speedup > 0.0 && f64::is_finite(speedup)) {
+                            return Err(CliError::Usage(
+                                "--speedup must be finite and positive".into(),
+                            ));
+                        }
+                    }
+                    "--max-in-flight" => {
+                        max_in_flight = parse_num(flag, value)?;
+                        if max_in_flight == 0 {
+                            return Err(CliError::Usage(
+                                "--max-in-flight must be at least 1".into(),
+                            ));
+                        }
+                    }
+                    "--queue-cap" => {
+                        queue_cap = parse_num(flag, value)?;
+                        if queue_cap == 0 {
+                            return Err(CliError::Usage("--queue-cap must be at least 1".into()));
+                        }
+                    }
+                    "--deadline-us" => deadline_micros = parse_num(flag, value)?,
+                    "--service-us" => service_micros = parse_num(flag, value)?,
+                    "--fail-ppm" => {
+                        fail_ppm = parse_num(flag, value)?;
+                        if fail_ppm > 1_000_000 {
+                            return Err(CliError::Usage(
+                                "--fail-ppm is a parts-per-million rate (0..=1000000)".into(),
+                            ));
+                        }
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            let model = model.ok_or_else(|| CliError::Usage("drive requires --model".into()))?;
+            Ok(Command::Drive {
+                path,
+                model,
+                speedup,
+                max_in_flight,
+                queue_cap,
+                deadline_micros,
+                service_micros,
+                fail_ppm,
             })
         }
         "run" => {
@@ -679,19 +803,43 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     }
 }
 
+/// Exit status of a successful command (everything is fine).
+pub const EXIT_OK: i32 = 0;
+/// Exit status of `analyze --salvage` over a truncated file: the report
+/// covers the intact prefix only. (Hard failures exit 2 via `main`.)
+pub const EXIT_SALVAGED: i32 = 3;
+
 /// Executes a parsed command, returning the text to print.
 ///
 /// # Errors
 ///
 /// Propagates I/O, parsing and simulation errors.
 pub fn execute(command: Command) -> Result<String, CliError> {
+    execute_with_status(command).map(|(text, _)| text)
+}
+
+/// Executes a parsed command, returning the text to print and the exit
+/// status (`EXIT_OK`, or `EXIT_SALVAGED` for a salvaged analysis).
+///
+/// # Errors
+///
+/// Propagates I/O, parsing and simulation errors.
+pub fn execute_with_status(command: Command) -> Result<(String, i32), CliError> {
+    run_command(command)
+}
+
+fn ok(text: String) -> Result<(String, i32), CliError> {
+    Ok((text, EXIT_OK))
+}
+
+fn run_command(command: Command) -> Result<(String, i32), CliError> {
     match command {
-        Command::Help => Ok(USAGE.to_string()),
-        Command::Tables => Ok(render_tables()),
+        Command::Help => ok(USAGE.to_string()),
+        Command::Tables => ok(render_tables()),
         Command::Init { path } => {
             let spec = WorkloadSpec::paper_default()?;
             std::fs::write(&path, spec.to_json()?)?;
-            Ok(format!(
+            ok(format!(
                 "wrote the paper-default workload spec to {path}\n\
                  edit it, then: uswg run {path} --model nfs\n"
             ))
@@ -753,7 +901,7 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                     std::fs::write(&out_path, log.to_json().map_err(CoreError::from)?)?;
                     let _ = writeln!(text, "usage log written to {out_path}");
                 }
-                return Ok(text);
+                return ok(text);
             }
             let (log, header) = match &model {
                 Some(m) => {
@@ -775,7 +923,7 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                 std::fs::write(&out_path, log.to_json().map_err(CoreError::from)?)?;
                 let _ = writeln!(text, "usage log written to {out_path}");
             }
-            Ok(text)
+            ok(text)
         }
         Command::Sweep {
             path,
@@ -793,6 +941,11 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             if let Some(k) = shards {
                 spec.run.shards = Some(k);
             }
+            let (jobs, clamp_note) = clamp_jobs_for_shards(
+                jobs,
+                spec.run.effective_shards().map_or(1, NonZeroUsize::get),
+                host_cores(),
+            );
             let parallelism = parallelism_from_jobs(jobs)?;
             let (x_label, points) = match &axis {
                 SweepAxis::Users(users) => (
@@ -814,7 +967,9 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                     )?,
                 ),
             };
-            Ok(render_sweep(&model, x_label, &points, mode))
+            let mut text = clamp_note.unwrap_or_default();
+            text.push_str(&render_sweep(&model, x_label, &points, mode));
+            ok(text)
         }
         Command::Replicate {
             path,
@@ -832,19 +987,27 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             if let Some(k) = shards {
                 spec.run.shards = Some(k);
             }
+            let (jobs, clamp_note) = clamp_jobs_for_shards(
+                jobs,
+                spec.run.effective_shards().map_or(1, NonZeroUsize::get),
+                host_cores(),
+            );
             let parallelism = parallelism_from_jobs(jobs)?;
             let seeds = seeds.resolve(spec.run.seed);
             let study = run_des_replicated(&spec, &model, seeds, parallelism, mode)?;
-            Ok(render_replication(&model, &study))
+            let mut text = clamp_note.unwrap_or_default();
+            text.push_str(&render_replication(&model, &study));
+            ok(text)
         }
         Command::Fit { path, family } => {
             let data = read_data(&path)?;
-            fit_report(&data, family)
+            fit_report(&data, family).and_then(ok)
         }
         Command::Analyze {
             path,
             json,
             by_type,
+            salvage,
         } => {
             // The Usage Analyzer over a spill file: every record streams
             // through the aggregator frame-by-frame — no UsageLog, no
@@ -852,19 +1015,116 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             let reader = SpillReader::open(&path)?;
             let codec = reader.codec();
             let mut stats = metrics::StreamLogStats::new();
+            let mut truncated = false;
             for record in reader {
-                match record? {
-                    SpillRecord::Op(op) => stats.record_op(&op),
-                    SpillRecord::Session(s) => stats.record_session(&s),
+                match record {
+                    Ok(SpillRecord::Op(op)) => stats.record_op(&op),
+                    Ok(SpillRecord::Session(s)) => stats.record_session(&s),
+                    // Salvage accepts *truncation* only: every record
+                    // already yielded came from an intact (v2: checksummed)
+                    // frame, so the prefix is trustworthy. Corruption
+                    // (InvalidData) means a frame lied — fail closed.
+                    Err(e) if salvage && e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                        truncated = true;
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
                 }
             }
-            if json {
-                render_analyze_json(&stats, codec, by_type)
+            let mut text = if json {
+                render_analyze_json(&stats, codec, by_type, truncated)?
             } else {
-                Ok(render_analyze_text(&path, &stats, codec, by_type))
+                render_analyze_text(&path, &stats, codec, by_type)
+            };
+            if truncated {
+                if !json {
+                    let _ = writeln!(
+                        text,
+                        "warning: spill file is truncated — salvaged {} ops and {} \
+                         sessions from the intact frame prefix; totals are a lower bound",
+                        stats.ops, stats.sessions
+                    );
+                }
+                return Ok((text, EXIT_SALVAGED));
             }
+            ok(text)
+        }
+        Command::Drive {
+            path,
+            model,
+            speedup,
+            max_in_flight,
+            queue_cap,
+            deadline_micros,
+            service_micros,
+            fail_ppm,
+        } => {
+            // Generate the synthetic workload first (the paper's USIM
+            // step), then replay its op stream open-loop against the
+            // in-process loopback target in scaled wall time.
+            let spec = WorkloadSpec::from_json(&std::fs::read_to_string(&path)?)?;
+            let report = spec.run_des(&model)?;
+            let ops = report.log.ops().to_vec();
+            let config = uswg_drive::DriveConfig {
+                speedup,
+                max_in_flight,
+                queue_cap,
+                deadline_micros,
+                // The same deterministic policy the simulator's fault
+                // injection uses, straight from the spec.
+                retry: spec.run.faults.retry,
+                seed: spec.run.seed,
+            };
+            let target = Arc::new(uswg_drive::LoopbackVfs::new(uswg_drive::LoopbackConfig {
+                service_micros,
+                fail_ppm,
+                seed: spec.run.seed,
+                ..uswg_drive::LoopbackConfig::default()
+            }));
+            let mut text = format!(
+                "generated {} ops / {} sessions over {} simulated (model {})\n\
+                 replaying open-loop at {speedup}x: max in-flight {max_in_flight}, \
+                 queue cap {queue_cap} (shed-oldest)\n",
+                report.log.ops().len(),
+                report.log.sessions().len(),
+                report.duration,
+                report.model,
+            );
+            let drive_report = uswg_drive::drive(ops, target, &config)?;
+            text.push_str(&drive_report.render());
+            ok(text)
         }
     }
+}
+
+/// Worker threads the host can actually run in parallel.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Clamps the sweep/replicate worker count so `jobs × shards` never
+/// oversubscribes the host: each outer worker runs `shards` DES threads of
+/// its own, and K× oversubscription thrashes rather than parallelizes.
+/// Returns the (possibly clamped) job override and a one-line note for the
+/// report when clamping happened.
+fn clamp_jobs_for_shards(
+    jobs: Option<usize>,
+    shards: usize,
+    cores: usize,
+) -> (Option<usize>, Option<String>) {
+    let requested = jobs.unwrap_or(cores).max(1);
+    if shards <= 1 || requested.saturating_mul(shards) <= cores {
+        return (jobs, None);
+    }
+    let clamped = (cores / shards).max(1);
+    if clamped >= requested {
+        return (jobs, None);
+    }
+    let note = format!(
+        "note: {requested} jobs x {shards} shards oversubscribes {cores} cores; \
+         clamping to --jobs {clamped}\n"
+    );
+    (Some(clamped), Some(note))
 }
 
 /// The human-readable name of a spill codec.
@@ -917,6 +1177,20 @@ fn render_analyze_text(
         stats.response_per_byte(),
         stats.sessions
     );
+    // Fault outcomes print only when present, so fault-free reports stay
+    // byte-identical to what they were before fault injection existed.
+    if stats.retries > 0 || stats.aborted_ops > 0 {
+        let _ = writeln!(
+            text,
+            "faults: {} retries | {} aborted ops ({:.2}% abort rate) | \
+             goodput {} of {} data bytes",
+            stats.retries,
+            stats.aborted_ops,
+            stats.abort_rate() * 100.0,
+            stats.goodput_bytes(),
+            stats.data_bytes
+        );
+    }
     if by_type {
         let mut table = Table::new(vec![
             "user type",
@@ -967,6 +1241,20 @@ struct AnalyzeReport {
     ops: u64,
     sessions: u64,
     response_per_byte: f64,
+    /// Transiently failed attempts that were retried (0 for fault-free
+    /// runs and for spill files written before fault injection existed).
+    retries: u64,
+    /// Operations that exhausted their retry budget.
+    aborted_ops: u64,
+    /// Aborted ops / all ops.
+    abort_rate: f64,
+    /// Data bytes excluding aborted transfers (vs `data_bytes` offered).
+    goodput_bytes: u64,
+    /// Data bytes offered, aborted transfers included.
+    data_bytes: u64,
+    /// True when `--salvage` accepted a truncated file: every count is a
+    /// lower bound over the intact frame prefix.
+    salvaged: bool,
     data_access_size: Summary,
     data_response: Summary,
     op_mix: Vec<OpMixRow>,
@@ -979,6 +1267,7 @@ fn render_analyze_json(
     stats: &metrics::StreamLogStats,
     codec: SpillCodec,
     by_type: bool,
+    salvaged: bool,
 ) -> Result<String, CliError> {
     let (data_access_size, data_response) = stats.data_op_summary();
     let report = AnalyzeReport {
@@ -986,6 +1275,12 @@ fn render_analyze_json(
         ops: stats.ops,
         sessions: stats.sessions,
         response_per_byte: stats.response_per_byte(),
+        retries: stats.retries,
+        aborted_ops: stats.aborted_ops,
+        abort_rate: stats.abort_rate(),
+        goodput_bytes: stats.goodput_bytes(),
+        data_bytes: stats.data_bytes,
+        salvaged,
         data_access_size,
         data_response,
         op_mix: stats
@@ -1408,16 +1703,101 @@ mod tests {
                 path: "run.bin".into(),
                 json: false,
                 by_type: false,
+                salvage: false,
             }
         );
         assert_eq!(
-            parse_args(argv("analyze run.bin --json --by-type")).unwrap(),
+            parse_args(argv("analyze run.bin --json --by-type --salvage")).unwrap(),
             Command::Analyze {
                 path: "run.bin".into(),
                 json: true,
                 by_type: true,
+                salvage: true,
             }
         );
+    }
+
+    #[test]
+    fn parses_drive() {
+        let cmd = parse_args(argv(
+            "drive spec.json --model nfs --speedup 100 --max-in-flight 8 \
+             --queue-cap 64 --deadline-us 5000 --service-us 200 --fail-ppm 1000",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Drive {
+                path,
+                model,
+                speedup,
+                max_in_flight,
+                queue_cap,
+                deadline_micros,
+                service_micros,
+                fail_ppm,
+            } => {
+                assert_eq!(path, "spec.json");
+                assert_eq!(model.name(), "nfs");
+                assert_eq!(speedup, 100.0);
+                assert_eq!(max_in_flight, 8);
+                assert_eq!(queue_cap, 64);
+                assert_eq!(deadline_micros, 5000);
+                assert_eq!(service_micros, 200);
+                assert_eq!(fail_ppm, 1000);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults.
+        let cmd = parse_args(argv("drive spec.json --model local")).unwrap();
+        match cmd {
+            Command::Drive {
+                speedup,
+                max_in_flight,
+                queue_cap,
+                deadline_micros,
+                ..
+            } => {
+                assert_eq!(speedup, 1.0);
+                assert_eq!(max_in_flight, 4);
+                assert_eq!(queue_cap, 1024);
+                assert_eq!(deadline_micros, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Rejections.
+        assert!(parse_args(argv("drive")).is_err());
+        assert!(parse_args(argv("drive spec.json")).is_err());
+        assert!(parse_args(argv("drive spec.json --model nfs --speedup 0")).is_err());
+        assert!(parse_args(argv("drive spec.json --model nfs --speedup nan")).is_err());
+        assert!(parse_args(argv("drive spec.json --model nfs --max-in-flight 0")).is_err());
+        assert!(parse_args(argv("drive spec.json --model nfs --queue-cap 0")).is_err());
+        assert!(parse_args(argv("drive spec.json --model nfs --fail-ppm 2000000")).is_err());
+        assert!(parse_args(argv("drive spec.json --model nfs --warp 9")).is_err());
+    }
+
+    #[test]
+    fn clamp_only_fires_on_oversubscription() {
+        // Unsharded: never clamps, whatever the request.
+        assert_eq!(clamp_jobs_for_shards(Some(64), 1, 8), (Some(64), None));
+        // Fits: untouched.
+        assert_eq!(clamp_jobs_for_shards(Some(2), 4, 8), (Some(2), None));
+        // Auto jobs is one per core, so sharding always oversubscribes it:
+        // auto resolves to cores/shards with a note.
+        let (jobs, note) = clamp_jobs_for_shards(None, 2, 16);
+        assert_eq!(jobs, Some(8));
+        assert!(note.is_some());
+        // Oversubscribed: clamped to cores/shards, floor 1, with a note.
+        let (jobs, note) = clamp_jobs_for_shards(Some(8), 4, 8);
+        assert_eq!(jobs, Some(2));
+        let note = note.unwrap();
+        assert!(note.contains("oversubscribes 8 cores"), "{note}");
+        assert!(note.contains("--jobs 2"), "{note}");
+        // Auto jobs (one per core) oversubscribes too once sharded.
+        let (jobs, note) = clamp_jobs_for_shards(None, 4, 8);
+        assert_eq!(jobs, Some(2));
+        assert!(note.is_some());
+        // More shards than cores: floor at one job.
+        let (jobs, _) = clamp_jobs_for_shards(Some(4), 16, 8);
+        assert_eq!(jobs, Some(1));
     }
 
     #[test]
@@ -1623,6 +2003,11 @@ mod tests {
         );
         assert!(err.is_err(), "truncated spill input must fail");
 
+        // Fault-free spill files never print the fault line — the text
+        // report stays exactly what it was before fault injection existed.
+        let out = execute(parse_args(argv(&format!("analyze {spill_arg}"))).unwrap()).unwrap();
+        assert!(!out.contains("faults:"), "{out}");
+
         // run --shards 1 routes through the sharded driver but replays the
         // exact path: the rendered summary is identical text. A larger K
         // still runs (this spec has one user, so 4 shards collapse to 1
@@ -1634,6 +2019,143 @@ mod tests {
         let unsharded = run_sharded("");
         assert_eq!(unsharded, run_sharded(" --shards 1"));
         assert_eq!(unsharded, run_sharded(" --shards 4"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn salvage_reports_truncated_files_and_rejects_corrupt_ones() {
+        let dir = std::env::temp_dir().join(format!("uswg-cli-salvage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        let spill_path = dir.join("log.bin");
+
+        // A *faulted* spec, so the analysis also exercises the fault
+        // reporting path end to end.
+        let mut spec = WorkloadSpec::paper_default().unwrap();
+        spec.run.sessions_per_user = 2;
+        spec.run.faults = uswg_core::FaultSpec {
+            fault_ppm: 200_000,
+            spike_ppm: 0,
+            spike_micros: 0,
+            retry: uswg_core::RetryPolicy {
+                max_attempts: 2,
+                base_backoff_micros: 100,
+                max_backoff_micros: 800,
+            },
+        };
+        spec.fsc = spec
+            .fsc
+            .with_files_per_user(8)
+            .unwrap()
+            .with_shared_files(10)
+            .unwrap();
+        std::fs::write(&spec_path, spec.to_json().unwrap()).unwrap();
+        execute(
+            parse_args(argv(&format!(
+                "run {} --model local --spill {}",
+                spec_path.to_string_lossy(),
+                spill_path.to_string_lossy()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        let spill_arg: String = spill_path.to_string_lossy().into();
+
+        // Intact file: clean exit, and the fault outcomes are reported.
+        let (out, status) =
+            execute_with_status(parse_args(argv(&format!("analyze {spill_arg}"))).unwrap())
+                .unwrap();
+        assert_eq!(status, EXIT_OK);
+        assert!(out.contains("faults:"), "{out}");
+        assert!(out.contains("retries"), "{out}");
+        assert!(out.contains("abort rate"), "{out}");
+        assert!(!out.contains("warning"), "{out}");
+        // The JSON report carries the same tallies plus the salvage flag.
+        let (out, _) =
+            execute_with_status(parse_args(argv(&format!("analyze {spill_arg} --json"))).unwrap())
+                .unwrap();
+        let parsed = serde_json::parse_value(&out).unwrap();
+        assert_eq!(parsed.get("salvaged"), Some(&serde::Value::Bool(false)));
+        assert!(matches!(parsed.get("retries"), Some(serde::Value::U64(n)) if *n > 0));
+
+        // Truncated file, no --salvage: hard failure (exit 2 via main).
+        let bytes = std::fs::read(&spill_path).unwrap();
+        let cut_path = dir.join("cut.bin");
+        std::fs::write(&cut_path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+        let cut_arg: String = cut_path.to_string_lossy().into();
+        assert!(execute(parse_args(argv(&format!("analyze {cut_arg}"))).unwrap()).is_err());
+
+        // Truncated file with --salvage: the intact prefix is reported,
+        // with a warning and the salvaged exit status.
+        let (out, status) =
+            execute_with_status(parse_args(argv(&format!("analyze {cut_arg} --salvage"))).unwrap())
+                .unwrap();
+        assert_eq!(status, EXIT_SALVAGED);
+        assert!(out.contains("warning: spill file is truncated"), "{out}");
+        assert!(out.contains("Per-system-call summary"), "{out}");
+        // JSON mode flags the salvage instead of the warning line.
+        let (out, status) = execute_with_status(
+            parse_args(argv(&format!("analyze {cut_arg} --salvage --json"))).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(status, EXIT_SALVAGED);
+        let parsed = serde_json::parse_value(&out).unwrap();
+        assert_eq!(parsed.get("salvaged"), Some(&serde::Value::Bool(true)));
+
+        // Corruption is NOT salvageable: an invalid frame tag right after
+        // the magic fails closed even under --salvage.
+        let mut corrupt = bytes.clone();
+        corrupt[8] = 0xEE;
+        let corrupt_path = dir.join("corrupt.bin");
+        std::fs::write(&corrupt_path, &corrupt).unwrap();
+        let err = execute_with_status(
+            parse_args(argv(&format!(
+                "analyze {} --salvage",
+                corrupt_path.to_string_lossy()
+            )))
+            .unwrap(),
+        );
+        assert!(
+            err.is_err(),
+            "corrupt frames must fail closed under salvage"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drive_loopback_smoke() {
+        let dir = std::env::temp_dir().join(format!("uswg-cli-drive-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        let mut spec = WorkloadSpec::paper_default().unwrap();
+        spec.run.sessions_per_user = 2;
+        spec.fsc = spec
+            .fsc
+            .with_files_per_user(8)
+            .unwrap()
+            .with_shared_files(10)
+            .unwrap();
+        std::fs::write(&spec_path, spec.to_json().unwrap()).unwrap();
+
+        // Replay heavily compressed (every op arrives ~immediately) against
+        // a slow loopback with a tiny queue: completes fast, sheds hard.
+        let (out, status) = execute_with_status(
+            parse_args(argv(&format!(
+                "drive {} --model local --speedup 1000000 --max-in-flight 2 \
+                 --queue-cap 8 --service-us 300",
+                spec_path.to_string_lossy()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(status, EXIT_OK);
+        assert!(out.contains("replaying open-loop"), "{out}");
+        assert!(out.contains("drive report (target loopback-vfs)"), "{out}");
+        assert!(out.contains("shed"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        assert!(out.contains("peak in-flight"), "{out}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -71,8 +71,9 @@ pub use uswg_sim::{
 pub use uswg_usim::{
     merge_shard_logs, merge_spill_shards, read_spill, read_spill_path, shard_model_seed,
     AccessPattern, BehaviorState, CategoryUsage, CompiledPopulation, DesDriver, DesReport,
-    DesRunStats, DirectDriver, DiurnalProfile, LogSink, OpRecord, PhaseModel, PhaseState,
-    PopulationSpec, RunConfig, SessionRecord, ShardEnv, ShardPlan, ShardedDesDriver, SpillCodec,
-    SpillReader, SpillRecord, SpillSink, SummarySink, UsageLog, UserTypeSpec, UsimError,
+    DesRunStats, DirectDriver, DiurnalProfile, FaultSpec, LogSink, OpRecord, PhaseModel,
+    PhaseState, PopulationSpec, RetryPolicy, RunConfig, SessionRecord, ShardEnv, ShardPlan,
+    ShardedDesDriver, SpillCodec, SpillReader, SpillRecord, SpillSink, SummarySink, UsageLog,
+    UserTypeSpec, UsimError,
 };
 pub use uswg_vfs::{Fd, FsError, Metadata, OpenFlags, SeekFrom, Vfs, VfsConfig};

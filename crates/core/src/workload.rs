@@ -346,6 +346,54 @@ mod tests {
     }
 
     #[test]
+    fn specs_without_a_faults_section_parse_to_no_faults() {
+        // Back-compat: every spec written before fault injection existed
+        // (no "faults" key in the run section) must deserialize to the
+        // disabled default, and a spec carrying a fault section must
+        // round-trip it.
+        let spec = quick_spec();
+        let mut json = spec.to_json().unwrap();
+        assert!(
+            json.contains("\"faults\""),
+            "serialized spec should carry the faults section"
+        );
+        // Strip the faults object out of the JSON the way an old file
+        // simply would not have it (the codec pretty-prints, so strip
+        // from the comma preceding the key through the matching brace).
+        let key = json.find("\"faults\"").expect("faults key present");
+        let start = json[..key].rfind(',').expect("comma before faults key");
+        let obj_start = json[key..].find('{').unwrap() + key;
+        let mut depth = 0usize;
+        let mut end = obj_start;
+        for (i, b) in json[obj_start..].bytes().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = obj_start + i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        json.replace_range(start..end, "");
+        let old_style = WorkloadSpec::from_json(&json).unwrap();
+        assert_eq!(old_style.run.faults, uswg_usim::FaultSpec::default());
+        assert!(!old_style.run.faults.enabled());
+
+        // And an enabled spec survives the round trip intact.
+        let faulted = quick_spec().with_run(quick_spec().run.with_faults(uswg_usim::FaultSpec {
+            fault_ppm: 20_000,
+            ..uswg_usim::FaultSpec::default()
+        }));
+        let back = WorkloadSpec::from_json(&faulted.to_json().unwrap()).unwrap();
+        assert_eq!(back.run.faults, faulted.run.faults);
+        assert!(back.run.faults.enabled());
+    }
+
+    #[test]
     fn builders_replace_parts() {
         let spec = quick_spec()
             .with_population(PopulationSpec::single(crate::presets::light_user()).unwrap())

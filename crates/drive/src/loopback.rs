@@ -1,0 +1,209 @@
+//! The in-process loopback target: the workspace's own UNIX-like
+//! in-memory file system (`uswg-vfs`) behind the [`Target`] trait.
+//!
+//! It exists for two reasons: an end-to-end `uswg drive` that works on any
+//! machine with no external system to set up, and a *controllable*
+//! capacity knob for overload tests — `service_micros` sets how long each
+//! operation holds a worker, so offered-load ≫ capacity is a config
+//! choice, not a hardware accident. A `fail_ppm` knob injects transient
+//! errors to exercise the driver's retry path the same way `FaultSpec`
+//! exercises the simulator's.
+
+use crate::{Target, TargetError};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::Mutex;
+use std::time::Duration;
+use uswg_netfs::OpKind;
+use uswg_usim::OpRecord;
+use uswg_vfs::{Vfs, VfsConfig};
+
+/// Parts-per-million scale for the injected failure rate.
+const PPM: u64 = 1_000_000;
+/// Cap on a single replayed write, so a log with pathological sizes cannot
+/// make the loopback allocate unboundedly.
+const MAX_IO_BYTES: u64 = 64 * 1024;
+
+/// Configuration of the [`LoopbackVfs`] target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopbackConfig {
+    /// Synthetic service time per operation in µs (holds a worker, not the
+    /// file-system lock, so `max_in_flight` workers really overlap).
+    pub service_micros: u64,
+    /// Injected transient-failure rate in parts per million.
+    pub fail_ppm: u32,
+    /// Distinct files the replay maps inode numbers onto (bounds the
+    /// loopback's memory).
+    pub working_set: u64,
+    /// Seed for the failure-injection stream.
+    pub seed: u64,
+}
+
+impl Default for LoopbackConfig {
+    fn default() -> Self {
+        Self {
+            service_micros: 0,
+            fail_ppm: 0,
+            working_set: 64,
+            seed: 0x10BB,
+        }
+    }
+}
+
+/// An in-process [`Target`] over the workspace VFS.
+#[derive(Debug)]
+pub struct LoopbackVfs {
+    config: LoopbackConfig,
+    fs: Mutex<Vfs>,
+    rng: Mutex<StdRng>,
+}
+
+impl LoopbackVfs {
+    /// Builds the target with a fresh in-memory file system.
+    pub fn new(config: LoopbackConfig) -> Self {
+        let mut vfs = Vfs::new(VfsConfig::default());
+        vfs.mkdir("/drive").expect("fresh vfs accepts /drive");
+        Self {
+            config: LoopbackConfig {
+                working_set: config.working_set.max(1),
+                ..config
+            },
+            fs: Mutex::new(vfs),
+            rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+        }
+    }
+
+    fn path_for(&self, ino: u64) -> String {
+        format!("/drive/f{}", ino % self.config.working_set)
+    }
+}
+
+impl Target for LoopbackVfs {
+    fn apply(&self, op: &OpRecord) -> Result<(), TargetError> {
+        // Service time first, outside every lock: this is the capacity
+        // knob, and it must consume worker-time, not serialize the target.
+        if self.config.service_micros > 0 {
+            std::thread::sleep(Duration::from_micros(self.config.service_micros));
+        }
+        if self.config.fail_ppm > 0 {
+            let draw = self.rng.lock().expect("rng poisoned").next_u64() % PPM;
+            if draw < u64::from(self.config.fail_ppm) {
+                return Err(TargetError("injected transient fault".into()));
+            }
+        }
+        let path = self.path_for(op.ino);
+        let mut fs = self.fs.lock().expect("vfs poisoned");
+        let outcome = match op.op {
+            OpKind::Write | OpKind::Create => {
+                let data = vec![0u8; op.bytes.min(MAX_IO_BYTES) as usize];
+                fs.write_file(&path, &data)
+            }
+            OpKind::Read => {
+                if !fs.exists(&path) {
+                    fs.write_file(&path, &[])?;
+                }
+                fs.read_file(&path).map(drop)
+            }
+            OpKind::Stat => {
+                if !fs.exists(&path) {
+                    fs.write_file(&path, &[])?;
+                }
+                fs.stat(&path).map(drop)
+            }
+            OpKind::Unlink => {
+                if fs.exists(&path) {
+                    fs.unlink(&path)
+                } else {
+                    Ok(())
+                }
+            }
+            // Open/Close/Seek are per-process cursor motion; the replay has
+            // no long-lived processes, so they only touch the namespace.
+            OpKind::Open | OpKind::Close | OpKind::Seek => {
+                let _ = fs.exists(&path);
+                Ok(())
+            }
+            // OpKind is non_exhaustive: treat future kinds as metadata.
+            _ => Ok(()),
+        };
+        outcome.map_err(TargetError::from)
+    }
+
+    fn name(&self) -> &'static str {
+        "loopback-vfs"
+    }
+}
+
+impl From<uswg_vfs::FsError> for TargetError {
+    fn from(e: uswg_vfs::FsError) -> Self {
+        TargetError(format!("vfs: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uswg_fsc::FileCategory;
+
+    fn op(kind: OpKind, ino: u64, bytes: u64) -> OpRecord {
+        OpRecord {
+            at: 0,
+            user: 0,
+            session: 0,
+            op: kind,
+            ino,
+            bytes,
+            file_size: bytes,
+            response: 0,
+            category: FileCategory::REG_USER_RDONLY,
+            retries: 0,
+            aborted: false,
+        }
+    }
+
+    #[test]
+    fn applies_every_op_kind() {
+        let target = LoopbackVfs::new(LoopbackConfig::default());
+        for kind in OpKind::ALL {
+            for ino in 0..4 {
+                target.apply(&op(kind, ino, 512)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_writes_are_capped() {
+        let target = LoopbackVfs::new(LoopbackConfig::default());
+        target.apply(&op(OpKind::Write, 1, u64::MAX)).unwrap();
+    }
+
+    #[test]
+    fn working_set_bounds_distinct_files() {
+        let target = LoopbackVfs::new(LoopbackConfig {
+            working_set: 3,
+            ..LoopbackConfig::default()
+        });
+        for ino in 0..100 {
+            target.apply(&op(OpKind::Create, ino, 16)).unwrap();
+        }
+        let mut fs = target.fs.lock().unwrap();
+        let entries = fs.readdir("/drive").unwrap();
+        assert_eq!(entries.len(), 3);
+    }
+
+    #[test]
+    fn fail_ppm_injects_transient_errors() {
+        let target = LoopbackVfs::new(LoopbackConfig {
+            fail_ppm: 500_000,
+            ..LoopbackConfig::default()
+        });
+        let results: Vec<bool> = (0..200)
+            .map(|i| target.apply(&op(OpKind::Read, i, 64)).is_ok())
+            .collect();
+        let failures = results.iter().filter(|ok| !**ok).count();
+        assert!(
+            (40..=160).contains(&failures),
+            "~50% failure rate expected, saw {failures}/200"
+        );
+    }
+}

@@ -16,7 +16,7 @@ use crate::{RunConfig, UsimError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uswg_fsc::FileCatalog;
-use uswg_netfs::{PendingOp, ServiceModel, StepOutcome};
+use uswg_netfs::{PendingOp, ServiceModel, Stage, StepOutcome};
 use uswg_sim::{ResourcePool, ResourceStats, Scheduler, SimTime, Simulation, World};
 use uswg_vfs::{Process, Vfs};
 
@@ -47,6 +47,11 @@ struct UserState {
     sessions_done: u32,
     pending: Option<PendingOp>,
     current: Option<(ExecutedOp, SimTime)>,
+    /// Attempts made on the current operation (1 = first try). Only read
+    /// when fault injection is enabled.
+    attempts: u32,
+    /// The previous retry backoff, µs — the decorrelated-jitter state.
+    prev_backoff: u64,
 }
 
 /// The simulated world: file system, catalog, model, pool and users.
@@ -137,7 +142,16 @@ impl<S: LogSink> World for UsimWorld<S> {
                 );
                 match next {
                     Ok(Some(exec)) => {
-                        let stages = self.model.stages(&exec.request, &mut self.model_rng);
+                        let mut stages = self.model.stages(&exec.request, &mut self.model_rng);
+                        // Latency spike on the first attempt: a seeded draw
+                        // from the issuing user's own stream, so the outcome
+                        // is independent of sharding and backend. The
+                        // disabled default draws nothing.
+                        if let Some(spike) = self.config.faults.sample_spike(&mut state.rng) {
+                            stages.insert(0, Stage::Delay(spike));
+                        }
+                        state.attempts = 1;
+                        state.prev_backoff = 0;
                         state.pending = Some(PendingOp::new(stages));
                         state.current = Some((exec, now));
                         state.session = Some(session);
@@ -170,6 +184,34 @@ impl<S: LogSink> World for UsimWorld<S> {
                     }
                     StepOutcome::Done => {
                         state.pending = None;
+                        // Transient-fault draw for the finished attempt
+                        // (per-user stream; nothing is drawn when faults
+                        // are off). A failed attempt retries under the
+                        // policy: the service traversal is regenerated and
+                        // re-entered behind a backoff delay, keeping the
+                        // original issue time so the recorded response
+                        // spans every attempt. The call's semantic effect
+                        // already executed at issue time — faults model the
+                        // latency and disposition of the call, not its
+                        // file-system state.
+                        let faults = self.config.faults;
+                        let mut aborted = false;
+                        if faults.enabled() && faults.sample_fault(&mut state.rng) {
+                            if state.attempts < faults.max_attempts() {
+                                let backoff =
+                                    faults.retry.backoff(state.prev_backoff, &mut state.rng);
+                                state.prev_backoff = backoff;
+                                state.attempts += 1;
+                                let (exec, _) = state.current.as_ref().expect("op in flight");
+                                let mut stages =
+                                    self.model.stages(&exec.request, &mut self.model_rng);
+                                stages.insert(0, Stage::Delay(backoff));
+                                state.pending = Some(PendingOp::new(stages));
+                                sched.schedule(0, Ev::Step(user));
+                                return;
+                            }
+                            aborted = true; // retry budget exhausted
+                        }
                         let (exec, issued) = state.current.take().expect("op in flight");
                         let response = now - issued;
                         let session = state.session.as_mut().expect("session active");
@@ -185,6 +227,8 @@ impl<S: LogSink> World for UsimWorld<S> {
                                 file_size: exec.request.file_size,
                                 response,
                                 category: exec.category,
+                                retries: state.attempts.saturating_sub(1),
+                                aborted,
                             });
                         }
                         let utype = &self.population.types()[state.type_idx];
@@ -399,6 +443,8 @@ impl DesDriver {
                 sessions_done: 0,
                 pending: None,
                 current: None,
+                attempts: 0,
+                prev_backoff: 0,
             })
             .collect();
         let model_name = model.name().to_string();

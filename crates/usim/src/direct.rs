@@ -78,6 +78,8 @@ impl DirectDriver {
                             file_size: exec.request.file_size,
                             response,
                             category: exec.category,
+                            retries: 0,
+                            aborted: false,
                         });
                     }
                     virtual_clock += utype.sample_think(&mut behavior, &mut rng);

@@ -32,6 +32,7 @@ mod compile;
 mod des;
 mod direct;
 mod error;
+mod faults;
 mod log;
 mod session;
 mod shard;
@@ -44,6 +45,7 @@ pub use compile::{BehaviorState, CompiledPopulation, CompiledUserType};
 pub use des::{DesDriver, DesReport, DesRunStats};
 pub use direct::DirectDriver;
 pub use error::UsimError;
+pub use faults::{FaultSpec, RetryPolicy, PPM_SCALE};
 pub use log::{OpRecord, SessionRecord, UsageLog};
 pub use session::MAX_ACCESS_BYTES;
 pub use shard::{

@@ -23,10 +23,18 @@ pub struct OpRecord {
     pub bytes: u64,
     /// Logical size of the file at issue time, bytes.
     pub file_size: u64,
-    /// Response time, µs.
+    /// Response time, µs. Spans every attempt: under fault injection this
+    /// includes failed attempts and the retry backoffs between them.
     pub response: u64,
     /// Category of the file.
     pub category: FileCategory,
+    /// Transiently failed attempts that were retried (0 without fault
+    /// injection; logs written before fault injection existed parse as 0).
+    #[serde(default)]
+    pub retries: u32,
+    /// Whether the operation exhausted its retry budget and was aborted.
+    #[serde(default)]
+    pub aborted: bool,
 }
 
 /// Summary of one login session.
@@ -205,6 +213,8 @@ mod tests {
             file_size: 4096,
             response: 1500,
             category: FileCategory::REG_USER_RDONLY,
+            retries: 0,
+            aborted: false,
         });
         let json = log.to_json().unwrap();
         let back = UsageLog::from_json(&json).unwrap();

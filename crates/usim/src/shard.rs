@@ -680,6 +680,8 @@ mod tests {
             file_size: 640,
             response,
             category: uswg_fsc::FileCategory::REG_USER_RDONLY,
+            retries: 0,
+            aborted: false,
         };
         let mk_session = |end: u64, user: usize| SessionRecord {
             user,

@@ -140,6 +140,13 @@ pub struct SummarySink {
     pub sessions: u64,
     /// Total bytes accessed across sessions.
     pub session_bytes_accessed: u64,
+    /// Retried attempts summed over all operations (fault injection).
+    pub retries: u64,
+    /// Operations that exhausted their retry budget and were aborted.
+    pub aborted_ops: u64,
+    /// Bytes moved by *aborted* data operations — subtract from
+    /// `data_bytes` for goodput.
+    pub aborted_bytes: u64,
 }
 
 impl SummarySink {
@@ -167,6 +174,25 @@ impl SummarySink {
         self.total_response += other.total_response;
         self.sessions += other.sessions;
         self.session_bytes_accessed += other.session_bytes_accessed;
+        self.retries += other.retries;
+        self.aborted_ops += other.aborted_ops;
+        self.aborted_bytes += other.aborted_bytes;
+    }
+
+    /// Bytes moved by data operations that completed without aborting —
+    /// the goodput numerator under fault injection (equal to `data_bytes`
+    /// in a fault-free run).
+    pub fn goodput_bytes(&self) -> u64 {
+        self.data_bytes - self.aborted_bytes
+    }
+
+    /// Fraction of operations that aborted (0 in a fault-free run).
+    pub fn abort_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.aborted_ops as f64 / self.ops as f64
+        }
     }
 
     /// Mean response time per data byte, µs — the Figures 5.6–5.12 metric,
@@ -250,9 +276,16 @@ impl LogSink for SummarySink {
     fn record_op(&mut self, op: &OpRecord) {
         self.ops += 1;
         self.total_response += op.response;
+        self.retries += u64::from(op.retries);
+        if op.aborted {
+            self.aborted_ops += 1;
+        }
         if op.op.is_data() && op.bytes > 0 {
             self.data_ops += 1;
             self.data_bytes += op.bytes;
+            if op.aborted {
+                self.aborted_bytes += op.bytes;
+            }
             self.access_size.record(op.bytes as f64, self.data_ops);
             self.response.record(op.response as f64, self.data_ops);
         }
@@ -281,6 +314,8 @@ mod tests {
             file_size: 1000,
             response,
             category: FileCategory::REG_USER_RDONLY,
+            retries: 0,
+            aborted: false,
         }
     }
 

@@ -284,6 +284,12 @@ pub struct RunConfig {
     /// exactly, while the operation streams themselves are unchanged.
     #[serde(default)]
     pub shards: Option<NonZeroUsize>,
+    /// Seeded fault injection at the service boundary: transient errors
+    /// with deterministic retries, and latency spikes. The default is
+    /// fully disabled and draws no PRNG values, so specs without a
+    /// `faults` section replay pre-fault runs byte for byte.
+    #[serde(default)]
+    pub faults: crate::FaultSpec,
 }
 
 impl Default for RunConfig {
@@ -298,6 +304,7 @@ impl Default for RunConfig {
             cdf_resolution: 1024,
             scheduler: None,
             shards: None,
+            faults: crate::FaultSpec::default(),
         }
     }
 }
@@ -323,6 +330,7 @@ impl RunConfig {
                 name: "cdf_resolution",
             });
         }
+        self.faults.validate()?;
         Ok(())
     }
 
@@ -353,6 +361,12 @@ impl RunConfig {
     /// Builder-style shard-count override.
     pub fn with_shards(mut self, shards: NonZeroUsize) -> Self {
         self.shards = Some(shards);
+        self
+    }
+
+    /// Builder-style fault-injection override.
+    pub fn with_faults(mut self, faults: crate::FaultSpec) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -36,21 +36,32 @@ fn arb_op() -> impl Strategy<Value = OpRecord> {
         any::<u32>(),
         0usize..8,
         any::<u64>(),
-        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         arb_category(),
         0usize..10_000,
     )
         .prop_map(
-            |(at, session, op, ino, (bytes, file_size, response), category, user)| OpRecord {
-                at,
-                user,
-                session,
-                op: OpKind::ALL[op],
-                ino,
-                bytes,
-                file_size,
-                response,
-                category,
+            |(at, session, op, ino, (bytes, file_size, response, outcome), category, user)| {
+                // Most streams are fault-free; fold the fault outcome out
+                // of one u64 so frames mix the plain and fault-outcome
+                // tags across the generated interleavings.
+                OpRecord {
+                    at,
+                    user,
+                    session,
+                    op: OpKind::ALL[op],
+                    ino,
+                    bytes,
+                    file_size,
+                    response,
+                    category,
+                    retries: if outcome % 3 == 0 {
+                        (outcome >> 32) as u32
+                    } else {
+                        0
+                    },
+                    aborted: outcome % 5 == 0,
+                }
             },
         )
 }
@@ -265,6 +276,8 @@ fn frame_boundaries_are_invisible() {
                 file_size: i * 5,
                 response: i * 7,
                 category: FileCategory::REG_USER_RDONLY,
+                retries: 0,
+                aborted: false,
             };
             sink.record_op(&op);
             expected.push_op(op);

@@ -303,6 +303,8 @@ fn op(at: u64, response: u64, user: usize) -> OpRecord {
         file_size: 64,
         response,
         category: uswg_core::FileCategory::REG_USER_RDONLY,
+        retries: 0,
+        aborted: false,
     }
 }
 
