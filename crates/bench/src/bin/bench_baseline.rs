@@ -1,5 +1,5 @@
 //! Perf-baseline snapshot: measures the hot paths this repo's performance
-//! work targets and writes a machine-readable `BENCH_*.json` (schema 6).
+//! work targets and writes a machine-readable `BENCH_*.json` (schema 7).
 //!
 //! Measurements:
 //!
@@ -38,7 +38,13 @@
 //!     wall-clock overhead of the fault path, plus the retry/abort tallies
 //!     and the goodput fraction the faulted run reports. The clean run is
 //!     additionally asserted to carry zero fault outcomes, pinning the
-//!     "default spec is fault-free" contract into the committed snapshot.
+//!     "default spec is fault-free" contract into the committed snapshot;
+//! 11. **Drive memory** (schema 7) — peak resident allocation of an
+//!     open-loop replay of a ≥ 1M-op workload, the old way (materialize
+//!     the full log, then drive the `Vec`) vs the streaming way (a live
+//!     DES producer feeding the pacer through a bounded channel). The
+//!     acceptance bar: the streamed peak is O(queue), not O(run length),
+//!     so the ratio must stay ≫ 1.
 //!
 //! Usage: `cargo run --release -p uswg-bench --bin bench_baseline [out.json]`
 //! (default output `BENCH_baseline.json` in the current directory). CI runs
@@ -273,6 +279,28 @@ struct FaultBench {
 }
 
 #[derive(Debug, Serialize)]
+struct DriveMemory {
+    users: usize,
+    sessions_per_user: u32,
+    /// Op records in the driven stream (asserted ≥ 1M so the contrast
+    /// below can never be measured against a toy run).
+    ops: usize,
+    /// Bound shared by the producer channel and the pacer queue — the
+    /// streamed path's entire resident op budget.
+    queue_cap: usize,
+    /// Peak allocation of the pre-streaming path: run the DES to a full
+    /// in-memory log, copy its ops out, drive the `Vec`. O(run length).
+    materialized_peak_bytes: usize,
+    /// Peak allocation of `drive_stream` fed by a concurrent DES
+    /// producer over a bounded channel. O(queue), flat in run length.
+    streamed_peak_bytes: usize,
+    /// `materialized / streamed` — the schema-7 acceptance line: the
+    /// streaming drive must hold its peak well below the materialized
+    /// path's on the same workload.
+    materialized_to_streamed_ratio: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct Baseline {
     schema: u32,
     sampling: Vec<SamplingPoint>,
@@ -285,6 +313,7 @@ struct Baseline {
     spill: SpillCodecBench,
     shard_spill: ShardSpillMemory,
     faults: FaultBench,
+    drive_memory: DriveMemory,
 }
 
 /// Times `f` over enough iterations to fill ~200 ms; returns ns/iter.
@@ -764,6 +793,68 @@ fn measure_faults() -> FaultBench {
     }
 }
 
+/// Measures the open-loop drive's resident memory on a ≥ 1M-op workload,
+/// both ways: the pre-streaming path (materialize the whole DES log, copy
+/// the ops into a `Vec`, drive it) against `drive_stream` fed by a live
+/// DES producer over a bounded channel. The counting allocator is global,
+/// so the producer thread's allocations land in the streamed peak too —
+/// what's measured is the whole pipeline, not just the pacer.
+fn measure_drive_memory() -> DriveMemory {
+    use std::sync::Arc;
+    use uswg_drive::{
+        drive, drive_stream, ChannelSource, DriveConfig, LoopbackConfig, LoopbackVfs, SourceError,
+    };
+    let spec = bench_spec(32, 52);
+    let model = ModelConfig::default_nfs();
+    let config = DriveConfig {
+        speedup: 1e9,
+        max_in_flight: 8,
+        queue_cap: 1024,
+        ..DriveConfig::default()
+    };
+    let loopback = || Arc::new(LoopbackVfs::new(LoopbackConfig::default()));
+    let run_materialized = |spec: &WorkloadSpec| -> usize {
+        let ops = spec.run_des(&model).expect("runs").log.ops().to_vec();
+        let count = ops.len();
+        black_box(drive(ops, loopback(), &config).expect("drives"));
+        count
+    };
+    let run_streamed = |spec: &WorkloadSpec| {
+        let (rx, handle) = spec.stream_des_ops(&model, config.queue_cap).into_parts();
+        let source = ChannelSource::new(rx).on_finish(Box::new(move || match handle.join() {
+            Ok(Ok(_stats)) => Ok(()),
+            Ok(Err(e)) => Err(SourceError(format!("DES producer: {e}"))),
+            Err(_) => Err(SourceError("DES producer thread panicked".into())),
+        }));
+        black_box(drive_stream(source, loopback(), &config).expect("drives"));
+    };
+    // Warm both paths at a small scale so lazy one-time allocations
+    // (thread stacks, rng tables, the loopback VFS) don't count as peaks.
+    let small = bench_spec(2, 2);
+    run_materialized(&small);
+    run_streamed(&small);
+
+    let mut ops = 0;
+    let materialized_peak_bytes = peak_alloc_during(|| {
+        ops = run_materialized(&spec);
+    });
+    assert!(
+        ops >= 1_000_000,
+        "the drive-memory contrast must cover ≥ 1M ops, got {ops}"
+    );
+    let streamed_peak_bytes = peak_alloc_during(|| run_streamed(&spec));
+    DriveMemory {
+        users: spec.run.n_users,
+        sessions_per_user: spec.run.sessions_per_user,
+        ops,
+        queue_cap: config.queue_cap,
+        materialized_peak_bytes,
+        streamed_peak_bytes,
+        materialized_to_streamed_ratio: materialized_peak_bytes as f64
+            / streamed_peak_bytes.max(1) as f64,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -787,9 +878,11 @@ fn main() {
     let shard_spill = measure_shard_spill_memory();
     eprintln!("measuring fault-injection overhead...");
     let faults = measure_faults();
+    eprintln!("measuring drive memory (streamed vs materialized)...");
+    let drive_memory = measure_drive_memory();
 
     let baseline = Baseline {
-        schema: 6,
+        schema: 7,
         sampling,
         des,
         scheduler,
@@ -800,6 +893,7 @@ fn main() {
         spill,
         shard_spill,
         faults,
+        drive_memory,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializes");
     std::fs::write(&out_path, &json).expect("snapshot written");

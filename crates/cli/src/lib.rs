@@ -20,9 +20,10 @@
 //!   default;
 //! * `uswg replicate <spec.json> --model M --seeds …` — rerun the same
 //!   workload under independent seeds and report the 95% CI;
-//! * `uswg drive <spec.json> --model M` — generate the workload, then
-//!   replay it open-loop against a live in-process target in scaled wall
-//!   time (bounded queue, shed-oldest, deadlines, retries);
+//! * `uswg drive <spec.json> --model M` — stream the workload open-loop
+//!   against a live in-process target in scaled wall time (bounded queue,
+//!   shed-oldest, deadlines, retries), fed by a concurrent DES producer
+//!   or, with `--from-spill`, by a previous capture;
 //! * `uswg tables` — print the built-in Table 5.1/5.2/5.4 presets.
 
 #![warn(missing_docs)]
@@ -30,7 +31,7 @@
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use uswg_core::experiment::{
     access_size_sweep_with, mix_sweep_with, run_des_replicated, user_sweep_with, ModelConfig,
     Parallelism, SweepMode, SweepPoint,
@@ -122,13 +123,18 @@ pub enum Command {
         /// closed — salvage trusts checksummed frames only.
         salvage: bool,
     },
-    /// `drive <path>`: generate the workload, then replay it open-loop
+    /// `drive <path>`: stream the workload's op stream — from a live DES
+    /// run on a producer thread, or from a spill capture — open-loop
     /// against the in-process loopback target in scaled wall time.
     Drive {
         /// Path of the JSON spec.
         path: String,
-        /// Timing model that generates the replayed log.
-        model: ModelConfig,
+        /// Timing model whose DES run feeds the pacer (required unless
+        /// `from_spill` replays a capture instead).
+        model: Option<ModelConfig>,
+        /// Replay a `uswg run --spill` capture (either codec) instead of
+        /// running the DES; the spec still supplies retry policy and seed.
+        from_spill: Option<String>,
         /// Wall-time compression factor (simulated µs per wall µs).
         speedup: f64,
         /// Maximum concurrently executing operations.
@@ -275,9 +281,15 @@ USAGE:
       --replicates <N> N seeds counting up from the spec's seed (default 5)
       --mode/--jobs/--scheduler/--shards  as for sweep
   uswg drive <spec.json> --model <M> [OPTIONS]
-                                        generate the workload, then replay it
-                                        open-loop against the in-process
-                                        loopback target in scaled wall time
+                                        stream the workload open-loop against
+                                        the in-process loopback target in
+                                        scaled wall time; the DES runs on a
+                                        producer thread and feeds the pacer
+                                        through a bounded channel, so memory
+                                        stays O(queue) however long the run
+      --from-spill <F> replay a run --spill capture (either codec) instead
+                       of running the DES — no --model needed; a truncated
+                       capture drains what it has, warns, exit status 3
       --speedup <X>    wall-time compression (simulated µs per wall µs,
                        default 1: real time)
       --max-in-flight <N>  concurrent-operation cap / worker count (default 4)
@@ -562,6 +574,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 .ok_or_else(|| CliError::Usage("drive needs a spec file".into()))?
                 .clone();
             let mut model = None;
+            let mut from_spill = None;
             let mut speedup = 1.0f64;
             let mut max_in_flight = 4usize;
             let mut queue_cap = 1024usize;
@@ -577,6 +590,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 let value = value?;
                 match flag {
                     "--model" => model = Some(parse_model(value)?),
+                    "--from-spill" => from_spill = Some(value.to_string()),
                     "--speedup" => {
                         speedup = parse_num(flag, value)?;
                         if !(speedup > 0.0 && f64::is_finite(speedup)) {
@@ -612,10 +626,23 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
                 }
             }
-            let model = model.ok_or_else(|| CliError::Usage("drive requires --model".into()))?;
+            match (&model, &from_spill) {
+                (None, None) => {
+                    return Err(CliError::Usage(
+                        "drive requires --model (or --from-spill to replay a capture)".into(),
+                    ));
+                }
+                (Some(_), Some(_)) => {
+                    return Err(CliError::Usage(
+                        "--from-spill replays a capture; drop --model".into(),
+                    ));
+                }
+                _ => {}
+            }
             Ok(Command::Drive {
                 path,
                 model,
+                from_spill,
                 speedup,
                 max_in_flight,
                 queue_cap,
@@ -1052,6 +1079,7 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
         Command::Drive {
             path,
             model,
+            from_spill,
             speedup,
             max_in_flight,
             queue_cap,
@@ -1059,12 +1087,10 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
             service_micros,
             fail_ppm,
         } => {
-            // Generate the synthetic workload first (the paper's USIM
-            // step), then replay its op stream open-loop against the
-            // in-process loopback target in scaled wall time.
+            // Stream the op source into the pacer — a live DES run on a
+            // producer thread, or a spill capture — so resident memory is
+            // bounded by the drive queue, never by the run length.
             let spec = WorkloadSpec::from_json(&std::fs::read_to_string(&path)?)?;
-            let report = spec.run_des(&model)?;
-            let ops = report.log.ops().to_vec();
             let config = uswg_drive::DriveConfig {
                 speedup,
                 max_in_flight,
@@ -1081,18 +1107,75 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
                 seed: spec.run.seed,
                 ..uswg_drive::LoopbackConfig::default()
             }));
-            let mut text = format!(
-                "generated {} ops / {} sessions over {} simulated (model {})\n\
-                 replaying open-loop at {speedup}x: max in-flight {max_in_flight}, \
-                 queue cap {queue_cap} (shed-oldest)\n",
-                report.log.ops().len(),
-                report.log.sessions().len(),
-                report.duration,
-                report.model,
-            );
-            let drive_report = uswg_drive::drive(ops, target, &config)?;
-            text.push_str(&drive_report.render());
-            ok(text)
+            let mut text;
+            // Stats from the DES producer, filled in by the finish hook
+            // once the channel closes (None on the capture path).
+            let producer_stats = Arc::new(Mutex::new(None));
+            let outcome = match &from_spill {
+                Some(capture) => {
+                    text = format!(
+                        "streaming capture {capture} | replaying open-loop at {speedup}x: \
+                         max in-flight {max_in_flight}, queue cap {queue_cap} (shed-oldest)\n",
+                    );
+                    let source = uswg_drive::SpillSource::open(capture)?;
+                    uswg_drive::drive_stream(source, target, &config)
+                }
+                None => {
+                    let model = model.expect("parse_args requires a model without --from-spill");
+                    text = format!(
+                        "streaming DES ops (model {}) through a {queue_cap}-record channel | \
+                         replaying open-loop at {speedup}x: max in-flight {max_in_flight}, \
+                         queue cap {queue_cap} (shed-oldest)\n",
+                        model.name(),
+                    );
+                    // Channel capacity = queue capacity: the producer
+                    // blocks once the pacer falls a queue behind, so the
+                    // two sides hold O(queue) records between them.
+                    let (rx, handle) = spec.stream_des_ops(&model, queue_cap).into_parts();
+                    let stats_slot = Arc::clone(&producer_stats);
+                    let source = uswg_drive::ChannelSource::new(rx).on_finish(Box::new(
+                        move || match handle.join() {
+                            Ok(Ok(stats)) => {
+                                *stats_slot.lock().expect("stats poisoned") = Some(stats);
+                                Ok(())
+                            }
+                            Ok(Err(e)) => {
+                                Err(uswg_drive::SourceError(format!("DES producer: {e}")))
+                            }
+                            Err(_) => Err(uswg_drive::SourceError(
+                                "DES producer thread panicked".into(),
+                            )),
+                        },
+                    ));
+                    uswg_drive::drive_stream(source, target, &config)
+                }
+            };
+            if let Some(stats) = producer_stats.lock().expect("stats poisoned").take() {
+                let _ = writeln!(
+                    text,
+                    "generated stream: {} simulated, {} kernel events (model {})",
+                    stats.duration, stats.events, stats.model,
+                );
+            }
+            match outcome {
+                Ok(drive_report) => {
+                    text.push_str(&drive_report.render());
+                    ok(text)
+                }
+                Err(uswg_drive::DriveError::Source { message, report }) => {
+                    // Same salvage convention as `analyze`: report what
+                    // drained, warn, and exit 3 instead of failing dry.
+                    text.push_str(&report.render());
+                    let _ = writeln!(
+                        text,
+                        "warning: op source ended early ({message}); the report covers \
+                         the {} ops offered before the failure",
+                        report.offered
+                    );
+                    Ok((text, EXIT_SALVAGED))
+                }
+                Err(e) => Err(e.into()),
+            }
         }
     }
 }
@@ -1728,6 +1811,7 @@ mod tests {
             Command::Drive {
                 path,
                 model,
+                from_spill,
                 speedup,
                 max_in_flight,
                 queue_cap,
@@ -1736,7 +1820,8 @@ mod tests {
                 fail_ppm,
             } => {
                 assert_eq!(path, "spec.json");
-                assert_eq!(model.name(), "nfs");
+                assert_eq!(model.unwrap().name(), "nfs");
+                assert_eq!(from_spill, None);
                 assert_eq!(speedup, 100.0);
                 assert_eq!(max_in_flight, 8);
                 assert_eq!(queue_cap, 64);
@@ -1763,9 +1848,22 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        // A capture replay needs no model.
+        let cmd = parse_args(argv("drive spec.json --from-spill cap.bin")).unwrap();
+        match cmd {
+            Command::Drive {
+                model, from_spill, ..
+            } => {
+                assert_eq!(model, None);
+                assert_eq!(from_spill.as_deref(), Some("cap.bin"));
+            }
+            other => panic!("{other:?}"),
+        }
         // Rejections.
         assert!(parse_args(argv("drive")).is_err());
         assert!(parse_args(argv("drive spec.json")).is_err());
+        // A capture already fixes the op stream — a model is contradictory.
+        assert!(parse_args(argv("drive spec.json --model nfs --from-spill cap.bin")).is_err());
         assert!(parse_args(argv("drive spec.json --model nfs --speedup 0")).is_err());
         assert!(parse_args(argv("drive spec.json --model nfs --speedup nan")).is_err());
         assert!(parse_args(argv("drive spec.json --model nfs --max-in-flight 0")).is_err());
@@ -2156,6 +2254,84 @@ mod tests {
         assert!(out.contains("shed"), "{out}");
         assert!(out.contains("p99"), "{out}");
         assert!(out.contains("peak in-flight"), "{out}");
+        // The streaming producer's run stats make it into the report.
+        assert!(out.contains("generated stream:"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drive_from_spill_replays_and_salvages_truncation() {
+        let dir = std::env::temp_dir().join(format!("uswg-cli-fromspill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        let spill_path = dir.join("cap.bin");
+        let mut spec = WorkloadSpec::paper_default().unwrap();
+        spec.run.sessions_per_user = 2;
+        spec.fsc = spec
+            .fsc
+            .with_files_per_user(8)
+            .unwrap()
+            .with_shared_files(10)
+            .unwrap();
+        std::fs::write(&spec_path, spec.to_json().unwrap()).unwrap();
+        let spec_arg: String = spec_path.to_string_lossy().into();
+        let spill_arg: String = spill_path.to_string_lossy().into();
+
+        // Capture a run, then replay the capture without a model.
+        execute(
+            parse_args(argv(&format!(
+                "run {spec_arg} --model local --spill {spill_arg}"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        let expected_ops = spec
+            .run_des(&ModelConfig::default_local())
+            .unwrap()
+            .log
+            .ops()
+            .len();
+        let (out, status) = execute_with_status(
+            parse_args(argv(&format!(
+                "drive {spec_arg} --from-spill {spill_arg} --speedup 1000000"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(status, EXIT_OK);
+        assert!(out.contains("streaming capture"), "{out}");
+        assert!(out.contains(&format!("offered {expected_ops}")), "{out}");
+        assert!(!out.contains("warning"), "{out}");
+
+        // A truncated capture drains what it has, warns, and exits 3 —
+        // the drive-side twin of `analyze --salvage`.
+        let bytes = std::fs::read(&spill_path).unwrap();
+        let cut_path = dir.join("cut.bin");
+        std::fs::write(&cut_path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+        let (out, status) = execute_with_status(
+            parse_args(argv(&format!(
+                "drive {spec_arg} --from-spill {} --speedup 1000000",
+                cut_path.to_string_lossy()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(status, EXIT_SALVAGED);
+        assert!(out.contains("warning: op source ended early"), "{out}");
+        assert!(out.contains("drive report"), "{out}");
+
+        // A file that is not a spill capture at all is a hard error.
+        let bogus = dir.join("bogus.bin");
+        std::fs::write(&bogus, b"NOTASPILLFILE").unwrap();
+        assert!(execute(
+            parse_args(argv(&format!(
+                "drive {spec_arg} --from-spill {}",
+                bogus.to_string_lossy()
+            )))
+            .unwrap()
+        )
+        .is_err());
 
         std::fs::remove_dir_all(&dir).ok();
     }

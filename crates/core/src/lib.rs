@@ -48,7 +48,7 @@ mod error;
 mod workload;
 
 pub use error::CoreError;
-pub use workload::WorkloadSpec;
+pub use workload::{DesOpStream, WorkloadSpec};
 
 // Re-export the workspace surface so downstream users need one dependency.
 pub use uswg_analyze::{metrics, Align, Histogram, StreamingSummary, Summary, Table};

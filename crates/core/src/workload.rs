@@ -9,8 +9,9 @@ use std::num::NonZeroUsize;
 use uswg_fsc::{FileCatalog, FileSystemCreator, FscSpec};
 use uswg_sim::ResourcePool;
 use uswg_usim::{
-    CompiledPopulation, DesDriver, DesReport, DesRunStats, DirectDriver, LogSink, PopulationSpec,
-    RunConfig, ShardEnv, ShardPlan, ShardedDesDriver, SummarySink, UsageLog,
+    ChannelSink, CompiledPopulation, DesDriver, DesReport, DesRunStats, DirectDriver, LogSink,
+    OpRecord, PopulationSpec, RunConfig, ShardEnv, ShardPlan, ShardedDesDriver, SummarySink,
+    UsageLog,
 };
 use uswg_vfs::{Vfs, VfsConfig};
 
@@ -294,6 +295,68 @@ impl WorkloadSpec {
             )?);
         }
         self.run_des_with_sink(model, SummarySink::new())
+    }
+
+    /// Runs the workload's DES on a background producer thread, streaming
+    /// each executed [`OpRecord`] through a channel holding at most
+    /// `capacity` records. The producer blocks whenever the consumer falls
+    /// `capacity` ops behind, so the two sides together keep O(capacity)
+    /// records resident however many ops the run generates — the feed for
+    /// an open-loop drive whose memory is bounded by its queue, not the
+    /// log. Sharded specs stream too (the producer runs the spill-merge
+    /// path), with ops arriving in the merged deterministic order.
+    ///
+    /// Errors inside the producer (generation, simulation, spill I/O)
+    /// surface from [`DesOpStream::finish`] after the channel closes.
+    pub fn stream_des_ops(&self, model: &ModelConfig, capacity: usize) -> DesOpStream {
+        let (sink, rx) = ChannelSink::bounded(capacity);
+        let spec = self.clone();
+        let model = model.clone();
+        let handle = std::thread::spawn(move || {
+            spec.run_des_with_sink(&model, sink)
+                .map(|(_sink, stats)| stats)
+        });
+        DesOpStream { rx, handle }
+    }
+}
+
+/// A DES run in flight on a producer thread, exposed as a bounded channel
+/// of op records (see [`WorkloadSpec::stream_des_ops`]).
+#[derive(Debug)]
+pub struct DesOpStream {
+    rx: std::sync::mpsc::Receiver<OpRecord>,
+    handle: std::thread::JoinHandle<Result<DesRunStats, CoreError>>,
+}
+
+impl DesOpStream {
+    /// Splits into the op receiver and the join handle, for consumers that
+    /// wire the two into separate machinery (the drive glue hands the
+    /// receiver to a `ChannelSource` and joins the handle from its finish
+    /// hook).
+    #[must_use]
+    pub fn into_parts(
+        self,
+    ) -> (
+        std::sync::mpsc::Receiver<OpRecord>,
+        std::thread::JoinHandle<Result<DesRunStats, CoreError>>,
+    ) {
+        (self.rx, self.handle)
+    }
+
+    /// Drains any unread ops and joins the producer, returning its run
+    /// stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the producer's generation, simulation or spill I/O
+    /// error; a panicked producer surfaces as [`CoreError::Spec`].
+    pub fn finish(self) -> Result<DesRunStats, CoreError> {
+        // Dropping the receiver disconnects the sink, so a producer mid-
+        // send never deadlocks against a consumer that has stopped reading.
+        drop(self.rx);
+        self.handle
+            .join()
+            .map_err(|_| CoreError::Spec("DES producer thread panicked".into()))?
     }
 }
 

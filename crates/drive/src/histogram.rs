@@ -107,6 +107,11 @@ impl LatencyHistogram {
         // Rank of the sample to report, 1-based ceil: p50 of 4 samples is
         // the 2nd, p99 of 4 is the 4th.
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        // The top rank is the largest sample, which is tracked exactly —
+        // report it rather than its (lower) bucket edge.
+        if rank == self.total {
+            return self.max;
+        }
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -210,5 +215,66 @@ mod tests {
         assert_eq!(h.quantile(0.99), 0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_boundary_quantiles_are_zero() {
+        let h = LatencyHistogram::new();
+        // The boundary quantiles must not reach the clamp path, where the
+        // empty sentinel (min = u64::MAX > max = 0) would invert the range.
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.quantile(-1.0), 0);
+        assert_eq!(h.quantile(2.0), 0);
+    }
+
+    #[test]
+    fn zero_sample_is_exact_everywhere() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn u64_max_sample_survives_the_top_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.min(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        // The top bucket's floor is below the sample; the clamp (and the
+        // exact-max top rank) must bring the report back up to it.
+        assert_eq!(h.quantile(0.0), u64::MAX);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn full_range_extremes_report_exactly() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.0), 0);
+        // Rank 1 of 2 is the smaller sample.
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // Out-of-range q clamps to the boundary quantiles.
+        assert_eq!(h.quantile(-3.0), 0);
+        assert_eq!(h.quantile(7.0), u64::MAX);
+    }
+
+    #[test]
+    fn top_rank_reports_the_exact_max_not_the_bucket_edge() {
+        let mut h = LatencyHistogram::new();
+        h.record(3);
+        h.record(1_000);
+        // 1000 sits in a bucket whose floor is 992; the top rank must
+        // report the tracked max exactly.
+        assert_eq!(h.quantile(1.0), 1_000);
+        assert_eq!(h.quantile(0.99), 1_000);
     }
 }

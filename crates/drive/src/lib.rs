@@ -28,15 +28,23 @@
 //!
 //! Every offered operation is accounted for exactly once:
 //! `offered = completed + shed + expired + aborted`.
+//!
+//! The pacer pulls from an [`OpSource`] — a fallible stream of timestamped
+//! ops — so replay length is decoupled from resident memory: a live DES
+//! run feeds it through a bounded channel ([`ChannelSource`]), a spill
+//! capture streams one frame at a time ([`SpillSource`]), and the original
+//! materialized path survives as [`VecSource`] behind [`drive`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod histogram;
 mod loopback;
+mod source;
 
 pub use histogram::LatencyHistogram;
 pub use loopback::{LoopbackConfig, LoopbackVfs};
+pub use source::{ChannelSource, FinishFn, OpSource, SourceError, SpillSource, VecSource};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,18 +89,32 @@ pub trait Target: Send + Sync {
     }
 }
 
-/// Errors from the drive layer itself (bad configuration; target errors
-/// are retried/aborted per-op, never surfaced here).
+/// Errors from the drive layer itself (bad configuration, a failed op
+/// source; target errors are retried/aborted per-op, never surfaced here).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DriveError {
     /// A configuration field is out of range.
     BadConfig(&'static str),
+    /// The op source failed mid-run (truncated spill, dead DES producer).
+    /// Every op offered before the failure was still drained — completed,
+    /// shed, or expired — and the carried report accounts for each one.
+    Source {
+        /// What the source reported.
+        message: String,
+        /// The partial report over the ops actually offered.
+        report: Box<DriveReport>,
+    },
 }
 
 impl std::fmt::Display for DriveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DriveError::BadConfig(msg) => write!(f, "bad drive config: {msg}"),
+            DriveError::Source { message, report } => write!(
+                f,
+                "op source failed after {} ops: {message}",
+                report.offered
+            ),
         }
     }
 }
@@ -154,11 +176,11 @@ impl DriveConfig {
 }
 
 /// What happened to an offered operation stream.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DriveReport {
     /// Target name the stream was offered to.
     pub target: &'static str,
-    /// Operations offered (the whole log).
+    /// Operations offered (every op the source yielded).
     pub offered: u64,
     /// Operations that completed successfully.
     pub completed: u64,
@@ -248,7 +270,31 @@ struct WorkerStats {
     latency: LatencyHistogram,
 }
 
-/// Replays `ops` (in timestamp order) against `target` under `config`.
+/// Fractional bits used to hold the speedup divisor in fixed point.
+const SPEEDUP_FRAC_BITS: u32 = 32;
+
+/// `at / speedup` in wall µs, computed in 128-bit fixed point.
+///
+/// The obvious `(at as f64 / speedup) as u64` loses integer precision
+/// above 2^53 µs (an `f64` mantissa is 53 bits) and its cast saturates
+/// silently; here the division is exact for any `at` when the 32.32
+/// divisor represents the speedup exactly (all integral speedups up to
+/// 2^21 do), and the result saturates at `u64::MAX` explicitly.
+fn scaled_arrival_micros(at: u64, speedup: f64) -> u64 {
+    // validate() guarantees speedup is finite and > 0; clamp the rounded
+    // divisor to one ulp so a denormal speedup never divides by zero.
+    let divisor = (speedup * (1u64 << SPEEDUP_FRAC_BITS) as f64).round();
+    let divisor = if divisor >= u128::MAX as f64 {
+        u128::MAX
+    } else {
+        (divisor as u128).max(1)
+    };
+    let scaled = ((at as u128) << SPEEDUP_FRAC_BITS) / divisor;
+    u64::try_from(scaled).unwrap_or(u64::MAX)
+}
+
+/// Replays the materialized `ops` (sorted by timestamp) against `target`
+/// under `config` — the [`VecSource`] adapter over [`drive_stream`].
 ///
 /// Blocks until every offered operation is accounted for; under overload
 /// that is bounded by the queue capacity and the deadline, never by the
@@ -258,13 +304,33 @@ struct WorkerStats {
 ///
 /// Returns [`DriveError::BadConfig`] for out-of-range configuration.
 pub fn drive(
-    mut ops: Vec<OpRecord>,
+    ops: Vec<OpRecord>,
+    target: Arc<dyn Target>,
+    config: &DriveConfig,
+) -> Result<DriveReport, DriveError> {
+    drive_stream(VecSource::new(ops), target, config)
+}
+
+/// Replays a streaming [`OpSource`] against `target` under `config`.
+///
+/// The pacer pulls one op at a time, so resident memory is bounded by the
+/// queue (plus whatever the source buffers), never by the stream length.
+/// The wall clock anchors at the *first* op, so a slow-starting producer
+/// (a DES warming up its file system) does not count as lateness; an op
+/// whose scaled arrival has already passed is offered immediately.
+///
+/// # Errors
+///
+/// Returns [`DriveError::BadConfig`] for out-of-range configuration. When
+/// the source fails mid-run the already-queued ops still drain and the
+/// partial report comes back inside [`DriveError::Source`], with the
+/// conservation identity intact over the ops actually offered.
+pub fn drive_stream<S: OpSource>(
+    mut source: S,
     target: Arc<dyn Target>,
     config: &DriveConfig,
 ) -> Result<DriveReport, DriveError> {
     config.validate()?;
-    ops.sort_by_key(|op| op.at);
-    let offered = ops.len() as u64;
     let shared = Arc::new(Shared {
         queue: Mutex::new(QueueState {
             jobs: VecDeque::with_capacity(config.queue_cap.min(4096)),
@@ -291,10 +357,23 @@ pub fn drive(
     // The pacer: offer each op at its scaled arrival time. A full queue
     // sheds its oldest entry — the pacer itself never blocks on workers,
     // which is what makes the loop open.
-    let start = Instant::now();
-    for op in ops {
-        let at = Duration::from_micros((op.at as f64 / config.speedup) as u64);
-        let scheduled = start + at;
+    let mut start = Instant::now();
+    let mut offered = 0u64;
+    let mut source_error: Option<SourceError> = None;
+    loop {
+        let (at, op) = match source.next_op() {
+            Ok(Some(item)) => item,
+            Ok(None) => break,
+            Err(err) => {
+                source_error = Some(err);
+                break;
+            }
+        };
+        if offered == 0 {
+            start = Instant::now();
+        }
+        offered += 1;
+        let scheduled = start + Duration::from_micros(scaled_arrival_micros(at, config.speedup));
         let now = Instant::now();
         if scheduled > now {
             std::thread::sleep(scheduled - now);
@@ -308,6 +387,9 @@ pub fn drive(
         drop(q);
         shared.ready.notify_one();
     }
+    // Mark the stream done and drain: on a source error this is the early
+    // termination path, and the already-queued ops are still completed,
+    // shed, or expired — never silently dropped.
     {
         let mut q = shared.queue.lock().expect("queue poisoned");
         q.done = true;
@@ -342,7 +424,13 @@ pub fn drive(
         report.completed + report.shed + report.expired + report.aborted,
         "every offered op is accounted for exactly once"
     );
-    Ok(report)
+    match source_error {
+        None => Ok(report),
+        Some(err) => Err(DriveError::Source {
+            message: err.0,
+            report: Box::new(report),
+        }),
+    }
 }
 
 fn worker(
@@ -596,5 +684,153 @@ mod tests {
         let text = report.render();
         assert!(text.contains("offered 0"));
         assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn scaled_arrivals_keep_integer_precision() {
+        // A far-future arrival the old f64 path rounds away: (1<<60) + 12345
+        // has 61 significant bits, so `as f64` collapses it to a multiple
+        // of 16 and the replay schedule silently drifts.
+        let far = (1u64 << 60) + 12_345;
+        assert_eq!(scaled_arrival_micros(far, 1.0), far);
+        assert_eq!(scaled_arrival_micros(u64::MAX, 1.0), u64::MAX);
+        // Integral speedups divide exactly, at any magnitude.
+        assert_eq!(scaled_arrival_micros(1_000_000, 4.0), 250_000);
+        assert_eq!(scaled_arrival_micros(far, 2.0), far / 2);
+        // Sub-1 speedups stretch time; the result clamps instead of wrapping.
+        assert_eq!(scaled_arrival_micros(1_000, 0.5), 2_000);
+        assert_eq!(scaled_arrival_micros(u64::MAX, 0.5), u64::MAX);
+        // Extreme compression: u64::MAX µs at 1e18x is 18 µs of wall time.
+        assert_eq!(scaled_arrival_micros(u64::MAX, 1e18), 18);
+        // Degenerate divisors stay safe at both ends.
+        assert_eq!(scaled_arrival_micros(u64::MAX, f64::MAX), 0);
+        assert_eq!(scaled_arrival_micros(u64::MAX, f64::MIN_POSITIVE), u64::MAX);
+        assert_eq!(scaled_arrival_micros(0, 1.0), 0);
+    }
+
+    #[test]
+    fn far_future_arrivals_drive_cleanly_at_high_speedup() {
+        // Timestamps past 2^53 µs (where f64 pacing lost precision) still
+        // replay: at 1e15x the whole stream lands within ~18 ms of wall time.
+        let ops: Vec<_> = (0..4)
+            .map(|i| op((1u64 << 60) + i * 1_000_000_000, i))
+            .collect();
+        let config = DriveConfig {
+            speedup: 1e15,
+            max_in_flight: 2,
+            ..DriveConfig::default()
+        };
+        let report = drive(
+            ops,
+            Arc::new(Flaky {
+                fail_first: 0,
+                calls: AtomicU32::new(0),
+            }),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(report.completed, 4);
+    }
+
+    /// A source that yields `good` ops and then fails, like a spill
+    /// capture cut off mid-frame.
+    struct FailingSource {
+        good: u64,
+        yielded: u64,
+    }
+
+    impl OpSource for FailingSource {
+        fn next_op(&mut self) -> Result<Option<(u64, OpRecord)>, SourceError> {
+            if self.yielded < self.good {
+                self.yielded += 1;
+                Ok(Some((0, op(0, self.yielded))))
+            } else {
+                Err(SourceError("stream cut".into()))
+            }
+        }
+    }
+
+    #[test]
+    fn source_error_drains_queued_ops_and_accounts_for_them() {
+        let config = DriveConfig {
+            speedup: 1e6,
+            max_in_flight: 2,
+            ..DriveConfig::default()
+        };
+        let err = drive_stream(
+            FailingSource {
+                good: 10,
+                yielded: 0,
+            },
+            Arc::new(Flaky {
+                fail_first: 0,
+                calls: AtomicU32::new(0),
+            }),
+            &config,
+        )
+        .unwrap_err();
+        match err {
+            DriveError::Source { message, report } => {
+                assert_eq!(message, "stream cut");
+                assert_eq!(report.offered, 10);
+                // The conservation identity holds over the ops actually
+                // offered before the failure.
+                assert_eq!(
+                    report.offered,
+                    report.completed + report.shed + report.expired + report.aborted
+                );
+                assert_eq!(report.completed, 10);
+                let text = format!("{}", DriveError::Source { message, report });
+                assert!(text.contains("after 10 ops"), "{text}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_error_before_any_op_carries_an_empty_report() {
+        let err = drive_stream(
+            FailingSource {
+                good: 0,
+                yielded: 0,
+            },
+            Arc::new(Flaky {
+                fail_first: 0,
+                calls: AtomicU32::new(0),
+            }),
+            &DriveConfig::default(),
+        )
+        .unwrap_err();
+        match err {
+            DriveError::Source { report, .. } => assert_eq!(report.offered, 0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn vec_source_yields_sorted_timestamps() {
+        let mut source = VecSource::new(vec![op(30, 0), op(10, 1), op(20, 2)]);
+        let mut ats = Vec::new();
+        while let Some((at, _)) = source.next_op().unwrap() {
+            ats.push(at);
+        }
+        assert_eq!(ats, vec![10, 20, 30]);
+        assert!(source.next_op().unwrap().is_none());
+    }
+
+    #[test]
+    fn channel_source_ends_with_finish_hook() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(2);
+        let mut source =
+            ChannelSource::new(rx).on_finish(Box::new(|| Err(SourceError("producer died".into()))));
+        tx.send(op(5, 0)).unwrap();
+        drop(tx);
+        assert_eq!(source.next_op().unwrap().unwrap().0, 5);
+        assert_eq!(
+            source.next_op().unwrap_err(),
+            SourceError("producer died".into())
+        );
+        // The hook fires once; afterwards the stream is a clean end.
+        assert!(source.next_op().unwrap().is_none());
     }
 }

@@ -51,7 +51,7 @@ pub use session::MAX_ACCESS_BYTES;
 pub use shard::{
     merge_shard_logs, merge_spill_shards, shard_model_seed, ShardEnv, ShardPlan, ShardedDesDriver,
 };
-pub use sink::{LogSink, SummarySink};
+pub use sink::{ChannelSink, LogSink, SummarySink};
 pub use spec::{AccessPattern, CategoryUsage, PopulationSpec, RunConfig, UserTypeSpec};
 pub use spill::{
     read_spill, read_spill_path, SpillCodec, SpillReader, SpillRecord, SpillSink, FRAME_CAP,

@@ -9,6 +9,7 @@
 //! aggregates and retains O(1) memory regardless of run length.
 
 use crate::log::{OpRecord, SessionRecord, UsageLog};
+use std::sync::mpsc::{Receiver, SyncSender};
 
 /// A destination for the records a driver produces.
 ///
@@ -45,6 +46,54 @@ impl<A: LogSink, B: LogSink> LogSink for (A, B) {
         self.0.record_session(session);
         self.1.record_session(session);
     }
+}
+
+/// Bounded-channel sink: forwards each op record to a consumer on another
+/// thread, blocking once the channel holds `capacity` records. That block
+/// *is* the backpressure — a DES run producing on one thread and a
+/// consumer pacing on another hold at most O(capacity) records resident
+/// between them, however long the run. Session records are dropped (the
+/// consumer side of this sink is an op stream).
+///
+/// If the receiver goes away the sink stops sending and the run finishes
+/// normally; [`ChannelSink::is_disconnected`] reports that it happened.
+#[derive(Debug)]
+pub struct ChannelSink {
+    tx: SyncSender<OpRecord>,
+    disconnected: bool,
+}
+
+impl ChannelSink {
+    /// A sink/receiver pair over a channel buffering `capacity` records
+    /// (floored at one).
+    pub fn bounded(capacity: usize) -> (Self, Receiver<OpRecord>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+        (
+            Self {
+                tx,
+                disconnected: false,
+            },
+            rx,
+        )
+    }
+
+    /// True once the receiver has hung up; later records are discarded.
+    pub fn is_disconnected(&self) -> bool {
+        self.disconnected
+    }
+}
+
+impl LogSink for ChannelSink {
+    fn record_op(&mut self, op: &OpRecord) {
+        if self.disconnected {
+            return;
+        }
+        if self.tx.send(*op).is_err() {
+            self.disconnected = true;
+        }
+    }
+
+    fn record_session(&mut self, _session: &SessionRecord) {}
 }
 
 /// One metric's running moments: the raw sum (so the reported mean is
@@ -472,5 +521,55 @@ mod tests {
         tee.record_op(&op(OpKind::Read, 64, 3));
         assert_eq!(tee.0.data_ops, 1);
         assert_eq!(tee.1.ops().len(), 1);
+    }
+
+    #[test]
+    fn channel_sink_preserves_op_order_under_backpressure() {
+        // Capacity 2 forces the producer to block on the consumer; the
+        // records still arrive exactly once, in recording order.
+        let (mut sink, rx) = ChannelSink::bounded(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100u64 {
+                sink.record_op(&op(OpKind::Read, i + 1, i));
+            }
+            sink.is_disconnected()
+        });
+        let got: Vec<u64> = rx.iter().map(|record| record.response).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(!producer.join().unwrap());
+    }
+
+    #[test]
+    fn channel_sink_survives_a_hung_up_receiver() {
+        let (mut sink, rx) = ChannelSink::bounded(1);
+        drop(rx);
+        // No panic, records silently discarded, and the hangup is visible.
+        sink.record_op(&op(OpKind::Read, 8, 1));
+        sink.record_op(&op(OpKind::Write, 8, 2));
+        assert!(sink.is_disconnected());
+    }
+
+    #[test]
+    fn channel_sink_ignores_sessions() {
+        let (mut sink, rx) = ChannelSink::bounded(4);
+        sink.record_session(&SessionRecord {
+            user: 0,
+            user_type: 0,
+            session: 0,
+            start: 0,
+            end: 1,
+            ops: 0,
+            files_referenced: 0,
+            file_bytes_referenced: 0,
+            bytes_accessed: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            total_response: 0,
+        });
+        sink.record_op(&op(OpKind::Read, 8, 7));
+        drop(sink);
+        let got: Vec<_> = rx.iter().collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].response, 7);
     }
 }
