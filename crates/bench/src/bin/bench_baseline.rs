@@ -1,5 +1,5 @@
 //! Perf-baseline snapshot: measures the hot paths this repo's performance
-//! work targets and writes a machine-readable `BENCH_*.json` (schema 7).
+//! work targets and writes a machine-readable `BENCH_*.json` (schema 8).
 //!
 //! Measurements:
 //!
@@ -44,7 +44,11 @@
 //!     the full log, then drive the `Vec`) vs the streaming way (a live
 //!     DES producer feeding the pacer through a bounded channel). The
 //!     acceptance bar: the streamed peak is O(queue), not O(run length),
-//!     so the ratio must stay ≫ 1.
+//!     so the ratio must stay ≫ 1;
+//! 12. **User-arena memory** (schema 8) — resident bytes/user and users/sec
+//!     of the DES driver itself at 1M and 10M users on an idle-heavy
+//!     population, against the committed pre-refactor (per-user struct)
+//!     measurement. The acceptance bar: ≥ 4× fewer bytes/user at 1M.
 //!
 //! Usage: `cargo run --release -p uswg-bench --bin bench_baseline [out.json]`
 //! (default output `BENCH_baseline.json` in the current directory). CI runs
@@ -301,6 +305,39 @@ struct DriveMemory {
 }
 
 #[derive(Debug, Serialize)]
+struct UserMemoryPoint {
+    users: usize,
+    /// Peak bytes allocated above the pre-run water line by the DES run
+    /// itself: user arenas, scheduler queue and simulation turnover. The
+    /// file system, catalog and compiled tables are built *outside* the
+    /// measured window — they are O(spec), not O(users), and would only
+    /// dilute the per-user figure.
+    driver_peak_bytes: usize,
+    /// `driver_peak_bytes / users` — the headline "memory diet" figure.
+    bytes_per_user: f64,
+    wall_ms: f64,
+    /// Whole-population throughput: `users / wall_clock` of one run in
+    /// which every user completes one login session.
+    users_per_sec: f64,
+    sessions: u64,
+    ops: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct UserMemory {
+    sessions_per_user: u32,
+    /// bytes/user of the same 1M-user workload measured on the
+    /// pre-refactor driver (PR 7: one `UserState` struct per user, with
+    /// its `Process`, `Option<Session>` and retry slots inline), on this
+    /// container — the fixed denominator of `reduction_vs_pre_1m`.
+    pre_refactor_bytes_per_user_1m: f64,
+    /// `pre_refactor_bytes_per_user_1m / bytes_per_user` at 1M users —
+    /// the schema-8 acceptance line (must stay ≥ 4).
+    reduction_vs_pre_1m: f64,
+    points: Vec<UserMemoryPoint>,
+}
+
+#[derive(Debug, Serialize)]
 struct Baseline {
     schema: u32,
     sampling: Vec<SamplingPoint>,
@@ -314,6 +351,7 @@ struct Baseline {
     shard_spill: ShardSpillMemory,
     faults: FaultBench,
     drive_memory: DriveMemory,
+    user_memory: UserMemory,
 }
 
 /// Times `f` over enough iterations to fill ~200 ms; returns ns/iter.
@@ -855,6 +893,89 @@ fn measure_drive_memory() -> DriveMemory {
     }
 }
 
+/// bytes/user at 1M users measured on the pre-arena driver (PR 7's
+/// `Vec<UserState>`: per-user `Process`, `Option<Session>`, retry slots and
+/// behaviour machine inline), on this container, same workload and backend
+/// as [`measure_user_memory`]'s points. Committed as a constant so the
+/// schema-8 reduction line keeps comparing against the historical layout
+/// after the old code path is gone.
+const PRE_REFACTOR_BYTES_PER_USER_1M: f64 = 470.9;
+
+/// Schema 8: resident bytes/user and users/sec of the DES driver itself at
+/// 1M and 10M users. The population is the "idle-heavy" regime the arena
+/// diet targets — every category is shared, preexisting and gated to 2% of
+/// sessions, so the file system stays O(shared files) while the user
+/// arenas carry the full population (this is also how a million-user spec
+/// must be written; see `specs/million-user.json`).
+fn measure_user_memory() -> UserMemory {
+    use uswg_core::{DesDriver, Owner, PopulationSpec, ResourcePool, UsageClass};
+    let mut spec = bench_spec(64, 1);
+    let mut heavy = spec.population.types()[0].0.clone();
+    heavy.categories.retain(|usage| {
+        usage.category.preexisting()
+            && usage.category.owner == Owner::Other
+            && usage.category.usage != UsageClass::ReadWrite
+    });
+    for usage in &mut heavy.categories {
+        usage.pct_users = 0.02;
+    }
+    spec.population = PopulationSpec::single(heavy).expect("population builds");
+    spec.run.record_ops = false;
+    // The calendar queue is the documented backend beyond ~100k users; the
+    // pre-refactor constant above was measured under the same backend.
+    spec.run.scheduler = Some(SchedulerBackend::Calendar);
+    let model = ModelConfig::default_local();
+    let run_point = |users: usize| -> UserMemoryPoint {
+        // Environment built outside the measured window: O(spec) state.
+        let (vfs, catalog) = spec.generate_fs().expect("fs builds");
+        let population = spec.compile().expect("compiles");
+        let mut pool = ResourcePool::new();
+        let built = model.build(&mut pool);
+        let mut config = spec.run;
+        config.n_users = users;
+        let mut out = None;
+        let start = Instant::now();
+        // One trial: at 10M users the run is seconds long, far above timer
+        // noise, and the peak is deterministic for a fixed seed.
+        let driver_peak_bytes = peak_alloc_during(|| {
+            out = Some(
+                DesDriver::new()
+                    .run_with_sink(
+                        vfs,
+                        catalog,
+                        &population,
+                        built,
+                        pool,
+                        &config,
+                        SummarySink::new(),
+                    )
+                    .expect("runs"),
+            );
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let (sink, _) = out.expect("ran");
+        UserMemoryPoint {
+            users,
+            driver_peak_bytes,
+            bytes_per_user: driver_peak_bytes as f64 / users as f64,
+            wall_ms: wall * 1e3,
+            users_per_sec: users as f64 / wall,
+            sessions: sink.sessions,
+            ops: sink.ops,
+        }
+    };
+    // Warm the allocator and lazy tables off a small population first.
+    let _ = run_point(10_000);
+    let points = vec![run_point(1_000_000), run_point(10_000_000)];
+    let bytes_per_user_1m = points[0].bytes_per_user;
+    UserMemory {
+        sessions_per_user: spec.run.sessions_per_user,
+        pre_refactor_bytes_per_user_1m: PRE_REFACTOR_BYTES_PER_USER_1M,
+        reduction_vs_pre_1m: PRE_REFACTOR_BYTES_PER_USER_1M / bytes_per_user_1m,
+        points,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -880,9 +1001,11 @@ fn main() {
     let faults = measure_faults();
     eprintln!("measuring drive memory (streamed vs materialized)...");
     let drive_memory = measure_drive_memory();
+    eprintln!("measuring user-arena memory (1M/10M users)...");
+    let user_memory = measure_user_memory();
 
     let baseline = Baseline {
-        schema: 7,
+        schema: 8,
         sampling,
         des,
         scheduler,
@@ -894,6 +1017,7 @@ fn main() {
         shard_spill,
         faults,
         drive_memory,
+        user_memory,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializes");
     std::fs::write(&out_path, &json).expect("snapshot written");

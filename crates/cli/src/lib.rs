@@ -68,6 +68,12 @@ pub enum Command {
         /// instances (None = the spec's choice, which itself defaults to
         /// `USWG_SHARDS` or the exact unsharded path).
         shards: Option<NonZeroUsize>,
+        /// Override the spec's population size (the scale knob for smoke
+        /// runs; applied before the file system is generated).
+        users: Option<NonZeroUsize>,
+        /// Stream into the O(1) summary sink and print only the headline
+        /// numbers — no usage log is materialized (requires a model).
+        summary: bool,
     },
     /// `sweep <path>`: run one of the Chapter 5 sweeps.
     Sweep {
@@ -268,6 +274,12 @@ USAGE:
                        approximates resource contention per shard; with
                        --spill the per-shard streams spill to disk and k-way
                        merge frame-by-frame — memory stays flat in K)
+      --users <N>      override the spec's population size before the file
+                       system is generated (scale knob for smoke runs)
+      --summary        stream into the O(1) summary sink and print only the
+                       headline numbers — no usage log is kept, so memory
+                       stays flat at any population (model runs only;
+                       conflicts with --out/--spill)
   uswg sweep <spec.json> --model <M> <AXIS> [OPTIONS]
                                         run a Chapter 5 sweep across cores
       <AXIS> = --users 1,2,4,8 | --mix 0,0.5,1 | --sizes 128,512,2048
@@ -661,6 +673,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut scheduler = None;
             let mut spill = None;
             let mut shards = None;
+            let mut users = None;
+            let mut summary = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -703,6 +717,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         shards = Some(parse_shards(v)?);
                         i += 2;
                     }
+                    "--users" => {
+                        let v = args
+                            .get(i + 1)
+                            .ok_or_else(|| CliError::Usage("--users needs a count".into()))?;
+                        users = Some(v.parse::<NonZeroUsize>().map_err(|_| {
+                            CliError::Usage(format!("--users needs a positive count, got `{v}`"))
+                        })?);
+                        i += 2;
+                    }
+                    "--summary" => {
+                        summary = true;
+                        i += 1;
+                    }
                     other => {
                         return Err(CliError::Usage(format!("unknown flag `{other}`")));
                     }
@@ -718,6 +745,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     "--shards needs a timing model (the direct driver is single-instance)".into(),
                 ));
             }
+            if summary && model.is_none() {
+                return Err(CliError::Usage(
+                    "--summary needs a timing model (the direct driver materializes its log)"
+                        .into(),
+                ));
+            }
+            if summary && (out.is_some() || spill.is_some()) {
+                return Err(CliError::Usage(
+                    "--summary keeps no log, so --out/--spill have nothing to write".into(),
+                ));
+            }
             Ok(Command::Run {
                 path,
                 model,
@@ -725,6 +763,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 scheduler,
                 spill,
                 shards,
+                users,
+                summary,
             })
         }
         "sweep" => {
@@ -878,6 +918,8 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
             scheduler,
             spill,
             shards,
+            users,
+            summary: summary_only,
         } => {
             let mut spec = WorkloadSpec::from_json(&std::fs::read_to_string(&path)?)?;
             if let Some(backend) = scheduler {
@@ -885,6 +927,31 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
             }
             if let Some(k) = shards {
                 spec.run.shards = Some(k);
+            }
+            if let Some(n) = users {
+                // Applied before the file system is generated, so the run is a
+                // full-fidelity rescale of the spec, not a truncation of its log.
+                spec.run.n_users = n.get();
+            }
+            if summary_only {
+                // Headline numbers only: stream into the O(1) summary sink and
+                // never materialize a usage log. This is the million-user smoke
+                // path — resident memory is the user arenas plus the sink.
+                // parse_args enforces this too, but Command is a public type —
+                // keep execute total over hand-built values.
+                let m = model.as_ref().ok_or_else(|| {
+                    CliError::Usage(
+                        "--summary needs a timing model (the direct driver materializes its log)"
+                            .into(),
+                    )
+                })?;
+                let (sink, stats) = spec.run_des_with_sink(m, SummarySink::new())?;
+                let mut text = format!(
+                    "model {} | {} events | {} simulated\n",
+                    stats.model, stats.events, stats.duration
+                );
+                text.push_str(&render_summary_sink(&sink));
+                return ok(text);
             }
             if let Some(spill_path) = spill {
                 // Memory-flat full-fidelity run: records stream to disk
@@ -968,11 +1035,9 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
             if let Some(k) = shards {
                 spec.run.shards = Some(k);
             }
-            let (jobs, clamp_note) = clamp_jobs_for_shards(
-                jobs,
-                spec.run.effective_shards().map_or(1, NonZeroUsize::get),
-                host_cores(),
-            );
+            // No jobs × shards clamp here: sweep workers and nested shard
+            // workers lease threads from stealpool's one global budget, so
+            // any request composes to at most the host's cores.
             let parallelism = parallelism_from_jobs(jobs)?;
             let (x_label, points) = match &axis {
                 SweepAxis::Users(users) => (
@@ -994,9 +1059,7 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
                     )?,
                 ),
             };
-            let mut text = clamp_note.unwrap_or_default();
-            text.push_str(&render_sweep(&model, x_label, &points, mode));
-            ok(text)
+            ok(render_sweep(&model, x_label, &points, mode))
         }
         Command::Replicate {
             path,
@@ -1014,17 +1077,10 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
             if let Some(k) = shards {
                 spec.run.shards = Some(k);
             }
-            let (jobs, clamp_note) = clamp_jobs_for_shards(
-                jobs,
-                spec.run.effective_shards().map_or(1, NonZeroUsize::get),
-                host_cores(),
-            );
             let parallelism = parallelism_from_jobs(jobs)?;
             let seeds = seeds.resolve(spec.run.seed);
             let study = run_des_replicated(&spec, &model, seeds, parallelism, mode)?;
-            let mut text = clamp_note.unwrap_or_default();
-            text.push_str(&render_replication(&model, &study));
-            ok(text)
+            ok(render_replication(&model, &study))
         }
         Command::Fit { path, family } => {
             let data = read_data(&path)?;
@@ -1178,36 +1234,6 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
             }
         }
     }
-}
-
-/// Worker threads the host can actually run in parallel.
-fn host_cores() -> usize {
-    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
-}
-
-/// Clamps the sweep/replicate worker count so `jobs × shards` never
-/// oversubscribes the host: each outer worker runs `shards` DES threads of
-/// its own, and K× oversubscription thrashes rather than parallelizes.
-/// Returns the (possibly clamped) job override and a one-line note for the
-/// report when clamping happened.
-fn clamp_jobs_for_shards(
-    jobs: Option<usize>,
-    shards: usize,
-    cores: usize,
-) -> (Option<usize>, Option<String>) {
-    let requested = jobs.unwrap_or(cores).max(1);
-    if shards <= 1 || requested.saturating_mul(shards) <= cores {
-        return (jobs, None);
-    }
-    let clamped = (cores / shards).max(1);
-    if clamped >= requested {
-        return (jobs, None);
-    }
-    let note = format!(
-        "note: {requested} jobs x {shards} shards oversubscribes {cores} cores; \
-         clamping to --jobs {clamped}\n"
-    );
-    (Some(clamped), Some(note))
 }
 
 /// The human-readable name of a spill codec.
@@ -1634,6 +1660,8 @@ mod tests {
                 scheduler,
                 spill,
                 shards,
+                users,
+                summary,
             } => {
                 assert_eq!(path, "spec.json");
                 assert_eq!(model.unwrap().name(), "nfs");
@@ -1641,6 +1669,16 @@ mod tests {
                 assert_eq!(scheduler, None);
                 assert_eq!(spill, None);
                 assert_eq!(shards, None);
+                assert_eq!(users, None);
+                assert!(!summary);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(argv("run spec.json --model nfs --summary --users 1000000")).unwrap();
+        match cmd {
+            Command::Run { users, summary, .. } => {
+                assert_eq!(users, NonZeroUsize::new(1_000_000));
+                assert!(summary);
             }
             other => panic!("{other:?}"),
         }
@@ -1691,6 +1729,15 @@ mod tests {
         // The spill path needs a timing model to stream from.
         assert!(parse_args(argv("run spec.json --spill log.bin")).is_err());
         assert!(parse_args(argv("run spec.json --direct --spill log.bin")).is_err());
+        // Summary mode streams through the DES, so it also needs a model,
+        // and it keeps no log for --out/--spill to write.
+        assert!(parse_args(argv("run spec.json --summary")).is_err());
+        assert!(parse_args(argv("run spec.json --model nfs --summary --out log.json")).is_err());
+        assert!(parse_args(argv("run spec.json --model nfs --summary --spill log.bin")).is_err());
+        // The population override must be a positive count.
+        assert!(parse_args(argv("run spec.json --users 0")).is_err());
+        assert!(parse_args(argv("run spec.json --users many")).is_err());
+        assert!(parse_args(argv("run spec.json --users")).is_err());
         // Sharding is a DES-driver feature: no model, no shards; and the
         // count must be a positive integer.
         assert!(parse_args(argv("run spec.json --shards 2")).is_err());
@@ -1873,32 +1920,6 @@ mod tests {
     }
 
     #[test]
-    fn clamp_only_fires_on_oversubscription() {
-        // Unsharded: never clamps, whatever the request.
-        assert_eq!(clamp_jobs_for_shards(Some(64), 1, 8), (Some(64), None));
-        // Fits: untouched.
-        assert_eq!(clamp_jobs_for_shards(Some(2), 4, 8), (Some(2), None));
-        // Auto jobs is one per core, so sharding always oversubscribes it:
-        // auto resolves to cores/shards with a note.
-        let (jobs, note) = clamp_jobs_for_shards(None, 2, 16);
-        assert_eq!(jobs, Some(8));
-        assert!(note.is_some());
-        // Oversubscribed: clamped to cores/shards, floor 1, with a note.
-        let (jobs, note) = clamp_jobs_for_shards(Some(8), 4, 8);
-        assert_eq!(jobs, Some(2));
-        let note = note.unwrap();
-        assert!(note.contains("oversubscribes 8 cores"), "{note}");
-        assert!(note.contains("--jobs 2"), "{note}");
-        // Auto jobs (one per core) oversubscribes too once sharded.
-        let (jobs, note) = clamp_jobs_for_shards(None, 4, 8);
-        assert_eq!(jobs, Some(2));
-        assert!(note.is_some());
-        // More shards than cores: floor at one job.
-        let (jobs, _) = clamp_jobs_for_shards(Some(4), 16, 8);
-        assert_eq!(jobs, Some(1));
-    }
-
-    #[test]
     fn parses_families() {
         assert_eq!(parse_family("exp").unwrap(), Family::Exponential);
         assert_eq!(parse_family("phase:3").unwrap(), Family::PhaseType(3));
@@ -1949,6 +1970,8 @@ mod tests {
             scheduler: None,
             spill: None,
             shards: None,
+            users: None,
+            summary: false,
         })
         .unwrap();
         assert!(out.contains("Per-system-call summary"));
@@ -1966,12 +1989,30 @@ mod tests {
                 scheduler,
                 spill: None,
                 shards: None,
+                users: None,
+                summary: false,
             })
             .unwrap()
         };
         let out = run_with(Some(SchedulerBackend::Heap));
         assert!(out.contains("response time per byte"));
         assert_eq!(out, run_with(Some(SchedulerBackend::Calendar)));
+
+        // summary mode with a population override: O(1)-memory headline run.
+        let out = execute(Command::Run {
+            path: spec_path.to_string_lossy().into(),
+            model: Some(ModelConfig::default_local()),
+            out: None,
+            scheduler: None,
+            spill: None,
+            shards: None,
+            users: NonZeroUsize::new(3),
+            summary: true,
+        })
+        .unwrap();
+        // 3 users × 2 sessions each: the override reached the DES.
+        assert!(out.contains("model local"));
+        assert!(out.contains("sessions: 6"));
 
         // fit
         let data_path = dir.join("data.txt");

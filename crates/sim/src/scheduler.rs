@@ -170,6 +170,32 @@ impl<E> Queue<E> {
     }
 }
 
+/// A lazily materialized block of time-zero seed events: event `i` of
+/// `count` is `make(i)`, occupying slot `(SimTime::ZERO, seq = i)` in the
+/// drain order. Population-scale simulations seed one wake-up per user;
+/// materializing those up front costs O(users) queue memory for events
+/// whose content is a pure function of their index. Streaming them instead
+/// is free: every seed sequence number is below every dynamic sequence
+/// number (the scheduler's counter starts at `count`), and `now` cannot
+/// advance while a time-zero event remains, so a pending seed event *always*
+/// precedes the entire queue — [`Scheduler::pop`] can drain the stream
+/// unconditionally, no peek or merge required. The drain order is
+/// byte-identical to scheduling the same events eagerly before `run`.
+struct SeedEvents<E> {
+    make: Box<dyn FnMut(usize) -> E + Send>,
+    next: usize,
+    count: usize,
+}
+
+impl<E> std::fmt::Debug for SeedEvents<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeedEvents")
+            .field("next", &self.next)
+            .field("count", &self.count)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The event queue and virtual clock of a simulation.
 #[derive(Debug)]
 pub struct Scheduler<E> {
@@ -177,6 +203,7 @@ pub struct Scheduler<E> {
     seq: u64,
     backend: SchedulerBackend,
     queue: Queue<E>,
+    seed: Option<SeedEvents<E>>,
 }
 
 impl<E> std::fmt::Debug for Scheduled<E> {
@@ -206,7 +233,32 @@ impl<E> Scheduler<E> {
                 SchedulerBackend::Heap => Queue::Heap(BinaryHeap::with_capacity(capacity)),
                 SchedulerBackend::Calendar => Queue::Calendar(CalendarQueue::new()),
             },
+            seed: None,
         }
+    }
+
+    /// Like `with_backend`, but with `count` time-zero seed events streamed
+    /// lazily from `make` instead of stored (see [`SeedEvents`]). The seed
+    /// events own sequence numbers `0..count`; dynamically scheduled events
+    /// continue from `count`, so the drain order is byte-identical to
+    /// calling `schedule(0, make(i))` for each `i` before the first pop —
+    /// without ever holding the seeds in memory.
+    fn with_backend_seeded(
+        backend: SchedulerBackend,
+        capacity: usize,
+        count: usize,
+        make: impl FnMut(usize) -> E + Send + 'static,
+    ) -> Self {
+        let mut sched = Self::with_backend(backend, capacity);
+        sched.seq = count as u64;
+        if count > 0 {
+            sched.seed = Some(SeedEvents {
+                make: Box::new(make),
+                next: 0,
+                count,
+            });
+        }
+        sched
     }
 
     /// The backend this scheduler runs on.
@@ -238,9 +290,9 @@ impl<E> Scheduler<E> {
         self.queue.push(Scheduled { at, seq, event });
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending (queued plus unstreamed seed events).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.seed.as_ref().map_or(0, |s| s.count - s.next)
     }
 
     /// Pre-allocates room for at least `additional` more pending events, so
@@ -251,6 +303,22 @@ impl<E> Scheduler<E> {
 
     #[inline]
     fn pop(&mut self) -> Option<Scheduled<E>> {
+        // A pending seed event is (ZERO, seq < count): it precedes every
+        // queued event, whose time is ≥ 0 and whose seq is ≥ count. No
+        // comparison against the queue top is needed (see [`SeedEvents`]).
+        if let Some(seed) = self.seed.as_mut() {
+            let i = seed.next;
+            seed.next += 1;
+            let event = (seed.make)(i);
+            if seed.next == seed.count {
+                self.seed = None;
+            }
+            return Some(Scheduled {
+                at: SimTime::ZERO,
+                seq: i as u64,
+                event,
+            });
+        }
         self.queue.pop()
     }
 
@@ -262,6 +330,13 @@ impl<E> Scheduler<E> {
     /// time, and leaving it there would let later `schedule` calls insert
     /// events below the search window — draining them out of order.
     fn unpop(&mut self, ev: Scheduled<E>) {
+        // Only deadline overshoots land here, and a seed event (time zero)
+        // cannot overshoot any deadline — so reinserting into the queue
+        // while seeds still stream first can never reorder against them.
+        debug_assert!(
+            self.seed.is_none() || ev.at > SimTime::ZERO,
+            "a time-zero seed event cannot overshoot a deadline"
+        );
         if let Queue::Calendar(c) = &mut self.queue {
             c.reanchor(self.now.micros());
         }
@@ -306,6 +381,28 @@ impl<W: World> Simulation<W> {
         Self {
             world,
             sched: Scheduler::with_backend(backend, capacity),
+        }
+    }
+
+    /// Creates a simulation pre-loaded with `count` time-zero seed events,
+    /// streamed lazily: event `i` is `make(i)`, fired in index order before
+    /// every dynamically scheduled event. Byte-identical to calling
+    /// `schedule(0, make(i))` for `i` in `0..count` after construction, but
+    /// the seeds occupy no queue memory — the difference between O(users)
+    /// and O(live events) resident footprint for population-scale runs
+    /// whose users are mostly idle at any instant.
+    ///
+    /// `capacity` pre-sizes the queue for *dynamic* events only.
+    pub fn with_backend_seeded(
+        world: W,
+        backend: SchedulerBackend,
+        capacity: usize,
+        count: usize,
+        make: impl FnMut(usize) -> W::Event + Send + 'static,
+    ) -> Self {
+        Self {
+            world,
+            sched: Scheduler::with_backend_seeded(backend, capacity, count, make),
         }
     }
 

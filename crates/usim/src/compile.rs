@@ -26,10 +26,12 @@ pub(crate) struct CompiledCategoryUsage {
 
 /// Per-user progress of the time-varying behaviour models (current Markov
 /// phase). Create one per simulated user with
-/// [`CompiledUserType::new_behavior`].
+/// [`CompiledUserType::new_behavior`]. Packed to `u32`: the whole
+/// population pays for this once per user (a user-arena column), and a
+/// phase chain is spec data — a handful of states, nowhere near 2³².
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BehaviorState {
-    phase: usize,
+    phase: u32,
 }
 
 /// A compiled user type, ready for simulation.
@@ -73,8 +75,8 @@ impl CompiledUserType {
         let scale = match &self.phases {
             Some(model) => {
                 let u = uniform01(rng);
-                behavior.phase = model.step(behavior.phase, u);
-                model.scale(behavior.phase)
+                behavior.phase = model.step(behavior.phase as usize, u) as u32;
+                model.scale(behavior.phase as usize)
             }
             None => 1.0,
         };
@@ -179,21 +181,40 @@ impl CompiledPopulation {
     /// Deterministic proportional assignment of users to type indices (see
     /// [`PopulationSpec::assign`]).
     pub fn assign(&self, n_users: usize) -> Vec<usize> {
-        let mut out = Vec::with_capacity(n_users);
-        for i in 0..n_users {
-            let target = (i as f64 + 0.5) / n_users as f64;
-            let mut acc = 0.0;
-            let mut chosen = self.types.len() - 1;
-            for (idx, &frac) in self.fractions.iter().enumerate() {
-                acc += frac;
-                if target < acc + 1e-12 {
-                    chosen = idx;
-                    break;
-                }
+        (0..n_users).map(|i| self.type_of(i, n_users)).collect()
+    }
+
+    /// The type index [`Self::assign`] gives user `i` of an `n_users`
+    /// population — the same proportional split, evaluated per user in
+    /// O(types). This is what the columnar user arenas call, so a
+    /// million-user run never materializes the population-wide assignment
+    /// vector.
+    pub fn type_of(&self, i: usize, n_users: usize) -> usize {
+        let target = (i as f64 + 0.5) / n_users as f64;
+        let mut acc = 0.0;
+        let mut chosen = self.types.len() - 1;
+        for (idx, &frac) in self.fractions.iter().enumerate() {
+            acc += frac;
+            if target < acc + 1e-12 {
+                chosen = idx;
+                break;
             }
-            out.push(chosen);
         }
-        out
+        chosen
+    }
+
+    /// Fraction-weighted expected file-access calls per login session
+    /// across the population: the O(types) log-capacity hint the DES
+    /// driver pre-sizes with. The proportional assignment differs from the
+    /// exact fractions only by per-type rounding, which a hint can ignore
+    /// — evaluating the estimate per assigned user would cost
+    /// O(users × categories).
+    pub fn expected_ops_per_user_session(&self) -> f64 {
+        self.types
+            .iter()
+            .zip(&self.fractions)
+            .map(|(t, frac)| frac * t.expected_ops_per_session())
+            .sum()
     }
 
     /// Total CDF-table memory across all types, bytes.

@@ -7,8 +7,23 @@
 //! is the traversal of the timing model's stage chain through the shared
 //! resource pool. Response times therefore include queueing behind every
 //! other user — the effect Chapter 5 measures.
+//!
+//! # Memory layout: cold columns, hot slots
+//!
+//! A million-user population spends almost all of its simulated life logged
+//! out, so per-user state is split by temperature. The whole-run facts —
+//! id, type, behaviour phase, session count, PRNG — live in [`UserArena`],
+//! parallel columns costing tens of bytes per user. Everything a user only
+//! needs *while logged in* — the VFS process, the planned [`Session`], the
+//! in-flight operation and its retry state — is materialized into a
+//! [`HotArena`] slot at login and recycled at logout, so that memory scales
+//! with the number of *concurrently active* users, not the population.
+//! Materialization is invisible to replay: session planning draws from the
+//! same per-user PRNG stream at the same points, so the op stream stays a
+//! pure function of (spec, seed, K) — pinned byte for byte by
+//! `tests/golden_identity.rs`.
 
-use crate::compile::{BehaviorState, CompiledPopulation, CompiledUserType};
+use crate::compile::{BehaviorState, CompiledPopulation};
 use crate::log::{OpRecord, SessionRecord, UsageLog};
 use crate::session::{ExecutedOp, Session, MAX_ACCESS_BYTES};
 use crate::sink::LogSink;
@@ -20,31 +35,95 @@ use uswg_netfs::{PendingOp, ServiceModel, Stage, StepOutcome};
 use uswg_sim::{ResourcePool, ResourceStats, Scheduler, SimTime, Simulation, World};
 use uswg_vfs::{Process, Vfs};
 
-/// Events driving one simulated user.
+/// Events driving one simulated user. The payload is the *local* user
+/// index, packed to `u32` like [`UserArena::gid`] (populations beyond
+/// `u32::MAX` are rejected by [`RunConfig::validate`]): with an 8-byte
+/// payload a queue entry is 32 bytes, with 4 it is 24 — at a million
+/// pending events that is the difference between 32 MB and 24 MB of queue.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// The user's think time expired: issue the next operation.
-    Wake(usize),
+    Wake(u32),
     /// An in-flight operation finished a stage.
-    Step(usize),
+    Step(u32),
 }
 
-/// Per-user simulation state.
-struct UserState {
+/// Hot-slot sentinel: the user is logged out (idle or finished).
+const HOT_NONE: u32 = u32::MAX;
+
+/// Whole-run per-user state as parallel columns (struct of arrays). These
+/// are the only fields a population of N users pays for N times; everything
+/// session-scoped lives in [`HotArena`] slots.
+pub(crate) struct UserArena {
     /// The user's global id: equal to the local slot index in an unsharded
     /// run, and the population-wide index in a shard of a
     /// [`ShardedDesDriver`](crate::ShardedDesDriver) run. Seeds the user's
     /// PRNG stream and labels every record, so a user's behaviour is a
     /// function of the global id alone — independent of how the population
-    /// is partitioned.
-    gid: usize,
+    /// is partitioned. Packed to `u32`; [`RunConfig::validate`] rejects
+    /// larger populations.
+    gid: Vec<u32>,
+    /// Index into the compiled population's types.
+    type_idx: Vec<u16>,
+    behavior: Vec<BehaviorState>,
+    sessions_done: Vec<u32>,
+    rng: Vec<StdRng>,
+    /// The user's [`HotArena`] slot while logged in, [`HOT_NONE`] otherwise.
+    hot: Vec<u32>,
+}
+
+impl UserArena {
+    /// Builds the columns for `members` — the full population for the
+    /// unsharded entry points, one shard's global ids otherwise. The type
+    /// assignment is evaluated per member with
+    /// [`CompiledPopulation::type_of`], so nothing population-sized is ever
+    /// materialized besides the columns themselves.
+    pub(crate) fn build(
+        population: &CompiledPopulation,
+        seed: u64,
+        n_users: usize,
+        members: impl Iterator<Item = usize>,
+        len_hint: usize,
+    ) -> Self {
+        let mut arena = Self {
+            gid: Vec::with_capacity(len_hint),
+            type_idx: Vec::with_capacity(len_hint),
+            behavior: Vec::with_capacity(len_hint),
+            sessions_done: Vec::with_capacity(len_hint),
+            rng: Vec::with_capacity(len_hint),
+            hot: Vec::with_capacity(len_hint),
+        };
+        for gid in members {
+            let t = population.type_of(gid, n_users);
+            arena
+                .gid
+                .push(u32::try_from(gid).expect("validated: population fits u32 ids"));
+            arena
+                .type_idx
+                .push(u16::try_from(t).expect("more than 65535 user types"));
+            arena.behavior.push(population.types()[t].new_behavior());
+            arena.sessions_done.push(0);
+            arena.rng.push(StdRng::seed_from_u64(
+                seed ^ (gid as u64).wrapping_mul(USER_SEED_MUL),
+            ));
+            arena.hot.push(HOT_NONE);
+        }
+        arena
+    }
+
+    /// Number of users in the arena.
+    pub(crate) fn len(&self) -> usize {
+        self.gid.len()
+    }
+}
+
+/// Session-scoped state, materialized at login and recycled at logout: the
+/// planned session, the VFS process (fd table), and the in-flight-op/retry
+/// slots. A logged-out user carries none of this.
+struct HotUser {
     proc: Process,
-    rng: StdRng,
-    type_idx: usize,
-    behavior: BehaviorState,
-    session: Option<Session>,
+    session: Session,
     session_start: SimTime,
-    sessions_done: u32,
     pending: Option<PendingOp>,
     current: Option<(ExecutedOp, SimTime)>,
     /// Attempts made on the current operation (1 = first try). Only read
@@ -52,6 +131,44 @@ struct UserState {
     attempts: u32,
     /// The previous retry backoff, µs — the decorrelated-jitter state.
     prev_backoff: u64,
+}
+
+/// Free-list arena of [`HotUser`] slots, sized by the peak number of
+/// *concurrently logged-in* users rather than the population.
+#[derive(Default)]
+struct HotArena {
+    slots: Vec<Option<HotUser>>,
+    free: Vec<u32>,
+}
+
+impl HotArena {
+    fn acquire(&mut self, hot: HotUser) -> u32 {
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = Some(hot);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("hot slots fit u32");
+                self.slots.push(Some(hot));
+                idx
+            }
+        }
+    }
+
+    fn release(&mut self, idx: u32) -> HotUser {
+        let hot = self.slots[idx as usize]
+            .take()
+            .expect("released slot is live");
+        self.free.push(idx);
+        hot
+    }
+
+    fn get_mut(&mut self, idx: u32) -> &mut HotUser {
+        self.slots[idx as usize]
+            .as_mut()
+            .expect("used slot is live")
+    }
 }
 
 /// The simulated world: file system, catalog, model, pool and users.
@@ -69,7 +186,8 @@ struct UsimWorld<S: LogSink> {
     model_rng: StdRng,
     population: CompiledPopulation,
     config: RunConfig,
-    users: Vec<UserState>,
+    users: UserArena,
+    hot: HotArena,
     buf: Vec<u8>,
     sink: S,
     error: Option<UsimError>,
@@ -77,25 +195,28 @@ struct UsimWorld<S: LogSink> {
 
 impl<S: LogSink> UsimWorld<S> {
     fn finish_session(&mut self, user: usize, now: SimTime) {
-        let state = &mut self.users[user];
-        if let Some(session) = state.session.take() {
-            let m = session.metrics;
-            self.sink.record_session(&SessionRecord {
-                user: state.gid,
-                user_type: session.user_type,
-                session: session.ordinal,
-                start: state.session_start.micros(),
-                end: now.micros(),
-                ops: m.ops,
-                files_referenced: m.files_referenced,
-                file_bytes_referenced: m.file_bytes_referenced,
-                bytes_accessed: m.bytes_read + m.bytes_written,
-                bytes_read: m.bytes_read,
-                bytes_written: m.bytes_written,
-                total_response: m.total_response,
-            });
-            state.sessions_done += 1;
+        let slot = self.users.hot[user];
+        if slot == HOT_NONE {
+            return;
         }
+        let hot = self.hot.release(slot);
+        self.users.hot[user] = HOT_NONE;
+        let m = hot.session.metrics;
+        self.sink.record_session(&SessionRecord {
+            user: self.users.gid[user] as usize,
+            user_type: hot.session.user_type,
+            session: hot.session.ordinal,
+            start: hot.session_start.micros(),
+            end: now.micros(),
+            ops: m.ops,
+            files_referenced: m.files_referenced,
+            file_bytes_referenced: m.file_bytes_referenced,
+            bytes_accessed: m.bytes_read + m.bytes_written,
+            bytes_read: m.bytes_read,
+            bytes_written: m.bytes_written,
+            total_response: m.total_response,
+        });
+        self.users.sessions_done[user] += 1;
     }
 }
 
@@ -109,36 +230,46 @@ impl<S: LogSink> World for UsimWorld<S> {
         let now = sched.now();
         self.vfs.set_clock(now.micros());
         match event {
-            Ev::Wake(user) => {
-                // Ensure a session is active (or the user is finished).
-                if self.users[user].session.is_none() {
-                    if self.users[user].sessions_done >= self.config.sessions_per_user {
+            Ev::Wake(u) => {
+                let user = u as usize;
+                // Materialize a session (or the user is finished). The VFS
+                // process is per session too: process creation is
+                // state-free and fd numbers never reach records or PRNG
+                // streams, so recycling it with the slot is invisible to
+                // replay.
+                if self.users.hot[user] == HOT_NONE {
+                    if self.users.sessions_done[user] >= self.config.sessions_per_user {
                         return;
                     }
-                    let state = &mut self.users[user];
-                    let ordinal = state.sessions_done;
-                    let utype = &self.population.types()[state.type_idx];
+                    let type_idx = usize::from(self.users.type_idx[user]);
                     let session = Session::plan(
-                        state.gid,
-                        state.type_idx,
-                        ordinal,
-                        utype,
+                        self.users.gid[user] as usize,
+                        type_idx,
+                        self.users.sessions_done[user],
+                        &self.population.types()[type_idx],
                         &self.catalog,
-                        &mut state.rng,
+                        &mut self.users.rng[user],
                     );
-                    state.session = Some(session);
-                    state.session_start = now;
+                    self.users.hot[user] = self.hot.acquire(HotUser {
+                        proc: self.vfs.new_process(),
+                        session,
+                        session_start: now,
+                        pending: None,
+                        current: None,
+                        attempts: 0,
+                        prev_backoff: 0,
+                    });
                 }
                 // Issue the next operation.
-                let mut session = self.users[user].session.take().expect("just ensured");
-                let state = &mut self.users[user];
-                let utype = &self.population.types()[state.type_idx];
-                let next = session.next_op(
+                let utype = &self.population.types()[usize::from(self.users.type_idx[user])];
+                let hot = self.hot.get_mut(self.users.hot[user]);
+                let next = hot.session.next_op(
                     &mut self.vfs,
-                    &mut state.proc,
+                    &mut hot.proc,
                     utype,
+                    &self.catalog,
                     &mut self.buf,
-                    &mut state.rng,
+                    &mut self.users.rng[user],
                 );
                 match next {
                     Ok(Some(exec)) => {
@@ -147,43 +278,59 @@ impl<S: LogSink> World for UsimWorld<S> {
                         // from the issuing user's own stream, so the outcome
                         // is independent of sharding and backend. The
                         // disabled default draws nothing.
-                        if let Some(spike) = self.config.faults.sample_spike(&mut state.rng) {
+                        if let Some(spike) =
+                            self.config.faults.sample_spike(&mut self.users.rng[user])
+                        {
                             stages.insert(0, Stage::Delay(spike));
                         }
-                        state.attempts = 1;
-                        state.prev_backoff = 0;
-                        state.pending = Some(PendingOp::new(stages));
-                        state.current = Some((exec, now));
-                        state.session = Some(session);
-                        sched.schedule(0, Ev::Step(user));
+                        hot.attempts = 1;
+                        hot.prev_backoff = 0;
+                        hot.pending = Some(PendingOp::new(stages));
+                        hot.current = Some((exec, now));
+                        sched.schedule(0, Ev::Step(u));
                     }
                     Ok(None) => {
                         // Logout; the next login follows after the user
                         // type's inter-session gap (0 by default — the
                         // paper runs sessions back to back per terminal).
-                        self.users[user].session = Some(session);
+                        // A *finished* user gets no re-wake at all: the
+                        // event would pop into the early-return above
+                        // without touching state or RNG, and the user's
+                        // stream draws nothing further — so skipping both
+                        // the gap draw and the event leaves the op stream
+                        // byte-identical while cutting one dead queue entry
+                        // per user (the whole population's worth lands
+                        // simultaneously when sessions are back to back).
                         self.finish_session(user, now);
-                        let state = &mut self.users[user];
-                        let utype = &self.population.types()[state.type_idx];
-                        let gap = utype.sample_inter_session(now.micros(), &mut state.rng);
-                        sched.schedule(gap, Ev::Wake(user));
+                        if self.users.sessions_done[user] < self.config.sessions_per_user {
+                            let utype =
+                                &self.population.types()[usize::from(self.users.type_idx[user])];
+                            let gap =
+                                utype.sample_inter_session(now.micros(), &mut self.users.rng[user]);
+                            sched.schedule(gap, Ev::Wake(u));
+                        }
                     }
                     Err(e) => {
                         self.error = Some(e);
                     }
                 }
             }
-            Ev::Step(user) => {
-                let state = &mut self.users[user];
-                let Some(pending) = state.pending.as_mut() else {
+            Ev::Step(u) => {
+                let user = u as usize;
+                let slot = self.users.hot[user];
+                if slot == HOT_NONE {
+                    return;
+                }
+                let hot = self.hot.get_mut(slot);
+                let Some(pending) = hot.pending.as_mut() else {
                     return;
                 };
                 match pending.advance(&mut self.pool, now) {
                     StepOutcome::NextAt(t) => {
-                        sched.schedule_at(t, Ev::Step(user));
+                        sched.schedule_at(t, Ev::Step(u));
                     }
                     StepOutcome::Done => {
-                        state.pending = None;
+                        hot.pending = None;
                         // Transient-fault draw for the finished attempt
                         // (per-user stream; nothing is drawn when faults
                         // are off). A failed attempt retries under the
@@ -196,44 +343,48 @@ impl<S: LogSink> World for UsimWorld<S> {
                         // file-system state.
                         let faults = self.config.faults;
                         let mut aborted = false;
-                        if faults.enabled() && faults.sample_fault(&mut state.rng) {
-                            if state.attempts < faults.max_attempts() {
-                                let backoff =
-                                    faults.retry.backoff(state.prev_backoff, &mut state.rng);
-                                state.prev_backoff = backoff;
-                                state.attempts += 1;
-                                let (exec, _) = state.current.as_ref().expect("op in flight");
+                        if faults.enabled() && faults.sample_fault(&mut self.users.rng[user]) {
+                            if hot.attempts < faults.max_attempts() {
+                                let backoff = faults
+                                    .retry
+                                    .backoff(hot.prev_backoff, &mut self.users.rng[user]);
+                                hot.prev_backoff = backoff;
+                                hot.attempts += 1;
+                                let (exec, _) = hot.current.as_ref().expect("op in flight");
                                 let mut stages =
                                     self.model.stages(&exec.request, &mut self.model_rng);
                                 stages.insert(0, Stage::Delay(backoff));
-                                state.pending = Some(PendingOp::new(stages));
-                                sched.schedule(0, Ev::Step(user));
+                                hot.pending = Some(PendingOp::new(stages));
+                                sched.schedule(0, Ev::Step(u));
                                 return;
                             }
                             aborted = true; // retry budget exhausted
                         }
-                        let (exec, issued) = state.current.take().expect("op in flight");
+                        let (exec, issued) = hot.current.take().expect("op in flight");
                         let response = now - issued;
-                        let session = state.session.as_mut().expect("session active");
-                        session.metrics.total_response += response;
+                        hot.session.metrics.total_response += response;
                         if self.config.record_ops {
                             self.sink.record_op(&OpRecord {
                                 at: issued.micros(),
-                                user: state.gid,
-                                session: session.ordinal,
+                                user: self.users.gid[user] as usize,
+                                session: hot.session.ordinal,
                                 op: exec.request.kind,
                                 ino: exec.request.file.0,
                                 bytes: exec.request.bytes,
                                 file_size: exec.request.file_size,
                                 response,
                                 category: exec.category,
-                                retries: state.attempts.saturating_sub(1),
+                                retries: hot.attempts.saturating_sub(1),
                                 aborted,
                             });
                         }
-                        let utype = &self.population.types()[state.type_idx];
-                        let think = utype.sample_think(&mut state.behavior, &mut state.rng);
-                        sched.schedule(think, Ev::Wake(user));
+                        let utype =
+                            &self.population.types()[usize::from(self.users.type_idx[user])];
+                        let think = utype.sample_think(
+                            &mut self.users.behavior[user],
+                            &mut self.users.rng[user],
+                        );
+                        sched.schedule(think, Ev::Wake(u));
                     }
                 }
             }
@@ -297,6 +448,38 @@ pub(crate) const MODEL_SEED_XOR: u64 = 0x4D4F_4445_4C00_0001;
 /// the population is partitioned across shards.
 pub(crate) const USER_SEED_MUL: u64 = 0x9E37_79B9;
 
+/// Capacity hint for a materialized [`UsageLog`]: the session count
+/// (saturating — the `n_users × sessions_per_user` product can exceed
+/// `usize` long before either factor looks suspicious) and the compiled
+/// population's expected op count, both capped so the upfront reservation
+/// stays bounded no matter how large the run is. 2^20 records (~80 MiB of
+/// `OpRecord`s) is the most a hint should pre-commit — beyond that,
+/// amortized growth is cheap anyway, and a 10M-user request must reserve
+/// hint-sized, not population-sized, buffers.
+pub(crate) fn log_capacity_hint(
+    population: &CompiledPopulation,
+    config: &RunConfig,
+) -> (usize, usize) {
+    const CAP: usize = 1 << 20;
+    let sessions = config
+        .n_users
+        .saturating_mul(config.sessions_per_user as usize)
+        .min(CAP);
+    let est_ops = if config.record_ops {
+        let total = population.expected_ops_per_user_session()
+            * config.n_users as f64
+            * f64::from(config.sessions_per_user);
+        if total.is_finite() && total > 0.0 {
+            (total as usize).min(CAP) // saturating float→int cast
+        } else {
+            0
+        }
+    } else {
+        0
+    };
+    (est_ops, sessions)
+}
+
 /// Runs a population against a timing model in simulated time. See the
 /// module documentation.
 #[derive(Debug, Default)]
@@ -327,28 +510,15 @@ impl DesDriver {
         config: &RunConfig,
     ) -> Result<DesReport, UsimError> {
         config.validate()?;
-        let assignment = population.assign(config.n_users);
-        // Pre-size the log: sessions are exact, ops come from the compiled
-        // population's expected-ops estimate (a hint; growth still works).
-        let sessions = config.n_users * config.sessions_per_user as usize;
-        let est_ops = if config.record_ops {
-            // Memoize the estimate per type: it walks the type's category
-            // tables, so evaluating it per user would cost O(users × cats).
-            let per_type: Vec<f64> = population
-                .types()
-                .iter()
-                .map(CompiledUserType::expected_ops_per_session)
-                .collect();
-            let per_user: f64 = assignment.iter().map(|&t| per_type[t]).sum();
-            // Cap the upfront reservation: the estimate can overshoot, and
-            // 2^20 records (~80 MiB of OpRecords) is the most a hint should
-            // pre-commit — beyond that, amortized growth is cheap anyway.
-            ((per_user * f64::from(config.sessions_per_user)) as usize).min(1 << 20)
-        } else {
-            0
-        };
+        let (est_ops, sessions) = log_capacity_hint(population, config);
         let log = UsageLog::with_capacity(est_ops, sessions);
-        let users: Vec<(usize, usize)> = assignment.into_iter().enumerate().collect();
+        let users = UserArena::build(
+            population,
+            config.seed,
+            config.n_users,
+            0..config.n_users,
+            config.n_users,
+        );
         let (log, stats) = self.run_inner(
             vfs,
             catalog,
@@ -385,8 +555,13 @@ impl DesDriver {
         sink: S,
     ) -> Result<(S, DesRunStats), UsimError> {
         config.validate()?;
-        let assignment = population.assign(config.n_users);
-        let users: Vec<(usize, usize)> = assignment.into_iter().enumerate().collect();
+        let users = UserArena::build(
+            population,
+            config.seed,
+            config.n_users,
+            0..config.n_users,
+            config.n_users,
+        );
         self.run_inner(
             vfs,
             catalog,
@@ -401,12 +576,12 @@ impl DesDriver {
     }
 
     /// Shared body of [`Self::run`], [`Self::run_with_sink`] and the
-    /// sharded driver's per-shard runs: simulates the given `(global id,
-    /// type index)` users — the full population for the unsharded entry
-    /// points, one shard's members otherwise. Per-user PRNG streams are
-    /// derived from the *global* ids, so each user's operation stream is
-    /// the same under every partitioning; `model_seed` seeds the timing
-    /// model's jitter stream (per shard in sharded runs).
+    /// sharded driver's per-shard runs: simulates the users in `users` —
+    /// the full population for the unsharded entry points, one shard's
+    /// members otherwise. Per-user PRNG streams are derived from the
+    /// *global* ids (by [`UserArena::build`]), so each user's operation
+    /// stream is the same under every partitioning; `model_seed` seeds the
+    /// timing model's jitter stream (per shard in sharded runs).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_inner<S: LogSink>(
         &self,
@@ -416,7 +591,7 @@ impl DesDriver {
         model: Box<dyn ServiceModel>,
         pool: ResourcePool,
         config: &RunConfig,
-        users: Vec<(usize, usize)>,
+        users: UserArena,
         model_seed: u64,
         sink: S,
     ) -> Result<(S, DesRunStats), UsimError> {
@@ -430,23 +605,6 @@ impl DesDriver {
             catalog.seal();
         }
         let n_local = users.len();
-        let users = users
-            .into_iter()
-            .map(|(gid, type_idx)| UserState {
-                gid,
-                proc: vfs.new_process(),
-                rng: StdRng::seed_from_u64(config.seed ^ (gid as u64).wrapping_mul(USER_SEED_MUL)),
-                type_idx,
-                behavior: population.types()[type_idx].new_behavior(),
-                session: None,
-                session_start: SimTime::ZERO,
-                sessions_done: 0,
-                pending: None,
-                current: None,
-                attempts: 0,
-                prev_backoff: 0,
-            })
-            .collect();
         let model_name = model.name().to_string();
         let world = UsimWorld {
             vfs,
@@ -457,18 +615,29 @@ impl DesDriver {
             population: population.clone(),
             config: *config,
             users,
+            hot: HotArena::default(),
             buf: vec![0xA5u8; MAX_ACCESS_BYTES as usize],
             sink,
             error: None,
         };
-        // Steady state holds at most one pending event per user (wake or
-        // step); ×2 leaves slack for logout/login turnover. The backend
-        // choice never changes the drain order (both drain in (time, seq)
-        // order), so it is free to vary per run without breaking replay.
-        let mut sim = Simulation::with_backend(world, config.scheduler_backend(), n_local * 2 + 1);
-        for u in 0..n_local {
-            sim.schedule(0, Ev::Wake(u));
-        }
+        // The initial one-wake-per-user volley streams lazily from the
+        // scheduler's seed mechanism — byte-identical to scheduling each
+        // `Wake` eagerly (same `(time, seq)` slots), but the million-user
+        // login wave never occupies queue memory. Steady state holds at
+        // most one *dynamic* pending event per user (wake or step), and a
+        // mostly-idle population holds far fewer, so the queue pre-sizes
+        // for a capped slice of the population and grows only if the run
+        // actually keeps that many operations in flight. The backend choice
+        // never changes the drain order (both drain in (time, seq) order),
+        // so it is free to vary per run without breaking replay.
+        let capacity = (n_local + 1).min(1 << 16);
+        let mut sim = Simulation::with_backend_seeded(
+            world,
+            config.scheduler_backend(),
+            capacity,
+            n_local,
+            |u| Ev::Wake(u as u32),
+        );
         let events = sim.run();
         let duration = sim.now();
         let world = sim.into_world();
@@ -489,5 +658,70 @@ impl DesDriver {
                 events,
             },
         ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CategoryUsage, PopulationSpec, UserTypeSpec};
+    use uswg_distr::DistributionSpec;
+    use uswg_fsc::FileCategory;
+
+    fn population() -> CompiledPopulation {
+        let t = UserTypeSpec::new(
+            "heavy",
+            DistributionSpec::exponential(5000.0),
+            DistributionSpec::exponential(1024.0),
+            vec![CategoryUsage::exponential(
+                FileCategory::REG_USER_RDONLY,
+                1.42,
+                2608.0,
+                6.0,
+                1.0,
+            )],
+        );
+        CompiledPopulation::compile(&PopulationSpec::single(t).unwrap(), 64).unwrap()
+    }
+
+    /// The over-reservation regression the arena diet fixes: a 10M-user
+    /// request must reserve hint-sized, not population-sized, buffers —
+    /// and the session product must not overflow on any host.
+    #[test]
+    fn capacity_hint_is_bounded_for_ten_million_users() {
+        let population = population();
+        let mut config = RunConfig {
+            n_users: 10_000_000,
+            ..RunConfig::default()
+        };
+        config.sessions_per_user = u32::MAX; // product far beyond usize::MAX / hint cap
+        let (ops, sessions) = log_capacity_hint(&population, &config);
+        assert_eq!(sessions, 1 << 20);
+        assert!(ops > 0 && ops <= 1 << 20);
+        config.record_ops = false;
+        let (ops, _) = log_capacity_hint(&population, &config);
+        assert_eq!(ops, 0);
+    }
+
+    #[test]
+    fn arena_build_packs_members_in_order() {
+        let population = population();
+        let arena = UserArena::build(&population, 7, 10, (1..10).step_by(3), 3);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.gid, vec![1, 4, 7]);
+        assert!(arena.hot.iter().all(|&h| h == HOT_NONE));
+        assert!(arena.sessions_done.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn oversized_population_is_rejected() {
+        let config = RunConfig {
+            n_users: u32::MAX as usize + 1,
+            ..RunConfig::default()
+        };
+        assert!(matches!(
+            config.validate(),
+            Err(UsimError::PopulationTooLarge { .. })
+        ));
     }
 }

@@ -61,7 +61,8 @@ impl DirectDriver {
                 vfs.set_clock(start);
                 loop {
                     let before = Instant::now();
-                    let Some(exec) = session.next_op(vfs, &mut proc, utype, &mut buf, &mut rng)?
+                    let Some(exec) =
+                        session.next_op(vfs, &mut proc, utype, catalog, &mut buf, &mut rng)?
                     else {
                         break;
                     };

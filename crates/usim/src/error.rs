@@ -30,6 +30,12 @@ pub enum UsimError {
         /// Name of the parameter.
         name: &'static str,
     },
+    /// The requested population does not fit the user arena's packed
+    /// per-user ids (`u32`).
+    PopulationTooLarge {
+        /// The requested user count.
+        n_users: usize,
+    },
     /// The sharded driver was handed the wrong number of shard
     /// environments for the plan's active shard count.
     ShardEnvMismatch {
@@ -66,6 +72,10 @@ impl fmt::Display for UsimError {
                 write!(f, "probability `{name}` outside [0, 1] (got {value})")
             }
             UsimError::BadCount { name } => write!(f, "count `{name}` must be positive"),
+            UsimError::PopulationTooLarge { n_users } => write!(
+                f,
+                "population of {n_users} users exceeds the arena limit of 2^32 - 1"
+            ),
             UsimError::ShardEnvMismatch { expected, got } => write!(
                 f,
                 "sharded run needs one environment per active shard (expected {expected}, got {got})"

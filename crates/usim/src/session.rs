@@ -14,6 +14,7 @@ use crate::compile::CompiledUserType;
 use crate::spec::AccessPattern;
 use crate::UsimError;
 use rand::RngCore;
+use std::borrow::Cow;
 use uswg_fsc::{FileCatalog, FileCategory, FileSystemCreator, FileType, UsageClass};
 use uswg_netfs::{FileId, OpKind, OpRequest};
 use uswg_vfs::{Fd, FsError, OpenFlags, Process, SeekFrom, Vfs};
@@ -41,11 +42,27 @@ enum Phase {
     Finished,
 }
 
+/// Where a task's file lives, compactly. The path *string* is a pure
+/// function of this value, so it is rendered on demand (at open/stat/
+/// unlink/readdir time) instead of stored: a materialized `String` costs
+/// ~50–80 heap bytes per task, and with tens of thousands of sessions
+/// concurrently logged in under contention, per-task strings were one of
+/// the largest hot-memory line items.
+#[derive(Debug, Clone, Copy)]
+enum TaskPath {
+    /// Preexisting file or directory: index into the [`FileCatalog`],
+    /// whose entry owns the path — rendering borrows it for free.
+    Catalog(u32),
+    /// Scratch file this session creates: the path is
+    /// `scratch_dir(user)/s<ordinal>_c<ci>_f<k>` by construction.
+    Scratch { ci: u16, k: u32 },
+}
+
 /// Per-file state machine.
 #[derive(Debug)]
 struct Task {
     category: FileCategory,
-    path: String,
+    location: TaskPath,
     ino: u64,
     /// Logical size of the file (target size for created files).
     file_size: u64,
@@ -71,6 +88,19 @@ impl Task {
         // Every data op moves at least one byte, plus bookkeeping calls.
         self.budget + OP_GUARD_SLACK
     }
+
+    /// Renders the task's path (see [`TaskPath`]): borrowed straight from
+    /// the catalog for preexisting files, formatted fresh for scratch
+    /// files. Byte-identical to the strings `plan` used to store.
+    fn path<'a>(&self, user: usize, ordinal: u32, catalog: &'a FileCatalog) -> Cow<'a, str> {
+        match self.location {
+            TaskPath::Catalog(idx) => Cow::Borrowed(catalog.file(idx as usize).path.as_str()),
+            TaskPath::Scratch { ci, k } => Cow::Owned(format!(
+                "{}/s{ordinal:05}_c{ci:02}_f{k:03}",
+                FileSystemCreator::scratch_dir(user)
+            )),
+        }
+    }
 }
 
 /// Accumulated per-session metrics.
@@ -91,7 +121,8 @@ pub(crate) struct Session {
     pub user_type: usize,
     pub ordinal: u32,
     tasks: Vec<Task>,
-    live: Vec<usize>,
+    /// Indices of unfinished tasks (packed `u32` like every per-task id).
+    live: Vec<u32>,
     pub metrics: SessionMetrics,
 }
 
@@ -113,21 +144,21 @@ impl Session {
             let n_files = usage.files.sample_count(rng);
             for k in 0..n_files {
                 let preexisting = usage.category.preexisting();
-                let (path, ino, file_size) = if preexisting {
+                let (location, ino, file_size) = if preexisting {
                     match catalog.pick(user, usage.category, rng) {
                         Some(idx) => {
                             let f = catalog.file(idx);
-                            (f.path.clone(), f.ino, f.size)
+                            (TaskPath::Catalog(idx as u32), f.ino, f.size)
                         }
                         None => continue, // nothing of this category exists
                     }
                 } else {
                     let size = usage.file_size.sample_count(rng);
-                    let path = format!(
-                        "{}/s{ordinal:05}_c{ci:02}_f{k:03}",
-                        FileSystemCreator::scratch_dir(user)
-                    );
-                    (path, 0, size)
+                    let location = TaskPath::Scratch {
+                        ci: ci as u16,
+                        k: k as u32,
+                    };
+                    (location, 0, size)
                 };
                 let accessed = (usage.access_per_byte * file_size as f64).round() as u64;
                 let budget = if preexisting {
@@ -138,7 +169,7 @@ impl Session {
                 };
                 tasks.push(Task {
                     category: usage.category,
-                    path,
+                    location,
                     ino,
                     file_size,
                     budget,
@@ -156,7 +187,11 @@ impl Session {
                 });
             }
         }
-        let live = (0..tasks.len()).collect();
+        // Sessions stay resident for their whole (possibly long, contended)
+        // lifetime: return the plan at exactly its size, not the push-loop's
+        // doubled capacity.
+        tasks.shrink_to_fit();
+        let live = (0..tasks.len() as u32).collect();
         Self {
             user,
             user_type,
@@ -180,6 +215,7 @@ impl Session {
         vfs: &mut Vfs,
         proc: &mut Process,
         utype: &CompiledUserType,
+        catalog: &FileCatalog,
         buf: &mut [u8],
         rng: &mut dyn RngCore,
     ) -> Result<Option<ExecutedOp>, UsimError> {
@@ -190,7 +226,7 @@ impl Session {
             // Random selection among unfinished files (the independence
             // assumption of Section 3.1.4).
             let slot = (rng.next_u64() % self.live.len() as u64) as usize;
-            let tidx = self.live[slot];
+            let tidx = self.live[slot] as usize;
 
             // Runaway guard: a task that somehow exceeds its op budget is
             // force-finished rather than looping forever.
@@ -198,7 +234,7 @@ impl Session {
                 self.tasks[tidx].done = self.tasks[tidx].budget;
             }
 
-            match self.step_task(tidx, vfs, proc, utype, buf, rng)? {
+            match self.step_task(tidx, vfs, proc, utype, catalog, buf, rng)? {
                 StepResult::Op(exec) => {
                     self.tasks[tidx].ops_issued += 1;
                     self.metrics.ops += 1;
@@ -215,21 +251,24 @@ impl Session {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn step_task(
         &mut self,
         tidx: usize,
         vfs: &mut Vfs,
         proc: &mut Process,
         utype: &CompiledUserType,
+        catalog: &FileCatalog,
         buf: &mut [u8],
         rng: &mut dyn RngCore,
     ) -> Result<StepResult, UsimError> {
+        let (user, ordinal) = (self.user, self.ordinal);
         let task = &mut self.tasks[tidx];
         match task.phase {
             Phase::Closed => {
                 if task.is_dir {
                     // Directories are walked via stat + readdir.
-                    match vfs.stat(&task.path) {
+                    match vfs.stat(&task.path(user, ordinal, catalog)) {
                         Ok(md) => {
                             task.ino = md.ino.number();
                             task.phase = Phase::Io;
@@ -249,7 +288,8 @@ impl Session {
                         Err(e) => Err(e.into()),
                     }
                 } else if task.creates {
-                    let fd = match vfs.open(proc, &task.path, OpenFlags::read_write_create()) {
+                    let path = task.path(user, ordinal, catalog);
+                    let fd = match vfs.open(proc, &path, OpenFlags::read_write_create()) {
                         Ok(fd) => fd,
                         Err(FsError::NoSpace | FsError::TooManyOpenFiles) => {
                             return Ok(StepResult::TaskAbandoned);
@@ -276,7 +316,7 @@ impl Session {
                     } else {
                         OpenFlags::read_only()
                     };
-                    let fd = match vfs.open(proc, &task.path, flags) {
+                    let fd = match vfs.open(proc, &task.path(user, ordinal, catalog), flags) {
                         Ok(fd) => fd,
                         Err(FsError::NotFound) => return Ok(StepResult::TaskAbandoned),
                         Err(FsError::TooManyOpenFiles) => return Ok(StepResult::TaskAbandoned),
@@ -323,10 +363,10 @@ impl Session {
                     };
                     return Ok(StepResult::Op(exec));
                 }
-                self.io_step(tidx, vfs, proc, utype, buf, rng)
+                self.io_step(tidx, vfs, proc, utype, catalog, buf, rng)
             }
             Phase::Unlink => {
-                match vfs.unlink(&task.path) {
+                match vfs.unlink(&task.path(user, ordinal, catalog)) {
                     Ok(()) | Err(FsError::NotFound) => {}
                     Err(e) => return Err(e.into()),
                 }
@@ -346,15 +386,18 @@ impl Session {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn io_step(
         &mut self,
         tidx: usize,
         vfs: &mut Vfs,
         proc: &mut Process,
         utype: &CompiledUserType,
+        catalog: &FileCatalog,
         buf: &mut [u8],
         rng: &mut dyn RngCore,
     ) -> Result<StepResult, UsimError> {
+        let (user, ordinal) = (self.user, self.ordinal);
         let task = &mut self.tasks[tidx];
         let want_write = match task.category.usage {
             UsageClass::ReadOnly => false,
@@ -433,7 +476,7 @@ impl Session {
         if task.is_dir {
             // Directory data is consumed through readdir; the nominal bytes
             // drive the timing model.
-            match vfs.readdir(&task.path) {
+            match vfs.readdir(&task.path(user, ordinal, catalog)) {
                 Ok(_) => {}
                 Err(FsError::NotFound | FsError::NotADirectory) => {
                     return Ok(StepResult::TaskAbandoned);

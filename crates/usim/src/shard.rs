@@ -39,7 +39,7 @@
 //! scheduler backend.
 
 use crate::compile::CompiledPopulation;
-use crate::des::{DesDriver, DesReport, DesRunStats, MODEL_SEED_XOR};
+use crate::des::{DesDriver, DesReport, DesRunStats, UserArena, MODEL_SEED_XOR};
 use crate::log::{OpRecord, SessionRecord, UsageLog};
 use crate::sink::{LogSink, SummarySink};
 use crate::spill::{SpillReader, SpillRecord, SpillSink};
@@ -201,7 +201,6 @@ impl ShardedDesDriver {
                 got: envs.len(),
             });
         }
-        let assignment = population.assign(config.n_users);
         let driver = DesDriver::new();
         let cells: Vec<Mutex<Option<ShardEnv>>> =
             envs.into_iter().map(|e| Mutex::new(Some(e))).collect();
@@ -212,8 +211,16 @@ impl ShardedDesDriver {
                 .expect("env lock")
                 .take()
                 .expect("each shard env is taken exactly once");
-            let users: Vec<(usize, usize)> =
-                plan.members(s).map(|gid| (gid, assignment[gid])).collect();
+            // Each shard builds only its own slice of the user columns —
+            // nothing population-sized (like the old assignment vector) is
+            // shared or cloned across shards.
+            let users = UserArena::build(
+                population,
+                config.seed,
+                config.n_users,
+                plan.members(s),
+                plan.shard_len(s),
+            );
             let result = make_sink(s).and_then(|sink| {
                 driver.run_inner(
                     env.vfs,

@@ -315,10 +315,16 @@ impl RunConfig {
     /// # Errors
     ///
     /// Returns [`UsimError::BadCount`] when users, sessions or resolution
-    /// are zero.
+    /// are zero, and [`UsimError::PopulationTooLarge`] when the population
+    /// exceeds the user arena's packed `u32` ids.
     pub fn validate(&self) -> Result<(), UsimError> {
         if self.n_users == 0 {
             return Err(UsimError::BadCount { name: "n_users" });
+        }
+        if self.n_users > u32::MAX as usize {
+            return Err(UsimError::PopulationTooLarge {
+                n_users: self.n_users,
+            });
         }
         if self.sessions_per_user == 0 {
             return Err(UsimError::BadCount {

@@ -199,7 +199,7 @@ impl Vfs {
             block_size: self.config.block_size as u32,
             total_blocks: self.config.max_blocks as u64,
             free_blocks: self.store.free_blocks(),
-            used_inodes: self.inodes.iter().flatten().count() as u64,
+            used_inodes: self.used_inodes() as u64,
             total_inodes: self.config.max_inodes as u64,
         }
     }
@@ -209,7 +209,10 @@ impl Vfs {
     // ------------------------------------------------------------------
 
     fn alloc_inode(&mut self, kind: FileKind, uid: u32) -> Result<Ino, FsError> {
-        let used = self.inodes.iter().flatten().count();
+        // Every `None` slot is on the free list exactly once, so the used
+        // count is a subtraction — scanning the table here would make bulk
+        // creation (the FSC populating millions of inodes) quadratic.
+        let used = self.used_inodes();
         if used >= self.config.max_inodes {
             return Err(FsError::NoSpace);
         }
@@ -222,6 +225,11 @@ impl Vfs {
         let ino = Ino(self.inodes.len() as u64);
         self.inodes.push(Some(Inode::new(ino, kind, uid, now)));
         Ok(ino)
+    }
+
+    /// Live inode count in O(1): allocated slots minus the free list.
+    fn used_inodes(&self) -> usize {
+        self.inodes.len() - self.free_inodes.len()
     }
 
     fn inode(&self, ino: Ino) -> &Inode {

@@ -1,29 +1,50 @@
 //! A vendored work-stealing thread pool for index-shaped task sets.
 //!
 //! This is the offline stand-in for what `rayon` would provide if the
-//! environment had registry access: a pool of scoped workers, each owning a
-//! [`Deque`], executing a fixed set of tasks identified by index
-//! (`0..tasks`). Workers drain their own deque LIFO and steal FIFO from
-//! the others when empty, so uneven task costs — the norm for simulation
-//! sweeps, where a 16-user point costs an order of magnitude more than a
-//! 1-user point, and for nested sweep × replication grids — rebalance
-//! automatically instead of serializing behind the unlucky worker.
+//! environment had registry access: workers, each owning a [`Deque`],
+//! execute a fixed set of tasks identified by index (`0..tasks`). Workers
+//! drain their own deque LIFO and steal FIFO from the others when empty, so
+//! uneven task costs — the norm for simulation sweeps, where a 16-user
+//! point costs an order of magnitude more than a 1-user point, and for
+//! nested sweep × shard grids — rebalance automatically instead of
+//! serializing behind the unlucky worker.
 //!
-//! The pool is deliberately minimal:
+//! # One global worker budget
 //!
-//! * tasks are `usize` indices — callers capture their real inputs in the
-//!   closure, which keeps the deque free of generic payloads (and thereby
-//!   free of `unsafe`);
-//! * execution is one-shot over `std::thread::scope` — no global pool,
-//!   no detached threads, nothing outliving the call;
-//! * the task closure returns `bool`: `false` requests cancellation, and
-//!   the pool stops dispatching (in-flight tasks finish; queued tasks are
-//!   abandoned).
+//! Concurrency is governed by a single process-wide [`SharedPool`]: a
+//! budget of `available_parallelism() - 1` *helper permits* plus a cache of
+//! persistent helper threads. Every [`run_indexed`] call leases helpers
+//! from that budget **non-blockingly** — a call that finds the budget
+//! exhausted simply runs serially inline on its own thread. That one rule
+//! has three consequences the old per-call `thread::scope` pool could not
+//! provide:
+//!
+//! * **No oversubscription.** Nested submissions — a sweep worker whose
+//!   point is itself a sharded run — compose to at most `cores` busy
+//!   threads process-wide, instead of `jobs × shards`. Callers ask for the
+//!   concurrency that matches their task count and let the budget decide.
+//! * **No deadlock.** A lease never blocks, so a worker submitting from
+//!   inside a task cannot wait on permits its own ancestors hold; it
+//!   degrades to the serial loop, which always makes progress.
+//! * **Pool reuse.** Helper threads are spawned lazily, capped at the
+//!   budget, and parked between jobs — a sweep over hundreds of scopes
+//!   wakes the same helpers instead of spawning `workers` fresh threads
+//!   per scope.
+//!
+//! The pool is deliberately minimal: tasks are `usize` indices — callers
+//! capture their real inputs in the closure, which keeps the deques free
+//! of generic payloads; the task closure returns `bool`, where `false`
+//! requests cancellation (in-flight tasks finish; queued tasks are
+//! abandoned).
 //!
 //! Order independence is the caller's contract: tasks must not care when
 //! or where they run. Under that contract, results are a pure function of
-//! the inputs, so a work-stolen schedule is indistinguishable from the
-//! serial one.
+//! the inputs, so a work-stolen schedule — at whatever concurrency the
+//! budget grants — is indistinguishable from the serial one.
+//!
+//! [`run_indexed_exact`] bypasses the budget and runs the classic scoped
+//! pool at exactly the requested width; it exists for tests and for
+//! callers measuring the stealing machinery itself.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -32,15 +53,19 @@ mod deque;
 
 pub use deque::{Deque, Steal};
 
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// Runs `task(i)` for every `i` in `0..tasks` across `workers` OS threads
-/// (the calling thread is worker 0), work-stealing between them. Returns
-/// the number of tasks that actually executed.
-///
-/// With `workers <= 1` or `tasks <= 1` the tasks run inline on the calling
-/// thread — single-core hosts short-circuit to a plain serial loop with no
-/// threads, no atomics and no deques.
+/// Runs `task(i)` for every `i` in `0..tasks`, work-stealing across up to
+/// `workers` threads **as granted by the global [`SharedPool`] budget**:
+/// `workers` is a request, not a guarantee — the call leases at most
+/// `workers - 1` helper threads from the process-wide budget and always
+/// contributes the calling thread, so an exhausted budget (or a single-core
+/// host) degrades to a plain serial loop. Returns the number of tasks that
+/// actually executed.
 ///
 /// `task` returns `true` to continue and `false` to cancel: after a
 /// cancellation no *new* task starts (tasks already running on other
@@ -50,16 +75,56 @@ pub fn run_indexed<F>(workers: usize, tasks: usize, task: F) -> usize
 where
     F: Fn(usize) -> bool + Sync,
 {
+    SharedPool::global().run_indexed(workers, tasks, task)
+}
+
+/// [`run_indexed`] at exactly `min(workers, tasks)` scoped threads,
+/// ignoring the shared budget — one-shot over [`std::thread::scope`],
+/// nothing outliving the call. Prefer [`run_indexed`]; this entry point is
+/// for tests and measurements of the stealing machinery itself.
+pub fn run_indexed_exact<F>(workers: usize, tasks: usize, task: F) -> usize
+where
+    F: Fn(usize) -> bool + Sync,
+{
     if workers <= 1 || tasks <= 1 {
-        let mut ran = 0;
-        for i in 0..tasks {
-            ran += 1;
-            if !task(i) {
-                break;
-            }
-        }
-        return ran;
+        return run_serial(tasks, &task);
     }
+    run_stealing(workers, tasks, &task, |w, body| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..w).map(|s| scope.spawn(move || body(s))).collect();
+            body(0);
+            for h in handles {
+                h.join().expect("stealpool worker panicked");
+            }
+        });
+    })
+}
+
+/// The plain serial loop both entry points degrade to.
+fn run_serial<F: Fn(usize) -> bool>(tasks: usize, task: &F) -> usize {
+    let mut ran = 0;
+    for i in 0..tasks {
+        ran += 1;
+        if !task(i) {
+            break;
+        }
+    }
+    ran
+}
+
+/// The work-stealing core, shared by the budgeted and exact paths: builds
+/// the deques, distributes the tasks, and hands `execute` the final worker
+/// count plus the worker body (slot 0 is the submitting thread; `execute`
+/// must run every slot in `0..w` to completion before returning).
+fn run_stealing<F>(
+    workers: usize,
+    tasks: usize,
+    task: &F,
+    execute: impl FnOnce(usize, &(dyn Fn(usize) + Sync)),
+) -> usize
+where
+    F: Fn(usize) -> bool + Sync,
+{
     let workers = workers.min(tasks);
     // One deque per worker, each big enough to hold every task: stealing
     // can concentrate the whole set on one deque in the worst case, and a
@@ -120,28 +185,298 @@ where
             break; // every deque empty: all tasks taken
         }
     };
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (1..workers)
-            .map(|w| scope.spawn(move || worker_loop(w)))
-            .collect();
-        worker_loop(0);
-        for h in handles {
-            h.join().expect("stealpool worker panicked");
-        }
-    });
+    execute(workers, &worker_loop);
     executed.into_inner()
+}
+
+/// A worker budget plus a cache of persistent helper threads. One global
+/// instance ([`SharedPool::global`]) governs the whole process; standalone
+/// instances exist for tests. See the module documentation for the
+/// leasing rules.
+pub struct SharedPool {
+    capacity: usize,
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for SharedPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedPool")
+            .field("capacity", &self.capacity)
+            .field("available", &self.available())
+            .finish()
+    }
+}
+
+struct Inner {
+    /// Helper permits not currently leased.
+    permits: Mutex<usize>,
+    state: Mutex<PoolState>,
+    /// Signals posted work to parked helpers.
+    work: Condvar,
+}
+
+struct PoolState {
+    /// Posted jobs with unclaimed worker slots, oldest first.
+    jobs: VecDeque<Arc<JobInner>>,
+    /// Helper threads ever spawned (they persist; never exceeds capacity).
+    spawned: usize,
+    /// Helpers currently parked on `work`.
+    idle: usize,
+}
+
+/// One submitted worker body, lifetime-erased: `body` points into the
+/// submitter's stack frame, which stays alive until every claimed slot
+/// finishes (the submitter blocks in [`SharedPool::run_job`] until then),
+/// so the `'static` is a private fiction that never escapes the pool.
+struct JobInner {
+    body: &'static (dyn Fn(usize) + Sync),
+    /// Total worker slots including the submitter's slot 0.
+    workers: usize,
+    sync: Mutex<JobSync>,
+    /// Signals slot completion to the waiting submitter.
+    cv: Condvar,
+    /// The first payload of a panicking helper slot, rethrown by the
+    /// submitter.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+struct JobSync {
+    /// Next helper slot to hand out (slots 1..workers; 0 is the submitter).
+    next_slot: usize,
+    /// Helper slots that finished running.
+    finished: usize,
+    /// Set when the submitter retracts the job's unclaimed slots.
+    closed: bool,
+}
+
+impl SharedPool {
+    /// A pool with `capacity` helper permits. The submitting thread of
+    /// every call is an extra, un-counted worker, so `capacity` 0 means
+    /// every submission runs serially inline.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Arc::new(Inner {
+                permits: Mutex::new(capacity),
+                state: Mutex::new(PoolState {
+                    jobs: VecDeque::new(),
+                    spawned: 0,
+                    idle: 0,
+                }),
+                work: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The process-wide pool: `available_parallelism() - 1` helper permits
+    /// (0 on a single-core host — everything runs serially inline).
+    pub fn global() -> &'static SharedPool {
+        static GLOBAL: OnceLock<SharedPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            SharedPool::new(cores.saturating_sub(1))
+        })
+    }
+
+    /// The pool's helper capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Helper permits not currently leased.
+    pub fn available(&self) -> usize {
+        *self.inner.permits.lock().expect("permit lock")
+    }
+
+    /// Helper threads spawned so far (they persist across jobs).
+    pub fn helpers_spawned(&self) -> usize {
+        self.inner.state.lock().expect("state lock").spawned
+    }
+
+    /// [`run_indexed`] against this pool's budget.
+    pub fn run_indexed<F>(&self, workers: usize, tasks: usize, task: F) -> usize
+    where
+        F: Fn(usize) -> bool + Sync,
+    {
+        if workers <= 1 || tasks <= 1 {
+            return run_serial(tasks, &task);
+        }
+        let leased = self.lease(workers.min(tasks) - 1);
+        // Release on every exit path, including unwinds out of `run_job`.
+        let _guard = LeaseGuard {
+            pool: self,
+            n: leased,
+        };
+        if leased == 0 {
+            return run_serial(tasks, &task);
+        }
+        run_stealing(leased + 1, tasks, &task, |w, body| {
+            self.run_job(w - 1, body)
+        })
+    }
+
+    /// Takes up to `want` helper permits without blocking; 0 when the
+    /// budget is exhausted (the caller then runs serially inline, which is
+    /// what makes nested submissions deadlock-free).
+    fn lease(&self, want: usize) -> usize {
+        let mut permits = self.inner.permits.lock().expect("permit lock");
+        let granted = want.min(*permits);
+        *permits -= granted;
+        granted
+    }
+
+    fn release(&self, n: usize) {
+        if n > 0 {
+            *self.inner.permits.lock().expect("permit lock") += n;
+        }
+    }
+
+    /// Posts `body` for `helpers` leased helper slots, runs slot 0 on the
+    /// calling thread, then retracts whatever the helpers never claimed
+    /// and waits for the claimed slots to finish. On return no thread
+    /// references `body` — the invariant that makes the lifetime erasure
+    /// in [`JobInner`] sound. Panics from any slot are rethrown here.
+    fn run_job(&self, helpers: usize, body: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: the job (and thus this reference) is only ever invoked by
+        // helpers that claim a slot before `closed` is set; this function
+        // does not return until every such claim has finished, so the
+        // referent outlives every use.
+        let body_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
+        let job = Arc::new(JobInner {
+            body: body_static,
+            workers: helpers + 1,
+            sync: Mutex::new(JobSync {
+                next_slot: 1,
+                finished: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut st = self.inner.state.lock().expect("state lock");
+            st.jobs.push_back(Arc::clone(&job));
+            // Spawn lazily: enough parked helpers to cover this job, never
+            // more threads than the budget could ever use at once.
+            let needed = helpers
+                .saturating_sub(st.idle)
+                .min(self.capacity - st.spawned);
+            for _ in 0..needed {
+                st.spawned += 1;
+                let inner = Arc::clone(&self.inner);
+                std::thread::Builder::new()
+                    .name("stealpool-helper".into())
+                    .spawn(move || helper_loop(&inner))
+                    .expect("spawn stealpool helper");
+            }
+            self.inner.work.notify_all();
+        }
+        // The submitter is always slot 0. Defer its panic so the helpers
+        // are never abandoned mid-borrow.
+        let mine = catch_unwind(AssertUnwindSafe(|| body(0)));
+        // Retract unclaimed slots (helpers busy elsewhere never owe us a
+        // visit), then wait out the claimed ones.
+        let claimed = {
+            let mut st = self.inner.state.lock().expect("state lock");
+            let mut sync = job.sync.lock().expect("job lock");
+            sync.closed = true;
+            let claimed = sync.next_slot - 1;
+            drop(sync);
+            if claimed < helpers {
+                if let Some(pos) = st.jobs.iter().position(|j| Arc::ptr_eq(j, &job)) {
+                    st.jobs.remove(pos);
+                }
+            }
+            claimed
+        };
+        let mut sync = job.sync.lock().expect("job lock");
+        while sync.finished < claimed {
+            sync = job.cv.wait(sync).expect("job lock");
+        }
+        drop(sync);
+        if let Err(payload) = mine {
+            resume_unwind(payload);
+        }
+        let helper_panic = job.panic.lock().expect("panic lock").take();
+        if let Some(payload) = helper_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Returns leased permits when the submission ends, however it ends.
+struct LeaseGuard<'a> {
+    pool: &'a SharedPool,
+    n: usize,
+}
+
+impl Drop for LeaseGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.release(self.n);
+    }
+}
+
+/// The persistent helper body: claim the oldest job slot, run it, repeat;
+/// park on the condvar when no work is posted. Lock order is pool state →
+/// job sync everywhere, and neither lock is held while a body runs.
+fn helper_loop(inner: &Inner) {
+    let mut st = inner.state.lock().expect("state lock");
+    loop {
+        let mut claim = None;
+        while let Some(job) = st.jobs.front() {
+            let mut sync = job.sync.lock().expect("job lock");
+            if sync.closed || sync.next_slot >= job.workers {
+                drop(sync);
+                st.jobs.pop_front();
+                continue;
+            }
+            let slot = sync.next_slot;
+            sync.next_slot += 1;
+            let exhausted = sync.next_slot >= job.workers;
+            drop(sync);
+            let job = Arc::clone(job);
+            if exhausted {
+                st.jobs.pop_front();
+            }
+            claim = Some((job, slot));
+            break;
+        }
+        match claim {
+            Some((job, slot)) => {
+                drop(st);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (job.body)(slot))) {
+                    // First panic wins; the submitter rethrows it.
+                    let mut p = job.panic.lock().expect("panic lock");
+                    p.get_or_insert(payload);
+                }
+                let mut sync = job.sync.lock().expect("job lock");
+                sync.finished += 1;
+                job.cv.notify_all();
+                drop(sync);
+                st = inner.state.lock().expect("state lock");
+            }
+            None => {
+                st.idle += 1;
+                st = inner.work.wait(st).expect("state lock");
+                st.idle -= 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU8;
+    use std::sync::Barrier;
 
     #[test]
     fn executes_every_task_exactly_once() {
         const N: usize = 500;
         let counts: Vec<AtomicU8> = (0..N).map(|_| AtomicU8::new(0)).collect();
-        let ran = run_indexed(4, N, |i| {
+        let ran = run_indexed_exact(4, N, |i| {
             counts[i].fetch_add(1, Ordering::Relaxed);
             true
         });
@@ -153,8 +488,8 @@ mod tests {
 
     #[test]
     fn serial_fallback_runs_in_order() {
-        let order = std::sync::Mutex::new(Vec::new());
-        run_indexed(1, 5, |i| {
+        let order = Mutex::new(Vec::new());
+        run_indexed_exact(1, 5, |i| {
             order.lock().unwrap().push(i);
             true
         });
@@ -163,13 +498,14 @@ mod tests {
 
     #[test]
     fn zero_tasks_is_a_no_op() {
+        assert_eq!(run_indexed_exact(4, 0, |_| panic!("no task to run")), 0);
         assert_eq!(run_indexed(4, 0, |_| panic!("no task to run")), 0);
     }
 
     #[test]
     fn cancellation_stops_dispatch() {
         const N: usize = 10_000;
-        let ran = run_indexed(4, N, |i| i < 3);
+        let ran = run_indexed_exact(4, N, |i| i < 3);
         // At least the cancelling task ran; the bulk of the queue did not.
         assert!(ran >= 1, "cancelling task ran");
         assert!(ran < N, "cancellation pruned the queue: ran {ran}");
@@ -183,7 +519,7 @@ mod tests {
         // not timing.)
         const N: usize = 64;
         let done: Vec<AtomicU8> = (0..N).map(|_| AtomicU8::new(0)).collect();
-        run_indexed(4, N, |i| {
+        run_indexed_exact(4, N, |i| {
             let spins = if i == 0 { 100_000 } else { 1_000 };
             for _ in 0..spins {
                 std::hint::spin_loop();
@@ -198,11 +534,101 @@ mod tests {
     fn workers_capped_at_task_count() {
         // More workers than tasks must not deadlock or double-run.
         let counts: Vec<AtomicU8> = (0..3).map(|_| AtomicU8::new(0)).collect();
-        let ran = run_indexed(16, 3, |i| {
+        let ran = run_indexed_exact(16, 3, |i| {
             counts[i].fetch_add(1, Ordering::Relaxed);
             true
         });
         assert_eq!(ran, 3);
         assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_in_order_serial() {
+        let pool = SharedPool::new(0);
+        let order = Mutex::new(Vec::new());
+        let ran = pool.run_indexed(8, 5, |i| {
+            order.lock().unwrap().push(i);
+            true
+        });
+        assert_eq!(ran, 5);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(pool.helpers_spawned(), 0, "no threads for a serial run");
+    }
+
+    #[test]
+    fn leases_return_to_the_budget() {
+        let pool = SharedPool::new(3);
+        for _ in 0..4 {
+            let ran = pool.run_indexed(8, 64, |_| true);
+            assert_eq!(ran, 64);
+            assert_eq!(pool.available(), 3, "every lease returned");
+        }
+        assert!(
+            pool.helpers_spawned() <= 3,
+            "threads capped at capacity and reused across jobs"
+        );
+    }
+
+    #[test]
+    fn helpers_persist_across_jobs() {
+        // A 2-worker barrier forces a helper to actually claim its slot in
+        // both jobs; the second job must reuse the first job's thread.
+        let pool = SharedPool::new(1);
+        for _ in 0..2 {
+            let barrier = Barrier::new(2);
+            let ran = pool.run_indexed(2, 2, |_| {
+                barrier.wait();
+                true
+            });
+            assert_eq!(ran, 2);
+        }
+        assert_eq!(pool.helpers_spawned(), 1, "one helper, reused");
+    }
+
+    #[test]
+    fn nested_submissions_stay_within_budget_and_finish() {
+        // Outer tasks submit inner runs against the same pool. Whatever the
+        // interleaving, every inner task runs exactly once and the number
+        // of concurrently running bodies never exceeds the budget + the
+        // submitter.
+        let pool = SharedPool::new(2);
+        const OUTER: usize = 4;
+        const INNER: usize = 8;
+        let counts: Vec<AtomicU8> = (0..OUTER * INNER).map(|_| AtomicU8::new(0)).collect();
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let ran = pool.run_indexed(OUTER, OUTER, |o| {
+            let inner_ran = pool.run_indexed(INNER, INNER, |i| {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                counts[o * INNER + i].fetch_add(1, Ordering::Relaxed);
+                running.fetch_sub(1, Ordering::SeqCst);
+                true
+            });
+            inner_ran == INNER
+        });
+        assert_eq!(ran, OUTER);
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert!(
+            peak.load(Ordering::SeqCst) <= pool.capacity() + 1,
+            "peak concurrency {} exceeded budget {} + submitter",
+            peak.load(Ordering::SeqCst),
+            pool.capacity()
+        );
+    }
+
+    #[test]
+    fn task_panic_propagates_and_releases_the_lease() {
+        let pool = SharedPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(4, 16, |i| {
+                assert!(i != 7, "boom");
+                true
+            })
+        }));
+        assert!(result.is_err(), "panic reaches the submitter");
+        assert_eq!(pool.available(), 2, "lease returned despite the panic");
+        // The pool survives: the next job runs normally.
+        assert_eq!(pool.run_indexed(4, 4, |_| true), 4);
     }
 }
