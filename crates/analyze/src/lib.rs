@@ -17,9 +17,11 @@
 
 mod histogram;
 pub mod metrics;
+pub mod scan;
 mod stats;
 mod table;
 
 pub use histogram::Histogram;
+pub use scan::{CountingReader, ScanOptions, ScanOutcome};
 pub use stats::{StreamingSummary, Summary};
 pub use table::{Align, Table};

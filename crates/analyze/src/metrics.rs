@@ -251,6 +251,37 @@ impl StreamLogStats {
     pub fn goodput_bytes(&self) -> u64 {
         self.data_bytes - self.aborted_bytes
     }
+
+    /// Folds another accumulator in, as if its records had been recorded
+    /// here — the combining half of parallel analyze, mirroring
+    /// `SummarySink::merge`: disjoint frame ranges accumulate
+    /// independently, then merge in file order. Counters add; the
+    /// streaming summaries combine via [`StreamingSummary::merge`], so the
+    /// result matches a sequential pass over the same records to
+    /// floating-point roundoff (≤ 1e-9, test-pinned).
+    pub fn merge(&mut self, other: &Self) {
+        self.ops += other.ops;
+        self.sessions += other.sessions;
+        self.total_response_us += other.total_response_us;
+        self.data_bytes += other.data_bytes;
+        self.retries += other.retries;
+        self.aborted_ops += other.aborted_ops;
+        self.aborted_bytes += other.aborted_bytes;
+        for (mine, theirs) in self.per_kind.iter_mut().zip(&other.per_kind) {
+            mine.count += theirs.count;
+            mine.access_size.merge(&theirs.access_size);
+            mine.response.merge(&theirs.response);
+        }
+        self.data_access_size.merge(&other.data_access_size);
+        self.data_response.merge(&other.data_response);
+        for (&user_type, theirs) in &other.by_user_type {
+            let mine = self.by_user_type.entry(user_type).or_default();
+            mine.sessions += theirs.sessions;
+            mine.ops += theirs.ops;
+            mine.bytes_accessed += theirs.bytes_accessed;
+            mine.total_response_us += theirs.total_response_us;
+        }
+    }
 }
 
 impl LogSink for StreamLogStats {
@@ -571,6 +602,81 @@ mod tests {
         let clean = StreamLogStats::new();
         assert_eq!(clean.abort_rate(), 0.0);
         assert_eq!(clean.goodput_bytes(), 0);
+    }
+
+    #[test]
+    fn merged_stream_stats_match_a_single_pass() {
+        // Two disjoint halves with different kinds, fault outcomes and
+        // user types must merge into exactly what one pass accumulates.
+        let ops: Vec<OpRecord> = (0..200)
+            .map(|i| {
+                let kind = OpKind::ALL[i % OpKind::ALL.len()];
+                OpRecord {
+                    retries: (i % 3) as u32,
+                    aborted: i % 17 == 0,
+                    ..op(kind, (i as u64 * 37) % 500, (i as u64 * 13) % 90 + 1)
+                }
+            })
+            .collect();
+        let sessions: Vec<SessionRecord> = (0..40)
+            .map(|i| {
+                let mut s = session(i as u64 * 10, 100, 2, i as u64 * 3);
+                s.user_type = i % 3;
+                s
+            })
+            .collect();
+        let mut whole = StreamLogStats::new();
+        for o in &ops {
+            whole.record_op(o);
+        }
+        for s in &sessions {
+            whole.record_session(s);
+        }
+        let mut left = StreamLogStats::new();
+        let mut right = StreamLogStats::new();
+        for o in &ops[..77] {
+            left.record_op(o);
+        }
+        for o in &ops[77..] {
+            right.record_op(o);
+        }
+        for s in &sessions[..13] {
+            left.record_session(s);
+        }
+        for s in &sessions[13..] {
+            right.record_session(s);
+        }
+        left.merge(&right);
+        assert_eq!(left.ops, whole.ops);
+        assert_eq!(left.sessions, whole.sessions);
+        assert_eq!(left.total_response_us, whole.total_response_us);
+        assert_eq!(left.data_bytes, whole.data_bytes);
+        assert_eq!(left.retries, whole.retries);
+        assert_eq!(left.aborted_ops, whole.aborted_ops);
+        assert_eq!(left.aborted_bytes, whole.aborted_bytes);
+        assert_eq!(left.user_types(), whole.user_types());
+        let merged_kinds = left.op_kind_summaries();
+        let whole_kinds = whole.op_kind_summaries();
+        assert_eq!(merged_kinds.len(), whole_kinds.len());
+        for (m, w) in merged_kinds.iter().zip(&whole_kinds) {
+            assert_eq!(m.kind, w.kind);
+            assert_eq!(m.count, w.count);
+            assert!((m.access_size.mean - w.access_size.mean).abs() < 1e-9);
+            assert!((m.access_size.std_dev - w.access_size.std_dev).abs() < 1e-9);
+            assert!((m.response.mean - w.response.mean).abs() < 1e-9);
+            assert!((m.response.std_dev - w.response.std_dev).abs() < 1e-9);
+            assert_eq!(m.access_size.min, w.access_size.min);
+            assert_eq!(m.response.max, w.response.max);
+        }
+        let (m_sizes, m_resp) = left.data_op_summary();
+        let (w_sizes, w_resp) = whole.data_op_summary();
+        assert_eq!(m_sizes.n, w_sizes.n);
+        assert!((m_sizes.std_dev - w_sizes.std_dev).abs() < 1e-9);
+        assert!((m_resp.std_dev - w_resp.std_dev).abs() < 1e-9);
+        // Merging an empty accumulator changes nothing.
+        let before = left.op_kind_summaries();
+        left.merge(&StreamLogStats::new());
+        assert_eq!(left.op_kind_summaries(), before);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Indexed spill scans: the windowed, sampled and parallel passes behind
+//! `uswg analyze --since/--until/--sample/--jobs`.
+//!
+//! A sequential `uswg analyze` streams the whole file. With a
+//! [`FrameIndex`] loaded from the footer, [`scan_indexed`] instead selects
+//! the frames whose completion-time range overlaps the query window
+//! (optionally thinned to every k-th frame), seeks straight to them, and
+//! folds only those records into a [`StreamLogStats`] — O(window), not
+//! O(file). With `jobs > 1` the selected frames split into near-equal
+//! chunks fanned across the global stealpool budget; each worker opens its
+//! own reader, accumulates independently, and the chunks merge in file
+//! order via [`StreamLogStats::merge`], matching the sequential pass to
+//! floating-point roundoff.
+
+use crate::metrics::StreamLogStats;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use uswg_usim::{FrameIndex, FrameIndexEntry, LogSink, SpillReader, SpillRecord};
+
+/// What an indexed scan should select and how it should run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanOptions {
+    /// Keep records completing at or after this time, µs.
+    pub since: Option<u64>,
+    /// Keep records completing at or before this time, µs.
+    pub until: Option<u64>,
+    /// Decode only every k-th of the selected frames (`None` or `Some(1)`
+    /// decodes them all) — a cheap estimate over a huge capture.
+    pub sample: Option<u64>,
+    /// Worker threads to request from the global stealpool budget
+    /// (`0` or `1` runs sequentially on the calling thread).
+    pub jobs: usize,
+}
+
+impl ScanOptions {
+    /// Whether a decoded record falls inside the `[since, until]` window.
+    /// Frames are selected by their index *range*, so a frame straddling a
+    /// window edge still carries out-of-window records; this is the
+    /// record-level filter applied after decoding. Ops filter on their
+    /// completion time `at`, sessions on `end` — the same times the index
+    /// entries aggregate.
+    pub fn record_in_window(&self, record: &SpillRecord) -> bool {
+        let t = match record {
+            SpillRecord::Op(op) => op.at,
+            SpillRecord::Session(s) => s.end,
+        };
+        self.since.is_none_or(|s| t >= s) && self.until.is_none_or(|u| t <= u)
+    }
+}
+
+/// The result of an indexed scan, with enough accounting to report how
+/// much of the file the index let the pass skip.
+#[derive(Debug)]
+pub struct ScanOutcome {
+    /// The folded statistics over every in-window record of the decoded
+    /// frames.
+    pub stats: StreamLogStats,
+    /// Frames in the file, per the index.
+    pub frames_total: usize,
+    /// Frames actually decoded (selected by window, thinned by sampling).
+    pub frames_decoded: usize,
+}
+
+/// Runs an indexed scan: selects the frames of `index` overlapping the
+/// window, thins them to every k-th if sampling, fans contiguous frame
+/// runs across `opts.jobs` workers (each opening its own reader through
+/// `open`), and merges the per-chunk [`StreamLogStats`] in file order.
+///
+/// `open` is called once per worker (once total when sequential); each
+/// reader only ever seeks to frame offsets taken from the index, so the
+/// per-frame checksums still guard every decoded byte.
+///
+/// # Errors
+///
+/// Propagates reader-open and decode errors. An index that disagrees with
+/// the file (a seek landing mid-frame, a frame ending early) surfaces as
+/// the decode error the misaligned read produces.
+pub fn scan_indexed<R, F>(
+    index: &FrameIndex,
+    opts: &ScanOptions,
+    open: F,
+) -> io::Result<ScanOutcome>
+where
+    R: Read + Seek,
+    F: Fn() -> io::Result<SpillReader<R>> + Sync,
+{
+    let selected: Vec<(usize, FrameIndexEntry)> = index
+        .entries()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.overlaps(opts.since, opts.until))
+        .map(|(i, e)| (i, *e))
+        .collect();
+    let sampled: Vec<(usize, FrameIndexEntry)> = match opts.sample {
+        Some(k) if k > 1 => selected.into_iter().step_by(k as usize).collect(),
+        _ => selected,
+    };
+    let frames_decoded = sampled.len();
+    let workers = opts.jobs.max(1);
+    let chunks: Vec<&[(usize, FrameIndexEntry)]> = split_even(&sampled, workers);
+    let stats = if chunks.len() <= 1 {
+        let mut stats = StreamLogStats::new();
+        if let Some(chunk) = chunks.first() {
+            stats = scan_chunk(&open, chunk, opts)?;
+        }
+        stats
+    } else {
+        let slots: Vec<Mutex<Option<io::Result<StreamLogStats>>>> =
+            chunks.iter().map(|_| Mutex::new(None)).collect();
+        stealpool::run_indexed(workers, chunks.len(), |i| {
+            let result = scan_chunk(&open, chunks[i], opts);
+            *slots[i].lock().expect("scan slot poisoned") = Some(result);
+            true
+        });
+        let mut stats = StreamLogStats::new();
+        for slot in slots {
+            let chunk_stats = slot
+                .into_inner()
+                .expect("scan slot poisoned")
+                .expect("stealpool runs every task")?;
+            stats.merge(&chunk_stats);
+        }
+        stats
+    };
+    Ok(ScanOutcome {
+        stats,
+        frames_total: index.frames(),
+        frames_decoded,
+    })
+}
+
+/// Splits `frames` into at most `parts` near-equal contiguous chunks
+/// (never an empty chunk; fewer chunks than `parts` when frames are few).
+fn split_even(
+    frames: &[(usize, FrameIndexEntry)],
+    parts: usize,
+) -> Vec<&[(usize, FrameIndexEntry)]> {
+    if frames.is_empty() {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, frames.len());
+    let base = frames.len() / parts;
+    let extra = frames.len() % parts;
+    let mut chunks = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        chunks.push(&frames[start..start + len]);
+        start += len;
+    }
+    chunks
+}
+
+/// Decodes one worker's frames: consecutive index positions coalesce into
+/// a single seek + multi-frame budget (adjacent frames abut on disk), so a
+/// dense window costs one seek, not one per frame.
+fn scan_chunk<R, F>(
+    open: &F,
+    frames: &[(usize, FrameIndexEntry)],
+    opts: &ScanOptions,
+) -> io::Result<StreamLogStats>
+where
+    R: Read + Seek,
+    F: Fn() -> io::Result<SpillReader<R>>,
+{
+    let mut stats = StreamLogStats::new();
+    if frames.is_empty() {
+        return Ok(stats);
+    }
+    let mut reader = open()?;
+    let mut i = 0;
+    while i < frames.len() {
+        let mut j = i + 1;
+        while j < frames.len() && frames[j].0 == frames[j - 1].0 + 1 {
+            j += 1;
+        }
+        let run = &frames[i..j];
+        reader.seek_to_frames(run[0].1.offset, run.len() as u64)?;
+        for record in &mut reader {
+            let record = record?;
+            if opts.record_in_window(&record) {
+                match record {
+                    SpillRecord::Op(op) => stats.record_op(&op),
+                    SpillRecord::Session(s) => stats.record_session(&s),
+                }
+            }
+        }
+        i = j;
+    }
+    Ok(stats)
+}
+
+/// A [`Read`]`+`[`Seek`] wrapper that counts the bytes actually read
+/// through it — how the tests and the bench prove a windowed scan's I/O is
+/// O(window): wrap the file, run the pass, read the counter.
+#[derive(Debug)]
+pub struct CountingReader<R> {
+    inner: R,
+    bytes: Arc<AtomicU64>,
+}
+
+impl<R> CountingReader<R> {
+    /// Wraps `inner`; every byte read adds to `bytes`.
+    pub fn new(inner: R, bytes: Arc<AtomicU64>) -> Self {
+        Self { inner, bytes }
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl<R: Seek> Seek for CountingReader<R> {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        self.inner.seek(pos)
+    }
+}

@@ -135,6 +135,30 @@ impl StreamingSummary {
         self.n
     }
 
+    /// Folds another accumulator in, as if its samples had been pushed
+    /// here: Chan's parallel combination of Welford M2 values, plus the
+    /// exact running sum. This is what lets a parallel spill pass split a
+    /// file into disjoint frame ranges, accumulate each independently, and
+    /// recombine — the merged moments match a sequential pass over the
+    /// same samples to floating-point roundoff.
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// The finished [`Summary`] (the zero summary while empty, matching
     /// `Summary::of(&[])`).
     pub fn summary(&self) -> Summary {
@@ -223,6 +247,55 @@ mod tests {
         assert!((streamed.std_dev - batch.std_dev).abs() < 1e-12);
         assert_eq!(streamed.min, batch.min);
         assert_eq!(streamed.max, batch.max);
+    }
+
+    #[test]
+    fn merged_streaming_summaries_match_a_single_pass() {
+        let values: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        // Every split point, including the degenerate empty halves.
+        for split in [0, 1, 250, 500, 999, 1000] {
+            let mut left = StreamingSummary::new();
+            let mut right = StreamingSummary::new();
+            for &v in &values[..split] {
+                left.push(v);
+            }
+            for &v in &values[split..] {
+                right.push(v);
+            }
+            left.merge(&right);
+            let merged = left.summary();
+            let mut whole = StreamingSummary::new();
+            for &v in &values {
+                whole.push(v);
+            }
+            let sequential = whole.summary();
+            assert_eq!(merged.n, sequential.n, "split {split}");
+            assert!(
+                (merged.mean - sequential.mean).abs() < 1e-9,
+                "split {split}"
+            );
+            assert!(
+                (merged.std_dev - sequential.std_dev).abs() < 1e-9,
+                "split {split}"
+            );
+            assert_eq!(merged.min, sequential.min);
+            assert_eq!(merged.max, sequential.max);
+        }
+    }
+
+    #[test]
+    fn merging_empties_is_identity() {
+        let mut a = StreamingSummary::new();
+        a.merge(&StreamingSummary::new());
+        assert_eq!(a.summary(), Summary::of(&[]));
+        let mut b = StreamingSummary::new();
+        b.push(3.0);
+        let snapshot = b.summary();
+        b.merge(&StreamingSummary::new());
+        assert_eq!(b.summary(), snapshot);
+        let mut c = StreamingSummary::new();
+        c.merge(&b);
+        assert_eq!(c.summary(), snapshot);
     }
 
     #[test]

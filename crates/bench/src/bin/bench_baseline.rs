@@ -1,5 +1,5 @@
 //! Perf-baseline snapshot: measures the hot paths this repo's performance
-//! work targets and writes a machine-readable `BENCH_*.json` (schema 8).
+//! work targets and writes a machine-readable `BENCH_*.json` (schema 9).
 //!
 //! Measurements:
 //!
@@ -48,7 +48,12 @@
 //! 12. **User-arena memory** (schema 8) — resident bytes/user and users/sec
 //!     of the DES driver itself at 1M and 10M users on an idle-heavy
 //!     population, against the committed pre-refactor (per-user struct)
-//!     measurement. The acceptance bar: ≥ 4× fewer bytes/user at 1M.
+//!     measurement. The acceptance bar: ≥ 4× fewer bytes/user at 1M;
+//! 13. **Analyze passes** (schema 9) — `uswg analyze` over a ≥ 1M-op
+//!     capture: the full sequential stream, an indexed ~5% window (bytes
+//!     actually read counted through a `CountingReader` — the O(window)
+//!     contract on disk I/O) and an indexed parallel full pass asserted
+//!     to reproduce the sequential statistics.
 //!
 //! Usage: `cargo run --release -p uswg-bench --bin bench_baseline [out.json]`
 //! (default output `BENCH_baseline.json` in the current directory). CI runs
@@ -338,6 +343,43 @@ struct UserMemory {
 }
 
 #[derive(Debug, Serialize)]
+struct AnalyzeBench {
+    /// Op records in the capture (asserted ≥ 1M by construction).
+    ops: usize,
+    /// Session records interleaved into the capture.
+    sessions: usize,
+    /// Frames in the capture, per its index footer.
+    frames: usize,
+    /// Size of the sealed capture (record stream + footer).
+    file_bytes: usize,
+    /// Wall-clock of the full sequential streaming pass.
+    sequential_ms: f64,
+    /// Bytes the sequential pass read — essentially the whole file.
+    sequential_bytes_read: u64,
+    /// Fraction of the capture's time line the window below covers.
+    window_fraction: f64,
+    /// Wall-clock of the indexed windowed pass.
+    windowed_ms: f64,
+    /// Bytes the windowed pass read: the trailer probe, the footer and
+    /// only the overlapping frames.
+    windowed_bytes_read: u64,
+    /// Frames the window selected (of `frames`).
+    windowed_frames_decoded: usize,
+    /// `windowed / sequential` bytes read — the schema-9 acceptance
+    /// line: a ~5% window must stay well under a tenth of the file.
+    windowed_to_sequential_byte_ratio: f64,
+    /// Workers the parallel full pass requested from the stealpool.
+    parallel_jobs: usize,
+    /// Wall-clock of the indexed parallel full pass (asserted to match
+    /// the sequential statistics before timing).
+    parallel_ms: f64,
+    /// `sequential_ms / parallel_ms` — scales with cores on multi-core
+    /// CI; on a 1-core container the fan-out is pure overhead, so < 1×
+    /// there is expected, not a regression.
+    parallel_speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct Baseline {
     schema: u32,
     sampling: Vec<SamplingPoint>,
@@ -352,6 +394,7 @@ struct Baseline {
     faults: FaultBench,
     drive_memory: DriveMemory,
     user_memory: UserMemory,
+    analyze: AnalyzeBench,
 }
 
 /// Times `f` over enough iterations to fill ~200 ms; returns ns/iter.
@@ -976,6 +1019,155 @@ fn measure_user_memory() -> UserMemory {
     }
 }
 
+/// Builds a ≥ 1M-op capture straight through the spill sink — strictly
+/// increasing completion times, mixed op kinds, fault outcomes and
+/// interleaved sessions: the index-friendly shape a long DES run spills,
+/// without paying for a 1M-op simulation inside the bench.
+fn analyze_capture(ops: u64) -> Vec<u8> {
+    use uswg_core::{FileCategory, OpKind, OpRecord, SessionRecord};
+    let mut sink = SpillSink::new(Vec::new()).expect("in-memory sink");
+    for i in 0..ops {
+        sink.record_op(&OpRecord {
+            at: i,
+            user: (i % 1024) as usize,
+            session: (i % 13) as u32,
+            op: OpKind::ALL[(i % 8) as usize],
+            ino: i % 4096,
+            bytes: (i * 37) % 8192,
+            file_size: 1 << 20,
+            response: (i * 13) % 900 + 1,
+            category: FileCategory::REG_USER_RDONLY,
+            retries: u32::from(i.is_multiple_of(97)),
+            aborted: i.is_multiple_of(1009),
+        });
+        if i.is_multiple_of(1000) {
+            sink.record_session(&SessionRecord {
+                user: (i % 1024) as usize,
+                user_type: (i % 3) as usize,
+                session: (i / 1000) as u32,
+                start: i.saturating_sub(1000),
+                end: i,
+                ops: 1000,
+                files_referenced: 5,
+                file_bytes_referenced: 1 << 22,
+                bytes_accessed: i,
+                bytes_read: i / 2,
+                bytes_written: i.div_ceil(2),
+                total_response: i * 3,
+            });
+        }
+    }
+    sink.finish().expect("seals")
+}
+
+/// Schema 9: the three `uswg analyze` regimes over the same ≥ 1M-op
+/// capture — full sequential stream, indexed ~5% window (bytes read
+/// counted through [`CountingReader`]) and indexed parallel full pass.
+/// The parallel statistics are asserted equal to the sequential pass
+/// before anything is timed, so the committed speedup can never come
+/// from a merge that drops records.
+fn measure_analyze() -> AnalyzeBench {
+    use std::io::Cursor;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use uswg_core::{
+        metrics::StreamLogStats, scan::scan_indexed, CountingReader, FrameIndex, ScanOptions,
+        SpillReader, SpillRecord,
+    };
+
+    const OPS: u64 = 1 << 20;
+    let bytes = analyze_capture(OPS);
+    let index = FrameIndex::load(&mut Cursor::new(&bytes))
+        .expect("trailer probe succeeds")
+        .expect("sealed captures carry an index footer");
+    let sequential = |counter: &Arc<AtomicU64>| -> StreamLogStats {
+        let mut stats = StreamLogStats::new();
+        let reader = SpillReader::new(CountingReader::new(
+            Cursor::new(&bytes),
+            Arc::clone(counter),
+        ))
+        .expect("opens");
+        for record in reader {
+            match record.expect("decodes") {
+                SpillRecord::Op(op) => stats.record_op(&op),
+                SpillRecord::Session(s) => stats.record_session(&s),
+            }
+        }
+        stats
+    };
+    let seq_counter = Arc::new(AtomicU64::new(0));
+    let full = sequential(&seq_counter);
+    let sequential_bytes_read = seq_counter.load(Ordering::Relaxed);
+    let sequential_ms = best_ms(|| {
+        black_box(sequential(&Arc::new(AtomicU64::new(0))));
+    });
+
+    // A ~5% window in the middle of the [0, OPS) µs time line.
+    let (since, until) = (OPS * 45 / 100, OPS * 50 / 100);
+    let win_opts = ScanOptions {
+        since: Some(since),
+        until: Some(until),
+        ..ScanOptions::default()
+    };
+    let windowed_scan = |counter: &Arc<AtomicU64>| {
+        scan_indexed(&index, &win_opts, || {
+            SpillReader::new(CountingReader::new(
+                Cursor::new(&bytes),
+                Arc::clone(counter),
+            ))
+        })
+        .expect("windowed scan")
+    };
+    let win_counter = Arc::new(AtomicU64::new(0));
+    let windowed = windowed_scan(&win_counter);
+    let windowed_bytes_read = win_counter.load(Ordering::Relaxed);
+    assert!(
+        windowed_bytes_read * 10 < sequential_bytes_read,
+        "a ~5% window must read well under a tenth of the file \
+         ({windowed_bytes_read} of {sequential_bytes_read} bytes)"
+    );
+    let windowed_ms = best_ms(|| {
+        black_box(windowed_scan(&Arc::new(AtomicU64::new(0))));
+    });
+
+    let parallel_jobs = 4;
+    let par_opts = ScanOptions {
+        jobs: parallel_jobs,
+        ..ScanOptions::default()
+    };
+    let parallel_scan =
+        || scan_indexed(&index, &par_opts, || SpillReader::new(Cursor::new(&bytes)));
+    let parallel = parallel_scan().expect("parallel scan");
+    assert_eq!(parallel.stats.ops, full.ops);
+    assert_eq!(parallel.stats.sessions, full.sessions);
+    assert_eq!(parallel.stats.data_bytes, full.data_bytes);
+    assert!(
+        (parallel.stats.response_per_byte() - full.response_per_byte()).abs() < 1e-9,
+        "parallel analyze must reproduce the sequential statistics"
+    );
+    let parallel_ms = best_ms(|| {
+        black_box(parallel_scan().expect("parallel scan"));
+    });
+
+    AnalyzeBench {
+        ops: OPS as usize,
+        sessions: full.sessions as usize,
+        frames: index.frames(),
+        file_bytes: bytes.len(),
+        sequential_ms,
+        sequential_bytes_read,
+        window_fraction: (until - since) as f64 / OPS as f64,
+        windowed_ms,
+        windowed_bytes_read,
+        windowed_frames_decoded: windowed.frames_decoded,
+        windowed_to_sequential_byte_ratio: windowed_bytes_read as f64
+            / sequential_bytes_read as f64,
+        parallel_jobs,
+        parallel_ms,
+        parallel_speedup: sequential_ms / parallel_ms,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -1003,9 +1195,11 @@ fn main() {
     let drive_memory = measure_drive_memory();
     eprintln!("measuring user-arena memory (1M/10M users)...");
     let user_memory = measure_user_memory();
+    eprintln!("measuring analyze passes (sequential vs windowed vs parallel)...");
+    let analyze = measure_analyze();
 
     let baseline = Baseline {
-        schema: 8,
+        schema: 9,
         sampling,
         des,
         scheduler,
@@ -1018,6 +1212,7 @@ fn main() {
         faults,
         drive_memory,
         user_memory,
+        analyze,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializes");
     std::fs::write(&out_path, &json).expect("snapshot written");

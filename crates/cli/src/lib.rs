@@ -37,9 +37,9 @@ use uswg_core::experiment::{
     Parallelism, SweepMode, SweepPoint,
 };
 use uswg_core::{
-    fit, gof, metrics, plot, presets, CoreError, DistrError, Distribution, LogSink, NfsParams,
-    SchedulerBackend, SpillCodec, SpillReader, SpillRecord, SpillSink, Summary, SummarySink, Table,
-    UsageLog, WorkloadSpec,
+    fit, gof, metrics, plot, presets, scan, CoreError, DistrError, Distribution, FrameIndex,
+    LogSink, NfsParams, ScanOptions, SchedulerBackend, SpillCodec, SpillReader, SpillRecord,
+    SpillSink, Summary, SummarySink, Table, UsageLog, WorkloadSpec,
 };
 
 /// A parsed command line.
@@ -128,6 +128,16 @@ pub enum Command {
         /// (with a warning and exit status 3). Corrupt frames still fail
         /// closed — salvage trusts checksummed frames only.
         salvage: bool,
+        /// Keep records completing at or after this time, µs. With an
+        /// index footer present, only overlapping frames are decoded.
+        since: Option<u64>,
+        /// Keep records completing at or before this time, µs.
+        until: Option<u64>,
+        /// Decode every k-th selected frame (requires an index footer to
+        /// skip; thins a huge capture into a cheap estimate).
+        sample: Option<u64>,
+        /// Fan disjoint frame ranges across this many stealpool workers.
+        jobs: Option<usize>,
     },
     /// `drive <path>`: stream the workload's op stream — from a live DES
     /// run on a producer thread, or from a spill capture — open-loop
@@ -322,7 +332,19 @@ USAGE:
       --by-type        add the per-user-type session breakdown
       --salvage        accept a truncated file: report over the intact
                        prefix with a warning, exit status 3 (corrupt
-                       frames still fail closed, exit status 2)
+                       frames still fail closed, exit status 2); a file
+                       whose only damage is a truncated index footer
+                       reports exact totals from the streamed pass
+      --since <µs>     keep records completing at or after this time
+      --until <µs>     keep records completing at or before this time
+      --sample <k>     decode every k-th selected frame (an estimate)
+      --jobs <N>       fan frame ranges across N workers and merge
+                       (indexed files; results match the sequential pass)
+                       With an index footer (written by default since
+                       schema 9), --since/--until/--sample/--jobs decode
+                       only the overlapping frames — O(window), not
+                       O(file); unindexed files fall back to a streamed
+                       pass with the same record filter
   uswg tables                           print the Table 5.1/5.2/5.4 presets
   uswg help                             this message
 ";
@@ -563,14 +585,57 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut json = false;
             let mut by_type = false;
             let mut salvage = false;
-            for flag in &args[2..] {
-                match flag.as_str() {
+            let mut since = None;
+            let mut until = None;
+            let mut sample = None;
+            let mut jobs = None;
+            let mut i = 2;
+            while i < args.len() {
+                let flag = args[i].as_str();
+                match flag {
                     "--json" => json = true,
                     "--by-type" => by_type = true,
                     "--salvage" => salvage = true,
+                    "--since" | "--until" | "--sample" | "--jobs" => {
+                        i += 1;
+                        let value = args
+                            .get(i)
+                            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+                        let parsed: u64 = value
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad {flag} value `{value}`")))?;
+                        match flag {
+                            "--since" => since = Some(parsed),
+                            "--until" => until = Some(parsed),
+                            "--sample" => {
+                                if parsed == 0 {
+                                    return Err(CliError::Usage(
+                                        "--sample must be at least 1".into(),
+                                    ));
+                                }
+                                sample = Some(parsed);
+                            }
+                            _ => {
+                                if parsed == 0 {
+                                    return Err(CliError::Usage(
+                                        "--jobs must be at least 1".into(),
+                                    ));
+                                }
+                                jobs = Some(parsed as usize);
+                            }
+                        }
+                    }
                     other => {
                         return Err(CliError::Usage(format!("unknown flag `{other}`")));
                     }
+                }
+                i += 1;
+            }
+            if let (Some(s), Some(u)) = (since, until) {
+                if s > u {
+                    return Err(CliError::Usage(format!(
+                        "--since {s} is after --until {u}: empty window"
+                    )));
                 }
             }
             Ok(Command::Analyze {
@@ -578,6 +643,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 json,
                 by_type,
                 salvage,
+                since,
+                until,
+                sample,
+                jobs,
             })
         }
         "drive" => {
@@ -1091,22 +1160,64 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
             json,
             by_type,
             salvage,
+            since,
+            until,
+            sample,
+            jobs,
         } => {
-            // The Usage Analyzer over a spill file: every record streams
-            // through the aggregator frame-by-frame — no UsageLog, no
-            // O(run length) memory, any file the format can hold.
-            let reader = SpillReader::open(&path)?;
+            let opts = ScanOptions {
+                since,
+                until,
+                sample,
+                jobs: jobs.unwrap_or(1),
+            };
+            let windowed = since.is_some() || until.is_some() || sample.is_some() || jobs.is_some();
+            // Any windowed/parallel flag tries the index footer first. A
+            // present-but-malformed footer fails closed (`load_path` errors
+            // — the trailer promised an index that lied); an absent or
+            // truncated one returns `None` and the pass falls back to
+            // streaming every frame through the same record filter.
+            let index = if windowed {
+                FrameIndex::load_path(&path)?
+            } else {
+                None
+            };
+            if let Some(index) = index {
+                let codec = SpillReader::open(&path)?.codec();
+                let outcome = scan::scan_indexed(&index, &opts, || SpillReader::open(&path))?;
+                let coverage = Coverage::Indexed {
+                    decoded: outcome.frames_decoded as u64,
+                    total: outcome.frames_total as u64,
+                };
+                let text = if json {
+                    render_analyze_json(&outcome.stats, codec, by_type, false, &coverage)?
+                } else {
+                    render_analyze_text(&path, &outcome.stats, codec, by_type, &coverage)
+                };
+                return ok(text);
+            }
+            // The streamed pass: every record flows through the aggregator
+            // frame-by-frame — no UsageLog, no O(run length) memory, any
+            // file the format can hold.
+            let mut reader = SpillReader::open(&path)?;
             let codec = reader.codec();
             let mut stats = metrics::StreamLogStats::new();
             let mut truncated = false;
-            for record in reader {
+            for record in reader.by_ref() {
                 match record {
-                    Ok(SpillRecord::Op(op)) => stats.record_op(&op),
-                    Ok(SpillRecord::Session(s)) => stats.record_session(&s),
+                    Ok(record) => {
+                        if opts.record_in_window(&record) {
+                            match record {
+                                SpillRecord::Op(op) => stats.record_op(&op),
+                                SpillRecord::Session(s) => stats.record_session(&s),
+                            }
+                        }
+                    }
                     // Salvage accepts *truncation* only: every record
                     // already yielded came from an intact (v2: checksummed)
                     // frame, so the prefix is trustworthy. Corruption
-                    // (InvalidData) means a frame lied — fail closed.
+                    // (InvalidData) means a frame lied — fail closed, and
+                    // that includes garbage after a valid end marker.
                     Err(e) if salvage && e.kind() == std::io::ErrorKind::UnexpectedEof => {
                         truncated = true;
                         break;
@@ -1114,19 +1225,36 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
                     Err(e) => return Err(e.into()),
                 }
             }
-            let mut text = if json {
-                render_analyze_json(&stats, codec, by_type, truncated)?
+            // A cut inside the index footer leaves the record stream
+            // complete (the end marker validated) — exact totals, unlike a
+            // mid-stream cut where they are a lower bound.
+            let footer_only = truncated && reader.stream_complete();
+            let coverage = if windowed {
+                Coverage::Filtered
             } else {
-                render_analyze_text(&path, &stats, codec, by_type)
+                Coverage::Full
+            };
+            let mut text = if json {
+                render_analyze_json(&stats, codec, by_type, truncated, &coverage)?
+            } else {
+                render_analyze_text(&path, &stats, codec, by_type, &coverage)
             };
             if truncated {
                 if !json {
-                    let _ = writeln!(
-                        text,
-                        "warning: spill file is truncated — salvaged {} ops and {} \
-                         sessions from the intact frame prefix; totals are a lower bound",
-                        stats.ops, stats.sessions
-                    );
+                    if footer_only {
+                        let _ = writeln!(
+                            text,
+                            "warning: index footer is truncated — report streamed from \
+                             the complete record stream; totals are exact"
+                        );
+                    } else {
+                        let _ = writeln!(
+                            text,
+                            "warning: spill file is truncated — salvaged {} ops and {} \
+                             sessions from the intact frame prefix; totals are a lower bound",
+                            stats.ops, stats.sessions
+                        );
+                    }
                 }
                 return Ok((text, EXIT_SALVAGED));
             }
@@ -1244,11 +1372,25 @@ fn codec_name(codec: SpillCodec) -> &'static str {
     }
 }
 
+/// How much of the file an analyze pass decoded, for the report.
+#[derive(Debug, Clone, Copy)]
+enum Coverage {
+    /// Streamed every frame, no filter — the classic full pass, whose
+    /// report stays byte-identical to pre-index releases.
+    Full,
+    /// Streamed every frame but filtered records to the window (the file
+    /// carries no usable index footer).
+    Filtered,
+    /// Seeked via the index footer and decoded only the selected frames.
+    Indexed { decoded: u64, total: u64 },
+}
+
 fn render_analyze_text(
     path: &str,
     stats: &metrics::StreamLogStats,
     codec: SpillCodec,
     by_type: bool,
+    coverage: &Coverage,
 ) -> String {
     let mut text = format!(
         "spill file {path} ({}): {} ops, {} sessions\n",
@@ -1256,6 +1398,15 @@ fn render_analyze_text(
         stats.ops,
         stats.sessions
     );
+    match coverage {
+        Coverage::Full => {}
+        Coverage::Filtered => {
+            text.push_str("no index footer — streamed every frame, filtered to the window\n");
+        }
+        Coverage::Indexed { decoded, total } => {
+            let _ = writeln!(text, "frame index: decoded {decoded} of {total} frames");
+        }
+    }
     let mut table = Table::new(vec![
         "system call",
         "count",
@@ -1362,8 +1513,16 @@ struct AnalyzeReport {
     /// Data bytes offered, aborted transfers included.
     data_bytes: u64,
     /// True when `--salvage` accepted a truncated file: every count is a
-    /// lower bound over the intact frame prefix.
+    /// lower bound over the intact frame prefix (exact if only the index
+    /// footer was cut — the record stream itself validated).
     salvaged: bool,
+    /// True when the pass seeked via the index footer instead of
+    /// streaming the whole file.
+    indexed: bool,
+    /// Frames decoded (`null` for a full streamed pass).
+    frames_decoded: Option<u64>,
+    /// Frames in the file per the index (`null` when unindexed).
+    frames_total: Option<u64>,
     data_access_size: Summary,
     data_response: Summary,
     op_mix: Vec<OpMixRow>,
@@ -1377,8 +1536,13 @@ fn render_analyze_json(
     codec: SpillCodec,
     by_type: bool,
     salvaged: bool,
+    coverage: &Coverage,
 ) -> Result<String, CliError> {
     let (data_access_size, data_response) = stats.data_op_summary();
+    let (indexed, frames_decoded, frames_total) = match coverage {
+        Coverage::Full | Coverage::Filtered => (false, None, None),
+        Coverage::Indexed { decoded, total } => (true, Some(*decoded), Some(*total)),
+    };
     let report = AnalyzeReport {
         format: codec_name(codec).to_string(),
         ops: stats.ops,
@@ -1390,6 +1554,9 @@ fn render_analyze_json(
         goodput_bytes: stats.goodput_bytes(),
         data_bytes: stats.data_bytes,
         salvaged,
+        indexed,
+        frames_decoded,
+        frames_total,
         data_access_size,
         data_response,
         op_mix: stats
@@ -1719,7 +1886,7 @@ mod tests {
         assert!(parse_args(argv("run spec.json --bogus")).is_err());
         assert!(parse_args(argv("frobnicate")).is_err());
         assert!(parse_args(argv("fit data.txt")).is_err());
-        // Analyze needs a path and takes only its two flags.
+        // Analyze needs a path and rejects flags it doesn't know.
         assert!(parse_args(argv("analyze")).is_err());
         assert!(parse_args(argv("analyze run.bin --frobnicate")).is_err());
         assert!(parse_model("distributed:0").is_err());
@@ -1834,17 +2001,35 @@ mod tests {
                 json: false,
                 by_type: false,
                 salvage: false,
+                since: None,
+                until: None,
+                sample: None,
+                jobs: None,
             }
         );
         assert_eq!(
-            parse_args(argv("analyze run.bin --json --by-type --salvage")).unwrap(),
+            parse_args(argv(
+                "analyze run.bin --json --by-type --salvage --since 100 \
+                 --until 900 --sample 10 --jobs 4"
+            ))
+            .unwrap(),
             Command::Analyze {
                 path: "run.bin".into(),
                 json: true,
                 by_type: true,
                 salvage: true,
+                since: Some(100),
+                until: Some(900),
+                sample: Some(10),
+                jobs: Some(4),
             }
         );
+        // Windowed flags validate their values.
+        assert!(parse_args(argv("analyze run.bin --since")).is_err());
+        assert!(parse_args(argv("analyze run.bin --since later")).is_err());
+        assert!(parse_args(argv("analyze run.bin --sample 0")).is_err());
+        assert!(parse_args(argv("analyze run.bin --jobs 0")).is_err());
+        assert!(parse_args(argv("analyze run.bin --since 10 --until 5")).is_err());
     }
 
     #[test]
@@ -1926,6 +2111,19 @@ mod tests {
         assert_eq!(parse_family("gamma:2").unwrap(), Family::Gamma(2));
     }
 
+    /// A temp directory unique to this test *invocation*: pid alone is not
+    /// enough (every test of one run shares it), so a process-wide
+    /// monotonic counter disambiguates tests that use the same label —
+    /// and repeated helpers within one test.
+    fn unique_test_dir(label: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("uswg-cli-{label}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn help_and_tables_render() {
         let help = execute(Command::Help).unwrap();
@@ -1938,8 +2136,7 @@ mod tests {
 
     #[test]
     fn init_run_fit_round_trip() {
-        let dir = std::env::temp_dir().join(format!("uswg-cli-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_test_dir("test");
         let spec_path = dir.join("spec.json");
         let log_path = dir.join("log.json");
 
@@ -2035,8 +2232,7 @@ mod tests {
 
     #[test]
     fn sweep_replicate_and_spill_smoke() {
-        let dir = std::env::temp_dir().join(format!("uswg-cli-exp-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_test_dir("exp-test");
         let spec_path = dir.join("spec.json");
         let spill_path = dir.join("log.bin");
 
@@ -2164,8 +2360,7 @@ mod tests {
 
     #[test]
     fn salvage_reports_truncated_files_and_rejects_corrupt_ones() {
-        let dir = std::env::temp_dir().join(format!("uswg-cli-salvage-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_test_dir("salvage");
         let spec_path = dir.join("spec.json");
         let spill_path = dir.join("log.bin");
 
@@ -2260,13 +2455,164 @@ mod tests {
             "corrupt frames must fail closed under salvage"
         );
 
+        // Trailing garbage after a valid end marker is corruption too —
+        // the frames are fine, but the file has been tampered with or
+        // damaged in exactly the region the index footer occupies. Fail
+        // closed, salvage or not.
+        let mut tampered = bytes.clone();
+        tampered.push(0x5A);
+        let tampered_path = dir.join("tampered.bin");
+        std::fs::write(&tampered_path, &tampered).unwrap();
+        let tampered_arg: String = tampered_path.to_string_lossy().into();
+        assert!(execute(parse_args(argv(&format!("analyze {tampered_arg}"))).unwrap()).is_err());
+        assert!(execute_with_status(
+            parse_args(argv(&format!("analyze {tampered_arg} --salvage"))).unwrap()
+        )
+        .is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Pulls a u64 field out of a parsed `analyze --json` report.
+    fn json_u64(parsed: &serde::Value, key: &str) -> u64 {
+        match parsed.get(key) {
+            Some(serde::Value::U64(n)) => *n,
+            other => panic!("{key}: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn windowed_and_parallel_analyze_use_the_index() {
+        let dir = unique_test_dir("window");
+        let spill_path = dir.join("timed.bin");
+        // A capture with a known time line: op i completes at i*10 µs, at
+        // a small frame cap so the file holds many seekable frames.
+        let mut sink = SpillSink::with_options(
+            std::fs::File::create(&spill_path).unwrap(),
+            SpillCodec::Compressed,
+            64,
+        )
+        .unwrap();
+        for i in 0..2000u64 {
+            sink.record_op(&uswg_core::OpRecord {
+                at: i * 10,
+                user: (i % 11) as usize,
+                session: (i % 3) as u32,
+                op: uswg_core::OpKind::ALL[(i % 8) as usize],
+                ino: i % 17,
+                bytes: (i * 31) % 2048,
+                file_size: 4096,
+                response: (i * 7) % 500 + 1,
+                category: uswg_core::FileCategory::REG_USER_RDONLY,
+                retries: 0,
+                aborted: false,
+            });
+        }
+        sink.finish().unwrap();
+        let arg: String = spill_path.to_string_lossy().into();
+
+        // Full sequential pass, for reference.
+        let (full, status) =
+            execute_with_status(parse_args(argv(&format!("analyze {arg} --json"))).unwrap())
+                .unwrap();
+        assert_eq!(status, EXIT_OK);
+        let full = serde_json::parse_value(&full).unwrap();
+        assert_eq!(json_u64(&full, "ops"), 2000);
+        assert_eq!(full.get("indexed"), Some(&serde::Value::Bool(false)));
+
+        // A time window over [5000, 7000] µs holds ops 500..=700 and, via
+        // the index, decodes only the overlapping frames.
+        let (out, status) = execute_with_status(
+            parse_args(argv(&format!(
+                "analyze {arg} --json --since 5000 --until 7000"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(status, EXIT_OK);
+        let windowed = serde_json::parse_value(&out).unwrap();
+        assert_eq!(json_u64(&windowed, "ops"), 201);
+        assert_eq!(windowed.get("indexed"), Some(&serde::Value::Bool(true)));
+        let decoded = json_u64(&windowed, "frames_decoded");
+        let total = json_u64(&windowed, "frames_total");
+        assert_eq!(total, 2000 / 64 + 1);
+        assert!(decoded <= 5, "{decoded} frames for a 201-op window");
+        // Text mode names the coverage.
+        let (out, _) = execute_with_status(
+            parse_args(argv(&format!("analyze {arg} --since 5000 --until 7000"))).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("frame index: decoded"), "{out}");
+
+        // Parallel analyze matches the sequential pass: counters exactly,
+        // derived floats within 1e-9.
+        let (out, status) = execute_with_status(
+            parse_args(argv(&format!("analyze {arg} --json --jobs 4"))).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(status, EXIT_OK);
+        let parallel = serde_json::parse_value(&out).unwrap();
+        for key in ["ops", "sessions", "data_bytes", "goodput_bytes"] {
+            assert_eq!(json_u64(&parallel, key), json_u64(&full, key), "{key}");
+        }
+        let (p, f) = match (
+            parallel.get("response_per_byte"),
+            full.get("response_per_byte"),
+        ) {
+            (Some(serde::Value::F64(p)), Some(serde::Value::F64(f))) => (*p, *f),
+            other => panic!("{other:?}"),
+        };
+        assert!((p - f).abs() < 1e-9);
+        assert_eq!(json_u64(&parallel, "frames_decoded"), total);
+
+        // Sampling decodes every k-th frame.
+        let (out, _) = execute_with_status(
+            parse_args(argv(&format!("analyze {arg} --json --sample 4"))).unwrap(),
+        )
+        .unwrap();
+        let sampled = serde_json::parse_value(&out).unwrap();
+        assert_eq!(
+            json_u64(&sampled, "frames_decoded"),
+            (total as usize).div_ceil(4) as u64
+        );
+
+        // A cut inside the index footer: windowed flags fall back to the
+        // streamed pass; --salvage reports *exact* totals (the record
+        // stream is complete) with the footer warning, never an error.
+        let bytes = std::fs::read(&spill_path).unwrap();
+        let cut_path = dir.join("footer-cut.bin");
+        std::fs::write(&cut_path, &bytes[..bytes.len() - 5]).unwrap();
+        let cut_arg: String = cut_path.to_string_lossy().into();
+        let (out, status) = execute_with_status(
+            parse_args(argv(&format!(
+                "analyze {cut_arg} --salvage --since 5000 --until 7000"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(status, EXIT_SALVAGED);
+        assert!(out.contains("no index footer"), "{out}");
+        assert!(out.contains("index footer is truncated"), "{out}");
+        assert!(out.contains("totals are exact"), "{out}");
+        assert!(out.contains(": 201 ops"), "{out}");
+        // Same cut without --salvage is still an error…
+        assert!(execute(parse_args(argv(&format!("analyze {cut_arg}"))).unwrap()).is_err());
+        // …and a JSON salvage of the whole cut file carries every record.
+        let (out, status) = execute_with_status(
+            parse_args(argv(&format!("analyze {cut_arg} --salvage --json"))).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(status, EXIT_SALVAGED);
+        let parsed = serde_json::parse_value(&out).unwrap();
+        assert_eq!(json_u64(&parsed, "ops"), 2000);
+        assert_eq!(parsed.get("salvaged"), Some(&serde::Value::Bool(true)));
+
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn drive_loopback_smoke() {
-        let dir = std::env::temp_dir().join(format!("uswg-cli-drive-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_test_dir("drive");
         let spec_path = dir.join("spec.json");
         let mut spec = WorkloadSpec::paper_default().unwrap();
         spec.run.sessions_per_user = 2;
@@ -2303,8 +2649,7 @@ mod tests {
 
     #[test]
     fn drive_from_spill_replays_and_salvages_truncation() {
-        let dir = std::env::temp_dir().join(format!("uswg-cli-fromspill-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_test_dir("fromspill");
         let spec_path = dir.join("spec.json");
         let spill_path = dir.join("cap.bin");
         let mut spec = WorkloadSpec::paper_default().unwrap();

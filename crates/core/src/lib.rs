@@ -51,7 +51,10 @@ pub use error::CoreError;
 pub use workload::{DesOpStream, WorkloadSpec};
 
 // Re-export the workspace surface so downstream users need one dependency.
-pub use uswg_analyze::{metrics, Align, Histogram, StreamingSummary, Summary, Table};
+pub use uswg_analyze::{
+    metrics, scan, Align, CountingReader, Histogram, ScanOptions, ScanOutcome, StreamingSummary,
+    Summary, Table,
+};
 pub use uswg_distr::{
     fit, gof, plot, spec::DistributionSpec, CdfTable, DistrError, Distribution, EmpiricalCdf,
     Exponential, MultiStageGamma, PdfTable, PhaseTypeExp,
@@ -71,9 +74,9 @@ pub use uswg_sim::{
 pub use uswg_usim::{
     merge_shard_logs, merge_spill_shards, read_spill, read_spill_path, shard_model_seed,
     AccessPattern, BehaviorState, CategoryUsage, CompiledPopulation, DesDriver, DesReport,
-    DesRunStats, DirectDriver, DiurnalProfile, FaultSpec, LogSink, OpRecord, PhaseModel,
-    PhaseState, PopulationSpec, RetryPolicy, RunConfig, SessionRecord, ShardEnv, ShardPlan,
-    ShardedDesDriver, SpillCodec, SpillReader, SpillRecord, SpillSink, SummarySink, UsageLog,
-    UserTypeSpec, UsimError,
+    DesRunStats, DirectDriver, DiurnalProfile, FaultSpec, FrameIndex, FrameIndexEntry, LogSink,
+    OpRecord, PhaseModel, PhaseState, PopulationSpec, RetryPolicy, RunConfig, SessionRecord,
+    ShardEnv, ShardPlan, ShardedDesDriver, SpillCodec, SpillReader, SpillRecord, SpillSink,
+    SummarySink, UsageLog, UserTypeSpec, UsimError,
 };
 pub use uswg_vfs::{Fd, FsError, Metadata, OpenFlags, SeekFrom, Vfs, VfsConfig};

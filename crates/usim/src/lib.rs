@@ -54,7 +54,8 @@ pub use shard::{
 pub use sink::{ChannelSink, LogSink, SummarySink};
 pub use spec::{AccessPattern, CategoryUsage, PopulationSpec, RunConfig, UserTypeSpec};
 pub use spill::{
-    read_spill, read_spill_path, SpillCodec, SpillReader, SpillRecord, SpillSink, FRAME_CAP,
+    read_spill, read_spill_path, FrameIndex, FrameIndexEntry, SpillCodec, SpillReader, SpillRecord,
+    SpillSink, FRAME_CAP,
 };
 pub use temporal::{DiurnalProfile, PhaseModel, PhaseState};
 pub use uswg_sim::SchedulerBackend;

@@ -52,7 +52,29 @@
 //! end marker (written by `finish` only):
 //!   tag:   1 byte   2
 //!   totals: u64 LE ops, u64 LE sessions — must match the frames read
+//! index footer (optional, after the end marker; default on):
+//!   magic: 8 bytes  b"USWGIDX1"
+//!   count: u32 LE   index entries (one per frame, in file order)
+//!   entry*:         offset u64 LE (of the frame's tag byte) | tag u8 |
+//!                   records u32 LE | min_time u64 LE | max_time u64 LE
+//!                   (completion-time range: `at` for ops, `end` for
+//!                   sessions)
+//!   crc:   u32 LE   CRC32 (IEEE) over magic, count and every entry
+//! trailer (fixed size, last 12 bytes of an indexed file):
+//!   footer_len: u32 LE  bytes from the footer magic to its CRC inclusive
+//!   magic: 8 bytes  b"USWGTRL1"
 //! ```
+//!
+//! The footer makes a sealed file *seekable*: [`FrameIndex::load`] finds it
+//! by seeking to EOF−12, and `uswg analyze` uses the per-frame time ranges
+//! to decode only the frames overlapping a `--since/--until` window — or to
+//! fan disjoint frame ranges across threads — instead of streaming the
+//! whole file. Files without a footer (every pre-index release, or
+//! [`SpillSink::without_index`]) end at the marker and stream exactly as
+//! before. Crucially the footer lives *after* the end marker, the region
+//! old readers never looked at — and the region this module now polices:
+//! after a validated end marker the stream must hold either a well-formed
+//! footer or clean EOF, anything else is `InvalidData`.
 //!
 //! The fault-outcome tag is chosen **per frame**: a frame whose records
 //! all carry the default outcome (no retries, not aborted) is written as a
@@ -74,7 +96,7 @@
 use crate::log::{OpRecord, SessionRecord, UsageLog};
 use crate::sink::LogSink;
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use uswg_fsc::{FileCategory, FileType, Owner, UsageClass};
 use uswg_netfs::OpKind;
@@ -99,6 +121,19 @@ const TAG_END: u8 = 2;
 /// non-default outcome, so fault-free spill files keep the historical byte
 /// layout exactly.
 const TAG_OPS_FAULTS: u8 = 3;
+/// Index-footer magic, the first bytes after the end marker of an indexed
+/// file.
+const MAGIC_INDEX: &[u8; 8] = b"USWGIDX1";
+/// Trailer magic, the last 8 bytes of an indexed file.
+const MAGIC_TRAILER: &[u8; 8] = b"USWGTRL1";
+/// Bytes per index entry: offset u64, tag u8, records u32, min/max u64.
+const INDEX_ENTRY_BYTES: usize = 8 + 1 + 4 + 8 + 8;
+/// Fixed footer overhead around the entries: magic, count, CRC.
+const INDEX_FIXED_BYTES: usize = 8 + 4 + 4;
+/// Trailer length: footer length (u32) + trailer magic.
+const TRAILER_BYTES: usize = 4 + 8;
+/// The shortest possible sealed stream: magic + end marker.
+const MIN_STREAM_BYTES: u64 = 8 + 1 + 16;
 
 /// Records buffered per frame: the sink's entire resident footprint is two
 /// buffers of at most this many records (~320 KiB of ops), independent of
@@ -370,6 +405,191 @@ fn decode_u8_col(buf: &[u8], count: usize) -> io::Result<Vec<u8>> {
 }
 
 // ---------------------------------------------------------------------------
+// Frame index
+// ---------------------------------------------------------------------------
+
+/// One frame of a spill file as the index footer describes it: where the
+/// frame starts, what it holds and the completion-time range it covers —
+/// everything a windowed or parallel pass needs to decide whether to decode
+/// the frame without reading it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameIndexEntry {
+    /// Byte offset of the frame's tag byte from the start of the file.
+    pub offset: u64,
+    /// Records in the frame (`1..=FRAME_CAP`).
+    pub records: u32,
+    /// Smallest completion time in the frame, µs (`at` for op frames,
+    /// `end` for session frames).
+    pub min_time: u64,
+    /// Largest completion time in the frame, µs.
+    pub max_time: u64,
+    /// The frame's tag byte.
+    tag: u8,
+}
+
+impl FrameIndexEntry {
+    /// Whether the frame holds session records (otherwise op records,
+    /// with or without fault outcomes).
+    pub fn is_session_frame(&self) -> bool {
+        self.tag == TAG_SESSIONS
+    }
+
+    /// Whether the frame's completion-time range intersects the closed
+    /// window `[since, until]` (an open bound always matches).
+    pub fn overlaps(&self, since: Option<u64>, until: Option<u64>) -> bool {
+        since.is_none_or(|s| self.max_time >= s) && until.is_none_or(|u| self.min_time <= u)
+    }
+}
+
+/// The frame index of a sealed spill file, loaded from the footer
+/// [`SpillSink::finish`] appends after the end marker. [`FrameIndex::load`]
+/// finds the footer by seeking to the fixed-size trailer at EOF, so a
+/// multi-gigabyte capture answers "which frames overlap t∈[a,b]" from a
+/// few dozen kilobytes of index — the entry point of `uswg analyze
+/// --since/--until/--sample/--jobs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameIndex {
+    entries: Vec<FrameIndexEntry>,
+}
+
+impl FrameIndex {
+    /// The per-frame entries, in file order.
+    pub fn entries(&self) -> &[FrameIndexEntry] {
+        &self.entries
+    }
+
+    /// Frames in the file.
+    pub fn frames(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Records over all frames (ops + sessions).
+    pub fn records(&self) -> u64 {
+        self.entries.iter().map(|e| u64::from(e.records)).sum()
+    }
+
+    /// Loads the index footer from a seekable spill file. Returns
+    /// `Ok(None)` when the file carries no trailer — a pre-index file, an
+    /// unindexed sink, or a file truncated anywhere inside the footer
+    /// (the trailer is the last thing written, so a damaged footer simply
+    /// fails to announce itself and the caller falls back to streaming).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` when a trailer is present but the footer it
+    /// points at is malformed (bad magic, size mismatch, checksum
+    /// failure, nonsense entries), and propagates underlying I/O errors.
+    pub fn load<R: Read + Seek>(r: &mut R) -> io::Result<Option<Self>> {
+        let len = r.seek(SeekFrom::End(0))?;
+        if len < MIN_STREAM_BYTES + (INDEX_FIXED_BYTES + TRAILER_BYTES) as u64 {
+            return Ok(None);
+        }
+        r.seek(SeekFrom::End(-(TRAILER_BYTES as i64)))?;
+        let mut trailer = [0u8; TRAILER_BYTES];
+        r.read_exact(&mut trailer)?;
+        if &trailer[4..] != MAGIC_TRAILER {
+            return Ok(None);
+        }
+        let footer_len = u64::from(u32::from_le_bytes(
+            trailer[..4].try_into().expect("4 bytes"),
+        ));
+        let footer_start = len - TRAILER_BYTES as u64 - footer_len;
+        if footer_len < INDEX_FIXED_BYTES as u64 || footer_start < MIN_STREAM_BYTES {
+            return Err(bad_data(format!(
+                "index trailer declares a {footer_len}-byte footer, impossible \
+                 in a {len}-byte file"
+            )));
+        }
+        r.seek(SeekFrom::Start(footer_start))?;
+        let mut footer = vec![0u8; footer_len as usize];
+        r.read_exact(&mut footer)?;
+        if &footer[..8] != MAGIC_INDEX {
+            return Err(bad_data(format!(
+                "bad index footer magic {:02x?}",
+                &footer[..8]
+            )));
+        }
+        let count = u32::from_le_bytes(footer[8..12].try_into().expect("4 bytes")) as usize;
+        let expected = INDEX_FIXED_BYTES + count * INDEX_ENTRY_BYTES;
+        if footer_len != expected as u64 {
+            return Err(bad_data(format!(
+                "index footer length {footer_len} does not match its {count} entries"
+            )));
+        }
+        let crc_at = footer.len() - 4;
+        let mut crc = Crc32::new();
+        crc.update(&footer[..crc_at]);
+        let stored = u32::from_le_bytes(footer[crc_at..].try_into().expect("4 bytes"));
+        if crc.finish() != stored {
+            return Err(bad_data("index footer checksum mismatch".into()));
+        }
+        let mut entries = Vec::with_capacity(count);
+        let mut prev_end = 8u64; // frames start right after the file magic
+        for raw in footer[12..crc_at].chunks_exact(INDEX_ENTRY_BYTES) {
+            let entry = FrameIndexEntry {
+                offset: u64::from_le_bytes(raw[..8].try_into().expect("8 bytes")),
+                tag: raw[8],
+                records: u32::from_le_bytes(raw[9..13].try_into().expect("4 bytes")),
+                min_time: u64::from_le_bytes(raw[13..21].try_into().expect("8 bytes")),
+                max_time: u64::from_le_bytes(raw[21..29].try_into().expect("8 bytes")),
+            };
+            // The CRC already vouches for the bytes; these checks catch a
+            // *writer* bug before a seek lands mid-frame.
+            if !matches!(entry.tag, TAG_OPS | TAG_SESSIONS | TAG_OPS_FAULTS)
+                || entry.records == 0
+                || entry.records as usize > FRAME_CAP
+                || entry.offset < prev_end
+                || entry.offset >= footer_start
+                || entry.min_time > entry.max_time
+            {
+                return Err(bad_data(format!(
+                    "index entry {entry:?} is inconsistent with the file layout"
+                )));
+            }
+            prev_end = entry.offset + 1;
+            entries.push(entry);
+        }
+        Ok(Some(Self { entries }))
+    }
+
+    /// [`FrameIndex::load`] over a buffered file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FrameIndex::load`] errors and file-open failures.
+    pub fn load_path<P: AsRef<Path>>(path: P) -> io::Result<Option<Self>> {
+        Self::load(&mut BufReader::new(File::open(path)?))
+    }
+}
+
+/// Serializes the footer + trailer for `entries`.
+///
+/// # Errors
+///
+/// Propagates write failures; errors if the file somehow holds more than
+/// `u32::MAX` frames.
+fn write_index_footer<W: Write>(out: &mut W, entries: &[FrameIndexEntry]) -> io::Result<()> {
+    let count =
+        u32::try_from(entries.len()).map_err(|_| bad_data("too many frames to index".into()))?;
+    let mut footer = Vec::with_capacity(INDEX_FIXED_BYTES + entries.len() * INDEX_ENTRY_BYTES);
+    footer.extend_from_slice(MAGIC_INDEX);
+    footer.extend_from_slice(&count.to_le_bytes());
+    for e in entries {
+        footer.extend_from_slice(&e.offset.to_le_bytes());
+        footer.push(e.tag);
+        footer.extend_from_slice(&e.records.to_le_bytes());
+        footer.extend_from_slice(&e.min_time.to_le_bytes());
+        footer.extend_from_slice(&e.max_time.to_le_bytes());
+    }
+    let mut crc = Crc32::new();
+    crc.update(&footer);
+    footer.extend_from_slice(&crc.finish().to_le_bytes());
+    out.write_all(&footer)?;
+    out.write_all(&(footer.len() as u32).to_le_bytes())?;
+    out.write_all(MAGIC_TRAILER)
+}
+
+// ---------------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------------
 
@@ -391,6 +611,12 @@ pub struct SpillSink<W: Write> {
     ops_total: u64,
     /// Sessions recorded over the sink's whole life.
     sessions_total: u64,
+    /// Byte offset the next frame will land at (every frame writer reports
+    /// its exact size), feeding the index entries.
+    pos: u64,
+    /// Per-frame index entries for the footer; `None` once
+    /// [`SpillSink::without_index`] disabled it.
+    index: Option<Vec<FrameIndexEntry>>,
     error: Option<io::Error>,
 }
 
@@ -458,6 +684,8 @@ impl<W: Write> SpillSink<W> {
             sessions: Vec::with_capacity(frame_cap),
             ops_total: 0,
             sessions_total: 0,
+            pos: 8, // the magic
+            index: Some(Vec::new()),
             error: None,
         })
     }
@@ -467,10 +695,20 @@ impl<W: Write> SpillSink<W> {
         self.codec
     }
 
+    /// Disables the frame-index footer: [`SpillSink::finish`] seals the
+    /// stream with the end marker alone, reproducing the pre-index byte
+    /// layout exactly. The file stays fully readable — it just streams
+    /// instead of seeking under `uswg analyze`.
+    pub fn without_index(mut self) -> Self {
+        self.index = None;
+        self
+    }
+
     /// Flushes buffered frames, seals the stream with the end-of-stream
-    /// marker and flushes the writer, returning it. A spill file without
-    /// the marker (the sink was dropped instead — a crashed run) is
-    /// rejected by [`read_spill`] as truncated.
+    /// marker (followed by the index footer unless
+    /// [`SpillSink::without_index`] disabled it) and flushes the writer,
+    /// returning it. A spill file without the marker (the sink was dropped
+    /// instead — a crashed run) is rejected by [`read_spill`] as truncated.
     ///
     /// # Errors
     ///
@@ -485,8 +723,25 @@ impl<W: Write> SpillSink<W> {
         self.out.write_all(&[TAG_END])?;
         self.out.write_all(&self.ops_total.to_le_bytes())?;
         self.out.write_all(&self.sessions_total.to_le_bytes())?;
+        if let Some(entries) = self.index.take() {
+            write_index_footer(&mut self.out, &entries)?;
+        }
         self.out.flush()?;
         Ok(self.out)
+    }
+
+    /// Records one flushed frame in the index (when enabled): `times`
+    /// yields the completion time of every record in the frame.
+    fn note_frame(&mut self, offset: u64, tag: u8, records: usize, times: (u64, u64)) {
+        if let Some(index) = &mut self.index {
+            index.push(FrameIndexEntry {
+                offset,
+                tag,
+                records: records as u32, // frame_cap ≤ FRAME_CAP ≪ u32::MAX
+                min_time: times.0,
+                max_time: times.1,
+            });
+        }
     }
 
     fn flush_ops(&mut self) {
@@ -494,12 +749,24 @@ impl<W: Write> SpillSink<W> {
             self.ops.clear();
             return;
         }
+        let offset = self.pos;
         let result = match self.codec {
             SpillCodec::Raw => write_op_frame_v1(&mut self.out, &self.ops),
             SpillCodec::Compressed => write_op_frame_v2(&mut self.out, &self.ops),
         };
-        if let Err(e) = result {
-            self.error = Some(e);
+        match result {
+            Ok(written) => {
+                self.pos += written;
+                let tag = if frame_has_faults(&self.ops) {
+                    TAG_OPS_FAULTS
+                } else {
+                    TAG_OPS
+                };
+                let times = min_max(self.ops.iter().map(|o| o.at));
+                let records = self.ops.len();
+                self.note_frame(offset, tag, records, times);
+            }
+            Err(e) => self.error = Some(e),
         }
         self.ops.clear();
     }
@@ -509,15 +776,27 @@ impl<W: Write> SpillSink<W> {
             self.sessions.clear();
             return;
         }
+        let offset = self.pos;
         let result = match self.codec {
             SpillCodec::Raw => write_session_frame_v1(&mut self.out, &self.sessions),
             SpillCodec::Compressed => write_session_frame_v2(&mut self.out, &self.sessions),
         };
-        if let Err(e) = result {
-            self.error = Some(e);
+        match result {
+            Ok(written) => {
+                self.pos += written;
+                let times = min_max(self.sessions.iter().map(|s| s.end));
+                let records = self.sessions.len();
+                self.note_frame(offset, TAG_SESSIONS, records, times);
+            }
+            Err(e) => self.error = Some(e),
         }
         self.sessions.clear();
     }
+}
+
+/// `(min, max)` of a non-empty iterator (frames are never flushed empty).
+fn min_max(values: impl Iterator<Item = u64>) -> (u64, u64) {
+    values.fold((u64::MAX, 0), |(lo, hi), v| (lo.min(v), hi.max(v)))
 }
 
 impl<W: Write> LogSink for SpillSink<W> {
@@ -574,7 +853,20 @@ fn frame_has_faults(ops: &[OpRecord]) -> bool {
     ops.iter().any(|o| o.retries != 0 || o.aborted)
 }
 
-fn write_op_frame_v1<W: Write>(out: &mut W, ops: &[OpRecord]) -> io::Result<()> {
+/// Fixed v1 bytes per record for `tag` — the sum of the column widths,
+/// shared by the writer (frame sizes for the index) and the reader
+/// (structural skip).
+fn v1_row_bytes(tag: u8) -> u64 {
+    match tag {
+        TAG_OPS => 6 * 8 + 4 + 2,                // six u64s, one u32, two u8s
+        TAG_OPS_FAULTS => 6 * 8 + 4 + 2 + 4 + 1, // + retries u32, aborted u8
+        _ => 11 * 8 + 4,                         // eleven u64s, one u32
+    }
+}
+
+/// Frame writers return the exact bytes written, so [`SpillSink`] can track
+/// byte offsets for the index footer without a counting writer.
+fn write_op_frame_v1<W: Write>(out: &mut W, ops: &[OpRecord]) -> io::Result<u64> {
     let faulted = frame_has_faults(ops);
     let tag = if faulted { TAG_OPS_FAULTS } else { TAG_OPS };
     write_frame_header(out, tag, ops.len())?;
@@ -591,10 +883,10 @@ fn write_op_frame_v1<W: Write>(out: &mut W, ops: &[OpRecord]) -> io::Result<()> 
         write_u32s(out, ops.iter().map(|o| o.retries))?;
         write_u8s(out, ops.iter().map(|o| u8::from(o.aborted)))?;
     }
-    Ok(())
+    Ok(5 + v1_row_bytes(tag) * ops.len() as u64)
 }
 
-fn write_session_frame_v1<W: Write>(out: &mut W, sessions: &[SessionRecord]) -> io::Result<()> {
+fn write_session_frame_v1<W: Write>(out: &mut W, sessions: &[SessionRecord]) -> io::Result<u64> {
     write_frame_header(out, TAG_SESSIONS, sessions.len())?;
     write_u64s(out, sessions.iter().map(|s| s.user as u64))?;
     write_u64s(out, sessions.iter().map(|s| s.user_type as u64))?;
@@ -607,11 +899,13 @@ fn write_session_frame_v1<W: Write>(out: &mut W, sessions: &[SessionRecord]) -> 
     write_u64s(out, sessions.iter().map(|s| s.bytes_accessed))?;
     write_u64s(out, sessions.iter().map(|s| s.bytes_read))?;
     write_u64s(out, sessions.iter().map(|s| s.bytes_written))?;
-    write_u64s(out, sessions.iter().map(|s| s.total_response))
+    write_u64s(out, sessions.iter().map(|s| s.total_response))?;
+    Ok(5 + v1_row_bytes(TAG_SESSIONS) * sessions.len() as u64)
 }
 
-/// Writes a whole v2 frame: header, CRC over header + body, body.
-fn write_frame_v2<W: Write>(out: &mut W, tag: u8, count: usize, body: &[u8]) -> io::Result<()> {
+/// Writes a whole v2 frame: header, CRC over header + body, body. Returns
+/// the bytes written.
+fn write_frame_v2<W: Write>(out: &mut W, tag: u8, count: usize, body: &[u8]) -> io::Result<u64> {
     let count = u32::try_from(count).map_err(|_| bad_data("frame too large".into()))?;
     let mut crc = Crc32::new();
     crc.update(&[tag]);
@@ -620,10 +914,11 @@ fn write_frame_v2<W: Write>(out: &mut W, tag: u8, count: usize, body: &[u8]) -> 
     out.write_all(&[tag])?;
     out.write_all(&count.to_le_bytes())?;
     out.write_all(&crc.finish().to_le_bytes())?;
-    out.write_all(body)
+    out.write_all(body)?;
+    Ok(9 + body.len() as u64)
 }
 
-fn write_op_frame_v2<W: Write>(out: &mut W, ops: &[OpRecord]) -> io::Result<()> {
+fn write_op_frame_v2<W: Write>(out: &mut W, ops: &[OpRecord]) -> io::Result<u64> {
     let faulted = frame_has_faults(ops);
     let mut body = Vec::new();
     push_delta_col(&mut body, ops.iter().map(|o| o.at));
@@ -646,7 +941,7 @@ fn write_op_frame_v2<W: Write>(out: &mut W, ops: &[OpRecord]) -> io::Result<()> 
     write_frame_v2(out, tag, ops.len(), &body)
 }
 
-fn write_session_frame_v2<W: Write>(out: &mut W, sessions: &[SessionRecord]) -> io::Result<()> {
+fn write_session_frame_v2<W: Write>(out: &mut W, sessions: &[SessionRecord]) -> io::Result<u64> {
     let mut body = Vec::new();
     push_delta_col(&mut body, sessions.iter().map(|s| s.user as u64));
     push_delta_col(&mut body, sessions.iter().map(|s| s.user_type as u64));
@@ -964,6 +1259,14 @@ pub struct SpillReader<R: Read> {
     sessions_seen: u64,
     pending: std::vec::IntoIter<SpillRecord>,
     state: ReaderState,
+    /// `Some(n)` after [`SpillReader::seek_to_frames`]: decode at most `n`
+    /// more frames, then finish — the end marker is not expected (the
+    /// index already validated the stream's shape).
+    frames_left: Option<u64>,
+    /// True once the end marker's totals have validated, even if the
+    /// trailing-bytes probe failed afterwards: every *record* of the
+    /// stream was intact, only the optional footer region is damaged.
+    end_validated: bool,
 }
 
 impl SpillReader<BufReader<File>> {
@@ -1002,6 +1305,8 @@ impl<R: Read> SpillReader<R> {
             sessions_seen: 0,
             pending: Vec::new().into_iter(),
             state: ReaderState::Streaming,
+            frames_left: None,
+            end_validated: false,
         })
     }
 
@@ -1030,6 +1335,132 @@ impl<R: Read> SpillReader<R> {
         self
     }
 
+    /// Whether the end marker's totals validated against the frames read.
+    /// Once true, every *record* of the stream is accounted for, even if
+    /// the reader subsequently errored in the trailing region — the
+    /// distinction `uswg analyze --salvage` uses to report exact totals
+    /// for a file whose only damage is a truncated index footer.
+    pub fn stream_complete(&self) -> bool {
+        self.end_validated
+    }
+
+    /// Reads `read_exact`-style from inside the index footer region, where
+    /// a short read means the footer was truncated — the record stream
+    /// itself is already complete, so the error stays `UnexpectedEof`
+    /// (salvageable) rather than `InvalidData`.
+    fn read_footer_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.r.read_exact(buf).map_err(|e| match e.kind() {
+            io::ErrorKind::UnexpectedEof => io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "spill stream truncated inside the index footer: \
+                 the record stream is complete but its index is not",
+            ),
+            _ => e,
+        })
+    }
+
+    /// Polices the region after a validated end marker: the only bytes
+    /// allowed there are a well-formed index footer (checked in full —
+    /// magic, entry consistency, CRC, trailer, then EOF) or nothing at
+    /// all. Anything else is `InvalidData`. Pre-index readers returned
+    /// `Ok(None)` at the marker without looking, so a valid stream
+    /// followed by arbitrary garbage read back clean — exactly the region
+    /// the footer now occupies, so it has to be policed.
+    fn check_trailing(&mut self) -> io::Result<()> {
+        let mut first = [0u8; 1];
+        match self.r.read_exact(&mut first) {
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+            Ok(()) => {}
+        }
+        if first[0] != MAGIC_INDEX[0] {
+            return Err(bad_data(format!(
+                "trailing byte {:#04x} after the end-of-stream marker",
+                first[0]
+            )));
+        }
+        let mut magic_rest = [0u8; 7];
+        self.read_footer_exact(&mut magic_rest)?;
+        if magic_rest != MAGIC_INDEX[1..] {
+            return Err(bad_data(
+                "trailing bytes after the end-of-stream marker are not an index footer".to_string(),
+            ));
+        }
+        let mut count_raw = [0u8; 4];
+        self.read_footer_exact(&mut count_raw)?;
+        let count = u32::from_le_bytes(count_raw);
+        // Every frame holds at least one record, so the totals the end
+        // marker just validated bound the entry count — reject a corrupt
+        // length before it sizes an allocation.
+        if u64::from(count) > self.ops_seen + self.sessions_seen {
+            return Err(bad_data(format!(
+                "index footer claims {count} frames for {} records",
+                self.ops_seen + self.sessions_seen
+            )));
+        }
+        let mut entries = vec![0u8; count as usize * INDEX_ENTRY_BYTES];
+        self.read_footer_exact(&mut entries)?;
+        let mut crc = Crc32::new();
+        crc.update(MAGIC_INDEX);
+        crc.update(&count_raw);
+        crc.update(&entries);
+        let mut crc_raw = [0u8; 4];
+        self.read_footer_exact(&mut crc_raw)?;
+        if u32::from_le_bytes(crc_raw) != crc.finish() {
+            return Err(bad_data("index footer checksum mismatch".into()));
+        }
+        // The CRC vouches for the bytes; now check the entries describe
+        // the stream just read — offsets in order, record counts summing
+        // to the marker totals.
+        let (mut ops, mut sessions) = (0u64, 0u64);
+        let mut prev_end = 8u64;
+        for raw in entries.chunks_exact(INDEX_ENTRY_BYTES) {
+            let offset = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes"));
+            let records = u64::from(u32::from_le_bytes(raw[9..13].try_into().expect("4 bytes")));
+            let min_time = u64::from_le_bytes(raw[13..21].try_into().expect("8 bytes"));
+            let max_time = u64::from_le_bytes(raw[21..29].try_into().expect("8 bytes"));
+            if records == 0
+                || records > FRAME_CAP as u64
+                || offset < prev_end
+                || min_time > max_time
+            {
+                return Err(bad_data(
+                    "index entry is inconsistent with the stream just read".to_string(),
+                ));
+            }
+            match raw[8] {
+                TAG_SESSIONS => sessions += records,
+                TAG_OPS | TAG_OPS_FAULTS => ops += records,
+                other => return Err(bad_data(format!("index entry has unknown tag {other}"))),
+            }
+            prev_end = offset + 1;
+        }
+        if ops != self.ops_seen || sessions != self.sessions_seen {
+            return Err(bad_data(format!(
+                "index footer accounts for {ops} ops / {sessions} sessions, \
+                 stream held {} / {}",
+                self.ops_seen, self.sessions_seen
+            )));
+        }
+        let mut trailer = [0u8; TRAILER_BYTES];
+        self.read_footer_exact(&mut trailer)?;
+        let footer_len = (INDEX_FIXED_BYTES + count as usize * INDEX_ENTRY_BYTES) as u32;
+        if u32::from_le_bytes(trailer[..4].try_into().expect("4 bytes")) != footer_len
+            || &trailer[4..] != MAGIC_TRAILER
+        {
+            return Err(bad_data("index trailer does not match its footer".into()));
+        }
+        // Nothing may follow the trailer.
+        let mut extra = [0u8; 1];
+        match self.r.read_exact(&mut extra) {
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(()),
+            Err(e) => Err(e),
+            Ok(()) => Err(bad_data(
+                "trailing bytes after the index trailer".to_string(),
+            )),
+        }
+    }
+
     /// Consumes exactly `n` bytes of the underlying reader without
     /// decoding them, erroring on a short stream.
     fn skip_exact(&mut self, n: u64) -> io::Result<()> {
@@ -1048,15 +1479,7 @@ impl<R: Read> SpillReader<R> {
     /// v2.
     fn skip_frame(&mut self, tag: u8, count: usize) -> io::Result<()> {
         match self.codec {
-            SpillCodec::Raw => {
-                // Bytes per record = the sum of the fixed v1 column widths.
-                let row: u64 = match tag {
-                    TAG_OPS => 6 * 8 + 4 + 2,                // six u64s, one u32, two u8s
-                    TAG_OPS_FAULTS => 6 * 8 + 4 + 2 + 4 + 1, // + retries u32, aborted u8
-                    _ => 11 * 8 + 4,                         // eleven u64s, one u32
-                };
-                self.skip_exact(row * count as u64)
-            }
+            SpillCodec::Raw => self.skip_exact(v1_row_bytes(tag) * count as u64),
             SpillCodec::Compressed => {
                 self.skip_exact(4)?; // the frame CRC
                 let columns = match tag {
@@ -1092,6 +1515,12 @@ impl<R: Read> SpillReader<R> {
             if self.state == ReaderState::Finished {
                 return Ok(None);
             }
+            if self.frames_left == Some(0) {
+                // Frame budget exhausted (seek mode): stop without looking
+                // for the end marker — the index already accounted for it.
+                self.state = ReaderState::Finished;
+                return Ok(None);
+            }
             let mut tag = [0u8; 1];
             match self.r.read_exact(&mut tag) {
                 Ok(()) => {}
@@ -1109,6 +1538,13 @@ impl<R: Read> SpillReader<R> {
                 Err(e) => return Err(e),
             }
             if tag[0] == TAG_END {
+                if self.frames_left.is_some() {
+                    // Seek mode promised more frames than the stream holds:
+                    // the index footer and the frame sequence disagree.
+                    return Err(bad_data(
+                        "end marker reached while the frame index promised more frames".to_string(),
+                    ));
+                }
                 let mut totals = [0u8; 16];
                 self.r.read_exact(&mut totals)?;
                 let ops_total = u64::from_le_bytes(totals[..8].try_into().expect("8 bytes"));
@@ -1120,6 +1556,8 @@ impl<R: Read> SpillReader<R> {
                         self.ops_seen, self.sessions_seen
                     )));
                 }
+                self.end_validated = true;
+                self.check_trailing()?;
                 self.state = ReaderState::Finished;
                 return Ok(None);
             }
@@ -1138,6 +1576,9 @@ impl<R: Read> SpillReader<R> {
                 TAG_OPS | TAG_SESSIONS | TAG_OPS_FAULTS => tag[0],
                 other => return Err(bad_data(format!("unknown frame tag {other}"))),
             };
+            if let Some(n) = &mut self.frames_left {
+                *n -= 1;
+            }
             // Record the frame's count whether decoded or skipped, so the
             // end-of-stream totals always reconcile. Both op tags feed the
             // one op total.
@@ -1181,6 +1622,32 @@ impl<R: Read> SpillReader<R> {
             };
             self.pending = records.into_iter();
         }
+    }
+}
+
+impl<R: Read + Seek> SpillReader<R> {
+    /// Repositions the reader at a frame boundary taken from a
+    /// [`FrameIndex`] and bounds it to decode exactly `frames` frames
+    /// before finishing — the seekable half of windowed and parallel
+    /// analyze. The reader does not expect (and must not meet) the end
+    /// marker inside the budget; per-frame v2 checksums still verify every
+    /// decoded frame, but end-of-stream totals are the index's problem,
+    /// already cross-checked when the footer loaded.
+    ///
+    /// `offset` must be a frame tag-byte offset from the index; `frames`
+    /// counts consecutive frames from there. A previous iteration error
+    /// state is cleared: each seek starts a fresh bounded pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates seek failures.
+    pub fn seek_to_frames(&mut self, offset: u64, frames: u64) -> io::Result<()> {
+        self.r.seek(SeekFrom::Start(offset))?;
+        self.pending = Vec::new().into_iter();
+        self.state = ReaderState::Streaming;
+        self.frames_left = Some(frames);
+        self.end_validated = false;
+        Ok(())
     }
 }
 
@@ -1432,7 +1899,9 @@ mod tests {
         // documented layout by hand and compare.
         let ops = [sample_op(1), sample_op(2)];
         let session = sample_session(5);
-        let mut sink = SpillSink::with_codec(Vec::new(), SpillCodec::Raw).unwrap();
+        let mut sink = SpillSink::with_codec(Vec::new(), SpillCodec::Raw)
+            .unwrap()
+            .without_index();
         for op in &ops {
             sink.record_op(op);
         }
@@ -1595,7 +2064,9 @@ mod tests {
     fn v1_rejects_non_boolean_aborted() {
         // Build a valid v1 fault frame, then corrupt the aborted column:
         // the strict 0/1 decode is v1's only integrity check.
-        let mut sink = SpillSink::with_codec(Vec::new(), SpillCodec::Raw).unwrap();
+        let mut sink = SpillSink::with_codec(Vec::new(), SpillCodec::Raw)
+            .unwrap()
+            .without_index();
         sink.record_op(&faulted_op(21)); // retries 1, not aborted
         let mut bytes = sink.finish().unwrap();
         let aborted_at = bytes.len() - 17 - 1; // last column byte before the end marker
@@ -1609,19 +2080,32 @@ mod tests {
     fn empty_run_round_trips() {
         let sink = SpillSink::new(Vec::new()).unwrap();
         let bytes = sink.finish().unwrap();
-        // Header plus the sealed end marker (tag + two u64 totals).
-        assert_eq!(bytes.len(), MAGIC_V2.len() + 1 + 16);
+        // Header, the sealed end marker (tag + two u64 totals), then the
+        // empty index footer and its fixed-size trailer.
+        assert_eq!(
+            bytes.len(),
+            MAGIC_V2.len() + 1 + 16 + INDEX_FIXED_BYTES + TRAILER_BYTES
+        );
         assert_eq!(&bytes[..8], MAGIC_V2);
         let back = read_spill(bytes.as_slice()).unwrap();
         assert!(back.ops().is_empty());
         assert!(back.sessions().is_empty());
+        // Without the index the file is exactly the pre-footer layout.
+        let bare = SpillSink::new(Vec::new())
+            .unwrap()
+            .without_index()
+            .finish()
+            .unwrap();
+        assert_eq!(bare.len(), MAGIC_V2.len() + 1 + 16);
+        assert_eq!(bare, bytes[..bare.len()]);
+        assert!(read_spill(bare.as_slice()).unwrap().ops().is_empty());
     }
 
     #[test]
     fn unsealed_stream_is_rejected_as_truncated() {
         // A writer that dies before finish() leaves frames but no end
         // marker — that must not read back as a clean (but partial) log.
-        let mut sink = SpillSink::new(Vec::new()).unwrap();
+        let mut sink = SpillSink::new(Vec::new()).unwrap().without_index();
         for i in 0..10 {
             sink.record_op(&sample_op(i));
         }
@@ -1638,6 +2122,144 @@ mod tests {
         lying.extend_from_slice(&0u64.to_le_bytes());
         let err = read_spill(lying.as_slice()).unwrap_err();
         assert!(err.to_string().contains("promises"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_after_the_end_marker_is_rejected() {
+        // The historical bug: a valid stream + junk read back clean. Both
+        // the streaming and collecting readers must now reject it, with
+        // and without an index footer in between.
+        for indexed in [false, true] {
+            for codec in [SpillCodec::Raw, SpillCodec::Compressed] {
+                let mut sink = SpillSink::with_codec(Vec::new(), codec).unwrap();
+                if !indexed {
+                    sink = sink.without_index();
+                }
+                for i in 0..10 {
+                    sink.record_op(&sample_op(i));
+                }
+                let mut bytes = sink.finish().unwrap();
+                assert!(read_spill(bytes.as_slice()).is_ok());
+                bytes.push(0xA5);
+                let err = read_spill(bytes.as_slice()).unwrap_err();
+                assert_eq!(
+                    err.kind(),
+                    io::ErrorKind::InvalidData,
+                    "{indexed} {codec:?}"
+                );
+                let mut reader = SpillReader::new(bytes.as_slice()).unwrap();
+                let last = (&mut reader).last().expect("at least one item");
+                assert!(last.is_err(), "streaming reader accepted garbage");
+                // The records themselves were all intact: salvage callers
+                // can still tell this apart from mid-stream damage.
+                assert!(reader.stream_complete());
+            }
+        }
+    }
+
+    #[test]
+    fn index_footer_round_trips_and_matches_the_stream() {
+        for codec in [SpillCodec::Raw, SpillCodec::Compressed] {
+            let mut sink = SpillSink::with_options(Vec::new(), codec, 8).unwrap();
+            let mut expected = UsageLog::new();
+            for i in 0..50 {
+                let op = if i < 25 { sample_op(i) } else { faulted_op(i) };
+                sink.record_op(&op);
+                expected.push_op(op);
+                if i % 9 == 0 {
+                    let s = sample_session(i);
+                    sink.record_session(&s);
+                    expected.push_session(s);
+                }
+            }
+            let bytes = sink.finish().unwrap();
+            let index = FrameIndex::load(&mut io::Cursor::new(&bytes))
+                .unwrap()
+                .expect("footer present");
+            assert_eq!(index.records(), 50 + 6, "{codec:?}");
+            let (ops, sessions): (Vec<&FrameIndexEntry>, Vec<&FrameIndexEntry>) =
+                index.entries().iter().partition(|e| !e.is_session_frame());
+            assert_eq!(ops.iter().map(|e| u64::from(e.records)).sum::<u64>(), 50);
+            assert_eq!(
+                sessions.iter().map(|e| u64::from(e.records)).sum::<u64>(),
+                6
+            );
+            // Seeking to each entry decodes exactly its records, and the
+            // entry's time range matches what the records say.
+            let mut reader = SpillReader::new(io::Cursor::new(&bytes)).unwrap();
+            for entry in index.entries() {
+                reader.seek_to_frames(entry.offset, 1).unwrap();
+                let records: Vec<SpillRecord> = (&mut reader).collect::<io::Result<_>>().unwrap();
+                assert_eq!(records.len(), entry.records as usize, "{codec:?}");
+                let times: Vec<u64> = records
+                    .iter()
+                    .map(|r| match r {
+                        SpillRecord::Op(o) => o.at,
+                        SpillRecord::Session(s) => s.end,
+                    })
+                    .collect();
+                assert_eq!(times.iter().min(), Some(&entry.min_time));
+                assert_eq!(times.iter().max(), Some(&entry.max_time));
+            }
+            // A multi-frame seek spanning the whole file reproduces the log.
+            reader
+                .seek_to_frames(index.entries()[0].offset, index.frames() as u64)
+                .unwrap();
+            let all: Vec<SpillRecord> = (&mut reader).collect::<io::Result<_>>().unwrap();
+            assert_eq!(
+                all.len() as u64,
+                expected.ops().len() as u64 + expected.sessions().len() as u64
+            );
+            // Overrunning the frame budget into the end marker is corruption.
+            reader
+                .seek_to_frames(index.entries()[0].offset, index.frames() as u64 + 1)
+                .unwrap();
+            let err = (&mut reader).collect::<io::Result<Vec<_>>>().unwrap_err();
+            assert!(err.to_string().contains("promised more frames"), "{err}");
+        }
+    }
+
+    #[test]
+    fn unindexed_and_pre_footer_files_load_no_index() {
+        let mut sink = SpillSink::new(Vec::new()).unwrap().without_index();
+        for i in 0..10 {
+            sink.record_op(&sample_op(i));
+        }
+        let bytes = sink.finish().unwrap();
+        assert!(FrameIndex::load(&mut io::Cursor::new(&bytes))
+            .unwrap()
+            .is_none());
+        // Too-short files (shorter than any footered stream) are also None.
+        assert!(FrameIndex::load(&mut io::Cursor::new(b"USWGSPL2"))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn footer_truncation_degrades_to_streaming() {
+        // Cut anywhere inside the footer region: FrameIndex::load falls
+        // back to None (no trailer yet) and the streaming reader reports
+        // UnexpectedEof with the stream itself complete — never InvalidData.
+        let mut sink = SpillSink::with_options(Vec::new(), SpillCodec::Compressed, 8).unwrap();
+        for i in 0..30 {
+            sink.record_op(&sample_op(i));
+        }
+        let bytes = sink.finish().unwrap();
+        let footer_len = INDEX_FIXED_BYTES + 4 * INDEX_ENTRY_BYTES + TRAILER_BYTES;
+        let marker_end = bytes.len() - footer_len;
+        for cut in marker_end + 1..bytes.len() {
+            let part = &bytes[..cut];
+            assert!(
+                FrameIndex::load(&mut io::Cursor::new(part))
+                    .unwrap()
+                    .is_none(),
+                "cut at {cut}"
+            );
+            let mut reader = SpillReader::new(part).unwrap();
+            let err = (&mut reader).collect::<io::Result<Vec<_>>>().unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+            assert!(reader.stream_complete(), "cut at {cut}");
+        }
     }
 
     #[test]

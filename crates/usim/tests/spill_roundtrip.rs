@@ -10,12 +10,21 @@
 //! for the checksummed v2 format, no silently different records.
 
 use proptest::prelude::*;
+use std::io::Cursor;
 use uswg_fsc::{FileCategory, FileType, Owner, UsageClass};
 use uswg_netfs::OpKind;
 use uswg_usim::{
-    read_spill, LogSink, OpRecord, SessionRecord, SpillCodec, SpillReader, SpillRecord, SpillSink,
-    UsageLog, FRAME_CAP,
+    read_spill, FrameIndex, LogSink, OpRecord, SessionRecord, SpillCodec, SpillReader, SpillRecord,
+    SpillSink, UsageLog, FRAME_CAP,
 };
+
+/// Bytes the index footer adds after the end marker: the fixed header
+/// (8-byte magic + 4-byte count + 4-byte CRC), one 29-byte entry per
+/// frame, and the 12-byte trailer. Mirrors the format spec; the footer
+/// round-trip property below checks the entries themselves.
+fn footer_bytes(frames: usize) -> usize {
+    (8 + 4 + 4) + 29 * frames + 12
+}
 
 fn arb_category() -> impl Strategy<Value = FileCategory> {
     (0usize..3, 0usize..2, 0usize..4).prop_map(|(t, o, u)| FileCategory {
@@ -180,22 +189,31 @@ proptest! {
         frame_cap in 1usize..32,
         cut_seed in any::<usize>(),
     ) {
-        let (bytes, _) = spill_stream(&records, codec, frame_cap);
+        let (bytes, expected) = spill_stream(&records, codec, frame_cap);
         let cut = cut_seed % bytes.len();
-        let err = read_spill(&bytes[..cut]);
-        prop_assert!(err.is_err(), "cut at {} of {} must error", cut, bytes.len());
-        // The streaming reader agrees: iteration ends in exactly one error
-        // (or fails to open, when the magic itself is cut).
-        match SpillReader::new(&bytes[..cut]) {
-            Err(_) => {}
-            Ok(reader) => {
-                let results: Vec<_> = reader.collect();
-                prop_assert!(results.last().is_some_and(Result::is_err));
-                prop_assert_eq!(
-                    results.iter().filter(|r| r.is_err()).count(),
-                    1,
-                    "exactly one terminal error"
-                );
+        // One cut is special: removing exactly the whole index footer
+        // leaves a complete, unindexed stream — the pre-footer format —
+        // which must stay readable with unchanged records.
+        let frames = FrameIndex::load(&mut Cursor::new(&bytes)).unwrap().unwrap().frames();
+        if cut == bytes.len() - footer_bytes(frames) {
+            let back = read_spill(&bytes[..cut]).unwrap();
+            prop_assert_eq!(back.to_json().unwrap(), expected.to_json().unwrap());
+        } else {
+            let err = read_spill(&bytes[..cut]);
+            prop_assert!(err.is_err(), "cut at {} of {} must error", cut, bytes.len());
+            // The streaming reader agrees: iteration ends in exactly one
+            // error (or fails to open, when the magic itself is cut).
+            match SpillReader::new(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(reader) => {
+                    let results: Vec<_> = reader.collect();
+                    prop_assert!(results.last().is_some_and(Result::is_err));
+                    prop_assert_eq!(
+                        results.iter().filter(|r| r.is_err()).count(),
+                        1,
+                        "exactly one terminal error"
+                    );
+                }
             }
         }
     }
@@ -254,6 +272,98 @@ proptest! {
         if !head.starts_with(b"USWGSPL1") && !head.starts_with(b"USWGSPL2") {
             prop_assert!(read_spill(head.as_slice()).is_err());
         }
+    }
+
+    /// The index footer is a faithful map of the stream, for any record
+    /// interleaving, codec and frame capacity: entry record counts sum to
+    /// the totals, tags match the frame kind, and seeking to each entry
+    /// decodes exactly its records inside exactly its time range.
+    #[test]
+    fn index_footer_maps_every_frame(
+        records in prop::collection::vec(
+            prop_oneof![arb_op().prop_map(Ok), arb_session().prop_map(Err)],
+            0..200,
+        ),
+        codec in arb_codec(),
+        frame_cap in 1usize..48,
+    ) {
+        let (bytes, expected) = spill_stream(&records, codec, frame_cap);
+        let index = FrameIndex::load(&mut Cursor::new(&bytes)).unwrap().unwrap();
+        let indexed: u64 = index.entries().iter().map(|e| u64::from(e.records)).sum();
+        prop_assert_eq!(
+            indexed as usize,
+            expected.ops().len() + expected.sessions().len()
+        );
+        let mut reader = SpillReader::new(Cursor::new(&bytes)).unwrap();
+        let (mut ops_seen, mut sessions_seen) = (0usize, 0usize);
+        for entry in index.entries() {
+            reader.seek_to_frames(entry.offset, 1).unwrap();
+            let mut count = 0u32;
+            let (mut min, mut max) = (u64::MAX, u64::MIN);
+            for record in reader.by_ref() {
+                let t = match record.unwrap() {
+                    SpillRecord::Op(op) => {
+                        prop_assert!(!entry.is_session_frame());
+                        ops_seen += 1;
+                        op.at
+                    }
+                    SpillRecord::Session(s) => {
+                        prop_assert!(entry.is_session_frame());
+                        sessions_seen += 1;
+                        s.end
+                    }
+                };
+                min = min.min(t);
+                max = max.max(t);
+                count += 1;
+            }
+            prop_assert_eq!(count, entry.records);
+            prop_assert_eq!(min, entry.min_time);
+            prop_assert_eq!(max, entry.max_time);
+        }
+        prop_assert_eq!(ops_seen, expected.ops().len());
+        prop_assert_eq!(sessions_seen, expected.sessions().len());
+    }
+
+    /// Any cut *inside* the footer (the record stream and its end marker
+    /// intact) degrades to unindexed streaming: `FrameIndex::load` reports
+    /// no index, the streaming reader still yields every record, and the
+    /// terminal error marks the stream itself complete — the salvage path
+    /// that lets `--salvage` report exact totals.
+    #[test]
+    fn footer_cuts_degrade_to_unindexed_streaming(
+        records in prop::collection::vec(
+            prop_oneof![arb_op().prop_map(Ok), arb_session().prop_map(Err)],
+            0..80,
+        ),
+        codec in arb_codec(),
+        frame_cap in 1usize..32,
+        cut_seed in any::<usize>(),
+    ) {
+        let (bytes, expected) = spill_stream(&records, codec, frame_cap);
+        let frames = FrameIndex::load(&mut Cursor::new(&bytes)).unwrap().unwrap().frames();
+        let footer = footer_bytes(frames);
+        let stream_end = bytes.len() - footer;
+        let cut = stream_end + 1 + cut_seed % (footer - 1);
+        let cut_bytes = &bytes[..cut];
+        prop_assert!(FrameIndex::load(&mut Cursor::new(cut_bytes)).unwrap().is_none());
+        let mut reader = SpillReader::new(cut_bytes).unwrap();
+        let mut streamed = UsageLog::new();
+        let mut terminal = None;
+        for record in reader.by_ref() {
+            match record {
+                Ok(SpillRecord::Op(op)) => streamed.push_op(op),
+                Ok(SpillRecord::Session(s)) => streamed.push_session(s),
+                Err(e) => {
+                    terminal = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = terminal.expect("a footer cut must end iteration in an error");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        prop_assert!(reader.stream_complete(), "the record stream itself is complete");
+        prop_assert_eq!(streamed.to_json().unwrap(), expected.to_json().unwrap());
     }
 }
 
