@@ -2439,3 +2439,23 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+    #[test]
+    fn corrupt_trailer_len_probe() {
+        // valid stream, then garbage region ending in a trailer with a huge footer_len
+        let mut sink = SpillSink::new(Vec::new()).unwrap().without_index();
+        for i in 0..10u64 {
+            let mut op = crate::log::OpRecord::default();
+            op.at = i;
+            sink.record_op(&op);
+        }
+        let mut bytes = sink.finish().unwrap();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(MAGIC_TRAILER);
+        let res = FrameIndex::load(&mut std::io::Cursor::new(&bytes));
+        eprintln!("result: {res:?}");
+    }
+}
