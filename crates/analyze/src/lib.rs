@@ -15,12 +15,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fit;
 mod histogram;
 pub mod metrics;
 pub mod scan;
 mod stats;
 mod table;
 
+pub use fit::{collect_fit, FitCollector, FitObservation, FitOutcome, Reservoir};
 pub use histogram::Histogram;
 pub use scan::{CountingReader, ScanOptions, ScanOutcome};
 pub use stats::{StreamingSummary, Summary};

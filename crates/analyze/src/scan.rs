@@ -85,17 +85,7 @@ where
     R: Read + Seek,
     F: Fn() -> io::Result<SpillReader<R>> + Sync,
 {
-    let selected: Vec<(usize, FrameIndexEntry)> = index
-        .entries()
-        .iter()
-        .enumerate()
-        .filter(|(_, e)| e.overlaps(opts.since, opts.until))
-        .map(|(i, e)| (i, *e))
-        .collect();
-    let sampled: Vec<(usize, FrameIndexEntry)> = match opts.sample {
-        Some(k) if k > 1 => selected.into_iter().step_by(k as usize).collect(),
-        _ => selected,
-    };
+    let sampled = select_frames(index, opts);
     let frames_decoded = sampled.len();
     let workers = opts.jobs.max(1);
     let chunks: Vec<&[(usize, FrameIndexEntry)]> = split_even(&sampled, workers);
@@ -128,6 +118,49 @@ where
         frames_total: index.frames(),
         frames_decoded,
     })
+}
+
+/// The frames of `index` overlapping the window, thinned to every k-th
+/// when sampling — the selection both [`scan_indexed`] and
+/// [`visit_indexed`] decode.
+pub fn select_frames(index: &FrameIndex, opts: &ScanOptions) -> Vec<(usize, FrameIndexEntry)> {
+    let selected: Vec<(usize, FrameIndexEntry)> = index
+        .entries()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.overlaps(opts.since, opts.until))
+        .map(|(i, e)| (i, *e))
+        .collect();
+    match opts.sample {
+        Some(k) if k > 1 => selected.into_iter().step_by(k as usize).collect(),
+        _ => selected,
+    }
+}
+
+/// Sequentially decodes the frames [`select_frames`] picks and passes
+/// every in-window record to `visit`, in file order. Returns
+/// `(frames_total, frames_decoded)`. This is the record-visitor core under
+/// [`scan_indexed`], exposed for passes (like the fit collector) that fold
+/// into something other than a [`StreamLogStats`].
+///
+/// # Errors
+///
+/// Propagates reader-open and decode errors, exactly as [`scan_indexed`].
+pub fn visit_indexed<R, F, V>(
+    index: &FrameIndex,
+    opts: &ScanOptions,
+    open: F,
+    mut visit: V,
+) -> io::Result<(usize, usize)>
+where
+    R: Read + Seek,
+    F: Fn() -> io::Result<SpillReader<R>>,
+    V: FnMut(&SpillRecord),
+{
+    let sampled = select_frames(index, opts);
+    let frames_decoded = sampled.len();
+    visit_frames(&open, &sampled, opts, &mut visit)?;
+    Ok((index.frames(), frames_decoded))
 }
 
 /// Splits `frames` into at most `parts` near-equal contiguous chunks
@@ -165,8 +198,30 @@ where
     F: Fn() -> io::Result<SpillReader<R>>,
 {
     let mut stats = StreamLogStats::new();
+    visit_frames(open, frames, opts, &mut |record| match record {
+        SpillRecord::Op(op) => stats.record_op(op),
+        SpillRecord::Session(s) => stats.record_session(s),
+    })?;
+    Ok(stats)
+}
+
+/// Streams every in-window record of `frames` to `visit`, coalescing
+/// consecutive index positions into a single seek + multi-frame budget
+/// (adjacent frames abut on disk), so a dense window costs one seek, not
+/// one per frame.
+fn visit_frames<R, F, V>(
+    open: &F,
+    frames: &[(usize, FrameIndexEntry)],
+    opts: &ScanOptions,
+    visit: &mut V,
+) -> io::Result<()>
+where
+    R: Read + Seek,
+    F: Fn() -> io::Result<SpillReader<R>>,
+    V: FnMut(&SpillRecord),
+{
     if frames.is_empty() {
-        return Ok(stats);
+        return Ok(());
     }
     let mut reader = open()?;
     let mut i = 0;
@@ -180,15 +235,12 @@ where
         for record in &mut reader {
             let record = record?;
             if opts.record_in_window(&record) {
-                match record {
-                    SpillRecord::Op(op) => stats.record_op(&op),
-                    SpillRecord::Session(s) => stats.record_session(&s),
-                }
+                visit(&record);
             }
         }
         i = j;
     }
-    Ok(stats)
+    Ok(())
 }
 
 /// A [`Read`]`+`[`Seek`] wrapper that counts the bytes actually read

@@ -11,6 +11,11 @@
 //! * `uswg fit <data.txt> --family exp|phase:K|gamma:K` — fit a
 //!   distribution family to one-number-per-line data and report fit
 //!   quality (the GDS fitting step);
+//! * `uswg fit <run.bin> [--out spec.json]` — close the loop: stream a
+//!   spill capture through the fit collector, model every usage measure
+//!   with the best family by KS distance, and emit a complete runnable
+//!   workload spec (the paper's measure → characterize → regenerate
+//!   cycle);
 //! * `uswg analyze <run.bin>` — the Usage Analyzer over a spill file:
 //!   stream the binary log through the `uswg_analyze` machinery (op mix,
 //!   access-size/response summaries, per-user-type breakdown) without ever
@@ -37,9 +42,10 @@ use uswg_core::experiment::{
     Parallelism, SweepMode, SweepPoint,
 };
 use uswg_core::{
-    fit, gof, metrics, plot, presets, scan, CoreError, DistrError, Distribution, FrameIndex,
-    LogSink, NfsParams, ScanOptions, SchedulerBackend, SpillCodec, SpillReader, SpillRecord,
-    SpillSink, Summary, SummarySink, Table, UsageLog, WorkloadSpec,
+    collect_fit, fit, gof, metrics, plot, presets, scan, synthesize_spec, CoreError, DistrError,
+    Distribution, FrameIndex, LogSink, MeasureFit, NfsParams, ScanOptions, SchedulerBackend,
+    SpillCodec, SpillReader, SpillRecord, SpillSink, Summary, SummarySink, SynthesisOptions, Table,
+    UsageLog, WorkloadSpec,
 };
 
 /// A parsed command line.
@@ -109,12 +115,27 @@ pub enum Command {
         /// Per-replicate shard-count override (see `run`'s `shards`).
         shards: Option<NonZeroUsize>,
     },
-    /// `fit <path> --family F`: fit a family to a data file.
+    /// `fit <path>`: fit a family to a data file, or a whole workload
+    /// spec to a spill capture (distinguished by the file's magic).
     Fit {
-        /// Path of the data file (one non-negative number per line).
+        /// Path of the data file (one non-negative number per line) or of
+        /// a binary spill capture (v1 or v2, written by `run --spill`).
         path: String,
-        /// Family spec: `exp`, `phase:K` or `gamma:K`.
-        family: Family,
+        /// Family spec: `exp`, `phase:K` or `gamma:K` (text data only —
+        /// a capture fits every measure and picks families itself).
+        family: Option<Family>,
+        /// Write the fitted runnable spec JSON here (captures only).
+        out: Option<String>,
+        /// Emit a machine-readable JSON report, spec embedded (captures
+        /// only).
+        json: bool,
+        /// Keep records completing at or after this time, µs (captures
+        /// only; uses the index footer when present, as `analyze`).
+        since: Option<u64>,
+        /// Keep records completing at or before this time, µs.
+        until: Option<u64>,
+        /// Decode every k-th selected frame (a cheap estimate).
+        sample: Option<u64>,
     },
     /// `analyze <path>`: stream a spill file through the Usage Analyzer.
     Analyze {
@@ -324,6 +345,23 @@ USAGE:
                        attempts retry under the spec's fault retry policy
   uswg fit <data.txt> --family <F>      fit a family to one-number-per-line data
       <F> = exp | phase:<K> | gamma:<K>
+  uswg fit <run.bin> [OPTIONS]          fit a complete workload spec from a
+                                        spill capture (written by run --spill):
+                                        per-user-type think times, access
+                                        sizes, session gaps and per-category
+                                        usage are each modeled by the best
+                                        family by KS distance, and the file
+                                        system is sized from the observed
+                                        inode footprint — the result is a
+                                        runnable spec closing the measure →
+                                        characterize → regenerate loop
+      --out <spec.json> write the fitted spec (runnable with uswg run)
+      --json           machine-readable report with the spec embedded
+      --since <µs>     keep records completing at or after this time
+      --until <µs>     keep records completing at or before this time
+      --sample <k>     decode every k-th selected frame (an estimate);
+                       windowed flags seek via the index footer when the
+                       capture has one, exactly as analyze
   uswg analyze <run.bin> [OPTIONS]      analyze a spill file (written by
                                         run --spill) without loading it into
                                         memory: op mix, access-size and
@@ -556,12 +594,22 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
         "fit" => {
             let path = args
                 .get(1)
-                .ok_or_else(|| CliError::Usage("fit needs a data file".into()))?
+                .ok_or_else(|| CliError::Usage("fit needs a data file or spill capture".into()))?
                 .clone();
             let mut family = None;
+            let mut out = None;
+            let mut json = false;
+            let mut since = None;
+            let mut until = None;
+            let mut sample = None;
             let mut i = 2;
             while i < args.len() {
-                match args[i].as_str() {
+                let flag = args[i].as_str();
+                match flag {
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
                     "--family" => {
                         let v = args
                             .get(i + 1)
@@ -569,13 +617,55 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         family = Some(parse_family(v)?);
                         i += 2;
                     }
+                    "--out" => {
+                        let v = args
+                            .get(i + 1)
+                            .ok_or_else(|| CliError::Usage("--out needs a path".into()))?;
+                        out = Some(v.clone());
+                        i += 2;
+                    }
+                    "--since" | "--until" | "--sample" => {
+                        let value = args
+                            .get(i + 1)
+                            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+                        let parsed: u64 = value
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad {flag} value `{value}`")))?;
+                        match flag {
+                            "--since" => since = Some(parsed),
+                            "--until" => until = Some(parsed),
+                            _ => {
+                                if parsed == 0 {
+                                    return Err(CliError::Usage(
+                                        "--sample must be at least 1".into(),
+                                    ));
+                                }
+                                sample = Some(parsed);
+                            }
+                        }
+                        i += 2;
+                    }
                     other => {
                         return Err(CliError::Usage(format!("unknown flag `{other}`")));
                     }
                 }
             }
-            let family = family.ok_or_else(|| CliError::Usage("fit requires --family".into()))?;
-            Ok(Command::Fit { path, family })
+            if let (Some(s), Some(u)) = (since, until) {
+                if s > u {
+                    return Err(CliError::Usage(format!(
+                        "--since {s} is after --until {u}: empty window"
+                    )));
+                }
+            }
+            Ok(Command::Fit {
+                path,
+                family,
+                out,
+                json,
+                since,
+                until,
+                sample,
+            })
         }
         "analyze" => {
             let path = args
@@ -1151,7 +1241,38 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
             let study = run_des_replicated(&spec, &model, seeds, parallelism, mode)?;
             ok(render_replication(&model, &study))
         }
-        Command::Fit { path, family } => {
+        Command::Fit {
+            path,
+            family,
+            out,
+            json,
+            since,
+            until,
+            sample,
+        } => {
+            if is_spill_file(&path)? {
+                if family.is_some() {
+                    return Err(CliError::Usage(
+                        "--family selects a family for text data; a spill capture fits \
+                         every measure and picks families itself (drop --family)"
+                            .into(),
+                    ));
+                }
+                return fit_spill(&path, out.as_deref(), json, since, until, sample);
+            }
+            if out.is_some() || json || since.is_some() || until.is_some() || sample.is_some() {
+                return Err(CliError::Usage(format!(
+                    "--out/--json/--since/--until/--sample fit a spec from a spill capture, \
+                     but {path} is not one (no spill magic)"
+                )));
+            }
+            let family = family.ok_or_else(|| {
+                CliError::Usage(
+                    "fit on a text data file requires --family (spill captures fit every \
+                     measure automatically)"
+                        .into(),
+                )
+            })?;
             let data = read_data(&path)?;
             fit_report(&data, family).and_then(ok)
         }
@@ -1171,7 +1292,11 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
                 sample,
                 jobs: jobs.unwrap_or(1),
             };
-            let windowed = since.is_some() || until.is_some() || sample.is_some() || jobs.is_some();
+            // `--jobs` alone parallelizes a full pass; only these flags
+            // actually drop records, so only they can make a selection
+            // empty.
+            let filtered = since.is_some() || until.is_some() || sample.is_some();
+            let windowed = filtered || jobs.is_some();
             // Any windowed/parallel flag tries the index footer first. A
             // present-but-malformed footer fails closed (`load_path` errors
             // — the trailer promised an index that lied); an absent or
@@ -1185,6 +1310,12 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
             if let Some(index) = index {
                 let codec = SpillReader::open(&path)?.codec();
                 let outcome = scan::scan_indexed(&index, &opts, || SpillReader::open(&path))?;
+                if filtered && outcome.stats.ops == 0 && outcome.stats.sessions == 0 {
+                    return Err(CliError::Usage(format!(
+                        "the requested window selects no records in {path} \
+                         (widen --since/--until or drop --sample)"
+                    )));
+                }
                 let coverage = Coverage::Indexed {
                     decoded: outcome.frames_decoded as u64,
                     total: outcome.frames_total as u64,
@@ -1224,6 +1355,12 @@ fn run_command(command: Command) -> Result<(String, i32), CliError> {
                     }
                     Err(e) => return Err(e.into()),
                 }
+            }
+            if filtered && stats.ops == 0 && stats.sessions == 0 {
+                return Err(CliError::Usage(format!(
+                    "the requested window selects no records in {path} \
+                     (widen --since/--until or drop --sample)"
+                )));
             }
             // A cut inside the index footer leaves the record stream
             // complete (the end marker validated) — exact totals, unlike a
@@ -1728,6 +1865,131 @@ fn fit_report(data: &[f64], family: Family) -> Result<String, CliError> {
     Ok(text)
 }
 
+/// Whether `path` starts with the spill magic (`USWGSPL1`/`USWGSPL2`) —
+/// how `fit` tells a binary capture from a text data file. A file too
+/// short to hold the magic is not a capture.
+fn is_spill_file(path: &str) -> Result<bool, CliError> {
+    use std::io::Read as _;
+    let mut magic = [0u8; 7];
+    match std::fs::File::open(path)?.read_exact(&mut magic) {
+        Ok(()) => Ok(&magic == b"USWGSPL"),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// The machine-readable `fit <capture> --json` report.
+#[derive(Debug, Serialize)]
+struct FitSpillReport {
+    /// Op records classified to a user type.
+    ops: u64,
+    /// Op records whose user completed no session in the window.
+    ops_unclassified: u64,
+    sessions: u64,
+    users: u64,
+    user_types: u64,
+    /// Frames decoded per pass (`null` for a full streamed pass).
+    frames_decoded: Option<u64>,
+    /// Frames in the file per the index (`null` when unindexed).
+    frames_total: Option<u64>,
+    /// Per-measure model choices, in emission order.
+    fits: Vec<MeasureFit>,
+    /// Every fallback taken where the capture was too thin to fit.
+    warnings: Vec<String>,
+    /// The complete runnable spec.
+    spec: WorkloadSpec,
+}
+
+/// `fit` over a spill capture: stream it through the fit collector
+/// (windowed via the index footer exactly as `analyze`), model every
+/// measure, and emit the synthesized runnable spec.
+fn fit_spill(
+    path: &str,
+    out: Option<&str>,
+    json: bool,
+    since: Option<u64>,
+    until: Option<u64>,
+    sample: Option<u64>,
+) -> Result<(String, i32), CliError> {
+    let opts = ScanOptions {
+        since,
+        until,
+        sample,
+        jobs: 1,
+    };
+    let outcome = collect_fit(path, &opts)?;
+    if outcome.observation.is_empty() {
+        return Err(CliError::Usage(format!(
+            "the requested window selects no records in {path} — nothing to fit \
+             (widen --since/--until or drop --sample)"
+        )));
+    }
+    let synthesized = synthesize_spec(&outcome.observation, &SynthesisOptions::default())?;
+    let spec_json = synthesized.spec.to_json()?;
+    if let Some(out_path) = out {
+        std::fs::write(out_path, &spec_json)?;
+    }
+    let obs = &outcome.observation;
+    if json {
+        let report = FitSpillReport {
+            ops: obs.ops,
+            ops_unclassified: obs.ops_unclassified,
+            sessions: obs.sessions,
+            users: obs.users as u64,
+            user_types: obs.types.len() as u64,
+            frames_decoded: outcome.frames_decoded.map(|n| n as u64),
+            frames_total: outcome.frames_total.map(|n| n as u64),
+            fits: synthesized.fits,
+            warnings: synthesized.warnings,
+            spec: synthesized.spec,
+        };
+        let mut text = serde_json::to_string_pretty(&report).map_err(CoreError::from)?;
+        text.push('\n');
+        return ok(text);
+    }
+    let mut text = format!(
+        "fit of spill capture {path}: {} ops over {} sessions, {} users, {} user type(s)\n",
+        obs.ops,
+        obs.sessions,
+        obs.users,
+        obs.types.len()
+    );
+    if let (Some(decoded), Some(total)) = (outcome.frames_decoded, outcome.frames_total) {
+        let _ = writeln!(text, "frame index: decoded {decoded} of {total} frames");
+    }
+    let mut table = Table::new(vec!["measure", "family", "samples", "KS D", "p"])
+        .with_title("Fitted distributions");
+    for f in &synthesized.fits {
+        let (d, p) = match &f.ks {
+            Some(ks) => (format!("{:.4}", ks.statistic), format!("{:.4}", ks.p_value)),
+            None => ("-".into(), "-".into()),
+        };
+        table.row(vec![
+            f.measure.clone(),
+            f.family.clone(),
+            format!("{}/{}", f.fitted, f.seen),
+            d,
+            p,
+        ]);
+    }
+    text.push_str(&table.render());
+    for w in &synthesized.warnings {
+        let _ = writeln!(text, "warning: {w}");
+    }
+    match out {
+        Some(out_path) => {
+            let _ = writeln!(
+                text,
+                "fitted spec written to {out_path} — run it with: uswg run {out_path} --model nfs"
+            );
+        }
+        None => {
+            text.push_str("pass --out <spec.json> to write the runnable spec\n");
+        }
+    }
+    ok(text)
+}
+
 fn render_run_summary(log: &UsageLog, with_model: bool) -> String {
     let mut table = Table::new(vec![
         "system call",
@@ -1885,7 +2147,14 @@ mod tests {
         assert!(parse_args(argv("run spec.json --scheduler")).is_err());
         assert!(parse_args(argv("run spec.json --bogus")).is_err());
         assert!(parse_args(argv("frobnicate")).is_err());
-        assert!(parse_args(argv("fit data.txt")).is_err());
+        // Fit flag validation: values must parse, the window must be
+        // non-empty, and sampling every 0th frame is meaningless.
+        assert!(parse_args(argv("fit data.txt --family")).is_err());
+        assert!(parse_args(argv("fit data.txt --bogus")).is_err());
+        assert!(parse_args(argv("fit cap.bin --sample 0")).is_err());
+        assert!(parse_args(argv("fit cap.bin --since ten")).is_err());
+        assert!(parse_args(argv("fit cap.bin --since 10 --until 5")).is_err());
+        assert!(parse_args(argv("fit cap.bin --out")).is_err());
         // Analyze needs a path and rejects flags it doesn't know.
         assert!(parse_args(argv("analyze")).is_err());
         assert!(parse_args(argv("analyze run.bin --frobnicate")).is_err());
@@ -2111,6 +2380,40 @@ mod tests {
         assert_eq!(parse_family("gamma:2").unwrap(), Family::Gamma(2));
     }
 
+    #[test]
+    fn parses_fit() {
+        // Text-data form: a family, nothing else.
+        assert_eq!(
+            parse_args(argv("fit data.txt --family exp")).unwrap(),
+            Command::Fit {
+                path: "data.txt".into(),
+                family: Some(Family::Exponential),
+                out: None,
+                json: false,
+                since: None,
+                until: None,
+                sample: None,
+            }
+        );
+        // Capture form: no family needed at parse time (the file's magic
+        // decides at execution), window and output flags accepted.
+        assert_eq!(
+            parse_args(argv(
+                "fit cap.bin --out spec.json --json --since 100 --until 900 --sample 4"
+            ))
+            .unwrap(),
+            Command::Fit {
+                path: "cap.bin".into(),
+                family: None,
+                out: Some("spec.json".into()),
+                json: true,
+                since: Some(100),
+                until: Some(900),
+                sample: Some(4),
+            }
+        );
+    }
+
     /// A temp directory unique to this test *invocation*: pid alone is not
     /// enough (every test of one run shares it), so a process-wide
     /// monotonic counter disambiguates tests that use the same label —
@@ -2222,10 +2525,23 @@ mod tests {
         std::fs::write(&data_path, body).unwrap();
         let out = execute(Command::Fit {
             path: data_path.to_string_lossy().into(),
-            family: Family::Exponential,
+            family: Some(Family::Exponential),
+            out: None,
+            json: false,
+            since: None,
+            until: None,
+            sample: None,
         })
         .unwrap();
         assert!(out.contains("KS D ="));
+
+        // A text data file without --family is caught at execution, with
+        // the capture-only flags rejected for the same reason.
+        let data_arg: String = data_path.to_string_lossy().into();
+        let err = execute(parse_args(argv(&format!("fit {data_arg}"))).unwrap());
+        assert!(matches!(err, Err(CliError::Usage(m)) if m.contains("--family")));
+        let err = execute(parse_args(argv(&format!("fit {data_arg} --json"))).unwrap());
+        assert!(matches!(err, Err(CliError::Usage(m)) if m.contains("not one")));
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -2606,6 +2922,81 @@ mod tests {
         let parsed = serde_json::parse_value(&out).unwrap();
         assert_eq!(json_u64(&parsed, "ops"), 2000);
         assert_eq!(parsed.get("salvaged"), Some(&serde::Value::Bool(true)));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fit_synthesizes_a_runnable_spec_from_a_capture() {
+        let dir = unique_test_dir("fitspill");
+        let spec_path = dir.join("spec.json");
+        let spill_path = dir.join("cap.bin");
+        let fitted_path = dir.join("fitted.json");
+
+        let mut spec = WorkloadSpec::paper_default().unwrap();
+        spec.run.n_users = 3;
+        spec.run.sessions_per_user = 3;
+        spec.fsc = spec
+            .fsc
+            .with_files_per_user(8)
+            .unwrap()
+            .with_shared_files(10)
+            .unwrap();
+        std::fs::write(&spec_path, spec.to_json().unwrap()).unwrap();
+        let spec_arg: String = spec_path.to_string_lossy().into();
+        let spill_arg: String = spill_path.to_string_lossy().into();
+        let fitted_arg: String = fitted_path.to_string_lossy().into();
+        execute(
+            parse_args(argv(&format!(
+                "run {spec_arg} --model local --spill {spill_arg}"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+
+        // Text mode: per-measure fit table plus the written spec.
+        let (out, status) = execute_with_status(
+            parse_args(argv(&format!("fit {spill_arg} --out {fitted_arg}"))).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(status, EXIT_OK);
+        assert!(out.contains("Fitted distributions"), "{out}");
+        assert!(out.contains("fitted spec written to"), "{out}");
+        assert!(out.contains("3 users"), "{out}");
+
+        // The emitted spec parses, validates, and actually runs.
+        let fitted =
+            WorkloadSpec::from_json(&std::fs::read_to_string(&fitted_path).unwrap()).unwrap();
+        assert_eq!(fitted.run.n_users, 3);
+        assert_eq!(fitted.run.sessions_per_user, 3);
+        let report = fitted.run_des(&ModelConfig::default_local()).unwrap();
+        assert!(!report.log.ops().is_empty());
+
+        // JSON mode embeds the spec and the observation counts.
+        let (out, _) =
+            execute_with_status(parse_args(argv(&format!("fit {spill_arg} --json"))).unwrap())
+                .unwrap();
+        let parsed = serde_json::parse_value(&out).unwrap();
+        assert_eq!(json_u64(&parsed, "users"), 3);
+        assert!(json_u64(&parsed, "ops") > 0);
+        assert!(parsed.get("spec").is_some());
+        assert!(parsed
+            .get("fits")
+            .and_then(serde::Value::as_seq)
+            .is_some_and(|fits| !fits.is_empty()));
+
+        // A capture fits every measure itself: --family contradicts it.
+        let err = execute(parse_args(argv(&format!("fit {spill_arg} --family exp"))).unwrap());
+        assert!(matches!(err, Err(CliError::Usage(m)) if m.contains("drop --family")));
+
+        // A window past the end of the capture selects nothing — a clear
+        // error, not a degenerate spec; analyze agrees.
+        let err =
+            execute(parse_args(argv(&format!("fit {spill_arg} --since 99999999999"))).unwrap());
+        assert!(matches!(err, Err(CliError::Usage(m)) if m.contains("selects no records")));
+        let err =
+            execute(parse_args(argv(&format!("analyze {spill_arg} --since 99999999999"))).unwrap());
+        assert!(matches!(err, Err(CliError::Usage(m)) if m.contains("selects no records")));
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -45,15 +45,19 @@ pub mod experiment;
 pub mod presets;
 
 mod error;
+mod synth;
 mod workload;
 
 pub use error::CoreError;
+pub use synth::{synthesize_spec, MeasureFit, SynthesisOptions, SynthesizedSpec};
 pub use workload::{DesOpStream, WorkloadSpec};
 
 // Re-export the workspace surface so downstream users need one dependency.
+// (`uswg_analyze::fit` items are re-exported individually — the module name
+// `fit` is taken by the `uswg_distr::fit` re-export below.)
 pub use uswg_analyze::{
-    metrics, scan, Align, CountingReader, Histogram, ScanOptions, ScanOutcome, StreamingSummary,
-    Summary, Table,
+    collect_fit, metrics, scan, Align, CountingReader, FitCollector, FitObservation, FitOutcome,
+    Histogram, Reservoir, ScanOptions, ScanOutcome, StreamingSummary, Summary, Table,
 };
 pub use uswg_distr::{
     fit, gof, plot, spec::DistributionSpec, CdfTable, DistrError, Distribution, EmpiricalCdf,

@@ -190,6 +190,63 @@ proptest! {
         }
     }
 
+    // ---- goodness-of-fit invariants --------------------------------------
+
+    #[test]
+    fn ks_statistic_bounded_and_order_invariant(
+        d in phase_type_strategy(),
+        mut data in prop::collection::vec(0.0f64..2000.0, 1..200),
+    ) {
+        let t = uswg_distr::gof::ks_statistic(&data, &d).unwrap();
+        prop_assert!((0.0..=1.0).contains(&t.statistic));
+        prop_assert!((0.0..=1.0).contains(&t.p_value));
+        data.reverse();
+        let r = uswg_distr::gof::ks_statistic(&data, &d).unwrap();
+        prop_assert_eq!(t.statistic.to_bits(), r.statistic.to_bits());
+    }
+
+    #[test]
+    fn ks_tied_data_matches_duplicated_block_analysis(
+        x in 0.1f64..100.0,
+        ties in 2usize..50,
+        mean in 0.5f64..200.0,
+    ) {
+        // n copies of one value against Exp(mean): D = max(F(x), 1 - F(x)).
+        let d = Exponential::new(mean).unwrap();
+        let data = vec![x; ties];
+        let t = uswg_distr::gof::ks_statistic(&data, &d).unwrap();
+        let f = d.cdf(x);
+        prop_assert!((t.statistic - f.max(1.0 - f)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_two_sample_symmetric_and_bounded(
+        a in prop::collection::vec(0.0f64..1000.0, 1..100),
+        b in prop::collection::vec(0.0f64..1000.0, 1..100),
+    ) {
+        let ab = uswg_distr::gof::ks_two_sample(&a, &b).unwrap();
+        let ba = uswg_distr::gof::ks_two_sample(&b, &a).unwrap();
+        prop_assert_eq!(ab.statistic.to_bits(), ba.statistic.to_bits());
+        prop_assert!((0.0..=1.0).contains(&ab.statistic));
+        let self_test = uswg_distr::gof::ks_two_sample(&a, &a).unwrap();
+        prop_assert_eq!(self_test.statistic, 0.0);
+    }
+
+    #[test]
+    fn chi_square_statistic_finite_with_valid_dof(
+        mean in 1.0f64..1000.0,
+        seed in any::<u64>(),
+        bins in 2usize..12,
+    ) {
+        let d = Exponential::new(mean).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..(5 * bins * 2)).map(|_| d.sample(&mut rng)).collect();
+        let t = uswg_distr::gof::chi_square(&data, &d, bins).unwrap();
+        prop_assert!(t.statistic.is_finite() && t.statistic >= 0.0);
+        prop_assert!(t.degrees_of_freedom >= 1 && t.degrees_of_freedom < bins);
+        prop_assert!((0.0..=1.0).contains(&t.p_value));
+    }
+
     #[test]
     fn guided_sampling_stream_equals_unguided_stream(d in gamma_strategy(), seed in any::<u64>()) {
         let table = CdfTable::from_distribution(&d, 512).unwrap();

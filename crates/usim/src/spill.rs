@@ -493,13 +493,16 @@ impl FrameIndex {
         let footer_len = u64::from(u32::from_le_bytes(
             trailer[..4].try_into().expect("4 bytes"),
         ));
-        let footer_start = len - TRAILER_BYTES as u64 - footer_len;
-        if footer_len < INDEX_FIXED_BYTES as u64 || footer_start < MIN_STREAM_BYTES {
-            return Err(bad_data(format!(
-                "index trailer declares a {footer_len}-byte footer, impossible \
-                 in a {len}-byte file"
-            )));
-        }
+        let footer_start = len
+            .checked_sub(TRAILER_BYTES as u64)
+            .and_then(|n| n.checked_sub(footer_len))
+            .filter(|&start| footer_len >= INDEX_FIXED_BYTES as u64 && start >= MIN_STREAM_BYTES)
+            .ok_or_else(|| {
+                bad_data(format!(
+                    "index trailer declares a {footer_len}-byte footer, impossible \
+                     in a {len}-byte file"
+                ))
+            })?;
         r.seek(SeekFrom::Start(footer_start))?;
         let mut footer = vec![0u8; footer_len as usize];
         r.read_exact(&mut footer)?;
@@ -2441,21 +2444,39 @@ mod tests {
 }
 
 #[cfg(test)]
-mod review_probe {
+mod corrupt_trailer {
     use super::*;
+
+    /// A trailer whose declared `footer_len` exceeds the file must fail
+    /// cleanly — the footer-start computation used to underflow (a debug
+    /// panic; in release the wrapped offset sailed past the sanity check).
     #[test]
-    fn corrupt_trailer_len_probe() {
-        // valid stream, then garbage region ending in a trailer with a huge footer_len
+    fn huge_footer_len_is_rejected_not_a_panic() {
         let mut sink = SpillSink::new(Vec::new()).unwrap().without_index();
         for i in 0..10u64 {
-            let mut op = crate::log::OpRecord::default();
-            op.at = i;
+            let op = OpRecord {
+                at: i,
+                user: 0,
+                session: 0,
+                op: OpKind::Read,
+                ino: i,
+                bytes: 0,
+                file_size: 0,
+                response: 0,
+                category: FileCategory::REG_USER_RDONLY,
+                retries: 0,
+                aborted: false,
+            };
             sink.record_op(&op);
         }
         let mut bytes = sink.finish().unwrap();
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         bytes.extend_from_slice(MAGIC_TRAILER);
-        let res = FrameIndex::load(&mut std::io::Cursor::new(&bytes));
-        eprintln!("result: {res:?}");
+        let err = FrameIndex::load(&mut std::io::Cursor::new(&bytes))
+            .expect_err("a footer larger than the file is corrupt, not absent");
+        assert!(
+            err.to_string().contains("impossible"),
+            "unexpected error: {err}"
+        );
     }
 }
